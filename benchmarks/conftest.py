@@ -1,0 +1,25 @@
+"""Benchmark-suite helpers.
+
+Each benchmark file regenerates one paper table/figure through
+:mod:`repro.bench.experiments` and asserts the *shape* of the result
+(who wins, rough factors, crossovers), per EXPERIMENTS.md.  The
+``run_experiment`` helper runs the experiment exactly once under
+pytest-benchmark timing and prints the paper-style rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment function once under benchmark timing."""
+
+    def _run(fn, **kwargs):
+        result = benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+        print()
+        result.show()
+        return result
+
+    return _run

@@ -1,0 +1,64 @@
+"""Microbenchmarks of the core components (real wall-clock, many rounds).
+
+These are classic pytest-benchmark measurements of the library's hot
+paths, complementing the one-shot figure reproductions: FAC layout speed
+(the paper's "tens of microseconds" claim), Reed-Solomon throughput, and
+chunk encode/decode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import construct_stripes
+from repro.ec import RS_9_6, encode_stripe, get_coder
+from repro.format import decode_column_chunk, encode_column_chunk
+from repro.format.schema import ColumnType
+from repro.workloads import items_from_sizes, zipf_chunk_sizes
+
+
+def test_fac_construction_speed(benchmark):
+    """Paper: FAC runs in 10s-100s of microseconds for real files."""
+    items = items_from_sizes(zipf_chunk_sizes(320, 0.5, seed=1))
+    layout = benchmark(construct_stripes, RS_9_6, items)
+    assert layout.overhead_vs_optimal < 0.02
+    # Generous bound for CI noise; the paper's Go version is ~500us.
+    assert benchmark.stats["mean"] < 0.05
+
+
+def test_fac_scales_to_thousands_of_chunks(benchmark):
+    items = items_from_sizes(zipf_chunk_sizes(2000, 0.5, seed=2))
+    layout = benchmark(construct_stripes, RS_9_6, items)
+    assert layout.overhead_vs_optimal < 0.01
+
+
+def test_reed_solomon_encode_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    blocks = [rng.integers(0, 256, size=256 * 1024, dtype=np.uint8) for _ in range(6)]
+    coder = get_coder(RS_9_6)
+    parity = benchmark(coder.encode, blocks)
+    assert len(parity) == 3
+
+
+def test_stripe_encode_variable_blocks(benchmark):
+    rng = np.random.default_rng(1)
+    sizes = [200_000, 150_000, 120_000, 80_000, 50_000, 10_000]
+    blocks = [rng.integers(0, 256, size=s, dtype=np.uint8) for s in sizes]
+    stripe = benchmark(encode_stripe, RS_9_6, blocks)
+    assert stripe.stats.parity_bytes == 3 * 200_000
+
+
+def test_chunk_encode_speed(benchmark):
+    rng = np.random.default_rng(2)
+    values = rng.integers(0, 50, size=100_000)
+    chunk = benchmark(
+        encode_column_chunk, ColumnType.INT64, values, "zlib"
+    )
+    assert chunk.compressibility > 4
+
+
+def test_chunk_decode_speed(benchmark):
+    rng = np.random.default_rng(3)
+    values = rng.integers(0, 50, size=100_000)
+    chunk = encode_column_chunk(ColumnType.INT64, values, "zlib")
+    out = benchmark(decode_column_chunk, chunk.data)
+    assert np.array_equal(out, values)

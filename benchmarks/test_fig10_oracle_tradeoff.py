@@ -1,0 +1,30 @@
+"""Figure 10: oracle runtime explosion and the pushdown trade-off grid."""
+
+from repro.bench.experiments import fig10a_oracle_runtime, fig10b_tradeoff
+
+
+def test_fig10a_oracle_runtime(run_experiment):
+    result = run_experiment(
+        fig10a_oracle_runtime, chunk_counts=(6, 10, 14, 18), time_cap_s=25.0
+    )
+    times = result.raw
+    # The point of the figure: solve time grows rapidly with chunk count.
+    assert max(times.values()) > 5 * min(times.values())
+
+
+def test_fig10b_tradeoff(run_experiment):
+    result = run_experiment(
+        fig10b_tradeoff,
+        column_ids=(5, 4),
+        selectivities=(0.01, 0.5, 1.0),
+        num_queries=16,
+    )
+    raw = result.raw
+    # Always-on pushdown: big wins at low selectivity...
+    assert raw[(5, 0.01)] > 30
+    assert raw[(4, 0.01)] > 30
+    # ...and it stops helping (or hurts) at full selectivity.
+    assert raw[(5, 1.0)] < 15
+    assert raw[(4, 1.0)] < 15
+    # Within a column, lower selectivity is never worse.
+    assert raw[(5, 0.01)] >= raw[(5, 1.0)]

@@ -1,0 +1,14 @@
+"""Figure 12: how many nodes a baseline chunk spans, per column."""
+
+from repro.bench.experiments import fig12_nodes_per_chunk
+
+
+def test_fig12_nodes_per_chunk(run_experiment):
+    result = run_experiment(fig12_nodes_per_chunk)
+    raw = result.raw
+    # The biggest column (l_comment, 15) spans several nodes; small
+    # highly-compressed columns (l_linestatus, 9) stay near one.
+    assert raw[15][0] > 2.5
+    assert raw[9][0] < 1.5
+    # Chunk size drives the spread: comment chunks dwarf linestatus chunks.
+    assert raw[15][1] > 50 * raw[9][1]

@@ -1,0 +1,30 @@
+"""Figure 13: the headline per-column latency reductions and breakdowns."""
+
+from repro.bench.experiments import fig13ab_column_sweep, fig13cd_breakdown
+
+
+def test_fig13ab_column_sweep(run_experiment):
+    result = run_experiment(fig13ab_column_sweep, num_queries=50)
+    comps = result.raw
+    # Paper headline: up to ~65% median / ~81% tail reduction on the big
+    # split-prone columns; Fusion wins clearly on columns 1, 2, 5, 15.
+    for cid in (1, 2, 5, 15):
+        assert comps[cid].p50_reduction > 40, cid
+        assert comps[cid].p99_reduction > 50, cid
+    best_p99 = max(c.p99_reduction for c in comps.values())
+    assert best_p99 > 70
+    # Small, highly-compressed columns benefit less than the big ones
+    # (paper: "modest" for 3 and 9).
+    assert comps[9].p50_reduction < comps[5].p50_reduction
+    assert comps[3].p50_reduction < comps[1].p50_reduction
+
+
+def test_fig13cd_breakdown(run_experiment):
+    result = run_experiment(fig13cd_breakdown, num_queries=20)
+    raw = result.raw
+    # Column 5: the baseline is network-bound (paper: ~57%); Fusion is not.
+    assert raw[(5, "baseline")]["network"] > 0.5
+    assert raw[(5, "fusion")]["network"] < 0.2
+    # Fusion's time goes to disk + processing instead.
+    fusion5 = raw[(5, "fusion")]
+    assert fusion5["disk"] + fusion5["processing"] > 0.7

@@ -1,0 +1,43 @@
+"""Figure 14: selectivity, bandwidth and CPU sweeps."""
+
+from repro.bench.experiments import (
+    fig14ab_selectivity_sweep,
+    fig14c_bandwidth_sweep,
+    fig14d_cpu_utilization,
+)
+
+
+def test_fig14ab_selectivity_sweep(run_experiment):
+    result = run_experiment(
+        fig14ab_selectivity_sweep,
+        column_ids=(5, 9),
+        selectivities=(0.01, 0.2, 0.75, 1.0),
+        num_queries=20,
+    )
+    raw = result.raw
+    # Gains shrink as selectivity grows (paper Fig 14a).
+    assert raw[(5, 0.01)].p50_reduction > raw[(5, 0.75)].p50_reduction
+    assert raw[(5, 0.01)].p50_reduction > 40
+    # At very high selectivity the win largely evaporates.
+    assert raw[(5, 1.0)].p50_reduction < 20
+    # The favourable column (5) beats the unfavourable one (9) at low sel.
+    assert raw[(5, 0.01)].p50_reduction > raw[(9, 0.01)].p50_reduction
+
+
+def test_fig14c_bandwidth_sweep(run_experiment):
+    result = run_experiment(
+        fig14c_bandwidth_sweep, gbps_values=(10, 25, 100), num_queries=20
+    )
+    raw = result.raw
+    # Paper: slower networks amplify Fusion's advantage.
+    assert raw[10].p50_reduction > raw[25].p50_reduction > raw[100].p50_reduction
+    assert raw[10].p50_reduction > 60
+
+
+def test_fig14d_cpu(run_experiment):
+    result = run_experiment(fig14d_cpu_utilization, column_ids=(0, 5, 15), num_queries=30)
+    raw = result.raw
+    # Paper: Fusion burns less CPU at the same delivered load, because it
+    # moves far less data (network processing cost).
+    for cid, (fusion_cpu, baseline_cpu) in raw.items():
+        assert fusion_cpu < baseline_cpu, cid

@@ -1,0 +1,22 @@
+"""Figure 15: real-world SQL queries (latency and network traffic)."""
+
+from repro.bench.experiments import fig15a_realworld, fig15b_traffic
+
+
+def test_fig15a_realworld_latency(run_experiment):
+    result = run_experiment(fig15a_realworld, num_queries=30)
+    raw = result.raw
+    # Paper: Fusion reduces latency on all four queries (up to 48%/40% on
+    # TPC-H, up to 32%/48% on taxi).
+    for name in ("Q1", "Q2", "Q3", "Q4"):
+        assert raw[name].p99_reduction > 0, name
+    assert max(c.p50_reduction for c in raw.values()) > 30
+
+
+def test_fig15b_network_traffic(run_experiment):
+    result = run_experiment(fig15b_traffic, num_queries=30)
+    raw = result.raw
+    # Paper: Fusion generates up to 8.9x less traffic; always less.
+    for name, comp in raw.items():
+        assert comp.traffic_ratio > 1.0, name
+    assert max(c.traffic_ratio for c in raw.values()) > 3.0

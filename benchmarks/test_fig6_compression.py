@@ -1,0 +1,18 @@
+"""Figure 6: per-column compression ratios of lineitem."""
+
+import numpy as np
+
+from repro.bench.experiments import fig6_compression
+
+
+def test_fig6_compression(run_experiment):
+    result = run_experiment(fig6_compression)
+    ratios = result.raw["ratios"]
+    # Paper: median 9.3, max 63.5; wide spread with both extremes present.
+    assert 5 <= float(np.median(ratios)) <= 20
+    assert max(ratios) > 30
+    assert min(ratios) < 3
+    # l_comment (15) is among the least compressible, l_linenumber (3)
+    # among the most.
+    assert ratios[15] < np.median(ratios)
+    assert ratios[3] > np.median(ratios)

@@ -1,0 +1,24 @@
+"""Tables 3 and 4: dataset and query descriptors."""
+
+from repro.bench.experiments import table3_datasets, table4_queries
+
+PAPER_CHUNKS = {"lineitem": 160, "taxi": 320, "recipe": 84, "ukpp": 240}
+PAPER_COLUMNS = {"lineitem": 16, "taxi": 20, "recipe": 7, "ukpp": 16}
+
+
+def test_table3_datasets(run_experiment):
+    result = run_experiment(table3_datasets)
+    by_name = {row[0]: row for row in result.rows}
+    for name, chunks in PAPER_CHUNKS.items():
+        assert by_name[name][1] == PAPER_COLUMNS[name]
+        assert by_name[name][2] == chunks
+
+
+def test_table4_queries(run_experiment):
+    result = run_experiment(table4_queries)
+    assert [row[0] for row in result.rows] == ["Q1", "Q2", "Q3", "Q4"]
+    # Measured selectivity within 2x of the paper's Table 4 values.
+    for row in result.rows:
+        paper = float(row[4].rstrip("%"))
+        measured = float(row[5].rstrip("%"))
+        assert paper * 0.5 <= measured <= paper * 2.0, row

@@ -1,0 +1,16 @@
+"""Setup shim for legacy editable installs (no `wheel` package offline)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Fusion: an analytics object store optimized for query pushdown "
+        "(ASPLOS'25 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

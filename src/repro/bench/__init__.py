@@ -1,0 +1,37 @@
+"""Benchmark harness: per-figure experiments and workload drivers.
+
+Run ``python -m repro.bench <experiment>`` (or ``all``) to print the rows
+the paper's tables and figures report; the same functions back the
+``benchmarks/`` pytest-benchmark suite.
+"""
+
+from repro.bench.experiments import ALL_EXPERIMENTS, ExperimentResult
+from repro.bench.harness import (
+    PAPER_DATASET_BYTES,
+    Comparison,
+    SystemUnderTest,
+    WorkloadStats,
+    build_pair,
+    build_system,
+    reduction_pct,
+    run_open_loop,
+    run_workload,
+)
+from repro.bench.report import format_bytes, format_table, print_table
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "Comparison",
+    "ExperimentResult",
+    "PAPER_DATASET_BYTES",
+    "SystemUnderTest",
+    "WorkloadStats",
+    "build_pair",
+    "build_system",
+    "format_bytes",
+    "format_table",
+    "print_table",
+    "reduction_pct",
+    "run_open_loop",
+    "run_workload",
+]

@@ -1,0 +1,57 @@
+"""CLI for the experiment harness.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench fig13ab [--json DIR]
+    python -m repro.bench all [--json DIR]
+
+``--json DIR`` additionally writes each result as ``DIR/<name>.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    json_dir = None
+    if "--json" in argv:
+        at = argv.index("--json")
+        if at + 1 >= len(argv):
+            print("--json needs a directory", file=sys.stderr)
+            return 1
+        json_dir = argv[at + 1]
+        argv = argv[:at] + argv[at + 2 :]
+        os.makedirs(json_dir, exist_ok=True)
+
+    if len(argv) < 1 or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("experiments:", ", ".join(ALL_EXPERIMENTS))
+        return 0
+    target = argv[0]
+    if target == "list":
+        for name, fn in ALL_EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:24s} {doc}")
+        return 0
+    names = list(ALL_EXPERIMENTS) if target == "all" else [target]
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+            return 1
+        start = time.perf_counter()
+        result = ALL_EXPERIMENTS[name]()
+        result.show()
+        if json_dir is not None:
+            result.save_json(os.path.join(json_dir, f"{name}.json"))
+        print(f"({name} took {time.perf_counter() - start:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,1128 @@
+"""One function per paper table/figure.
+
+Every experiment returns an :class:`ExperimentResult` whose rows mirror
+the series the paper plots.  Absolute latencies come from the simulated
+cluster, so the *shape* (who wins, by what factor, where crossovers fall)
+is the reproduction target, not the paper's absolute numbers — see
+EXPERIMENTS.md for the side-by-side.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.harness import (
+    PAPER_DATASET_BYTES,
+    Comparison,
+    build_pair,
+    build_system,
+    run_open_loop,
+    run_workload,
+)
+from repro.bench.report import format_table
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.network import NetworkConfig
+from repro.core.config import StoreConfig
+from repro.core.cost_model import PushdownMode
+from repro.core.fac import construct_stripes
+from repro.core.fixed import build_fixed_layout, fraction_of_chunks_split
+from repro.core.oracle import OracleError, construct_oracle_layout
+from repro.core.padding import construct_padding_layout
+from repro.ec.reed_solomon import RS_9_6, RS_14_10
+from repro.format.reader import PaxFile
+from repro.sql.local import execute_local
+from repro.workloads import (
+    LINEITEM_CHUNK_MB,
+    MB,
+    TAXI_CHUNK_MB,
+    column_name,
+    items_from_sizes,
+    lineitem_file,
+    microbenchmark_query,
+    paper_scale_chunk_ranges,
+    real_world_queries,
+    recipe_file,
+    taxi_file,
+    ukpp_file,
+    zipf_chunk_sizes,
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Printable rows for one reproduced table/figure."""
+
+    experiment: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    notes: str = ""
+    raw: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        text = format_table(f"[{self.experiment}] {self.title}", self.headers, self.rows)
+        if self.notes:
+            text += f"\nnote: {self.notes}"
+        return text
+
+    def show(self) -> None:
+        print(self.render())
+        print()
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (headers/rows/notes; raw objects are dropped)."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": self.notes,
+        }
+
+    def save_json(self, path: str) -> None:
+        """Write the result rows as JSON (for downstream plotting)."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(self.to_dict(), f, indent=2, default=str)
+
+
+# ---------------------------------------------------------------------------
+# Shared dataset plumbing
+# ---------------------------------------------------------------------------
+
+DATASET_GENERATORS = {
+    "lineitem": lineitem_file,
+    "taxi": taxi_file,
+    "recipe": recipe_file,
+    "ukpp": ukpp_file,
+}
+
+
+@functools.lru_cache(maxsize=None)
+def dataset(name: str):
+    """Generate (and cache) one dataset: ``(file_bytes, table)``."""
+    return DATASET_GENERATORS[name]()
+
+
+def dataset_scale(name: str) -> float:
+    """Simulation scale mapping the generated file to its paper size."""
+    data, _table = dataset(name)
+    return PAPER_DATASET_BYTES[name] / len(data)
+
+
+def store_config(name: str, **overrides) -> StoreConfig:
+    """Paper-default store config with the dataset's scale factor."""
+    return StoreConfig(size_scale=dataset_scale(name), **overrides)
+
+
+@functools.lru_cache(maxsize=None)
+def _lineitem_pair(mode: str = "adaptive"):
+    data, _table = dataset("lineitem")
+    cfg = store_config("lineitem", pushdown_mode=PushdownMode(mode))
+    return build_pair({"lineitem": data}, store_config=cfg)
+
+
+@functools.lru_cache(maxsize=None)
+def _realworld_pair():
+    ldata, _lt = dataset("lineitem")
+    tdata, _tt = dataset("taxi")
+    # One shared scale: the paper stores both datasets in the same cluster.
+    cfg = StoreConfig(size_scale=dataset_scale("lineitem"))
+    return build_pair({"lineitem": ldata, "taxi": tdata}, store_config=cfg)
+
+
+def _micro_sql(column_id: int, selectivity: float = 0.01) -> str:
+    _data, table = dataset("lineitem")
+    return microbenchmark_query(table, column_name(column_id), selectivity)
+
+
+# ---------------------------------------------------------------------------
+# Tables 3 and 4
+# ---------------------------------------------------------------------------
+
+
+def table3_datasets() -> ExperimentResult:
+    """Table 3: dataset descriptions."""
+    rows = []
+    for name in DATASET_GENERATORS:
+        data, table = dataset(name)
+        meta = PaxFile(data).metadata
+        rows.append(
+            [
+                name,
+                len(meta.schema),
+                len(meta.all_chunks()),
+                round(len(data) / MB, 2),
+                round(PAPER_DATASET_BYTES[name] / 1e9, 2),
+            ]
+        )
+    return ExperimentResult(
+        experiment="table3",
+        title="Datasets (generated, scaled to paper sizes in simulation)",
+        headers=["dataset", "columns", "chunks", "generated MB", "simulated GB"],
+        rows=rows,
+        notes="paper: lineitem 16/160/10GB, taxi 20/320/8.4GB, "
+        "recipeNLG 7/84/0.98GB, uk pp 16/240/1.5GB",
+    )
+
+
+def table4_queries() -> ExperimentResult:
+    """Table 4: real-world query descriptors with measured selectivity."""
+    _l, ltable = dataset("lineitem")
+    _t, ttable = dataset("taxi")
+    rows = []
+    for q in real_world_queries(ltable, ttable):
+        table = ltable if q.dataset == "tpch" else ttable
+        sel = execute_local(q.sql, table).selectivity
+        rows.append(
+            [
+                q.name,
+                q.dataset,
+                q.num_filters,
+                q.num_projections,
+                f"{q.target_selectivity * 100:.1f}%",
+                f"{sel * 100:.1f}%",
+            ]
+        )
+    return ExperimentResult(
+        experiment="table4",
+        title="Real-world SQL queries",
+        headers=["query", "dataset", "filters", "projections", "paper sel", "measured sel"],
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: motivation
+# ---------------------------------------------------------------------------
+
+
+def fig4a_chunk_splits(
+    block_sizes_mb: tuple[float, ...] = (0.1, 1.0, 10.0, 100.0),
+) -> ExperimentResult:
+    """Fig 4a: % of column chunks split vs erasure-code block size."""
+    profiles = {
+        "tpc-h lineitem": paper_scale_chunk_ranges(LINEITEM_CHUNK_MB, num_row_groups=10),
+        "taxi": paper_scale_chunk_ranges(TAXI_CHUNK_MB, num_row_groups=16),
+    }
+    rows = []
+    raw: dict = {}
+    for label, ranges in profiles.items():
+        total = ranges[-1][0] + ranges[-1][1]
+        series = []
+        for mb in block_sizes_mb:
+            layout = build_fixed_layout(RS_9_6, total, int(mb * MB))
+            pct = fraction_of_chunks_split(layout, ranges) * 100
+            series.append(pct)
+            rows.append([label, f"{mb}MB", round(pct, 1)])
+        raw[label] = dict(zip(block_sizes_mb, series))
+    return ExperimentResult(
+        experiment="fig4a",
+        title="% of column chunks split under fixed-block RS(9,6)",
+        headers=["dataset", "block size", "chunks split (%)"],
+        rows=rows,
+        notes="paper reports up to 40% (lineitem) / 24% (taxi) at 100MB blocks",
+        raw=raw,
+    )
+
+
+def fig4b_baseline_breakdown(num_queries: int = 30) -> ExperimentResult:
+    """Fig 4b: latency breakdown of the baseline on the microbenchmark."""
+    data, _table = dataset("lineitem")
+    baseline = build_system("baseline", {"lineitem": data}, store_config=store_config("lineitem"))
+    stats = run_workload(baseline, [_micro_sql(5)], num_clients=10, num_queries=num_queries)
+    frac = stats.mean_breakdown()
+    rows = [[cat, round(share * 100, 1)] for cat, share in frac.items()]
+    return ExperimentResult(
+        experiment="fig4b",
+        title="Baseline latency breakdown, 1%-selectivity query on lineitem",
+        headers=["component", "share of accounted time (%)"],
+        rows=rows,
+        notes="paper: ~50% of time in network reassembly, small disk share",
+        raw={"fractions": frac, "p50": stats.p50()},
+    )
+
+
+def fig4c_chunk_cdf(points: tuple[int, ...] = (10, 25, 50, 75, 90, 99)) -> ExperimentResult:
+    """Fig 4c: CDF of normalised column chunk sizes per dataset."""
+    rows = []
+    raw: dict = {}
+    for name in DATASET_GENERATORS:
+        data, _table = dataset(name)
+        sizes = np.array([c.size for c in PaxFile(data).metadata.all_chunks()], dtype=float)
+        norm = sizes / sizes.max() * 100  # % of the largest chunk
+        percentiles = {p: float(np.percentile(norm, p)) for p in points}
+        raw[name] = percentiles
+        rows.append([name] + [round(percentiles[p], 1) for p in points])
+    return ExperimentResult(
+        experiment="fig4c",
+        title="Normalised chunk size (% of max) at each percentile",
+        headers=["dataset"] + [f"p{p}" for p in points],
+        rows=rows,
+        notes="lineitem is bimodal (tiny + huge chunks); taxi is more uniform",
+        raw=raw,
+    )
+
+
+def fig4d_padding_overhead() -> ExperimentResult:
+    """Fig 4d: storage overhead of the Padding strategy vs optimal."""
+    rows = []
+    raw: dict = {}
+    for name in DATASET_GENERATORS:
+        data, _table = dataset(name)
+        meta = PaxFile(data).metadata
+        items = [
+            _layout_item(c) for c in meta.all_chunks()
+        ]
+        scale = dataset_scale(name)
+        block = max(1, int(round(100 * MB / scale)))
+        for params in (RS_9_6, RS_14_10):
+            layout = construct_padding_layout(params, items, block)
+            pct = layout.overhead_vs_optimal * 100
+            rows.append([name, str(params), round(pct, 1)])
+            raw[(name, str(params))] = pct
+    return ExperimentResult(
+        experiment="fig4d",
+        title="Padding strategy storage overhead w.r.t. optimal (%)",
+        headers=["dataset", "code", "overhead (%)"],
+        rows=rows,
+        notes="paper reports up to >100% for some datasets",
+        raw=raw,
+    )
+
+
+def _layout_item(chunk_meta):
+    from repro.core.layout import ChunkItem
+
+    return ChunkItem(key=chunk_meta.key, size=chunk_meta.size)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: compression ratios
+# ---------------------------------------------------------------------------
+
+
+def fig6_compression() -> ExperimentResult:
+    """Fig 6: average compression ratio per lineitem column."""
+    data, _table = dataset("lineitem")
+    meta = PaxFile(data).metadata
+    rows = []
+    ratios = []
+    for cid in range(16):
+        chunks = meta.chunks_for_column(column_name(cid))
+        ratio = sum(c.compressibility for c in chunks) / len(chunks)
+        ratios.append(ratio)
+        rows.append([cid, column_name(cid), round(ratio, 1)])
+    med = float(np.median(ratios))
+    return ExperimentResult(
+        experiment="fig6",
+        title="Average compression ratio per lineitem column",
+        headers=["column id", "column", "compression ratio"],
+        rows=rows,
+        notes=f"median {med:.1f}, max {max(ratios):.1f} (paper: 9.3 / 63.5)",
+        raw={"ratios": ratios},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: oracle runtime and pushdown trade-off
+# ---------------------------------------------------------------------------
+
+
+def fig10a_oracle_runtime(
+    chunk_counts: tuple[int, ...] = (6, 9, 12, 15, 18),
+    time_cap_s: float = 30.0,
+) -> ExperimentResult:
+    """Fig 10a: ILP solve time explodes with chunk count."""
+    rows = []
+    raw: dict = {}
+    for n in chunk_counts:
+        items = items_from_sizes(zipf_chunk_sizes(n, 0.0, seed=n))
+        start = time.perf_counter()
+        try:
+            construct_oracle_layout(RS_9_6, items, time_limit_s=time_cap_s)
+            elapsed = time.perf_counter() - start
+            capped = elapsed >= time_cap_s
+        except OracleError:
+            elapsed = time.perf_counter() - start
+            capped = True
+        raw[n] = elapsed
+        rows.append([n, round(elapsed, 3), capped])
+        if capped:
+            break
+    return ExperimentResult(
+        experiment="fig10a",
+        title="Oracle (ILP) runtime vs number of chunks",
+        headers=["chunks", "solve time (s)", "hit time cap"],
+        rows=rows,
+        notes="paper: >3 hours at 35 chunks with Gurobi; growth is the point",
+        raw=raw,
+    )
+
+
+def fig10b_tradeoff(
+    column_ids: tuple[int, ...] = (5, 0, 4, 7),
+    selectivities: tuple[float, ...] = (0.01, 0.1, 0.25, 0.5, 0.75, 1.0),
+    num_queries: int = 20,
+) -> ExperimentResult:
+    """Fig 10b: p50 improvement of always-pushdown Fusion vs baseline.
+
+    Cells go negative where selectivity x compressibility > 1 — the region
+    the adaptive cost model avoids.
+    """
+    fusion, baseline = _lineitem_pair("always")
+    rows = []
+    raw: dict = {}
+    for cid in column_ids:
+        row = [f"c{cid} ({column_name(cid)})"]
+        for sel in selectivities:
+            sql = _micro_sql(cid, sel)
+            f = run_workload(fusion, [sql], num_clients=10, num_queries=num_queries)
+            b = run_workload(baseline, [sql], num_clients=10, num_queries=num_queries)
+            comp = Comparison(label=f"c{cid}@{sel}", fusion=f, baseline=b)
+            row.append(round(comp.p50_reduction, 1))
+            raw[(cid, sel)] = comp.p50_reduction
+        rows.append(row)
+    return ExperimentResult(
+        experiment="fig10b",
+        title="p50 latency improvement (%) with pushdown ALWAYS on",
+        headers=["column"] + [f"sel={s:g}" for s in selectivities],
+        rows=rows,
+        notes="negative cells = pushdown hurts (high selectivity x compressibility)",
+        raw=raw,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: chunk spread in the baseline
+# ---------------------------------------------------------------------------
+
+
+def fig12_nodes_per_chunk() -> ExperimentResult:
+    """Fig 12: average number of nodes a chunk spans in the baseline."""
+    data, _table = dataset("lineitem")
+    baseline = build_system("baseline", {"lineitem": data}, store_config=store_config("lineitem"))
+    obj = baseline.store.objects["lineitem"]
+    scale = dataset_scale("lineitem")
+    rows = []
+    raw: dict = {}
+    for cid in range(16):
+        name = column_name(cid)
+        node_counts = []
+        sizes = []
+        for chunk in obj.metadata.chunks_for_column(name):
+            fragments = obj.layout.locate(chunk.offset, chunk.size)
+            nodes = {obj.data_block_nodes[f.block_index] for f in fragments}
+            node_counts.append(len(nodes))
+            sizes.append(chunk.size * scale / MB)
+        avg_nodes = sum(node_counts) / len(node_counts)
+        avg_mb = sum(sizes) / len(sizes)
+        raw[cid] = (avg_nodes, avg_mb)
+        rows.append([cid, name, round(avg_nodes, 2), round(avg_mb, 1)])
+    return ExperimentResult(
+        experiment="fig12",
+        title="Baseline: avg nodes per column chunk (and avg chunk size)",
+        headers=["column id", "column", "avg nodes", "avg chunk MB (simulated)"],
+        rows=rows,
+        notes="large chunks span many nodes; Fusion always stores chunks on one node",
+        raw=raw,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: column sweep and breakdowns
+# ---------------------------------------------------------------------------
+
+
+def fig13ab_column_sweep(num_queries: int = 60) -> ExperimentResult:
+    """Fig 13a/b: p50 and p99 latency reduction per lineitem column."""
+    fusion, baseline = _lineitem_pair()
+    rows = []
+    raw: dict = {}
+    for cid in range(16):
+        sql = _micro_sql(cid)
+        f = run_workload(fusion, [sql], num_clients=10, num_queries=num_queries)
+        b = run_workload(baseline, [sql], num_clients=10, num_queries=num_queries)
+        comp = Comparison(label=f"c{cid}", fusion=f, baseline=b)
+        raw[cid] = comp
+        rows.append(
+            [
+                cid,
+                column_name(cid),
+                round(comp.p50_reduction, 1),
+                round(comp.p99_reduction, 1),
+            ]
+        )
+    return ExperimentResult(
+        experiment="fig13ab",
+        title="Latency reduction per column, 1%-selectivity microbenchmark",
+        headers=["column id", "column", "p50 reduction (%)", "p99 reduction (%)"],
+        rows=rows,
+        notes="paper: up to 65%/81% on big split-prone columns (0,1,2,5,15); "
+        "modest on small compressed columns (3,4,9,10,11)",
+        raw=raw,
+    )
+
+
+def fig13cd_breakdown(
+    column_ids: tuple[int, ...] = (5, 9), num_queries: int = 30
+) -> ExperimentResult:
+    """Fig 13c/d: latency breakdown of Fusion vs baseline per column."""
+    fusion, baseline = _lineitem_pair()
+    rows = []
+    raw: dict = {}
+    for cid in column_ids:
+        sql = _micro_sql(cid)
+        for system in (baseline, fusion):
+            stats = run_workload(system, [sql], num_clients=10, num_queries=num_queries)
+            frac = stats.mean_breakdown()
+            raw[(cid, system.name)] = frac
+            rows.append(
+                [
+                    f"c{cid}",
+                    system.name,
+                    round(frac["disk"] * 100, 1),
+                    round(frac["processing"] * 100, 1),
+                    round(frac["network"] * 100, 1),
+                ]
+            )
+    return ExperimentResult(
+        experiment="fig13cd",
+        title="Latency breakdown (% of accounted time)",
+        headers=["column", "system", "disk", "processing", "network"],
+        rows=rows,
+        notes="paper: baseline spends ~57% on network for column 5; "
+        "both systems <3% network for column 9",
+        raw=raw,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: selectivity, bandwidth, CPU
+# ---------------------------------------------------------------------------
+
+
+def fig14ab_selectivity_sweep(
+    column_ids: tuple[int, ...] = (5, 9),
+    selectivities: tuple[float, ...] = (0.001, 0.01, 0.05, 0.1, 0.2, 0.5, 0.75, 1.0),
+    num_queries: int = 30,
+) -> ExperimentResult:
+    """Fig 14a/b: latency reduction vs query selectivity."""
+    fusion, baseline = _lineitem_pair()
+    rows = []
+    raw: dict = {}
+    for cid in column_ids:
+        for sel in selectivities:
+            sql = _micro_sql(cid, sel)
+            f = run_workload(fusion, [sql], num_clients=10, num_queries=num_queries)
+            b = run_workload(baseline, [sql], num_clients=10, num_queries=num_queries)
+            comp = Comparison(label=f"c{cid}@{sel}", fusion=f, baseline=b)
+            raw[(cid, sel)] = comp
+            rows.append(
+                [
+                    f"c{cid}",
+                    f"{sel * 100:g}%",
+                    round(comp.p50_reduction, 1),
+                    round(comp.p99_reduction, 1),
+                ]
+            )
+    return ExperimentResult(
+        experiment="fig14ab",
+        title="Latency reduction vs query selectivity",
+        headers=["column", "selectivity", "p50 reduction (%)", "p99 reduction (%)"],
+        rows=rows,
+        notes="gains shrink as selectivity grows; at >=75% Fusion falls back to "
+        "fetching compressed chunks but keeps filter pushdown",
+        raw=raw,
+    )
+
+
+def fig14c_bandwidth_sweep(
+    gbps_values: tuple[float, ...] = (10, 25, 50, 100),
+    column_id: int = 5,
+    num_queries: int = 30,
+) -> ExperimentResult:
+    """Fig 14c: latency reduction vs network bandwidth."""
+    data, _table = dataset("lineitem")
+    rows = []
+    raw: dict = {}
+    sql = _micro_sql(column_id)
+    for gbps in gbps_values:
+        cluster_cfg = ClusterConfig(network=NetworkConfig(bandwidth_bps=gbps * 1e9 / 8))
+        cfg = store_config("lineitem")
+        fusion, baseline = build_pair({"lineitem": data}, cluster_cfg, cfg)
+        f = run_workload(fusion, [sql], num_clients=10, num_queries=num_queries)
+        b = run_workload(baseline, [sql], num_clients=10, num_queries=num_queries)
+        comp = Comparison(label=f"{gbps}Gbps", fusion=f, baseline=b)
+        raw[gbps] = comp
+        rows.append(
+            [f"{gbps:g} Gbps", round(comp.p50_reduction, 1), round(comp.p99_reduction, 1)]
+        )
+    return ExperimentResult(
+        experiment="fig14c",
+        title=f"Latency reduction vs network bandwidth (column {column_id})",
+        headers=["bandwidth", "p50 reduction (%)", "p99 reduction (%)"],
+        rows=rows,
+        notes="slower networks amplify Fusion's advantage",
+        raw=raw,
+    )
+
+
+def fig14d_cpu_utilization(
+    column_ids: tuple[int, ...] = (0, 5, 9, 15),
+    num_queries: int = 40,
+) -> ExperimentResult:
+    """Fig 14d: CPU cost at a fixed delivered load.
+
+    Reported as busy CPU core-seconds per query — the load-normalised
+    form of the paper's utilisation-at-10qps plot (per-query cost times
+    query rate gives utilisation, and per-query cost is what the two
+    systems actually differ in).
+    """
+    data, _table = dataset("lineitem")
+    rows = []
+    raw: dict = {}
+    for cid in column_ids:
+        sql = _micro_sql(cid)
+        cfg = store_config("lineitem")
+        fusion, baseline = build_pair({"lineitem": data}, store_config=cfg)
+        f = run_workload(fusion, [sql], num_clients=10, num_queries=num_queries)
+        b = run_workload(baseline, [sql], num_clients=10, num_queries=num_queries)
+        raw[cid] = (f.cpu_seconds_per_query, b.cpu_seconds_per_query)
+        rows.append(
+            [
+                f"c{cid}",
+                round(f.cpu_seconds_per_query, 3),
+                round(b.cpu_seconds_per_query, 3),
+            ]
+        )
+    return ExperimentResult(
+        experiment="fig14d",
+        title="CPU core-seconds per query (fixed delivered load)",
+        headers=["column", "fusion", "baseline"],
+        rows=rows,
+        notes="same computation, but Fusion moves less data so burns less CPU "
+        "on network processing",
+        raw=raw,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: real-world queries
+# ---------------------------------------------------------------------------
+
+
+def fig15a_realworld(num_queries: int = 40) -> ExperimentResult:
+    """Fig 15a: latency reduction on Q1-Q4."""
+    fusion, baseline = _realworld_pair()
+    _l, ltable = dataset("lineitem")
+    _t, ttable = dataset("taxi")
+    rows = []
+    raw: dict = {}
+    for q in real_world_queries(ltable, ttable):
+        f = run_workload(fusion, [q.sql], num_clients=10, num_queries=num_queries)
+        b = run_workload(baseline, [q.sql], num_clients=10, num_queries=num_queries)
+        comp = Comparison(label=q.name, fusion=f, baseline=b)
+        raw[q.name] = comp
+        rows.append([q.name, round(comp.p50_reduction, 1), round(comp.p99_reduction, 1)])
+    return ExperimentResult(
+        experiment="fig15a",
+        title="Real-world queries: latency reduction (%)",
+        headers=["query", "p50 reduction (%)", "p99 reduction (%)"],
+        rows=rows,
+        notes="paper: up to 48% median / 40% tail on TPC-H; up to 32%/48% on taxi",
+        raw=raw,
+    )
+
+
+def fig15b_traffic(num_queries: int = 40) -> ExperimentResult:
+    """Fig 15b: total network traffic, baseline / Fusion."""
+    fusion, baseline = _realworld_pair()
+    _l, ltable = dataset("lineitem")
+    _t, ttable = dataset("taxi")
+    rows = []
+    raw: dict = {}
+    for q in real_world_queries(ltable, ttable):
+        f = run_workload(fusion, [q.sql], num_clients=10, num_queries=num_queries)
+        b = run_workload(baseline, [q.sql], num_clients=10, num_queries=num_queries)
+        comp = Comparison(label=q.name, fusion=f, baseline=b)
+        raw[q.name] = comp
+        rows.append(
+            [
+                q.name,
+                round(f.network_bytes / 1e9, 2),
+                round(b.network_bytes / 1e9, 2),
+                round(comp.traffic_ratio, 1),
+            ]
+        )
+    return ExperimentResult(
+        experiment="fig15b",
+        title="Network traffic per workload (simulated GB)",
+        headers=["query", "fusion GB", "baseline GB", "baseline/fusion"],
+        rows=rows,
+        notes="paper: Fusion generates up to 8.9x lower traffic",
+        raw=raw,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: FAC overheads
+# ---------------------------------------------------------------------------
+
+
+def fig16a_fac_overhead(
+    chunk_counts: tuple[int, ...] = (50, 100, 200, 500, 1000),
+    skews: tuple[float, ...] = (0.0, 0.5, 0.99),
+    runs: int = 20,
+) -> ExperimentResult:
+    """Fig 16a: FAC storage overhead vs chunk count, by size skew."""
+    rows = []
+    raw: dict = {}
+    for skew in skews:
+        for n in chunk_counts:
+            overheads = []
+            for r in range(runs):
+                sizes = zipf_chunk_sizes(n, skew, seed=1000 * r + n)
+                layout = construct_stripes(RS_9_6, items_from_sizes(sizes))
+                overheads.append(layout.overhead_vs_optimal * 100)
+            avg = sum(overheads) / len(overheads)
+            raw[(skew, n)] = avg
+            rows.append([f"zipf {skew:g}", n, round(avg, 2)])
+    return ExperimentResult(
+        experiment="fig16a",
+        title=f"FAC storage overhead w.r.t. optimal (%), avg of {runs} runs",
+        headers=["distribution", "chunks", "overhead (%)"],
+        rows=rows,
+        notes="paper: ~3% at 100 chunks, 0.8% at 500, ->0 beyond; skew barely matters",
+        raw=raw,
+    )
+
+
+def fig16bc_strategy_compare(oracle_time_limit_s: float = 15.0) -> ExperimentResult:
+    """Fig 16b/c: storage and runtime overhead of oracle vs padding vs FAC."""
+    rows = []
+    raw: dict = {}
+    for name in DATASET_GENERATORS:
+        data, _table = dataset(name)
+        meta = PaxFile(data).metadata
+        items = [_layout_item(c) for c in meta.all_chunks()]
+        scale = dataset_scale(name)
+        block = max(1, int(round(100 * MB / scale)))
+
+        # Simulated put time for the runtime-overhead denominator.
+        put_seconds = _simulated_put_seconds(name, data)
+
+        fac = construct_stripes(RS_9_6, items)
+        pad = construct_padding_layout(RS_9_6, items, block)
+        strategies = [("fac", fac), ("padding", pad)]
+        try:
+            oracle = construct_oracle_layout(RS_9_6, items, time_limit_s=oracle_time_limit_s)
+            strategies.insert(0, ("oracle", oracle))
+        except OracleError:
+            rows.append([name, "oracle", "n/a (timeout)", round(oracle_time_limit_s, 1), "n/a"])
+
+        for label, layout in strategies:
+            overhead_pct = layout.overhead_vs_optimal * 100
+            runtime_pct = layout.build_seconds / put_seconds * 100
+            raw[(name, label)] = (overhead_pct, layout.build_seconds, runtime_pct)
+            rows.append(
+                [
+                    name,
+                    label,
+                    round(overhead_pct, 2),
+                    round(layout.build_seconds, 4),
+                    f"{runtime_pct:.4f}",
+                ]
+            )
+    return ExperimentResult(
+        experiment="fig16bc",
+        title="Stripe-construction strategies: storage overhead and runtime",
+        headers=["dataset", "strategy", "overhead vs optimal (%)", "runtime (s)", "runtime / put (%)"],
+        rows=rows,
+        notes="paper: FAC <= 1.24% overhead and <= 0.0027% runtime; padding up to "
+        "83.8% overhead; oracle optimal but up to 3.91x the put latency",
+        raw=raw,
+    )
+
+
+def _simulated_put_seconds(name: str, data: bytes) -> float:
+    """Put latency of the object on an idle baseline cluster (the paper's
+    runtime-overhead denominator: FAC runtime vs total put time)."""
+    system = build_system("baseline", {}, store_config=store_config(name))
+    report = system.store.put(name, data)
+    return report.simulated_put_seconds
+
+
+# ---------------------------------------------------------------------------
+# Ablations and extensions (beyond the paper's figures)
+# ---------------------------------------------------------------------------
+
+
+def ablation_cost_model(num_queries: int = 30) -> ExperimentResult:
+    """Adaptive vs always-push vs never-push on a favourable and an
+    unfavourable column (design-choice ablation from DESIGN.md)."""
+    data, _table = dataset("lineitem")
+    rows = []
+    raw: dict = {}
+    for cid, sel in ((5, 0.01), (4, 0.75)):
+        sql = _micro_sql(cid, sel)
+        for mode in ("adaptive", "always", "never"):
+            cfg = store_config("lineitem", pushdown_mode=PushdownMode(mode))
+            system = build_system("fusion", {"lineitem": data}, store_config=cfg)
+            stats = run_workload(system, [sql], num_clients=10, num_queries=num_queries)
+            raw[(cid, sel, mode)] = stats.p50()
+            rows.append([f"c{cid}@{sel:g}", mode, round(stats.p50() * 1000, 2)])
+    return ExperimentResult(
+        experiment="ablation-cost-model",
+        title="Pushdown policy ablation (p50 latency, ms)",
+        headers=["workload", "policy", "p50 (ms)"],
+        rows=rows,
+        notes="adaptive should track the better of always/never in both regimes",
+        raw=raw,
+    )
+
+
+def ablation_contention(num_queries: int = 40) -> ExperimentResult:
+    """1 vs 10 concurrent clients: queueing produces the p99 tail."""
+    data, _table = dataset("lineitem")
+    sql = _micro_sql(5)
+    rows = []
+    raw: dict = {}
+    for clients in (1, 10):
+        cfg = store_config("lineitem")
+        fusion, baseline = build_pair({"lineitem": data}, store_config=cfg)
+        f = run_workload(fusion, [sql], num_clients=clients, num_queries=num_queries)
+        b = run_workload(baseline, [sql], num_clients=clients, num_queries=num_queries)
+        raw[clients] = (f, b)
+        rows.append(
+            [
+                clients,
+                round(f.p50() * 1000, 2),
+                round(f.p99() * 1000, 2),
+                round(b.p50() * 1000, 2),
+                round(b.p99() * 1000, 2),
+            ]
+        )
+    return ExperimentResult(
+        experiment="ablation-contention",
+        title="Client concurrency vs latency (ms)",
+        headers=["clients", "fusion p50", "fusion p99", "baseline p50", "baseline p99"],
+        rows=rows,
+        notes="tail inflation under 10 clients comes from FIFO resource queueing",
+        raw=raw,
+    )
+
+
+def ablation_fac_policy(runs: int = 20) -> ExperimentResult:
+    """Least-occupied vs first-fit bin choice in Algorithm 1."""
+    from repro.core.fac import construct_stripes_first_fit
+
+    rows = []
+    raw: dict = {}
+    for n in (100, 500):
+        for skew in (0.0, 0.99):
+            lo, ff = [], []
+            for r in range(runs):
+                sizes = zipf_chunk_sizes(n, skew, seed=77 * r + n)
+                items = items_from_sizes(sizes)
+                lo.append(construct_stripes(RS_9_6, items).overhead_vs_optimal * 100)
+                ff.append(construct_stripes_first_fit(RS_9_6, items).overhead_vs_optimal * 100)
+            raw[(n, skew)] = (sum(lo) / runs, sum(ff) / runs)
+            rows.append(
+                [n, f"zipf {skew:g}", round(sum(lo) / runs, 3), round(sum(ff) / runs, 3)]
+            )
+    return ExperimentResult(
+        experiment="ablation-fac-policy",
+        title="FAC bin-choice policy: storage overhead (%)",
+        headers=["chunks", "distribution", "least-occupied", "first-fit"],
+        rows=rows,
+        raw=raw,
+    )
+
+
+def ext_aggregate_pushdown(num_queries: int = 30) -> ExperimentResult:
+    """Extension bench: aggregate pushdown (the paper's future work)."""
+    _t, ttable = dataset("taxi")
+    tdata, _tt = dataset("taxi")
+    sql = "SELECT count(date), avg(fare) FROM taxi WHERE date < '2015-12-31'"
+    rows = []
+    raw: dict = {}
+    for label, enabled in (("coordinator aggregates", False), ("aggregate pushdown", True)):
+        cfg = store_config("taxi", enable_aggregate_pushdown=enabled)
+        system = build_system("fusion", {"taxi": tdata}, store_config=cfg)
+        stats = run_workload(system, [sql], num_clients=10, num_queries=num_queries)
+        raw[label] = stats
+        rows.append(
+            [
+                label,
+                round(stats.p50() * 1000, 2),
+                round(stats.p99() * 1000, 2),
+                round(stats.network_bytes / 1e9, 3),
+            ]
+        )
+    return ExperimentResult(
+        experiment="ext-aggregate-pushdown",
+        title="Aggregate pushdown extension (taxi count/avg query)",
+        headers=["mode", "p50 (ms)", "p99 (ms)", "network GB"],
+        rows=rows,
+        notes="implements the paper's stated future work behind a config flag",
+        raw=raw,
+    )
+
+
+def ext_degraded_reads(num_queries: int = 30) -> ExperimentResult:
+    """Extension bench: query latency healthy vs degraded vs recovered.
+
+    Fails one storage node and keeps querying: chunks on the dead node are
+    reconstructed on the fly from k surviving stripe blocks (expensive),
+    until recovery rebuilds them elsewhere.
+    """
+    data, _table = dataset("lineitem")
+    sql = _micro_sql(5)
+    system = build_system("fusion", {"lineitem": data}, store_config=store_config("lineitem"))
+    rows = []
+    raw: dict = {}
+
+    healthy = run_workload(system, [sql], num_clients=10, num_queries=num_queries)
+    raw["healthy"] = healthy
+    rows.append(["healthy", round(healthy.p50() * 1000, 1), round(healthy.p99() * 1000, 1)])
+
+    # Fail a node that actually holds chunks of the queried column.
+    obj = system.store.objects["lineitem"]
+    col = column_name(5)
+    victim = next(
+        obj.location_map.lookup(meta.key).node_id
+        for meta in obj.metadata.all_chunks()
+        if meta.column == col
+    )
+    system.cluster.fail_node(victim)
+    degraded = run_workload(system, [sql], num_clients=10, num_queries=num_queries)
+    raw["degraded"] = degraded
+    rows.append(
+        ["degraded (1 node down)", round(degraded.p50() * 1000, 1), round(degraded.p99() * 1000, 1)]
+    )
+
+    system.store.recover_node(victim)
+    recovered = run_workload(system, [sql], num_clients=10, num_queries=num_queries)
+    raw["recovered"] = recovered
+    rows.append(
+        ["after recovery", round(recovered.p50() * 1000, 1), round(recovered.p99() * 1000, 1)]
+    )
+    return ExperimentResult(
+        experiment="ext-degraded-reads",
+        title="Degraded reads: latency under node failure (column 5, ms)",
+        headers=["state", "p50 (ms)", "p99 (ms)"],
+        rows=rows,
+        notes="degraded reads reconstruct chunks from k stripe blocks on the fly",
+        raw=raw,
+    )
+
+
+def ext_grouped_query(num_queries: int = 30) -> ExperimentResult:
+    """Extension bench: the paper's Q4 exactly as written (GROUP BY date)."""
+    from repro.workloads.queries import q4_grouped_sql
+
+    tdata, ttable = dataset("taxi")
+    cfg = store_config("taxi")
+    fusion, baseline = build_pair({"taxi": tdata}, store_config=cfg)
+    sql = q4_grouped_sql()
+    expected = execute_local(sql, ttable)  # FROM name is not schema-checked locally
+    f = run_workload(fusion, [sql], num_clients=10, num_queries=num_queries)
+    b = run_workload(baseline, [sql], num_clients=10, num_queries=num_queries)
+    comp = Comparison(label="Q4-grouped", fusion=f, baseline=b)
+    rows = [
+        ["fusion", round(f.p50() * 1000, 1), round(f.p99() * 1000, 1)],
+        ["baseline", round(b.p50() * 1000, 1), round(b.p99() * 1000, 1)],
+        ["reduction (%)", round(comp.p50_reduction, 1), round(comp.p99_reduction, 1)],
+    ]
+    return ExperimentResult(
+        experiment="ext-grouped-query",
+        title="Q4 with GROUP BY date (average fare per day)",
+        headers=["system", "p50 (ms)", "p99 (ms)"],
+        rows=rows,
+        notes=f"groups returned: {expected.rows.num_rows}",
+        raw={"comparison": comp, "groups": expected.rows.num_rows},
+    )
+
+
+
+def ablation_page_skipping(num_queries: int = 30) -> ExperimentResult:
+    """Node-local page skipping on vs off, on a page-prunable filter.
+
+    ``l_orderkey`` is sorted, so within a chunk most pages cannot match a
+    narrow range filter; page stats let the node decode only the
+    candidate pages.
+    """
+    data, _table = dataset("lineitem")
+    sql = _micro_sql(0, 0.05)
+    rows = []
+    raw: dict = {}
+    for label, enabled in (("page skipping on", True), ("page skipping off", False)):
+        cfg = store_config("lineitem", enable_page_skipping=enabled)
+        system = build_system("fusion", {"lineitem": data}, store_config=cfg)
+        stats = run_workload(system, [sql], num_clients=10, num_queries=num_queries)
+        raw[enabled] = stats
+        rows.append([label, round(stats.p50() * 1000, 1), round(stats.p99() * 1000, 1)])
+    return ExperimentResult(
+        experiment="ablation-page-skipping",
+        title="Node-local page skipping (sorted-column range filter, ms)",
+        headers=["mode", "p50 (ms)", "p99 (ms)"],
+        rows=rows,
+        notes="stats are conservative: results identical, decode cost drops",
+        raw=raw,
+    )
+
+
+def put_latency(datasets_to_run: tuple[str, ...] = ("lineitem", "taxi")) -> ExperimentResult:
+    """Put latency: Fusion (FAC) vs baseline (fixed blocks).
+
+    The paper reports ~34 s to upload an 11 GB file; the claim to preserve
+    is that FAC adds negligible Put cost over fixed-block striping.
+    """
+    rows = []
+    raw: dict = {}
+    for name in datasets_to_run:
+        data, _table = dataset(name)
+        cfg = store_config(name)
+        fusion = build_system("fusion", {}, store_config=cfg)
+        baseline = build_system("baseline", {}, store_config=cfg)
+        f_report = fusion.store.put(name, data)
+        b_report = baseline.store.put(name, data)
+        raw[name] = (f_report, b_report)
+        rows.append(
+            [
+                name,
+                round(f_report.simulated_put_seconds, 2),
+                round(b_report.simulated_put_seconds, 2),
+                f"{f_report.layout_build_seconds * 1e6:.0f} us",
+                f_report.strategy,
+            ]
+        )
+    return ExperimentResult(
+        experiment="put-latency",
+        title="Put latency (simulated seconds)",
+        headers=["dataset", "fusion put (s)", "baseline put (s)", "FAC runtime", "strategy"],
+        rows=rows,
+        notes="paper: 34 s for an 11 GB upload; FAC itself costs microseconds",
+        raw=raw,
+    )
+
+
+def recovery_time() -> ExperimentResult:
+    """Node-recovery duration: Fusion vs baseline (same RS repair math)."""
+    rows = []
+    raw: dict = {}
+    data, _table = dataset("lineitem")
+    for kind in ("fusion", "baseline"):
+        system = build_system(kind, {"lineitem": data}, store_config=store_config("lineitem"))
+        victim = next(n.node_id for n in system.cluster.nodes if n.stored_bytes)
+        for bid in list(system.cluster.node(victim)._blocks):
+            system.cluster.node(victim).drop_block(bid)
+        start = system.sim.now
+        rebuilt = system.store.recover_node(victim)
+        elapsed = system.sim.now - start
+        raw[kind] = (rebuilt, elapsed)
+        rows.append([kind, rebuilt, round(elapsed, 2)])
+    return ExperimentResult(
+        experiment="recovery-time",
+        title="Single-node recovery (simulated seconds)",
+        headers=["system", "blocks rebuilt", "recovery time (s)"],
+        rows=rows,
+        notes="Fusion uses conventional RS repair (paper Section 5): k reads "
+        "plus a decode per lost block",
+        raw=raw,
+    )
+
+
+def mixed_workload(num_queries: int = 60) -> ExperimentResult:
+    """All four real-world queries interleaved over two objects at once.
+
+    Stresses what the per-query figures cannot: coordinator spread across
+    objects and cross-query resource contention.
+    """
+    fusion, baseline = _realworld_pair()
+    _l, ltable = dataset("lineitem")
+    _t, ttable = dataset("taxi")
+    sqls = [q.sql for q in real_world_queries(ltable, ttable)]
+    f = run_workload(fusion, sqls, num_clients=10, num_queries=num_queries)
+    b = run_workload(baseline, sqls, num_clients=10, num_queries=num_queries)
+    comp = Comparison(label="mixed", fusion=f, baseline=b)
+    rows = [
+        ["fusion", round(f.p50() * 1000, 1), round(f.p99() * 1000, 1), round(f.network_bytes / 1e9, 1)],
+        ["baseline", round(b.p50() * 1000, 1), round(b.p99() * 1000, 1), round(b.network_bytes / 1e9, 1)],
+        ["reduction / ratio", round(comp.p50_reduction, 1), round(comp.p99_reduction, 1), round(comp.traffic_ratio, 1)],
+    ]
+    return ExperimentResult(
+        experiment="mixed-workload",
+        title="Interleaved Q1-Q4 over lineitem + taxi (10 clients)",
+        headers=["system", "p50 (ms)", "p99 (ms)", "network GB"],
+        rows=rows,
+        raw={"comparison": comp},
+    )
+
+
+def fig16a_wide_code(
+    chunk_counts: tuple[int, ...] = (50, 100, 500, 1000),
+    runs: int = 15,
+) -> ExperimentResult:
+    """The RS(14,10) variant of Fig 16a the paper omits for space."""
+    rows = []
+    raw: dict = {}
+    for params in (RS_9_6, RS_14_10):
+        for n in chunk_counts:
+            overheads = []
+            for r in range(runs):
+                sizes = zipf_chunk_sizes(n, 0.5, seed=500 * r + n)
+                layout = construct_stripes(params, items_from_sizes(sizes))
+                overheads.append(layout.overhead_vs_optimal * 100)
+            avg = sum(overheads) / len(overheads)
+            raw[(str(params), n)] = avg
+            rows.append([str(params), n, round(avg, 2)])
+    return ExperimentResult(
+        experiment="fig16a-wide",
+        title="FAC storage overhead, RS(9,6) vs RS(14,10) (zipf 0.5, %)",
+        headers=["code", "chunks", "overhead (%)"],
+        rows=rows,
+        notes="paper: RS(14,10) exhibits a similar pattern (omitted there)",
+        raw=raw,
+    )
+
+
+#: Registry used by the CLI and the benchmark suite.
+ALL_EXPERIMENTS = {
+    "table3": table3_datasets,
+    "table4": table4_queries,
+    "fig4a": fig4a_chunk_splits,
+    "fig4b": fig4b_baseline_breakdown,
+    "fig4c": fig4c_chunk_cdf,
+    "fig4d": fig4d_padding_overhead,
+    "fig6": fig6_compression,
+    "fig10a": fig10a_oracle_runtime,
+    "fig10b": fig10b_tradeoff,
+    "fig12": fig12_nodes_per_chunk,
+    "fig13ab": fig13ab_column_sweep,
+    "fig13cd": fig13cd_breakdown,
+    "fig14ab": fig14ab_selectivity_sweep,
+    "fig14c": fig14c_bandwidth_sweep,
+    "fig14d": fig14d_cpu_utilization,
+    "fig15a": fig15a_realworld,
+    "fig15b": fig15b_traffic,
+    "fig16a": fig16a_fac_overhead,
+    "fig16bc": fig16bc_strategy_compare,
+    "ablation-cost-model": ablation_cost_model,
+    "ablation-contention": ablation_contention,
+    "ablation-fac-policy": ablation_fac_policy,
+    "ext-aggregate-pushdown": ext_aggregate_pushdown,
+    "ext-degraded-reads": ext_degraded_reads,
+    "ext-grouped-query": ext_grouped_query,
+    "ablation-page-skipping": ablation_page_skipping,
+    "put-latency": put_latency,
+    "recovery-time": recovery_time,
+    "mixed-workload": mixed_workload,
+    "fig16a-wide": fig16a_wide_code,
+}

@@ -1,0 +1,46 @@
+"""Plain-text reporting of experiment results in the paper's shape."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def format_table(title: str, headers: list[str], rows: Iterable[Iterable[object]]) -> str:
+    """Render an aligned text table with a title rule."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: list[str], rows: Iterable[Iterable[object]]) -> None:
+    print(format_table(title, headers, rows))
+    print()
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "nan"
+        if abs(cell) >= 1000 or (0 < abs(cell) < 0.001):
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".") or "0"
+    return str(cell)
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count."""
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(n) < 1024 or unit == "TB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024
+    return f"{n:.1f}TB"  # pragma: no cover - unreachable

@@ -1,0 +1,56 @@
+"""Discrete-event simulated storage cluster.
+
+Stands in for the paper's 10-machine CloudLab testbed: FIFO-queued NIC
+pipes, NVMe-class disks and CPU core pools produce contention — and
+therefore realistic median/tail latency behaviour — under concurrent
+clients.
+"""
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.disk import Disk, DiskConfig
+from repro.cluster.metrics import (
+    CATEGORIES,
+    CPU,
+    DISK,
+    NETWORK,
+    OTHER,
+    ClusterMetrics,
+    QueryMetrics,
+    percentile,
+)
+from repro.cluster.network import Network, NetworkConfig, NetworkEndpoint
+from repro.cluster.node import CpuConfig, StorageNode
+from repro.cluster.simcore import (
+    Event,
+    Process,
+    Resource,
+    SimulationError,
+    Simulator,
+    all_of,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "CPU",
+    "Cluster",
+    "ClusterConfig",
+    "ClusterMetrics",
+    "CpuConfig",
+    "DISK",
+    "Disk",
+    "DiskConfig",
+    "Event",
+    "NETWORK",
+    "Network",
+    "NetworkConfig",
+    "NetworkEndpoint",
+    "OTHER",
+    "Process",
+    "QueryMetrics",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "StorageNode",
+    "all_of",
+    "percentile",
+]

@@ -1,0 +1,101 @@
+"""The simulated storage cluster.
+
+Mirrors the paper's testbed topology: ``num_nodes`` identical storage
+nodes plus one client endpoint, all attached to the same network fabric.
+There is no dedicated coordinator — any node can coordinate a request,
+selected by the hash of the object name (Section 5 of the paper).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.cluster.disk import DiskConfig
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.network import Network, NetworkConfig, NetworkEndpoint
+from repro.cluster.node import CpuConfig, StorageNode
+from repro.cluster.simcore import Simulator
+
+
+@dataclass
+class ClusterConfig:
+    """Cluster topology and device parameters (paper defaults)."""
+
+    num_nodes: int = 9
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    disk: DiskConfig = field(default_factory=DiskConfig)
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    placement_seed: int = 17
+
+
+class Cluster:
+    """A set of storage nodes, a client endpoint, and the shared fabric."""
+
+    def __init__(self, sim: Simulator, config: ClusterConfig | None = None) -> None:
+        self.sim = sim
+        self.config = config or ClusterConfig()
+        if self.config.num_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.network = Network(sim, self.config.network)
+        self.nodes = [
+            StorageNode(sim, i, self.config.disk, self.config.cpu)
+            for i in range(self.config.num_nodes)
+        ]
+        self.client = NetworkEndpoint(sim, "client")
+        self.metrics = ClusterMetrics()
+        self._rng = random.Random(self.config.placement_seed)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> StorageNode:
+        return self.nodes[node_id]
+
+    def fail_node(self, node_id: int) -> None:
+        """Mark a node dead: its blocks become unreachable until restore.
+
+        Stores answer reads for its data with degraded reads (on-the-fly
+        erasure-code reconstruction) until :meth:`restore_node` or an
+        explicit recovery rebuilds the blocks elsewhere.
+        """
+        self.nodes[node_id].alive = False
+
+    def restore_node(self, node_id: int) -> None:
+        """Bring a failed node back (its stored blocks intact)."""
+        self.nodes[node_id].alive = True
+
+    def alive_nodes(self) -> list[int]:
+        return [n.node_id for n in self.nodes if n.alive]
+
+    def coordinator_for(self, object_name: str) -> StorageNode:
+        """Route a request to a node by the hash of the object name."""
+        digest = hashlib.sha256(object_name.encode("utf-8")).digest()
+        return self.nodes[int.from_bytes(digest[:8], "big") % len(self.nodes)]
+
+    def choose_stripe_nodes(self, count: int) -> list[int]:
+        """Pick ``count`` distinct nodes for one stripe's blocks.
+
+        The paper distributes each stripe across ``n`` randomly chosen
+        nodes.  When the cluster has fewer than ``count`` nodes (the
+        9-node testbed holds RS(9,6) stripes exactly), nodes wrap around
+        round-robin from a random start so placement stays balanced.
+        """
+        if count <= len(self.nodes):
+            return self._rng.sample(range(len(self.nodes)), count)
+        start = self._rng.randrange(len(self.nodes))
+        return [(start + i) % len(self.nodes) for i in range(count)]
+
+    @property
+    def stored_bytes(self) -> int:
+        """Total bytes physically stored across all nodes."""
+        return sum(node.stored_bytes for node in self.nodes)
+
+    def cpu_utilization(self) -> float:
+        """Mean CPU utilisation across nodes since time zero."""
+        elapsed = self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        return sum(node.cpu.utilization(elapsed) for node in self.nodes) / len(self.nodes)

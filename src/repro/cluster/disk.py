@@ -1,0 +1,47 @@
+"""Disk model: a FIFO device with seek latency and sequential bandwidth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import metrics as m
+from repro.cluster.simcore import Resource, Simulator
+
+
+@dataclass
+class DiskConfig:
+    """NVMe-class defaults matching the paper's r6525 nodes.
+
+    All I/O in the paper is direct I/O (no page cache), so every read pays
+    the device: a fixed access latency plus bytes over the sequential
+    bandwidth.
+    """
+
+    bandwidth_bps: float = 4.0e9  # 4 GB/s sequential read
+    access_latency_s: float = 0.0001  # 100 us per request
+
+
+class Disk:
+    """One node's storage device."""
+
+    def __init__(self, sim: Simulator, config: DiskConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self._device = Resource(sim, capacity=1)
+        self.total_bytes = 0
+
+    def read(self, nbytes: int, query: m.QueryMetrics | None = None):
+        """Process: read ``nbytes`` from the device (FIFO queued)."""
+        if nbytes < 0:
+            raise ValueError("cannot read a negative number of bytes")
+        start = self.sim.now
+        with (yield from self._device.acquire()):
+            duration = self.config.access_latency_s + nbytes / self.config.bandwidth_bps
+            yield self.sim.timeout(duration)
+        self.total_bytes += nbytes
+        if query is not None:
+            query.add(m.DISK, self.sim.now - start)
+
+    def write(self, nbytes: int, query: m.QueryMetrics | None = None):
+        """Process: write ``nbytes`` (same device model as a read)."""
+        yield from self.read(nbytes, query)

@@ -1,0 +1,82 @@
+"""Measurement plumbing for the simulated cluster.
+
+Two levels of accounting:
+
+* :class:`QueryMetrics` — per-query latency breakdown in the paper's four
+  categories (disk read, data processing, network overhead, other), plus
+  bytes moved over the network on behalf of the query.
+* :class:`ClusterMetrics` — cluster-wide totals: network traffic and
+  per-node CPU busy time (drives the Fig 14d CPU-utilisation comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DISK = "disk"
+CPU = "processing"
+NETWORK = "network"
+OTHER = "other"
+
+CATEGORIES = (DISK, CPU, NETWORK, OTHER)
+
+
+@dataclass
+class QueryMetrics:
+    """Accounting for one query's execution."""
+
+    start_time: float = 0.0
+    end_time: float = 0.0
+    seconds: dict[str, float] = field(default_factory=lambda: {c: 0.0 for c in CATEGORIES})
+    network_bytes: int = 0
+    pushed_down_chunks: int = 0
+    fallback_chunks: int = 0
+
+    @property
+    def latency(self) -> float:
+        return self.end_time - self.start_time
+
+    def add(self, category: str, seconds: float) -> None:
+        if category not in self.seconds:
+            raise KeyError(f"unknown category {category!r}; known: {CATEGORIES}")
+        self.seconds[category] += seconds
+
+    def breakdown_fractions(self) -> dict[str, float]:
+        """Each category's share of the total accounted busy time.
+
+        Work on parallel branches is summed, so fractions describe where
+        effort went — the same normalisation the paper's stacked bars use.
+        """
+        total = sum(self.seconds.values())
+        if total <= 0:
+            return {c: 0.0 for c in CATEGORIES}
+        return {c: v / total for c, v in self.seconds.items()}
+
+
+@dataclass
+class ClusterMetrics:
+    """Totals across the whole simulation run."""
+
+    network_bytes: int = 0
+    disk_bytes: int = 0
+    queries: list[QueryMetrics] = field(default_factory=list)
+
+    def record_query(self, qm: QueryMetrics) -> None:
+        self.queries.append(qm)
+        self.network_bytes += qm.network_bytes
+
+    def latencies(self) -> list[float]:
+        return [q.latency for q in self.queries]
+
+
+def percentile(values: list[float], pct: float) -> float:
+    """Nearest-rank percentile (pct in [0, 100]) of a non-empty list."""
+    if not values:
+        raise ValueError("percentile of empty list")
+    ordered = sorted(values)
+    if pct <= 0:
+        return ordered[0]
+    if pct >= 100:
+        return ordered[-1]
+    rank = max(1, int(round(pct / 100.0 * len(ordered) + 0.5)))
+    return ordered[min(rank, len(ordered)) - 1]

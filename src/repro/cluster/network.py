@@ -1,0 +1,112 @@
+"""Network model: per-node full-duplex pipes plus RPC overhead.
+
+Each node owns an egress pipe and an ingress pipe, each a FIFO resource
+serialising transfers at the configured bandwidth (store-and-forward).
+A transfer of ``nbytes`` from A to B:
+
+1. waits for A's egress pipe, then B's ingress pipe (FIFO queueing is what
+   produces tail latency under concurrent clients);
+2. occupies both for ``nbytes / bandwidth`` seconds;
+3. pays half an RTT of propagation delay plus a fixed per-RPC overhead.
+
+Transfers between a node and itself are free (local loopback), matching
+how the paper's coordinator processes locally-resident chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import metrics as m
+from repro.cluster.simcore import Resource, Simulator
+
+
+@dataclass
+class NetworkConfig:
+    """Link parameters.
+
+    Defaults mirror the paper's testbed after `wondershaper`: 25 Gbps per
+    direction, sub-millisecond datacenter RTT, and a fixed per-RPC cost
+    covering serialisation and kernel overheads.
+    """
+
+    bandwidth_bps: float = 25e9 / 8  # 25 Gbps expressed in bytes/sec
+    rtt_s: float = 0.0002
+    rpc_overhead_s: float = 0.0003
+    #: CPU cost of moving bytes (TCP/RPC processing), per core.  Charged
+    #: as busy time on each endpoint's CPU — this is why the baseline,
+    #: which moves far more data, burns more CPU at equal load (Fig 14d).
+    cpu_bps: float = 2.0e9
+
+
+class NetworkEndpoint:
+    """One node's attachment to the network: an egress and an ingress pipe.
+
+    ``cpu`` optionally references the owning node's CPU resource so that
+    network processing cost can be charged to it (client endpoints have
+    no CPU of interest).
+    """
+
+    def __init__(self, sim: Simulator, name: str, cpu: Resource | None = None) -> None:
+        self.name = name
+        self.egress = Resource(sim, capacity=1)
+        self.ingress = Resource(sim, capacity=1)
+        self.cpu = cpu
+
+
+class Network:
+    """The shared fabric connecting all endpoints."""
+
+    def __init__(self, sim: Simulator, config: NetworkConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self.total_bytes = 0
+
+    def set_bandwidth_gbps(self, gbps: float) -> None:
+        """Adjust link bandwidth (the Fig 14c bandwidth sweep knob)."""
+        self.config.bandwidth_bps = gbps * 1e9 / 8
+
+    def transfer(
+        self,
+        src: NetworkEndpoint,
+        dst: NetworkEndpoint,
+        nbytes: int,
+        query: m.QueryMetrics | None = None,
+    ):
+        """Process: move ``nbytes`` from ``src`` to ``dst``.
+
+        Charges the bytes and elapsed time to ``query`` when given.  A
+        zero-byte transfer still pays the RPC overhead (it is a message).
+        """
+        if nbytes < 0:
+            raise ValueError("cannot transfer a negative number of bytes")
+        start = self.sim.now
+        if src is dst:
+            # Loopback: no pipes, no RTT, no traffic accounting.
+            return
+        with (yield from src.egress.acquire()):
+            with (yield from dst.ingress.acquire()):
+                duration = (
+                    nbytes / self.config.bandwidth_bps
+                    + self.config.rtt_s / 2
+                    + self.config.rpc_overhead_s
+                )
+                yield self.sim.timeout(duration)
+        self.total_bytes += nbytes
+        # Network processing burns CPU at both endpoints, overlapped with
+        # the transfer itself (busy time for utilisation accounting; it
+        # contends with other CPU work but does not extend this transfer).
+        if nbytes > 0 and self.config.cpu_bps > 0:
+            cpu_seconds = nbytes / self.config.cpu_bps
+            for endpoint in (src, dst):
+                if endpoint.cpu is not None:
+                    self.sim.process(_occupy(self.sim, endpoint.cpu, cpu_seconds))
+        if query is not None:
+            query.network_bytes += nbytes
+            query.add(m.NETWORK, self.sim.now - start)
+
+
+def _occupy(sim: Simulator, cpu: Resource, seconds: float):
+    """Occupy one CPU core for ``seconds`` (network processing work)."""
+    with (yield from cpu.acquire()):
+        yield sim.timeout(seconds)

@@ -1,0 +1,141 @@
+"""Storage node: block store + network endpoint + disk + CPU cores.
+
+A node physically stores erasure-code blocks (real bytes) and offers the
+simulated primitives query execution is built from:
+
+* ``read_block`` / ``read_block_range`` — disk reads returning real bytes
+  while charging simulated disk time for the *scaled* byte count;
+* ``compute`` — occupy a CPU core for a derived duration (decode, filter,
+  projection work), charged to the query's processing bucket.
+
+Real data sizes are multiplied by the store's ``size_scale`` before being
+charged to simulated devices, letting small generated datasets exercise
+paper-scale behaviour (a 10 MB generated lineitem file behaves like the
+paper's 10 GB one with ``size_scale=1000``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster import metrics as m
+from repro.cluster.disk import Disk, DiskConfig
+from repro.cluster.network import NetworkEndpoint
+from repro.cluster.simcore import Resource, Simulator
+
+
+@dataclass
+class CpuConfig:
+    """Per-core processing rates (bytes/second of input consumed).
+
+    Chunk decode costs two phases: decompression, charged on the chunk's
+    *compressed* bytes at ``decompress_bps``, and value materialisation
+    (dictionary gather, bit-unpack), charged on the *uncompressed* bytes
+    at ``materialize_bps``.  ``scan_bps`` covers running a filter or
+    selecting projection values over decoded data (also on uncompressed
+    bytes).  ``decode_bps`` is the generic rate used for erasure coding
+    and metadata parsing.
+    """
+
+    cores: int = 16
+    decompress_bps: float = 2.5e9
+    materialize_bps: float = 8.0e9
+    scan_bps: float = 8.0e9
+    decode_bps: float = 3.0e9
+
+
+class StorageNode:
+    """One storage node in the simulated cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        disk_config: DiskConfig,
+        cpu_config: CpuConfig,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.disk = Disk(sim, disk_config)
+        self.cpu_config = cpu_config
+        self.cpu = Resource(sim, capacity=cpu_config.cores)
+        self.endpoint = NetworkEndpoint(sim, f"node-{node_id}", cpu=self.cpu)
+        #: Cleared by Cluster.fail_node; stores route around dead nodes
+        #: with degraded reads.
+        self.alive = True
+        self._blocks: dict[str, np.ndarray] = {}
+
+    # -- block storage -----------------------------------------------------
+
+    def put_block(self, block_id: str, data: np.ndarray) -> None:
+        """Store a block's bytes (instantaneous; Put latency is modelled
+        separately by the stores)."""
+        self._blocks[block_id] = np.ascontiguousarray(data, dtype=np.uint8)
+
+    def has_block(self, block_id: str) -> bool:
+        return block_id in self._blocks
+
+    def drop_block(self, block_id: str) -> None:
+        """Simulate losing a block (for recovery tests)."""
+        self._blocks.pop(block_id, None)
+
+    def block_size(self, block_id: str) -> int:
+        return self._blocks[block_id].size
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(b.size for b in self._blocks.values())
+
+    # -- simulated primitives ------------------------------------------------
+
+    def read_block_range(
+        self,
+        block_id: str,
+        offset: int,
+        length: int,
+        scale: float,
+        query: m.QueryMetrics | None = None,
+    ):
+        """Process: read ``[offset, offset+length)`` of a block from disk.
+
+        Returns the real bytes; charges ``length * scale`` simulated bytes.
+        """
+        block = self._blocks.get(block_id)
+        if block is None:
+            raise KeyError(f"node {self.node_id} does not hold block {block_id!r}")
+        if offset < 0 or offset + length > block.size:
+            raise ValueError(
+                f"range [{offset}, {offset + length}) out of bounds for "
+                f"block {block_id!r} of size {block.size}"
+            )
+        yield from self.disk.read(int(length * scale), query)
+        return block[offset : offset + length]
+
+    def read_block(self, block_id: str, scale: float, query: m.QueryMetrics | None = None):
+        """Process: read a whole block."""
+        size = self.block_size(block_id)
+        data = yield from self.read_block_range(block_id, 0, size, scale, query)
+        return data
+
+    def compute(self, seconds: float, query: m.QueryMetrics | None = None):
+        """Process: occupy one CPU core for ``seconds`` of work."""
+        if seconds < 0:
+            raise ValueError("negative compute time")
+        start = self.sim.now
+        with (yield from self.cpu.acquire()):
+            yield self.sim.timeout(seconds)
+        if query is not None:
+            query.add(m.CPU, self.sim.now - start)
+
+    def decode_seconds(self, compressed_bytes: int, plain_bytes: int, scale: float) -> float:
+        """CPU time to decompress and decode one chunk to values."""
+        return scale * (
+            compressed_bytes / self.cpu_config.decompress_bps
+            + plain_bytes / self.cpu_config.materialize_bps
+        )
+
+    def scan_seconds(self, plain_bytes: int, scale: float) -> float:
+        """CPU time to filter/select over decoded values of given size."""
+        return plain_bytes * scale / self.cpu_config.scan_bps

@@ -1,0 +1,59 @@
+"""Fusion core: FAC coding, the pushdown cost model, and the object stores.
+
+Public entry points:
+
+* :class:`FusionStore` — the paper's system (Put/Get/Query).
+* :class:`BaselineStore` — the fixed-block comparison system.
+* :func:`construct_stripes` — FAC stripe construction (Algorithm 1).
+* :func:`construct_oracle_layout` / :func:`construct_padding_layout` —
+  the Oracle-ILP and Padding comparison layouts.
+* :class:`PushdownCostEstimator` — the Cost Equation.
+"""
+
+from repro.core.baseline_store import BaselineStore, ObjectNotFound, PutReport
+from repro.core.config import OP_REQUEST_BYTES, SCALAR_RESULT_BYTES, StoreConfig
+from repro.core.cost_model import PushdownCostEstimator, PushdownDecision, PushdownMode
+from repro.core.fac import construct_stripes, construct_stripes_first_fit
+from repro.core.fixed import (
+    FixedLayout,
+    build_fixed_layout,
+    fraction_of_chunks_split,
+)
+from repro.core.layout import Bin, BinSet, ChunkItem, StripeLayout
+from repro.core.location_map import ChunkLocation, LocationMap
+from repro.core.oracle import OracleError, brute_force_optimal, construct_oracle_layout
+from repro.core.padding import construct_padding_layout
+from repro.core.scrub import ScrubReport, check_stripe
+from repro.core.store import FusionStore, StoredFusionObject, StripePlacement
+
+__all__ = [
+    "BaselineStore",
+    "Bin",
+    "BinSet",
+    "ChunkItem",
+    "ChunkLocation",
+    "FixedLayout",
+    "FusionStore",
+    "LocationMap",
+    "OP_REQUEST_BYTES",
+    "ObjectNotFound",
+    "OracleError",
+    "PushdownCostEstimator",
+    "PushdownDecision",
+    "PushdownMode",
+    "PutReport",
+    "SCALAR_RESULT_BYTES",
+    "ScrubReport",
+    "StoreConfig",
+    "check_stripe",
+    "StoredFusionObject",
+    "StripeLayout",
+    "StripePlacement",
+    "brute_force_optimal",
+    "build_fixed_layout",
+    "construct_oracle_layout",
+    "construct_padding_layout",
+    "construct_stripes",
+    "construct_stripes_first_fit",
+    "fraction_of_chunks_split",
+]

@@ -1,0 +1,615 @@
+"""The baseline object store (MinIO/Ceph-like).
+
+Erasure-codes an object into fixed-size blocks with no knowledge of its
+internal structure, so column chunks straddle block — and therefore node —
+boundaries.  Queries run entirely at a coordinator node, which first
+*reassembles* every needed column chunk by fetching its fragments from the
+nodes holding them (the paper's Figure 5 behaviour) and only then decodes,
+filters and projects.  The one optimisation it shares with Fusion is
+footer-based row-group pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.metrics import QueryMetrics
+from repro.cluster.simcore import all_of
+from repro.core import engine
+from repro.core.config import StoreConfig
+from repro.core.fixed import FixedLayout, build_fixed_layout
+from repro.ec.stripe import decode_stripe, encode_stripe
+from repro.format.metadata import FileMetadata
+from repro.format.pages import decode_column_chunk
+from repro.format.reader import read_metadata
+from repro.sql.ast_nodes import Query
+from repro.sql.local import QueryResult
+from repro.sql.parser import parse
+from repro.sql.planner import PhysicalPlan, plan as make_plan
+from repro.sql.predicate import eval_leaf
+
+
+class ObjectNotFound(KeyError):
+    """Raised when querying an object that was never Put."""
+
+
+@dataclass
+class StoredFixedObject:
+    """Placement record for one object striped into fixed blocks."""
+
+    name: str
+    metadata: FileMetadata
+    total_bytes: int
+    layout: FixedLayout
+    data_block_nodes: dict[int, int] = field(default_factory=dict)  # block idx -> node
+    parity_block_nodes: dict[tuple[int, int], int] = field(default_factory=dict)
+    header_bytes: bytes = b""
+    trailer_bytes: bytes = b""
+
+    def data_block_id(self, index: int) -> str:
+        return f"{self.name}/b{index}"
+
+    def parity_block_id(self, stripe: int, j: int) -> str:
+        return f"{self.name}/s{stripe}/p{j}"
+
+
+@dataclass
+class PutReport:
+    """What a Put produced: layout facts plus simulated latency."""
+
+    object_name: str
+    strategy: str
+    stored_bytes: int
+    data_bytes: int
+    overhead_vs_optimal: float
+    layout_build_seconds: float  # real wall-clock of the layout algorithm
+    simulated_put_seconds: float
+    num_stripes: int
+    fallback: bool = False
+
+
+class BaselineStore:
+    """Fixed-block erasure-coded store with coordinator-side execution."""
+
+    def __init__(self, cluster: Cluster, config: StoreConfig | None = None) -> None:
+        self.cluster = cluster
+        self.config = config or StoreConfig()
+        self.sim = cluster.sim
+        self.objects: dict[str, StoredFixedObject] = {}
+        # Decoded-value memoisation: chunks are immutable once Put, and
+        # simulated decode time is charged independently, so re-decoding
+        # the same chunk for every simulated query would only burn real
+        # wall-clock in benchmarks.
+        self._decode_cache: dict[tuple[str, int, str], np.ndarray] = {}
+        # Degraded-read reconstruction cache (see FusionStore).
+        self._degraded_block_cache: dict[tuple[str, int], np.ndarray] = {}
+
+    # -- Put -----------------------------------------------------------------
+
+    def put(self, name: str, data: bytes) -> PutReport:
+        """Store an object, running the simulation to completion."""
+        proc = self.sim.process(self.put_process(name, data))
+        self.sim.run()
+        return proc.value
+
+    def put_process(self, name: str, data: bytes):
+        """Simulated Put: client -> coordinator -> striped across nodes."""
+        if name in self.objects:
+            raise ValueError(f"object {name!r} already exists (updates are fresh inserts)")
+        start = self.sim.now
+        config = self.config
+        metadata = read_metadata(data)
+        layout = build_fixed_layout(config.code, len(data), config.real_block_size)
+        coordinator = self.cluster.coordinator_for(name)
+
+        # Ship the object from the client to the coordinator.
+        yield from self.cluster.network.transfer(
+            self.cluster.client, coordinator.endpoint, config.scaled(len(data))
+        )
+
+        obj = StoredFixedObject(
+            name=name,
+            metadata=metadata,
+            total_bytes=len(data),
+            layout=layout,
+        )
+        raw = np.frombuffer(data, dtype=np.uint8)
+
+        # Encode and distribute stripe by stripe.
+        writes = []
+        for stripe in range(layout.num_stripes):
+            blocks = layout.stripe_blocks(stripe)
+            payloads = [raw[b.start : b.end] for b in blocks]
+            encode_bytes = sum(p.size for p in payloads)
+            yield from coordinator.compute(
+                encode_bytes * config.size_scale / coordinator.cpu_config.decode_bps
+            )
+            encoded = encode_stripe(config.code, list(payloads))
+            nodes = self.cluster.choose_stripe_nodes(config.code.n)
+            for j, block in enumerate(blocks):
+                node_id = nodes[j]
+                obj.data_block_nodes[block.index] = node_id
+                writes.append(
+                    self.sim.process(
+                        self._write_block(
+                            coordinator,
+                            node_id,
+                            obj.data_block_id(block.index),
+                            encoded.data_blocks[j],
+                        )
+                    )
+                )
+            for pj, parity in enumerate(encoded.parity_blocks):
+                node_id = nodes[config.code.k + pj] if config.code.k + pj < len(nodes) else nodes[-1]
+                obj.parity_block_nodes[(stripe, pj)] = node_id
+                writes.append(
+                    self.sim.process(
+                        self._write_block(
+                            coordinator, node_id, obj.parity_block_id(stripe, pj), parity
+                        )
+                    )
+                )
+        yield all_of(self.sim, writes)
+
+        obj.header_bytes = data[:4]
+        footer_start = metadata.all_chunks()[-1].end_offset if metadata.all_chunks() else 4
+        obj.trailer_bytes = data[footer_start:]
+        self.objects[name] = obj
+        return PutReport(
+            object_name=name,
+            strategy="fixed",
+            stored_bytes=layout.stored_bytes,
+            data_bytes=len(data),
+            overhead_vs_optimal=self._overhead_vs_optimal(layout),
+            layout_build_seconds=0.0,
+            simulated_put_seconds=self.sim.now - start,
+            num_stripes=layout.num_stripes,
+        )
+
+    def _overhead_vs_optimal(self, layout: FixedLayout) -> float:
+        optimal = layout.total_bytes * (1.0 + self.config.code.optimal_overhead)
+        return (layout.stored_bytes - optimal) / optimal
+
+    def _write_block(self, coordinator, node_id: int, block_id: str, payload: np.ndarray):
+        node = self.cluster.node(node_id)
+        yield from self.cluster.network.transfer(
+            coordinator.endpoint, node.endpoint, self.config.scaled(payload.size)
+        )
+        yield from node.disk.read(self.config.scaled(payload.size))  # write ~ read cost
+        node.put_block(block_id, payload)
+
+    # -- Get -------------------------------------------------------------------
+
+    def get(self, name: str, offset: int = 0, size: int | None = None) -> bytes:
+        """Retrieve object bytes — the paper's Get(offset, size) API.
+
+        Runs the simulation to completion; ``size=None`` means to the end.
+        """
+        proc = self.sim.process(self.get_process(name, offset=offset, size=size))
+        self.sim.run()
+        return proc.value
+
+    def get_process(
+        self,
+        name: str,
+        query: QueryMetrics | None = None,
+        offset: int = 0,
+        size: int | None = None,
+    ):
+        """Simulated Get: fetch the covering block fragments to the
+        coordinator and reassemble the byte range."""
+        obj = self._lookup(name)
+        if size is None:
+            size = obj.total_bytes - offset
+        if offset < 0 or size < 0 or offset + size > obj.total_bytes:
+            raise ValueError(
+                f"range [{offset}, {offset + size}) outside object of "
+                f"size {obj.total_bytes}"
+            )
+        if size == 0:
+            return b""
+        coordinator = self.cluster.coordinator_for(name)
+        fragments = obj.layout.locate(offset, size)
+        fetches = [
+            self.sim.process(
+                self._fetch_fragment(
+                    obj, coordinator, f.block_index, f.block_offset, f.length, query
+                )
+            )
+            for f in fragments
+        ]
+        barrier = all_of(self.sim, fetches)
+        yield barrier
+        parts = barrier.value
+        return b"".join(bytes(p) for p in parts)
+
+    def _fetch_fragment(self, obj, coordinator, block_index, offset, length, query):
+        node = self.cluster.node(obj.data_block_nodes[block_index])
+        if not node.alive:
+            block = yield from self._degraded_block_read(obj, coordinator, block_index, query)
+            return block[offset : offset + length]
+        data = yield from node.read_block_range(
+            obj.data_block_id(block_index), offset, length, self.config.size_scale, query
+        )
+        yield from self.cluster.network.transfer(
+            node.endpoint, coordinator.endpoint, self.config.scaled(length), query
+        )
+        return data
+
+    def _degraded_block_read(self, obj, coordinator, block_index: int, query):
+        """Reconstruct one lost block at the coordinator from its stripe.
+
+        Gathers k surviving shards (skipping dead nodes), RS-decodes, and
+        returns the target block's bytes.  Reconstructed blocks are cached
+        by content; simulated costs are charged on every call.
+        """
+        import numpy as np
+
+        k, n = self.config.code.k, self.config.code.n
+        stripe = obj.layout.stripe_of(block_index)
+        blocks = obj.layout.stripe_blocks(stripe)
+        target_j = block_index - stripe * k
+        data_sizes = [b.size for b in blocks] + [0] * (k - len(blocks))
+
+        shards: list[np.ndarray | None] = [None] * n
+        for i in range(len(blocks), k):
+            shards[i] = np.zeros(0, dtype=np.uint8)
+
+        def present() -> int:
+            return sum(1 for s in shards if s is not None)
+
+        for i in range(n):
+            if present() >= k:
+                break
+            if shards[i] is not None:
+                continue
+            if i < k:
+                bid = obj.data_block_id(blocks[i].index)
+                nid = obj.data_block_nodes[blocks[i].index]
+            else:
+                bid = obj.parity_block_id(stripe, i - k)
+                nid = obj.parity_block_nodes[(stripe, i - k)]
+            node = self.cluster.node(nid)
+            if not node.alive or not node.has_block(bid):
+                continue
+            data = yield from node.read_block(bid, self.config.size_scale, query)
+            yield from self.cluster.network.transfer(
+                node.endpoint, coordinator.endpoint, self.config.scaled(data.size), query
+            )
+            shards[i] = data
+
+        gathered = sum(s.size for s in shards if s is not None)
+        yield from coordinator.compute(
+            gathered * self.config.size_scale / coordinator.cpu_config.decode_bps, query
+        )
+        cache_key = (obj.name, block_index)
+        cached = self._degraded_block_cache.get(cache_key)
+        if cached is None:
+            recovered = decode_stripe(self.config.code, shards, data_sizes)
+            cached = recovered[target_j]
+            self._degraded_block_cache[cache_key] = cached
+        return cached
+
+    # -- Query -----------------------------------------------------------------
+
+    def query(self, sql: str | Query) -> tuple[QueryResult, QueryMetrics]:
+        """Run one query alone on an idle cluster (runs the simulation)."""
+        metrics = QueryMetrics()
+        proc = self.sim.process(self.query_process(sql, metrics))
+        self.sim.run()
+        return proc.value, metrics
+
+    def query_process(self, sql: str | Query, metrics: QueryMetrics):
+        """Simulated query: reassemble needed chunks, execute locally."""
+        query = parse(sql) if isinstance(sql, str) else sql
+        obj = self._lookup(query.table)
+        physical = make_plan(query, obj.metadata.schema)
+        coordinator = self.cluster.coordinator_for(obj.name)
+        metrics.start_time = self.sim.now
+
+        row_groups = engine.prune_row_groups(physical, obj.metadata)
+        columns = engine.needed_columns(physical, query)
+        needed = [(rg, col) for rg in row_groups for col in columns]
+
+        # Stage 1: fetch every needed chunk to the coordinator, in parallel.
+        if self.config.baseline_whole_block_reads:
+            decoded = yield from self._fetch_chunks_block_granular(
+                obj, coordinator, needed, metrics
+            )
+        else:
+            tasks = [
+                self.sim.process(self._fetch_chunk(obj, coordinator, rg, col, metrics))
+                for rg, col in needed
+            ]
+            barrier = all_of(self.sim, tasks)
+            yield barrier
+            decoded = dict(zip(needed, barrier.value))
+
+        # Stage 2: local evaluation at the coordinator.
+        rg_selected: dict[int, np.ndarray] = {}
+        for rg in row_groups:
+            num_rows = obj.metadata.row_groups[rg].num_rows
+            leaf_bitmaps = []
+            for op in physical.filter_ops:
+                values = decoded[(rg, op.column)]
+                meta = obj.metadata.chunk(rg, op.column)
+                yield from coordinator.compute(
+                    coordinator.scan_seconds(meta.plain_size, self.config.size_scale),
+                    metrics,
+                )
+                leaf_bitmaps.append(eval_leaf(op.leaf, op.type, values))
+            rg_selected[rg] = physical.combine_bitmaps(leaf_bitmaps, num_rows)
+
+        rg_projected: dict[tuple[int, str], np.ndarray] = {}
+        for rg in row_groups:
+            indices = np.flatnonzero(rg_selected[rg])
+            for col in physical.projection_columns:
+                meta = obj.metadata.chunk(rg, col)
+                yield from coordinator.compute(
+                    coordinator.scan_seconds(meta.plain_size, self.config.size_scale),
+                    metrics,
+                )
+                rg_projected[(rg, col)] = decoded[(rg, col)][indices]
+
+        result = engine.assemble_result(
+            physical, obj.metadata, row_groups, rg_selected, rg_projected
+        )
+        yield from self.cluster.network.transfer(
+            coordinator.endpoint,
+            self.cluster.client,
+            self.config.scaled(engine.result_wire_bytes(result)),
+            metrics,
+        )
+        metrics.end_time = self.sim.now
+        self.cluster.metrics.record_query(metrics)
+        return result
+
+    def _fetch_chunks_block_granular(self, obj, coordinator, needed, metrics: QueryMetrics):
+        """Fetch whole erasure-code blocks covering the needed chunks.
+
+        Blocks are the placement and I/O unit of fixed-block stores, so
+        chunk reassembly reads every block a chunk touches in full (each
+        block once per query).  Chunk bytes are then sliced out locally
+        and decoded at the coordinator.
+        """
+        block_set: set[int] = set()
+        for rg, col in needed:
+            meta = obj.metadata.chunk(rg, col)
+            for f in obj.layout.locate(meta.offset, meta.size):
+                block_set.add(f.block_index)
+
+        fetches = {
+            idx: self.sim.process(
+                self._fetch_fragment(
+                    obj, coordinator, idx, 0, obj.layout.blocks[idx].size, metrics
+                )
+            )
+            for idx in sorted(block_set)
+        }
+        barrier = all_of(self.sim, list(fetches.values()))
+        yield barrier
+        block_bytes = {idx: proc.value for idx, proc in fetches.items()}
+
+        decoded = {}
+        for rg, col in needed:
+            meta = obj.metadata.chunk(rg, col)
+            cache_key = (obj.name, rg, col)
+            cached = self._decode_cache.get(cache_key)
+            if cached is None:
+                parts = [
+                    bytes(block_bytes[f.block_index][f.block_offset : f.block_offset + f.length])
+                    for f in obj.layout.locate(meta.offset, meta.size)
+                ]
+                cached = decode_column_chunk(b"".join(parts))
+                self._decode_cache[cache_key] = cached
+            yield from coordinator.compute(
+                coordinator.decode_seconds(meta.size, meta.plain_size, self.config.size_scale),
+                metrics,
+            )
+            decoded[(rg, col)] = cached
+        return decoded
+
+    def _fetch_chunk(self, obj, coordinator, rg: int, col: str, metrics: QueryMetrics):
+        """Reassemble one column chunk from its block fragments, decode it."""
+        meta = obj.metadata.chunk(rg, col)
+        fragments = obj.layout.locate(meta.offset, meta.size)
+        fetches = [
+            self.sim.process(
+                self._fetch_fragment(
+                    obj, coordinator, f.block_index, f.block_offset, f.length, metrics
+                )
+            )
+            for f in fragments
+        ]
+        barrier = all_of(self.sim, fetches)
+        yield barrier
+        yield from coordinator.compute(
+            coordinator.decode_seconds(meta.size, meta.plain_size, self.config.size_scale),
+            metrics,
+        )
+        cache_key = (obj.name, rg, col)
+        cached = self._decode_cache.get(cache_key)
+        if cached is None:
+            raw = b"".join(bytes(p) for p in barrier.value)
+            cached = decode_column_chunk(raw)
+            self._decode_cache[cache_key] = cached
+        return cached
+
+    # -- Delete ----------------------------------------------------------------
+
+    def delete(self, name: str) -> int:
+        """Remove an object: drop its blocks everywhere.  Returns the
+        number of blocks reclaimed.  (Metadata-plane operation: no
+        simulated data movement.)"""
+        obj = self._lookup(name)
+        reclaimed = 0
+        for index, nid in obj.data_block_nodes.items():
+            node = self.cluster.node(nid)
+            bid = obj.data_block_id(index)
+            if node.has_block(bid):
+                node.drop_block(bid)
+                reclaimed += 1
+        for (stripe, pj), nid in obj.parity_block_nodes.items():
+            node = self.cluster.node(nid)
+            bid = obj.parity_block_id(stripe, pj)
+            if node.has_block(bid):
+                node.drop_block(bid)
+                reclaimed += 1
+        del self.objects[name]
+        self._decode_cache = {
+            k: v for k, v in self._decode_cache.items() if k[0] != name
+        }
+        self._degraded_block_cache = {
+            k: v for k, v in self._degraded_block_cache.items() if k[0] != name
+        }
+        return reclaimed
+
+    # -- Scrubbing -----------------------------------------------------------
+
+    def verify_object(self, name: str):
+        """Scrub one object: re-read stripes, check parity (runs the sim)."""
+        proc = self.sim.process(self.verify_object_process(name))
+        self.sim.run()
+        return proc.value
+
+    def verify_object_process(self, name: str):
+        from repro.core.scrub import ScrubReport, check_stripe
+
+        obj = self._lookup(name)
+        coordinator = self.cluster.coordinator_for(name)
+        report = ScrubReport(object_name=name)
+        k, n = self.config.code.k, self.config.code.n
+        for stripe in range(obj.layout.num_stripes):
+            blocks = obj.layout.stripe_blocks(stripe)
+            data_blocks: list = []
+            parity_blocks: list = []
+            for i in range(n):
+                if i < k:
+                    if i >= len(blocks):
+                        data_blocks.append(np.zeros(0, dtype=np.uint8))
+                        continue
+                    bid = obj.data_block_id(blocks[i].index)
+                    nid = obj.data_block_nodes[blocks[i].index]
+                else:
+                    bid = obj.parity_block_id(stripe, i - k)
+                    nid = obj.parity_block_nodes[(stripe, i - k)]
+                node = self.cluster.node(nid)
+                if not node.alive or not node.has_block(bid):
+                    (data_blocks if i < k else parity_blocks).append(None)
+                    continue
+                payload = yield from node.read_block(bid, self.config.size_scale)
+                yield from self.cluster.network.transfer(
+                    node.endpoint, coordinator.endpoint, self.config.scaled(payload.size)
+                )
+                (data_blocks if i < k else parity_blocks).append(payload)
+            yield from coordinator.compute(
+                sum(b.size for b in data_blocks if b is not None)
+                * self.config.size_scale
+                / coordinator.cpu_config.decode_bps
+            )
+            verdict = check_stripe(self.config.code, data_blocks, parity_blocks)
+            report.stripes_checked += 1
+            if verdict == "corrupt":
+                report.corrupt_stripes.append(stripe)
+            elif verdict == "incomplete":
+                report.incomplete_stripes.append(stripe)
+        return report
+
+    # -- Fault tolerance ---------------------------------------------------------
+
+    def recover_node(self, node_id: int) -> int:
+        """Reconstruct every block the given node held, placing the
+        replacements on other nodes.  Returns the number of blocks rebuilt.
+        (Runs the simulation.)"""
+        proc = self.sim.process(self.recover_node_process(node_id))
+        self.sim.run()
+        return proc.value
+
+    def recover_node_process(self, node_id: int):
+        rebuilt = 0
+        k, n = self.config.code.k, self.config.code.n
+        for obj in self.objects.values():
+            for stripe in range(obj.layout.num_stripes):
+                blocks = obj.layout.stripe_blocks(stripe)
+                # Stripe-aligned holders: positions 0..k-1 are data (None
+                # for trailing blocks that do not exist in a partial
+                # stripe), k..n-1 are parity.
+                holders: list[tuple[str, int] | None] = []
+                for b in blocks:
+                    holders.append((obj.data_block_id(b.index), obj.data_block_nodes[b.index]))
+                while len(holders) < k:
+                    holders.append(None)
+                for pj in range(n - k):
+                    holders.append(
+                        (obj.parity_block_id(stripe, pj), obj.parity_block_nodes[(stripe, pj)])
+                    )
+                lost = [
+                    i for i, h in enumerate(holders) if h is not None and h[1] == node_id
+                ]
+                if not lost:
+                    continue
+                rebuilt += len(lost)
+                yield from self._rebuild_stripe(obj, stripe, holders, lost)
+        return rebuilt
+
+    def _rebuild_stripe(self, obj, stripe: int, holders, lost: list[int]):
+        """Gather surviving shards, RS-decode, re-encode, re-place lost ones."""
+        k, n = self.config.code.k, self.config.code.n
+        blocks = obj.layout.stripe_blocks(stripe)
+        data_sizes = [b.size for b in blocks] + [0] * (k - len(blocks))
+        holder_ids = {h[1] for h in holders if h is not None}
+        candidates = [nid for nid in range(self.cluster.num_nodes) if nid not in holder_ids]
+        rescue_id = (
+            candidates[0]
+            if candidates
+            else (holders[lost[0]][1] + 1) % self.cluster.num_nodes
+        )
+        rescue_node = self.cluster.node(rescue_id)
+        shards: list[np.ndarray | None] = []
+        for i, holder in enumerate(holders):
+            if holder is None:
+                # A never-written trailing data block of a partial stripe:
+                # its content is the empty block the encoder padded with.
+                shards.append(np.zeros(0, dtype=np.uint8))
+                continue
+            bid, nid = holder
+            if i in lost:
+                shards.append(None)
+                continue
+            node = self.cluster.node(nid)
+            if not node.alive or not node.has_block(bid):
+                shards.append(None)
+                continue
+            data = yield from node.read_block(bid, self.config.size_scale)
+            yield from self.cluster.network.transfer(
+                node.endpoint, rescue_node.endpoint, self.config.scaled(data.size)
+            )
+            shards.append(data)
+        recovered = decode_stripe(self.config.code, shards, data_sizes)
+        reencoded = encode_stripe(self.config.code, recovered)
+        for i in lost:
+            bid, _old = holders[i]
+            payload = reencoded.shards()[i]
+            if i < k:
+                payload = payload[: blocks[i].size]
+                obj.data_block_nodes[blocks[i].index] = rescue_node.node_id
+            else:
+                obj.parity_block_nodes[(stripe, i - k)] = rescue_node.node_id
+            yield from rescue_node.disk.write(self.config.scaled(payload.size))
+            rescue_node.put_block(bid, payload)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _lookup(self, name: str) -> StoredFixedObject:
+        try:
+            return self.objects[name]
+        except KeyError:
+            raise ObjectNotFound(f"no object named {name!r}") from None
+
+    def object_plan(self, sql: str | Query) -> PhysicalPlan:
+        """Plan a query against a stored object's schema (no execution)."""
+        query = parse(sql) if isinstance(sql, str) else sql
+        return make_plan(query, self._lookup(query.table).metadata.schema)

@@ -1,0 +1,77 @@
+"""The pushdown cost model (paper Section 4.3).
+
+After the filter stage the coordinator knows the exact query selectivity;
+each column chunk's compressibility comes from the file footer.  Pushing a
+projection down ships ``selectivity * uncompressed_size`` bytes of raw
+values; fetching the chunk ships ``compressed_size`` bytes.  Projection
+pushdown therefore wins exactly when::
+
+    selectivity * compressibility < 1        (the Cost Equation)
+
+since ``compressibility = uncompressed_size / compressed_size``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PushdownMode(enum.Enum):
+    """Projection pushdown policy (the adaptive one is Fusion's)."""
+
+    ADAPTIVE = "adaptive"
+    ALWAYS = "always"
+    NEVER = "never"
+
+
+@dataclass(frozen=True)
+class PushdownDecision:
+    """The estimator's verdict for one column chunk's projection."""
+
+    push_down: bool
+    selectivity: float
+    compressibility: float
+    pushdown_bytes: float  # estimated uncompressed result bytes if pushed
+    fetch_bytes: int  # compressed chunk bytes if fetched
+
+    @property
+    def cost_product(self) -> float:
+        """``selectivity * compressibility`` — < 1 favours pushdown."""
+        return self.selectivity * self.compressibility
+
+
+class PushdownCostEstimator:
+    """Per-chunk projection pushdown decisions."""
+
+    def __init__(self, mode: PushdownMode = PushdownMode.ADAPTIVE) -> None:
+        self.mode = mode
+
+    def decide(
+        self,
+        selectivity: float,
+        compressed_size: int,
+        plain_size: int,
+    ) -> PushdownDecision:
+        """Apply the Cost Equation to one chunk.
+
+        ``selectivity`` is the exact post-filter selectivity for the
+        chunk's row group; sizes come from the footer entry.
+        """
+        if not 0.0 <= selectivity <= 1.0:
+            raise ValueError(f"selectivity must be in [0, 1], got {selectivity}")
+        compressibility = plain_size / compressed_size if compressed_size else 1.0
+        pushdown_bytes = selectivity * plain_size
+        if self.mode is PushdownMode.ALWAYS:
+            push = True
+        elif self.mode is PushdownMode.NEVER:
+            push = False
+        else:
+            push = selectivity * compressibility < 1.0
+        return PushdownDecision(
+            push_down=push,
+            selectivity=selectivity,
+            compressibility=compressibility,
+            pushdown_bytes=pushdown_bytes,
+            fetch_bytes=compressed_size,
+        )

@@ -1,0 +1,110 @@
+"""FAC stripe construction (paper Algorithm 1).
+
+The greedy, offline bin-packing heuristic at the heart of file-format-aware
+coding.  One stripe is built per iteration:
+
+1. Pop the largest unassigned chunk; it becomes the first bin and *seals*
+   the stripe's capacity ``C`` (no other bin may exceed it — the first
+   bin is, by construction, the stripe's largest data block).
+2. Scan the remaining chunks in descending size order.  Each chunk that
+   fits is placed into the *least occupied* bin (excluding the first)
+   among those with room, balancing bin sizes toward ``C``.
+3. Seal the bin set and repeat until no chunks remain.
+
+Runtime is ``O(m * N * k)`` for ``N`` chunks and ``m`` stripes — tens of
+microseconds for real files, versus hours for the ILP oracle.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.layout import Bin, BinSet, ChunkItem, StripeLayout
+from repro.ec.reed_solomon import CodeParams
+
+
+def construct_stripes(params: CodeParams, items: list[ChunkItem]) -> StripeLayout:
+    """Run Algorithm 1 over ``items`` and return the resulting layout.
+
+    ``items`` may be in any order; they are sorted by descending size
+    internally.  Zero-size chunks are accepted (they ride along in the
+    first bin of the final stripe).
+    """
+    start = time.perf_counter()
+    k = params.k
+    remaining = sorted(items, key=lambda it: it.size, reverse=True)
+    binsets: list[BinSet] = []
+
+    while remaining:
+        bins = [Bin() for _ in range(k)]
+        largest = remaining.pop(0)
+        bins[0].add(largest)
+        capacity = largest.size
+
+        occupancy = [0] * k  # running totals; index 0 excluded from packing
+        unplaced: list[ChunkItem] = []
+        for item in remaining:
+            # Least-occupied bin (excluding bin 0) with room for the item.
+            best_bid = -1
+            best_occ = None
+            for bid in range(1, k):
+                occ = occupancy[bid]
+                if occ + item.size <= capacity and (best_occ is None or occ < best_occ):
+                    best_bid = bid
+                    best_occ = occ
+            if best_bid > 0:
+                bins[best_bid].add(item)
+                occupancy[best_bid] += item.size
+            else:
+                unplaced.append(item)
+        remaining = unplaced
+        binsets.append(BinSet(bins=bins))
+
+    layout = StripeLayout(
+        params=params,
+        binsets=binsets,
+        strategy="fac",
+        build_seconds=time.perf_counter() - start,
+    )
+    return layout
+
+
+def construct_stripes_first_fit(params: CodeParams, items: list[ChunkItem]) -> StripeLayout:
+    """Ablation variant: place each chunk into the *first* bin with room
+    instead of the least-occupied one.
+
+    Used by the FAC-policy ablation bench to quantify how much the
+    least-occupied choice contributes to balanced bins.
+    """
+    start = time.perf_counter()
+    k = params.k
+    remaining = sorted(items, key=lambda it: it.size, reverse=True)
+    binsets: list[BinSet] = []
+
+    while remaining:
+        bins = [Bin() for _ in range(k)]
+        largest = remaining.pop(0)
+        bins[0].add(largest)
+        capacity = largest.size
+
+        occupancy = [0] * k
+        unplaced: list[ChunkItem] = []
+        for item in remaining:
+            placed = False
+            for bid in range(1, k):
+                if occupancy[bid] + item.size <= capacity:
+                    bins[bid].add(item)
+                    occupancy[bid] += item.size
+                    placed = True
+                    break
+            if not placed:
+                unplaced.append(item)
+        remaining = unplaced
+        binsets.append(BinSet(bins=bins))
+
+    return StripeLayout(
+        params=params,
+        binsets=binsets,
+        strategy="fac-first-fit",
+        build_seconds=time.perf_counter() - start,
+    )

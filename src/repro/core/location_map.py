@@ -1,0 +1,58 @@
+"""Per-object chunk location map (paper Section 5, Metadata Management).
+
+Fusion tracks, for every column chunk, which storage node holds it and
+where inside which block.  Each entry costs 8 bytes in the paper (4-byte
+chunk offset + 4-byte node id); the map is replicated to ``k + 1`` nodes
+so it survives the same number of failures as an RS(n, k) stripe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Paper's on-wire size of one location entry, in bytes.
+ENTRY_BYTES = 8
+
+
+@dataclass(frozen=True)
+class ChunkLocation:
+    """Where one column chunk physically lives."""
+
+    chunk_key: tuple[int, int]  # (row_group, column_index)
+    node_id: int
+    block_id: str
+    offset_in_block: int
+    size: int
+
+
+@dataclass
+class LocationMap:
+    """All chunk locations for one object, plus replication bookkeeping."""
+
+    object_name: str
+    entries: dict[tuple[int, int], ChunkLocation] = field(default_factory=dict)
+    replica_nodes: tuple[int, ...] = ()
+
+    def add(self, location: ChunkLocation) -> None:
+        if location.chunk_key in self.entries:
+            raise ValueError(f"duplicate location for chunk {location.chunk_key}")
+        self.entries[location.chunk_key] = location
+
+    def lookup(self, chunk_key: tuple[int, int]) -> ChunkLocation:
+        try:
+            return self.entries[chunk_key]
+        except KeyError:
+            raise KeyError(
+                f"object {self.object_name!r} has no chunk {chunk_key}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes to replicate this map (paper: 8 bytes per entry)."""
+        return ENTRY_BYTES * len(self.entries)
+
+    def nodes_used(self) -> set[int]:
+        return {loc.node_id for loc in self.entries.values()}

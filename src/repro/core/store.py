@@ -1,0 +1,1024 @@
+"""Fusion: the analytics object store (paper Sections 4-5).
+
+``Put`` runs file-format-aware coding: chunk boundaries are read from the
+footer, Algorithm 1 packs whole chunks into variable-size data blocks,
+stripes are Reed-Solomon encoded and scattered, and the per-chunk location
+map is replicated ``k + 1`` ways.  If FAC cannot meet the configured
+storage-overhead budget, the object falls back to fixed-block coding.
+
+``Query`` executes in the paper's two stages.  Filters are always pushed
+to the nodes holding the relevant chunks and return compressed bitmaps.
+Projections go through the cost estimator per chunk: pushdown ships
+``selectivity × uncompressed`` bytes of selected values; fallback ships
+the compressed chunk for coordinator-side processing.  An optional
+extension (the paper's future work) pushes aggregates down as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.metrics import QueryMetrics
+from repro.cluster.simcore import all_of
+from repro.core import engine
+from repro.core.baseline_store import BaselineStore, ObjectNotFound, PutReport
+from repro.core.config import OP_REQUEST_BYTES, SCALAR_RESULT_BYTES, StoreConfig
+from repro.core.cost_model import PushdownCostEstimator
+from repro.core.fac import construct_stripes
+from repro.core.layout import ChunkItem, StripeLayout
+from repro.core.location_map import ChunkLocation, LocationMap
+from repro.ec.stripe import decode_stripe, encode_stripe
+from repro.format.metadata import ColumnChunkMeta, FileMetadata
+from repro.format.pages import decode_column_chunk
+from repro.format.reader import read_metadata
+from repro.format.schema import ColumnType
+from repro.sql.aggregates import merge_partial_aggregates, partial_aggregate
+from repro.sql.ast_nodes import Aggregate, Query
+from repro.sql.bitmap import Bitmap
+from repro.sql.local import QueryResult
+from repro.sql.parser import parse
+from repro.sql.planner import PhysicalPlan, plan as make_plan
+from repro.sql.predicate import eval_leaf, leaf_may_match
+
+
+@dataclass
+class StripePlacement:
+    """Physical placement of one FAC stripe."""
+
+    stripe_id: int
+    node_ids: list[int]  # n nodes: k data then n-k parity
+    data_block_ids: list[str]
+    parity_block_ids: list[str]
+    data_sizes: list[int]
+
+    @property
+    def max_size(self) -> int:
+        return max(self.data_sizes)
+
+
+@dataclass
+class StoredFusionObject:
+    """Everything Fusion remembers about one object."""
+
+    name: str
+    metadata: FileMetadata
+    layout: StripeLayout
+    location_map: LocationMap
+    stripes: list[StripePlacement] = field(default_factory=list)
+    header_bytes: bytes = b""
+    trailer_bytes: bytes = b""
+
+
+class FusionStore:
+    """The Fusion analytics object store."""
+
+    def __init__(self, cluster: Cluster, config: StoreConfig | None = None) -> None:
+        self.cluster = cluster
+        self.config = config or StoreConfig()
+        self.sim = cluster.sim
+        self.objects: dict[str, StoredFusionObject] = {}
+        self.estimator = PushdownCostEstimator(self.config.pushdown_mode)
+        # Objects whose FAC layout blew the storage budget fall back to
+        # fixed-block coding and baseline-style execution.
+        self.fallback_store = BaselineStore(cluster, self.config)
+        # Decoded-value memoisation (see BaselineStore._decode_cache).
+        self._decode_cache: dict[tuple[str, tuple[int, int]], np.ndarray] = {}
+        # Degraded-read reconstruction cache: block_id -> recovered bin
+        # bytes (real bytes only; simulated costs are charged per read).
+        self._degraded_bin_cache: dict[str, np.ndarray] = {}
+        # Page-index cache for node-local page skipping.
+        self._page_index_cache: dict[tuple[str, tuple[int, int]], list] = {}
+
+    def _page_fraction(self, obj_name: str, meta: ColumnChunkMeta, op, data) -> float:
+        """Fraction of the chunk's rows in pages the filter can match."""
+        if not self.config.enable_page_skipping or meta.num_values == 0:
+            return 1.0
+        from repro.format.pages import chunk_page_index
+
+        key = (obj_name, meta.key)
+        pages = self._page_index_cache.get(key)
+        if pages is None:
+            pages = chunk_page_index(bytes(data))
+            self._page_index_cache[key] = pages
+        candidate = sum(
+            p.num_values
+            for p in pages
+            if leaf_may_match(op.leaf, op.type, p.min_value, p.max_value)
+        )
+        return candidate / meta.num_values
+
+    def _decode_cached(self, obj_name: str, meta: ColumnChunkMeta, data: np.ndarray) -> np.ndarray:
+        key = (obj_name, meta.key)
+        cached = self._decode_cache.get(key)
+        if cached is None:
+            cached = decode_column_chunk(bytes(data))
+            self._decode_cache[key] = cached
+        return cached
+
+    # -- Put -----------------------------------------------------------------
+
+    def put(self, name: str, data: bytes) -> PutReport:
+        """Store an object (runs the simulation to completion)."""
+        proc = self.sim.process(self.put_process(name, data))
+        self.sim.run()
+        return proc.value
+
+    def put_process(self, name: str, data: bytes):
+        """Simulated Put with FAC stripe construction."""
+        if name in self.objects or name in self.fallback_store.objects:
+            raise ValueError(f"object {name!r} already exists (updates are fresh inserts)")
+        start = self.sim.now
+        config = self.config
+        metadata = read_metadata(data)
+        chunks = metadata.all_chunks()
+        if not chunks:
+            raise ValueError(f"object {name!r} has no column chunks")
+        items = [ChunkItem(key=c.key, size=c.size) for c in chunks]
+        by_key = {c.key: c for c in chunks}
+
+        layout = construct_stripes(config.code, items)
+        if layout.overhead_vs_optimal > config.storage_overhead_threshold:
+            # Budget exceeded: default to fixed-block coding (paper 4.2).
+            report = yield from self.fallback_store.put_process(name, data)
+            report.strategy = "fixed-fallback"
+            report.fallback = True
+            report.layout_build_seconds = layout.build_seconds
+            return report
+
+        coordinator = self.cluster.coordinator_for(name)
+        yield from self.cluster.network.transfer(
+            self.cluster.client, coordinator.endpoint, config.scaled(len(data))
+        )
+        # Footer parse cost at the coordinator.
+        footer_size = len(data) - (chunks[-1].end_offset if chunks else 0)
+        yield from coordinator.compute(
+            footer_size * config.size_scale / coordinator.cpu_config.decode_bps
+        )
+
+        raw = np.frombuffer(data, dtype=np.uint8)
+        obj = StoredFusionObject(
+            name=name,
+            metadata=metadata,
+            layout=layout,
+            location_map=LocationMap(object_name=name),
+            header_bytes=data[:4],
+            trailer_bytes=data[chunks[-1].end_offset :],
+        )
+
+        writes = []
+        for sid, binset in enumerate(layout.binsets):
+            payloads = []
+            for b in binset.bins:
+                if b.items:
+                    payloads.append(
+                        np.concatenate(
+                            [raw[by_key[i.key].offset : by_key[i.key].end_offset] for i in b.items]
+                        )
+                    )
+                else:
+                    payloads.append(np.zeros(0, dtype=np.uint8))
+            encode_bytes = sum(p.size for p in payloads)
+            yield from coordinator.compute(
+                encode_bytes * config.size_scale / coordinator.cpu_config.decode_bps
+            )
+            encoded = encode_stripe(config.code, payloads)
+            node_ids = self.cluster.choose_stripe_nodes(config.code.n)
+            placement = StripePlacement(
+                stripe_id=sid,
+                node_ids=node_ids,
+                data_block_ids=[f"{name}/s{sid}/d{j}" for j in range(config.code.k)],
+                parity_block_ids=[f"{name}/s{sid}/p{j}" for j in range(config.code.parity)],
+                data_sizes=[p.size for p in payloads],
+            )
+            obj.stripes.append(placement)
+
+            for j, payload in enumerate(encoded.data_blocks):
+                if payload.size == 0:
+                    continue
+                writes.append(
+                    self.sim.process(
+                        self._write_block(
+                            coordinator, node_ids[j], placement.data_block_ids[j], payload
+                        )
+                    )
+                )
+            for pj, payload in enumerate(encoded.parity_blocks):
+                writes.append(
+                    self.sim.process(
+                        self._write_block(
+                            coordinator,
+                            node_ids[config.code.k + pj],
+                            placement.parity_block_ids[pj],
+                            payload,
+                        )
+                    )
+                )
+            # Record chunk locations for this stripe.
+            for j, b in enumerate(binset.bins):
+                for item, offset in b.offsets():
+                    obj.location_map.add(
+                        ChunkLocation(
+                            chunk_key=item.key,
+                            node_id=node_ids[j],
+                            block_id=placement.data_block_ids[j],
+                            offset_in_block=offset,
+                            size=item.size,
+                        )
+                    )
+        yield all_of(self.sim, writes)
+
+        # Replicate the location map (plus footer) to k+1 nodes.
+        replica_count = min(
+            config.code.k + config.map_replicas_extra, self.cluster.num_nodes
+        )
+        replica_nodes = self.cluster.choose_stripe_nodes(replica_count)
+        obj.location_map.replica_nodes = tuple(replica_nodes)
+        map_bytes = obj.location_map.wire_size + len(obj.trailer_bytes)
+        replications = [
+            self.sim.process(
+                self.cluster.network.transfer(
+                    coordinator.endpoint,
+                    self.cluster.node(nid).endpoint,
+                    config.scaled(map_bytes),
+                )
+            )
+            for nid in replica_nodes
+            if self.cluster.node(nid) is not coordinator
+        ]
+        yield all_of(self.sim, replications)
+
+        self.objects[name] = obj
+        return PutReport(
+            object_name=name,
+            strategy="fac",
+            stored_bytes=layout.stored_bytes,
+            data_bytes=layout.data_bytes,
+            overhead_vs_optimal=layout.overhead_vs_optimal,
+            layout_build_seconds=layout.build_seconds,
+            simulated_put_seconds=self.sim.now - start,
+            num_stripes=layout.num_stripes,
+        )
+
+    def _write_block(self, coordinator, node_id: int, block_id: str, payload: np.ndarray):
+        node = self.cluster.node(node_id)
+        yield from self.cluster.network.transfer(
+            coordinator.endpoint, node.endpoint, self.config.scaled(payload.size)
+        )
+        yield from node.disk.write(self.config.scaled(payload.size))
+        node.put_block(block_id, payload)
+
+    # -- Get -------------------------------------------------------------------
+
+    def get(self, name: str, offset: int = 0, size: int | None = None) -> bytes:
+        """Retrieve object bytes — the paper's Get(offset, size) API.
+
+        Runs the simulation to completion; ``size=None`` means to the end.
+        """
+        proc = self.sim.process(self.get_process(name, offset=offset, size=size))
+        self.sim.run()
+        return proc.value
+
+    def get_process(
+        self,
+        name: str,
+        metrics: QueryMetrics | None = None,
+        offset: int = 0,
+        size: int | None = None,
+    ):
+        """Simulated Get: fetch the chunk ranges covering the byte range.
+
+        Fusion stores chunks out of file order, so a ranged Get maps the
+        requested range onto the file's segments (header, chunks, footer)
+        and reads only the overlapping parts of each chunk — each from the
+        single node holding it.
+        """
+        if name in self.fallback_store.objects:
+            data = yield from self.fallback_store.get_process(
+                name, metrics, offset=offset, size=size
+            )
+            return data
+        obj = self._lookup(name)
+        chunks = obj.metadata.all_chunks()
+        total = len(obj.header_bytes) + sum(c.size for c in chunks) + len(obj.trailer_bytes)
+        if size is None:
+            size = total - offset
+        if offset < 0 or size < 0 or offset + size > total:
+            raise ValueError(f"range [{offset}, {offset + size}) outside object of size {total}")
+        if size == 0:
+            return b""
+        end = offset + size
+        coordinator = self.cluster.coordinator_for(name)
+
+        # Walk the file's segment map in byte order, collecting the parts
+        # that overlap the requested range.  Local segments (header and
+        # footer live with the replicated metadata) cost nothing.
+        parts: list[tuple[int, bytes | None]] = []  # (segment_start, local bytes)
+        fetches = []
+        fetch_starts = []
+        header_end = len(obj.header_bytes)
+        if offset < header_end:
+            parts.append((offset, obj.header_bytes[offset : min(end, header_end)]))
+        for meta in chunks:
+            lo = max(offset, meta.offset)
+            hi = min(end, meta.end_offset)
+            if lo >= hi:
+                continue
+            loc = obj.location_map.lookup(meta.key)
+            fetch_starts.append(lo)
+            fetches.append(
+                self.sim.process(
+                    self._fetch_chunk_range(
+                        obj, coordinator, loc, lo - meta.offset, hi - lo, metrics
+                    )
+                )
+            )
+        trailer_start = total - len(obj.trailer_bytes)
+        if end > trailer_start:
+            lo = max(offset, trailer_start)
+            parts.append((lo, obj.trailer_bytes[lo - trailer_start : end - trailer_start]))
+
+        barrier = all_of(self.sim, fetches)
+        yield barrier
+        for start, payload in zip(fetch_starts, barrier.value):
+            parts.append((start, bytes(payload)))
+        parts.sort(key=lambda item: item[0])
+        return b"".join(p for _start, p in parts)
+
+    def _fetch_chunk_range(
+        self,
+        obj: StoredFusionObject,
+        coordinator,
+        loc,
+        within: int,
+        length: int,
+        metrics: QueryMetrics | None,
+    ):
+        """Read ``[within, within+length)`` of one chunk from its node."""
+        node = self.cluster.node(loc.node_id)
+        if not node.alive:
+            chunk = yield from self._degraded_chunk_read(obj, loc, coordinator, metrics)
+            return chunk[within : within + length]
+        data = yield from node.read_block_range(
+            loc.block_id,
+            loc.offset_in_block + within,
+            length,
+            self.config.size_scale,
+            metrics,
+        )
+        yield from self.cluster.network.transfer(
+            node.endpoint, coordinator.endpoint, self.config.scaled(length), metrics
+        )
+        return data
+
+    # -- Degraded reads ----------------------------------------------------------
+
+    def _locate_block(self, obj: StoredFusionObject, block_id: str):
+        """Find the stripe placement and bin index holding ``block_id``."""
+        for placement in obj.stripes:
+            if block_id in placement.data_block_ids:
+                return placement, placement.data_block_ids.index(block_id)
+        raise KeyError(f"object {obj.name!r} has no data block {block_id!r}")
+
+    def _degraded_chunk_read(
+        self,
+        obj: StoredFusionObject,
+        loc,
+        coordinator,
+        metrics: QueryMetrics | None,
+    ):
+        """Reconstruct a chunk whose node is down, at the coordinator.
+
+        Gathers ``k`` surviving blocks of the stripe, RS-decodes the lost
+        bin, and slices the chunk out — the expensive path that justifies
+        prompt recovery.  Reconstructed bins are cached (real bytes only;
+        simulated costs are charged on every call).
+        """
+        placement, bin_idx = self._locate_block(obj, loc.block_id)
+        k, n = self.config.code.k, self.config.code.n
+        shards: list[np.ndarray | None] = [None] * n
+        for i in range(k):
+            if placement.data_sizes[i] == 0:
+                shards[i] = np.zeros(0, dtype=np.uint8)
+
+        def present() -> int:
+            return sum(1 for s in shards if s is not None)
+
+        for i in range(n):
+            if present() >= k:
+                break
+            if shards[i] is not None:
+                continue
+            node = self.cluster.node(placement.node_ids[i])
+            block_id = (
+                placement.data_block_ids[i] if i < k else placement.parity_block_ids[i - k]
+            )
+            if not node.alive or not node.has_block(block_id):
+                continue
+            data = yield from node.read_block(block_id, self.config.size_scale, metrics)
+            yield from self.cluster.network.transfer(
+                node.endpoint, coordinator.endpoint, self.config.scaled(data.size), metrics
+            )
+            shards[i] = data
+
+        gathered = sum(s.size for s in shards if s is not None)
+        yield from coordinator.compute(
+            gathered * self.config.size_scale / coordinator.cpu_config.decode_bps, metrics
+        )
+        cached = self._degraded_bin_cache.get(loc.block_id)
+        if cached is None:
+            recovered = decode_stripe(self.config.code, shards, placement.data_sizes)
+            cached = recovered[bin_idx]
+            self._degraded_bin_cache[loc.block_id] = cached
+        return cached[loc.offset_in_block : loc.offset_in_block + loc.size]
+
+    def _degraded_chunk_values(
+        self, obj, meta: ColumnChunkMeta, loc, coordinator, metrics
+    ):
+        """Degraded read plus decode-to-values at the coordinator."""
+        raw = yield from self._degraded_chunk_read(obj, loc, coordinator, metrics)
+        yield from coordinator.compute(
+            coordinator.decode_seconds(meta.size, meta.plain_size, self.config.size_scale),
+            metrics,
+        )
+        return self._decode_cached(obj.name, meta, raw)
+
+    # -- Query -----------------------------------------------------------------
+
+    def query(self, sql: str | Query) -> tuple[QueryResult, QueryMetrics]:
+        """Run one query alone on an idle cluster (runs the simulation)."""
+        metrics = QueryMetrics()
+        proc = self.sim.process(self.query_process(sql, metrics))
+        self.sim.run()
+        return proc.value, metrics
+
+    def query_process(self, sql: str | Query, metrics: QueryMetrics):
+        """Two-stage adaptive-pushdown execution."""
+        query = parse(sql) if isinstance(sql, str) else sql
+        if query.table in self.fallback_store.objects:
+            result = yield from self.fallback_store.query_process(query, metrics)
+            return result
+        obj = self._lookup(query.table)
+        physical = make_plan(query, obj.metadata.schema)
+        coordinator = self.cluster.coordinator_for(obj.name)
+        metrics.start_time = self.sim.now
+
+        row_groups = engine.prune_row_groups(physical, obj.metadata)
+
+        # Fused fast path: when the whole query touches exactly one column
+        # (a single filter leaf whose column is also the only projection),
+        # a storage node's local bitmap is already the final bitmap for
+        # its row group.  The node applies the Cost Equation locally and
+        # answers filter + projection in one round trip with one decode.
+        if self._fusable(physical):
+            result = yield from self._fused_query(
+                obj, coordinator, physical, row_groups, metrics
+            )
+            yield from self.cluster.network.transfer(
+                coordinator.endpoint,
+                self.cluster.client,
+                self.config.scaled(engine.result_wire_bytes(result)),
+                metrics,
+            )
+            metrics.end_time = self.sim.now
+            self.cluster.metrics.record_query(metrics)
+            return result
+
+        # ---- Filter stage: push every live leaf down, gather bitmaps. ----
+        rg_selected: dict[int, np.ndarray] = {}
+        tasks = []
+        keys: list[tuple[int, int]] = []
+        zero_bitmaps: dict[tuple[int, int], np.ndarray] = {}
+        for rg in row_groups:
+            num_rows = obj.metadata.row_groups[rg].num_rows
+            for op in physical.filter_ops:
+                meta = obj.metadata.chunk(rg, op.column)
+                if not leaf_may_match(
+                    op.leaf, op.type, meta.stats.min_value, meta.stats.max_value
+                ):
+                    # Footer stats prove no row matches: skip the RPC.
+                    zero_bitmaps[(rg, op.index)] = np.zeros(num_rows, dtype=np.bool_)
+                    continue
+                keys.append((rg, op.index))
+                tasks.append(
+                    self.sim.process(self._filter_op(obj, coordinator, rg, op, meta, metrics))
+                )
+        barrier = all_of(self.sim, tasks)
+        yield barrier
+        leaf_results = dict(zip(keys, barrier.value))
+        leaf_results.update(zero_bitmaps)
+
+        for rg in row_groups:
+            num_rows = obj.metadata.row_groups[rg].num_rows
+            bitmaps = [leaf_results[(rg, op.index)] for op in physical.filter_ops]
+            if bitmaps:
+                # Consolidation cost: tiny, linear in bitmap bytes.
+                yield from coordinator.compute(
+                    coordinator.scan_seconds(num_rows // 8 + 1, self.config.size_scale),
+                    metrics,
+                )
+            rg_selected[rg] = physical.combine_bitmaps(bitmaps, num_rows)
+
+        # ---- Projection stage -------------------------------------------------
+        if (
+            self.config.enable_aggregate_pushdown
+            and query.has_aggregates()
+            and not query.group_by
+        ):
+            result = yield from self._aggregate_pushdown_stage(
+                obj, coordinator, physical, row_groups, rg_selected, metrics
+            )
+        else:
+            rg_projected: dict[tuple[int, str], np.ndarray] = {}
+            tasks = []
+            task_keys = []
+            for rg in row_groups:
+                bitmap = rg_selected[rg]
+                indices = np.flatnonzero(bitmap)
+                for col in physical.projection_columns:
+                    type_ = physical.schema.field(col).type
+                    if len(indices) == 0:
+                        rg_projected[(rg, col)] = _empty_values(type_)
+                        continue
+                    meta = obj.metadata.chunk(rg, col)
+                    task_keys.append((rg, col))
+                    tasks.append(
+                        self.sim.process(
+                            self._projection_op(
+                                obj, coordinator, meta, type_, bitmap, indices, metrics
+                            )
+                        )
+                    )
+            barrier = all_of(self.sim, tasks)
+            yield barrier
+            rg_projected.update(dict(zip(task_keys, barrier.value)))
+            result = engine.assemble_result(
+                physical, obj.metadata, row_groups, rg_selected, rg_projected
+            )
+
+        yield from self.cluster.network.transfer(
+            coordinator.endpoint,
+            self.cluster.client,
+            self.config.scaled(engine.result_wire_bytes(result)),
+            metrics,
+        )
+        metrics.end_time = self.sim.now
+        self.cluster.metrics.record_query(metrics)
+        return result
+
+    @staticmethod
+    def _fusable(physical: PhysicalPlan) -> bool:
+        """True when the query is a single-column filter + projection."""
+        ops = physical.filter_ops
+        return (
+            len(ops) == 1
+            and not physical.query.has_aggregates()
+            and not physical.query.group_by
+            and physical.projection_columns == [ops[0].column]
+        )
+
+    def _fused_query(self, obj, coordinator, physical: PhysicalPlan, row_groups, metrics):
+        """Single-round execution of a one-column filter+projection query."""
+        op = physical.filter_ops[0]
+        rg_selected: dict[int, np.ndarray] = {}
+        rg_projected: dict[tuple[int, str], np.ndarray] = {}
+        type_ = physical.schema.field(op.column).type
+
+        tasks = []
+        task_rgs = []
+        for rg in row_groups:
+            num_rows = obj.metadata.row_groups[rg].num_rows
+            meta = obj.metadata.chunk(rg, op.column)
+            if not leaf_may_match(op.leaf, op.type, meta.stats.min_value, meta.stats.max_value):
+                rg_selected[rg] = np.zeros(num_rows, dtype=np.bool_)
+                rg_projected[(rg, op.column)] = _empty_values(type_)
+                continue
+            task_rgs.append(rg)
+            tasks.append(
+                self.sim.process(self._fused_op(obj, coordinator, op, meta, type_, metrics))
+            )
+        barrier = all_of(self.sim, tasks)
+        yield barrier
+        for rg, (bits, values) in zip(task_rgs, barrier.value):
+            rg_selected[rg] = bits
+            rg_projected[(rg, op.column)] = values
+        return engine.assemble_result(
+            physical, obj.metadata, row_groups, rg_selected, rg_projected
+        )
+
+    def _fused_op(self, obj, coordinator, op, meta: ColumnChunkMeta, type_, metrics):
+        """One fused filter+projection op on the node holding the chunk."""
+        loc = obj.location_map.lookup(meta.key)
+        node = self.cluster.node(loc.node_id)
+        if not node.alive:
+            # Degraded: reconstruct at the coordinator and process there.
+            metrics.fallback_chunks += 1
+            values = yield from self._degraded_chunk_values(obj, meta, loc, coordinator, metrics)
+            yield from coordinator.compute(
+                2 * coordinator.scan_seconds(meta.plain_size, self.config.size_scale), metrics
+            )
+            bits = eval_leaf(op.leaf, op.type, values)
+            return bits, values[np.flatnonzero(bits)]
+        yield from self.cluster.network.transfer(
+            coordinator.endpoint, node.endpoint, self.config.scaled(OP_REQUEST_BYTES), metrics
+        )
+        data = yield from node.read_block_range(
+            loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
+        )
+        fraction = self._page_fraction(obj.name, meta, op, data)
+        yield from node.compute(
+            fraction
+            * (
+                node.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
+                + 2 * node.scan_seconds(meta.plain_size, self.config.size_scale)
+            ),
+            metrics,
+        )
+        values = self._decode_cached(obj.name, meta, data)
+        bits = eval_leaf(op.leaf, op.type, values)
+        indices = np.flatnonzero(bits)
+        selectivity = len(indices) / len(bits) if len(bits) else 0.0
+        decision = self.estimator.decide(selectivity, meta.size, meta.plain_size)
+        bitmap_wire = Bitmap(bits).wire_size()
+
+        if decision.push_down:
+            metrics.pushed_down_chunks += 1
+            selected = values[indices]
+            reply = bitmap_wire + engine.selected_plain_bytes(type_, selected)
+            yield from self.cluster.network.transfer(
+                node.endpoint, coordinator.endpoint, self.config.scaled(reply), metrics
+            )
+            return bits, selected
+
+        # Unfavourable cost product: reply with the bitmap plus the whole
+        # compressed chunk; the coordinator decodes and selects locally.
+        metrics.fallback_chunks += 1
+        yield from self.cluster.network.transfer(
+            node.endpoint,
+            coordinator.endpoint,
+            self.config.scaled(bitmap_wire + loc.size),
+            metrics,
+        )
+        yield from coordinator.compute(
+            coordinator.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
+            + coordinator.scan_seconds(meta.plain_size, self.config.size_scale),
+            metrics,
+        )
+        return bits, values[indices]
+
+    def _filter_op(self, obj, coordinator, rg: int, op, meta: ColumnChunkMeta, metrics):
+        """One pushed-down filter: runs in-situ, replies with a bitmap."""
+        loc = obj.location_map.lookup(meta.key)
+        node = self.cluster.node(loc.node_id)
+        if not node.alive:
+            values = yield from self._degraded_chunk_values(obj, meta, loc, coordinator, metrics)
+            yield from coordinator.compute(
+                coordinator.scan_seconds(meta.plain_size, self.config.size_scale), metrics
+            )
+            return eval_leaf(op.leaf, op.type, values)
+        yield from self.cluster.network.transfer(
+            coordinator.endpoint, node.endpoint, self.config.scaled(OP_REQUEST_BYTES), metrics
+        )
+        data = yield from node.read_block_range(
+            loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
+        )
+        fraction = self._page_fraction(obj.name, meta, op, data)
+        yield from node.compute(
+            fraction
+            * (
+                node.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
+                + node.scan_seconds(meta.plain_size, self.config.size_scale)
+            ),
+            metrics,
+        )
+        values = self._decode_cached(obj.name, meta, data)
+        bits = eval_leaf(op.leaf, op.type, values)
+        wire = Bitmap(bits).wire_size()
+        yield from self.cluster.network.transfer(
+            node.endpoint, coordinator.endpoint, self.config.scaled(wire), metrics
+        )
+        return bits
+
+    def _projection_op(
+        self,
+        obj,
+        coordinator,
+        meta: ColumnChunkMeta,
+        type_: ColumnType,
+        bitmap: np.ndarray,
+        indices: np.ndarray,
+        metrics: QueryMetrics,
+    ):
+        """One projection: pushed down or fetched, per the Cost Equation."""
+        loc = obj.location_map.lookup(meta.key)
+        node = self.cluster.node(loc.node_id)
+        if not node.alive:
+            metrics.fallback_chunks += 1
+            values = yield from self._degraded_chunk_values(obj, meta, loc, coordinator, metrics)
+            yield from coordinator.compute(
+                coordinator.scan_seconds(meta.plain_size, self.config.size_scale), metrics
+            )
+            return values[indices]
+        selectivity = len(indices) / len(bitmap) if len(bitmap) else 0.0
+        decision = self.estimator.decide(selectivity, meta.size, meta.plain_size)
+
+        if decision.push_down:
+            metrics.pushed_down_chunks += 1
+            # Ship the bitmap with the op; receive selected raw values.
+            bitmap_wire = Bitmap(bitmap).wire_size()
+            yield from self.cluster.network.transfer(
+                coordinator.endpoint,
+                node.endpoint,
+                self.config.scaled(OP_REQUEST_BYTES + bitmap_wire),
+                metrics,
+            )
+            data = yield from node.read_block_range(
+                loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
+            )
+            yield from node.compute(
+                node.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
+                + node.scan_seconds(meta.plain_size, self.config.size_scale),
+                metrics,
+            )
+            values = self._decode_cached(obj.name, meta, data)[indices]
+            reply = engine.selected_plain_bytes(type_, values)
+            yield from self.cluster.network.transfer(
+                node.endpoint, coordinator.endpoint, self.config.scaled(reply), metrics
+            )
+            return values
+
+        # Fallback: fetch the compressed chunk, process at the coordinator.
+        metrics.fallback_chunks += 1
+        yield from self.cluster.network.transfer(
+            coordinator.endpoint, node.endpoint, self.config.scaled(OP_REQUEST_BYTES), metrics
+        )
+        data = yield from node.read_block_range(
+            loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
+        )
+        yield from self.cluster.network.transfer(
+            node.endpoint, coordinator.endpoint, self.config.scaled(loc.size), metrics
+        )
+        yield from coordinator.compute(
+            coordinator.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
+            + coordinator.scan_seconds(meta.plain_size, self.config.size_scale),
+            metrics,
+        )
+        return self._decode_cached(obj.name, meta, data)[indices]
+
+    def _aggregate_pushdown_stage(
+        self,
+        obj,
+        coordinator,
+        physical: PhysicalPlan,
+        row_groups: list[int],
+        rg_selected: dict[int, np.ndarray],
+        metrics: QueryMetrics,
+    ):
+        """Extension: nodes compute per-chunk partial aggregates in-situ."""
+        query = physical.query
+        aggs = [item for item in query.select if isinstance(item, Aggregate)]
+        matched = sum(int(rg_selected[rg].sum()) for rg in row_groups)
+
+        tasks = []
+        task_keys = []
+        for rg in row_groups:
+            bitmap = rg_selected[rg]
+            if not bitmap.any():
+                continue
+            for agg_idx, agg in enumerate(aggs):
+                if agg.column is None:
+                    continue  # COUNT(*) comes from bitmaps alone
+                meta = obj.metadata.chunk(rg, agg.column)
+                task_keys.append((rg, agg_idx))
+                tasks.append(
+                    self.sim.process(
+                        self._partial_aggregate_op(obj, coordinator, meta, agg, bitmap, metrics)
+                    )
+                )
+        barrier = all_of(self.sim, tasks)
+        yield barrier
+        partials_by_agg: dict[int, list[dict]] = {i: [] for i in range(len(aggs))}
+        for (rg, agg_idx), partial in zip(task_keys, barrier.value):
+            partials_by_agg[agg_idx].append(partial)
+
+        results = []
+        for agg_idx, agg in enumerate(aggs):
+            if agg.column is None:
+                results.append(matched)
+            else:
+                partials = partials_by_agg[agg_idx] or [{"count": 0}]
+                results.append(merge_partial_aggregates(agg, partials))
+        labels = [f"{a.func.value}({a.column or '*'})" for a in aggs]
+        return QueryResult(
+            columns=labels,
+            rows=None,
+            aggregates=results,
+            matched_rows=matched,
+            total_rows=obj.metadata.num_rows,
+        )
+
+    def _partial_aggregate_op(self, obj, coordinator, meta, agg: Aggregate, bitmap, metrics):
+        """One pushed-down partial aggregate over a chunk."""
+        loc = obj.location_map.lookup(meta.key)
+        node = self.cluster.node(loc.node_id)
+        if not node.alive:
+            values = yield from self._degraded_chunk_values(obj, meta, loc, coordinator, metrics)
+            yield from coordinator.compute(
+                coordinator.scan_seconds(meta.plain_size, self.config.size_scale), metrics
+            )
+            selected = values[np.flatnonzero(bitmap)]
+            return partial_aggregate(agg, selected, int(bitmap.sum()))
+        bitmap_wire = Bitmap(bitmap).wire_size()
+        yield from self.cluster.network.transfer(
+            coordinator.endpoint,
+            node.endpoint,
+            self.config.scaled(OP_REQUEST_BYTES + bitmap_wire),
+            metrics,
+        )
+        data = yield from node.read_block_range(
+            loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
+        )
+        yield from node.compute(
+            node.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
+            + node.scan_seconds(meta.plain_size, self.config.size_scale),
+            metrics,
+        )
+        values = self._decode_cached(obj.name, meta, data)[np.flatnonzero(bitmap)]
+        partial = partial_aggregate(agg, values, int(bitmap.sum()))
+        metrics.pushed_down_chunks += 1
+        yield from self.cluster.network.transfer(
+            node.endpoint, coordinator.endpoint, self.config.scaled(SCALAR_RESULT_BYTES), metrics
+        )
+        return partial
+
+    # -- Delete ----------------------------------------------------------------
+
+    def delete(self, name: str) -> int:
+        """Remove an object: drop its blocks and location map everywhere.
+        Returns the number of blocks reclaimed."""
+        if name in self.fallback_store.objects:
+            return self.fallback_store.delete(name)
+        obj = self._lookup(name)
+        reclaimed = 0
+        for placement in obj.stripes:
+            block_ids = placement.data_block_ids + placement.parity_block_ids
+            for i, bid in enumerate(block_ids):
+                node = self.cluster.node(placement.node_ids[i])
+                if node.has_block(bid):
+                    node.drop_block(bid)
+                    reclaimed += 1
+                self._degraded_bin_cache.pop(bid, None)
+        del self.objects[name]
+        self._decode_cache = {
+            k: v for k, v in self._decode_cache.items() if k[0] != name
+        }
+        return reclaimed
+
+    # -- Scrubbing -----------------------------------------------------------
+
+    def verify_object(self, name: str):
+        """Scrub one object: re-read stripes, check parity (runs the sim)."""
+        proc = self.sim.process(self.verify_object_process(name))
+        self.sim.run()
+        return proc.value
+
+    def verify_object_process(self, name: str):
+        from repro.core.scrub import ScrubReport, check_stripe
+
+        if name in self.fallback_store.objects:
+            report = yield from self.fallback_store.verify_object_process(name)
+            return report
+        obj = self._lookup(name)
+        coordinator = self.cluster.coordinator_for(name)
+        report = ScrubReport(object_name=name)
+        k = self.config.code.k
+        for placement in obj.stripes:
+            data_blocks: list = []
+            parity_blocks: list = []
+            for i, bid in enumerate(placement.data_block_ids + placement.parity_block_ids):
+                node = self.cluster.node(placement.node_ids[i])
+                if i < k and placement.data_sizes[i] == 0:
+                    data_blocks.append(np.zeros(0, dtype=np.uint8))
+                    continue
+                if not node.alive or not node.has_block(bid):
+                    (data_blocks if i < k else parity_blocks).append(None)
+                    continue
+                payload = yield from node.read_block(bid, self.config.size_scale)
+                yield from self.cluster.network.transfer(
+                    node.endpoint, coordinator.endpoint, self.config.scaled(payload.size)
+                )
+                (data_blocks if i < k else parity_blocks).append(payload)
+            yield from coordinator.compute(
+                sum(b.size for b in data_blocks if b is not None)
+                * self.config.size_scale
+                / coordinator.cpu_config.decode_bps
+            )
+            verdict = check_stripe(self.config.code, data_blocks, parity_blocks)
+            report.stripes_checked += 1
+            if verdict == "corrupt":
+                report.corrupt_stripes.append(placement.stripe_id)
+            elif verdict == "incomplete":
+                report.incomplete_stripes.append(placement.stripe_id)
+        return report
+
+    # -- Fault tolerance ---------------------------------------------------------
+
+    def recover_node(self, node_id: int) -> int:
+        """Rebuild every Fusion block the node held (runs the simulation)."""
+        proc = self.sim.process(self.recover_node_process(node_id))
+        self.sim.run()
+        return proc.value
+
+    def recover_node_process(self, node_id: int):
+        rebuilt = 0
+        for obj in self.objects.values():
+            for placement in obj.stripes:
+                lost = [i for i, nid in enumerate(placement.node_ids) if nid == node_id]
+                if not lost:
+                    continue
+                rebuilt += len(lost)
+                yield from self._rebuild_stripe(obj, placement, lost)
+        fallback = yield from self.fallback_store.recover_node_process(node_id)
+        return rebuilt + fallback
+
+    def _rebuild_stripe(self, obj: StoredFusionObject, placement: StripePlacement, lost):
+        k, n = self.config.code.k, self.config.code.n
+        block_ids = placement.data_block_ids + placement.parity_block_ids
+        holder_ids = set(placement.node_ids)
+        candidates = [nid for nid in range(self.cluster.num_nodes) if nid not in holder_ids]
+        rescue_id = candidates[0] if candidates else (node_id_rotate(placement.node_ids[lost[0]], self.cluster.num_nodes))
+        rescue = self.cluster.node(rescue_id)
+
+        shards: list[np.ndarray | None] = []
+        for i in range(n):
+            if i in lost:
+                shards.append(None)
+                continue
+            node = self.cluster.node(placement.node_ids[i])
+            if not node.alive or not node.has_block(block_ids[i]):
+                # Empty data blocks are never written; represent as zero-size.
+                if i < k and placement.data_sizes[i] == 0:
+                    shards.append(np.zeros(0, dtype=np.uint8))
+                else:
+                    shards.append(None)
+                continue
+            data = yield from node.read_block(block_ids[i], self.config.size_scale)
+            yield from self.cluster.network.transfer(
+                node.endpoint, rescue.endpoint, self.config.scaled(data.size)
+            )
+            shards.append(data)
+
+        recovered = decode_stripe(self.config.code, shards, placement.data_sizes)
+        reencoded = encode_stripe(self.config.code, recovered)
+        all_blocks = reencoded.shards()
+        for i in lost:
+            payload = all_blocks[i]
+            if i < k and payload.size == 0:
+                placement.node_ids[i] = rescue.node_id
+                continue
+            yield from rescue.disk.write(self.config.scaled(payload.size))
+            rescue.put_block(block_ids[i], payload)
+            placement.node_ids[i] = rescue.node_id
+            if i < k:
+                # Chunks in this bin moved with it: update the location map.
+                for key, loc in list(obj.location_map.entries.items()):
+                    if loc.block_id == block_ids[i]:
+                        obj.location_map.entries[key] = ChunkLocation(
+                            chunk_key=loc.chunk_key,
+                            node_id=rescue.node_id,
+                            block_id=loc.block_id,
+                            offset_in_block=loc.offset_in_block,
+                            size=loc.size,
+                        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _lookup(self, name: str) -> StoredFusionObject:
+        try:
+            return self.objects[name]
+        except KeyError:
+            raise ObjectNotFound(f"no object named {name!r}") from None
+
+    def object_plan(self, sql: str | Query) -> PhysicalPlan:
+        """Plan a query against a stored object's schema (no execution)."""
+        query = parse(sql) if isinstance(sql, str) else sql
+        if query.table in self.fallback_store.objects:
+            return self.fallback_store.object_plan(query)
+        return make_plan(query, self._lookup(query.table).metadata.schema)
+
+    def chunk_nodes(self, name: str) -> dict[tuple[int, int], int]:
+        """Which node holds each chunk (for placement assertions in tests)."""
+        obj = self._lookup(name)
+        return {key: loc.node_id for key, loc in obj.location_map.entries.items()}
+
+
+def _empty_values(type_: ColumnType) -> np.ndarray:
+    dtype = type_.numpy_dtype
+    return np.empty(0, dtype=object) if dtype is None else np.zeros(0, dtype=dtype)
+
+
+def node_id_rotate(node_id: int, num_nodes: int) -> int:
+    """Next node id, wrapping around the cluster."""
+    return (node_id + 1) % num_nodes

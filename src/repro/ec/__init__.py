@@ -1,0 +1,38 @@
+"""Erasure coding substrate: GF(2^8) arithmetic and systematic Reed-Solomon.
+
+Public API:
+
+* :class:`repro.ec.reed_solomon.CodeParams` — ``(n, k)`` code parameters,
+  with the paper's defaults :data:`RS_9_6` and :data:`RS_14_10`.
+* :class:`repro.ec.reed_solomon.ReedSolomon` — encoder/decoder.
+* :func:`repro.ec.stripe.encode_stripe` / :func:`repro.ec.stripe.decode_stripe`
+  — variable-block stripes with implicit zero padding (Fusion's layout).
+"""
+
+from repro.ec.reed_solomon import (
+    RS_9_6,
+    RS_14_10,
+    CodeParams,
+    DecodeError,
+    ReedSolomon,
+    get_coder,
+)
+from repro.ec.stripe import (
+    EncodedStripe,
+    StripeShapeStats,
+    decode_stripe,
+    encode_stripe,
+)
+
+__all__ = [
+    "RS_9_6",
+    "RS_14_10",
+    "CodeParams",
+    "DecodeError",
+    "ReedSolomon",
+    "get_coder",
+    "EncodedStripe",
+    "StripeShapeStats",
+    "decode_stripe",
+    "encode_stripe",
+]

@@ -1,0 +1,178 @@
+"""Galois field GF(2^8) arithmetic.
+
+This module provides finite-field arithmetic over GF(2^8) with the
+conventional Rijndael/ISA-L generator polynomial ``x^8 + x^4 + x^3 + x^2 + 1``
+(0x11D).  All bulk operations are table-driven and vectorised with numpy so
+that erasure coding of multi-megabyte blocks stays fast in pure Python.
+
+The field is exposed both as scalar helpers (``gf_mul``, ``gf_inv``) used by
+matrix construction/inversion, and as bulk helpers (``gf_mul_bytes``,
+``gf_addmul_bytes``) used on data buffers during encoding and recovery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The irreducible polynomial x^8 + x^4 + x^3 + x^2 + 1 used for reduction.
+PRIMITIVE_POLY = 0x11D
+
+#: Number of elements in the field.
+FIELD_SIZE = 256
+
+#: Generator element used to build the exp/log tables.
+GENERATOR = 2
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Build exponentiation and logarithm tables for GF(2^8).
+
+    Returns ``(exp, log)`` where ``exp`` has 512 entries (doubled so that
+    ``exp[log[a] + log[b]]`` never needs an explicit modulo) and ``log`` has
+    256 entries with ``log[0]`` left as 0 (log of zero is undefined; callers
+    must special-case zero).
+    """
+    exp = np.zeros(2 * FIELD_SIZE, dtype=np.int32)
+    log = np.zeros(FIELD_SIZE, dtype=np.int32)
+    x = 1
+    for i in range(FIELD_SIZE - 1):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= PRIMITIVE_POLY
+    for i in range(FIELD_SIZE - 1, 2 * FIELD_SIZE):
+        exp[i] = exp[i - (FIELD_SIZE - 1)]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+#: 256x256 multiplication table; ``_MUL[a, b] == a * b`` in GF(2^8).
+_MUL = np.zeros((FIELD_SIZE, FIELD_SIZE), dtype=np.uint8)
+_a = np.arange(FIELD_SIZE)
+for _row in range(1, FIELD_SIZE):
+    _MUL[_row, 1:] = _EXP[_LOG[_row] + _LOG[_a[1:]]].astype(np.uint8)
+del _a, _row
+
+
+def gf_add(a: int, b: int) -> int:
+    """Add two field elements (XOR in characteristic 2)."""
+    return a ^ b
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two field elements."""
+    if a == 0 or b == 0:
+        return 0
+    return int(_EXP[_LOG[a] + _LOG[b]])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide ``a`` by ``b``; raises ``ZeroDivisionError`` when ``b`` is 0."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(2^8)")
+    if a == 0:
+        return 0
+    return int(_EXP[_LOG[a] - _LOG[b] + (FIELD_SIZE - 1)])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse of ``a``; raises for 0."""
+    if a == 0:
+        raise ZeroDivisionError("zero has no inverse in GF(2^8)")
+    return int(_EXP[(FIELD_SIZE - 1) - _LOG[a]])
+
+
+def gf_pow(a: int, n: int) -> int:
+    """Raise ``a`` to the integer power ``n`` (n >= 0)."""
+    if n == 0:
+        return 1
+    if a == 0:
+        return 0
+    return int(_EXP[(_LOG[a] * n) % (FIELD_SIZE - 1)])
+
+
+def gf_mul_bytes(coeff: int, data: np.ndarray) -> np.ndarray:
+    """Multiply every byte of ``data`` by the scalar ``coeff``.
+
+    ``data`` must be a uint8 array; a new uint8 array is returned.
+    """
+    if coeff == 0:
+        return np.zeros_like(data)
+    if coeff == 1:
+        return data.copy()
+    return _MUL[coeff][data]
+
+
+def gf_addmul_bytes(acc: np.ndarray, coeff: int, data: np.ndarray) -> None:
+    """In-place ``acc ^= coeff * data`` over uint8 arrays.
+
+    This is the inner loop of Reed-Solomon encoding: accumulating one
+    source block scaled by one matrix coefficient into a parity block.
+    """
+    if coeff == 0:
+        return
+    if coeff == 1:
+        np.bitwise_xor(acc, data, out=acc)
+        return
+    np.bitwise_xor(acc, _MUL[coeff][data], out=acc)
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product of two GF(2^8) matrices given as uint8 2-D arrays."""
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for i in range(a.shape[0]):
+        row = np.zeros(b.shape[1], dtype=np.uint8)
+        for k in range(a.shape[1]):
+            coeff = int(a[i, k])
+            if coeff:
+                gf_addmul_bytes(row, coeff, b[k])
+        out[i] = row
+    return out
+
+
+def gf_mat_inv(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square GF(2^8) matrix by Gauss-Jordan elimination.
+
+    Raises ``ValueError`` when the matrix is singular.
+    """
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise ValueError("matrix must be square")
+    # Work on an augmented [M | I] matrix of Python ints for clarity.
+    aug = np.zeros((n, 2 * n), dtype=np.uint8)
+    aug[:, :n] = matrix
+    aug[:, n:] = np.eye(n, dtype=np.uint8)
+
+    for col in range(n):
+        # Find a pivot row.
+        pivot = -1
+        for row in range(col, n):
+            if aug[row, col] != 0:
+                pivot = row
+                break
+        if pivot < 0:
+            raise ValueError("matrix is singular over GF(2^8)")
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        # Normalise the pivot row.
+        inv = gf_inv(int(aug[col, col]))
+        aug[col] = gf_mul_bytes(inv, aug[col])
+        # Eliminate the column from all other rows.
+        for row in range(n):
+            if row != col and aug[row, col] != 0:
+                coeff = int(aug[row, col])
+                gf_addmul_bytes(aug[row], coeff, aug[col])
+    return aug[:, n:].copy()
+
+
+def gf_vandermonde(rows: int, cols: int) -> np.ndarray:
+    """Build a ``rows x cols`` Vandermonde matrix ``V[i, j] = i^j``."""
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = gf_pow(i, j)
+    return out

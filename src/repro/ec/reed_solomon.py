@@ -1,0 +1,164 @@
+"""Systematic Reed-Solomon erasure coding.
+
+An ``(n, k)`` systematic code stores the ``k`` original data blocks in
+plaintext and adds ``n - k`` parity blocks, tolerating the loss of any
+``n - k`` blocks.  The encoding matrix is built from a Vandermonde matrix
+that is row-reduced so that its top ``k x k`` submatrix is the identity —
+the standard construction used by production coders (Jerasure, ISA-L),
+which guarantees every ``k x k`` submatrix used in recovery is invertible.
+
+The coder operates on equal-length uint8 blocks; callers that need
+variable-sized blocks (Fusion stripes) pad to the maximum block size via
+:mod:`repro.ec.stripe`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ec import gf256
+
+
+class DecodeError(Exception):
+    """Raised when a stripe cannot be reconstructed from surviving blocks."""
+
+
+def build_encoding_matrix(n: int, k: int) -> np.ndarray:
+    """Return the ``n x k`` systematic encoding matrix for an (n, k) code.
+
+    The first ``k`` rows form the identity; the remaining ``n - k`` rows are
+    the parity coefficients.
+    """
+    if not (0 < k < n):
+        raise ValueError(f"invalid code parameters (n={n}, k={k})")
+    if n > gf256.FIELD_SIZE:
+        raise ValueError(f"n={n} exceeds GF(2^8) field size")
+    vander = gf256.gf_vandermonde(n, k)
+    # Row-reduce so the top k x k block becomes the identity.  Column
+    # operations preserve the MDS property.
+    top_inv = gf256.gf_mat_inv(vander[:k, :k])
+    return gf256.gf_matmul(vander, top_inv)
+
+
+@dataclass(frozen=True)
+class CodeParams:
+    """Erasure code parameters ``(n, k)``.
+
+    ``n`` is the total number of blocks per stripe and ``k`` the number of
+    data blocks; the code tolerates ``n - k`` lost blocks.
+    """
+
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if not (0 < self.k < self.n):
+            raise ValueError(f"invalid code parameters {self}")
+
+    @property
+    def parity(self) -> int:
+        """Number of parity blocks per stripe."""
+        return self.n - self.k
+
+    @property
+    def optimal_overhead(self) -> float:
+        """The optimal storage overhead ``(n - k) / k`` (e.g. 0.5 for RS(9,6))."""
+        return (self.n - self.k) / self.k
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RS({self.n},{self.k})"
+
+
+#: The paper's default code.
+RS_9_6 = CodeParams(9, 6)
+#: The paper's alternative wide code.
+RS_14_10 = CodeParams(14, 10)
+
+
+class ReedSolomon:
+    """Encoder/decoder for one ``(n, k)`` systematic Reed-Solomon code."""
+
+    def __init__(self, params: CodeParams) -> None:
+        self.params = params
+        self.matrix = build_encoding_matrix(params.n, params.k)
+
+    def encode(self, data_blocks: list[np.ndarray]) -> list[np.ndarray]:
+        """Compute the ``n - k`` parity blocks for ``k`` equal-sized blocks.
+
+        Returns only the parity blocks; the data blocks are stored verbatim
+        (the code is systematic).
+        """
+        k = self.params.k
+        if len(data_blocks) != k:
+            raise ValueError(f"expected {k} data blocks, got {len(data_blocks)}")
+        sizes = {block.size for block in data_blocks}
+        if len(sizes) != 1:
+            raise ValueError(f"data blocks must be equal-sized, got sizes {sorted(sizes)}")
+        blocks = [np.ascontiguousarray(b, dtype=np.uint8) for b in data_blocks]
+        size = blocks[0].size
+
+        parities = []
+        for row in range(k, self.params.n):
+            acc = np.zeros(size, dtype=np.uint8)
+            for col in range(k):
+                gf256.gf_addmul_bytes(acc, int(self.matrix[row, col]), blocks[col])
+            parities.append(acc)
+        return parities
+
+    def decode(self, shards: list[np.ndarray | None]) -> list[np.ndarray]:
+        """Reconstruct the ``k`` data blocks from any ``k`` surviving shards.
+
+        ``shards`` is the full stripe in index order (data blocks first, then
+        parity); missing blocks are ``None``.  Returns the ``k`` recovered
+        data blocks.
+        """
+        n, k = self.params.n, self.params.k
+        if len(shards) != n:
+            raise ValueError(f"expected {n} shards, got {len(shards)}")
+        present = [i for i, s in enumerate(shards) if s is not None]
+        if len(present) < k:
+            raise DecodeError(
+                f"unrecoverable stripe: only {len(present)} of {n} shards "
+                f"survive but {k} are required"
+            )
+
+        # Fast path: all data blocks intact.
+        if all(shards[i] is not None for i in range(k)):
+            return [np.ascontiguousarray(shards[i], dtype=np.uint8) for i in range(k)]
+
+        rows = present[:k]
+        sub = self.matrix[rows, :]
+        inv = gf256.gf_mat_inv(sub)
+        size = shards[rows[0]].size  # type: ignore[union-attr]
+        out: list[np.ndarray] = []
+        for data_idx in range(k):
+            acc = np.zeros(size, dtype=np.uint8)
+            for j, shard_idx in enumerate(rows):
+                shard = np.ascontiguousarray(shards[shard_idx], dtype=np.uint8)
+                gf256.gf_addmul_bytes(acc, int(inv[data_idx, j]), shard)
+            out.append(acc)
+        return out
+
+    def verify(self, shards: list[np.ndarray]) -> bool:
+        """Check that a full stripe is consistent (parity matches data)."""
+        if len(shards) != self.params.n:
+            return False
+        expected = self.encode(list(shards[: self.params.k]))
+        return all(
+            np.array_equal(expected[i], shards[self.params.k + i])
+            for i in range(self.params.parity)
+        )
+
+
+_CODER_CACHE: dict[CodeParams, ReedSolomon] = {}
+
+
+def get_coder(params: CodeParams) -> ReedSolomon:
+    """Return a cached coder for ``params`` (matrix construction is costly)."""
+    coder = _CODER_CACHE.get(params)
+    if coder is None:
+        coder = ReedSolomon(params)
+        _CODER_CACHE[params] = coder
+    return coder

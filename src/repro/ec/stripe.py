@@ -1,0 +1,193 @@
+"""Stripe-level erasure coding with variable-sized data blocks.
+
+The paper's key storage-layer mechanic (Figure 2): a stripe holds ``k`` data
+blocks which may have *different* sizes.  Parity can only be computed over
+equal-sized buffers, so every data block is implicitly padded with zeros to
+the size of the stripe's largest block, and each of the ``n - k`` parity
+blocks materialises at that maximum size.  The zero padding of data blocks
+is *implicit* — it is never stored or transferred — but parity blocks are
+stored in full, so stripe storage overhead is::
+
+    overhead = (n - k) * max_block_size / sum(data_block_sizes)
+
+which is minimised when the blocks are equal-sized (the conventional
+fixed-block layout) and can degrade to ``n - k`` when one block dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ec.reed_solomon import CodeParams, DecodeError, get_coder
+
+
+@dataclass(frozen=True)
+class StripeShapeStats:
+    """Size accounting for one stripe of variable-sized data blocks."""
+
+    data_sizes: tuple[int, ...]
+    parity_count: int
+
+    @property
+    def max_block(self) -> int:
+        return max(self.data_sizes) if self.data_sizes else 0
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(self.data_sizes)
+
+    @property
+    def parity_bytes(self) -> int:
+        return self.parity_count * self.max_block
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes physically stored: plaintext data plus full-size parity."""
+        return self.data_bytes + self.parity_bytes
+
+    @property
+    def overhead(self) -> float:
+        """Storage overhead ratio ``parity_bytes / data_bytes``."""
+        if self.data_bytes == 0:
+            return 0.0
+        return self.parity_bytes / self.data_bytes
+
+
+@dataclass
+class EncodedStripe:
+    """A stripe after erasure coding.
+
+    ``data_blocks`` keep their original (unpadded) sizes; ``parity_blocks``
+    all have the size of the largest data block.
+    """
+
+    params: CodeParams
+    data_blocks: list[np.ndarray]
+    parity_blocks: list[np.ndarray]
+    stats: StripeShapeStats = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.stats = StripeShapeStats(
+            data_sizes=tuple(int(b.size) for b in self.data_blocks),
+            parity_count=len(self.parity_blocks),
+        )
+
+    @property
+    def n(self) -> int:
+        return self.params.n
+
+    @property
+    def k(self) -> int:
+        return self.params.k
+
+    def shards(self) -> list[np.ndarray]:
+        """All ``n`` blocks in stripe order (data first, then parity)."""
+        return list(self.data_blocks) + list(self.parity_blocks)
+
+
+def _pad_to(block: np.ndarray, size: int) -> np.ndarray:
+    if block.size == size:
+        return block
+    out = np.zeros(size, dtype=np.uint8)
+    out[: block.size] = block
+    return out
+
+
+def encode_stripe(params: CodeParams, data_blocks: list[np.ndarray]) -> EncodedStripe:
+    """Erasure-code one stripe of up to ``k`` variable-sized data blocks.
+
+    Fewer than ``k`` blocks may be supplied (a trailing, partially-filled
+    stripe); the missing blocks are treated as empty.
+    """
+    if not data_blocks:
+        raise ValueError("stripe must contain at least one data block")
+    if len(data_blocks) > params.k:
+        raise ValueError(f"stripe holds at most k={params.k} data blocks, got {len(data_blocks)}")
+    blocks = [np.ascontiguousarray(b, dtype=np.uint8) for b in data_blocks]
+    while len(blocks) < params.k:
+        blocks.append(np.zeros(0, dtype=np.uint8))
+
+    max_size = max(b.size for b in blocks)
+    if max_size == 0:
+        raise ValueError("stripe data blocks are all empty")
+    padded = [_pad_to(b, max_size) for b in blocks]
+    parity = get_coder(params).encode(padded)
+    return EncodedStripe(params=params, data_blocks=blocks, parity_blocks=parity)
+
+
+def decode_stripe(
+    params: CodeParams,
+    shards: list[np.ndarray | None],
+    data_sizes: list[int],
+) -> list[np.ndarray]:
+    """Reconstruct the original (unpadded) data blocks of a stripe.
+
+    ``shards`` lists all ``n`` blocks in stripe order with ``None`` for lost
+    blocks.  Surviving data blocks may be passed at their stored (unpadded)
+    size; they are re-padded internally.  ``data_sizes`` gives the original
+    size of each data block so padding can be stripped after recovery.
+    """
+    if len(shards) != params.n:
+        raise ValueError(f"expected {params.n} shards, got {len(shards)}")
+    if len(data_sizes) != params.k:
+        raise ValueError(f"expected {params.k} data sizes, got {len(data_sizes)}")
+
+    present_sizes = [s.size for s in shards if s is not None]
+    if not present_sizes:
+        raise DecodeError("no surviving shards")
+    max_size = max(max(present_sizes), max(data_sizes))
+
+    padded: list[np.ndarray | None] = []
+    for shard in shards:
+        if shard is None:
+            padded.append(None)
+        else:
+            arr = np.ascontiguousarray(shard, dtype=np.uint8)
+            padded.append(_pad_to(arr, max_size))
+
+    recovered = get_coder(params).decode(padded)
+    return [recovered[i][: data_sizes[i]].copy() for i in range(params.k)]
+
+
+def fixed_stripe_stats(params: CodeParams, total_bytes: int, block_size: int) -> StripeShapeStats:
+    """Size accounting for the conventional fixed-block layout of an object.
+
+    Models how a MinIO/Ceph-like system would stripe ``total_bytes`` into
+    ``block_size`` blocks: full stripes of ``k`` equal blocks plus one
+    trailing partial stripe.
+    """
+    if block_size <= 0:
+        raise ValueError("block size must be positive")
+    sizes: list[int] = []
+    remaining = total_bytes
+    while remaining > 0:
+        take = min(block_size, remaining)
+        sizes.append(take)
+        remaining -= take
+    # Group into stripes of k; overhead accrues per stripe.
+    parity_bytes = 0
+    for start in range(0, len(sizes), params.k):
+        stripe_sizes = sizes[start : start + params.k]
+        parity_bytes += params.parity * max(stripe_sizes)
+    return StripeShapeStats(data_sizes=tuple(sizes), parity_count=0) if total_bytes == 0 else _stats_from(
+        sizes, parity_bytes
+    )
+
+
+@dataclass(frozen=True)
+class _AggregateStats(StripeShapeStats):
+    """Aggregated multi-stripe stats where parity bytes are precomputed."""
+
+    explicit_parity_bytes: int = 0
+
+    @property
+    def parity_bytes(self) -> int:  # type: ignore[override]
+        return self.explicit_parity_bytes
+
+
+def _stats_from(sizes: list[int], parity_bytes: int) -> StripeShapeStats:
+    return _AggregateStats(
+        data_sizes=tuple(sizes), parity_count=0, explicit_parity_bytes=parity_bytes
+    )

@@ -1,0 +1,51 @@
+"""PAX columnar file format (Parquet-like substrate).
+
+The format partitions a table into row groups and each row group into
+self-contained, individually-compressed column chunks — the paper's
+*smallest computable units* — with a JSON footer carrying byte ranges,
+sizes and min/max stats per chunk.
+
+Typical use::
+
+    from repro.format import Table, ColumnType, write_table, PaxFile
+
+    table = Table.from_dict({"x": (ColumnType.INT64, [1, 2, 3])})
+    data = write_table(table)
+    assert PaxFile(data).read_table().equals(table)
+"""
+
+from repro.format.compression import DEFAULT_CODEC, codec_names, get_codec
+from repro.format.metadata import (
+    ChunkStats,
+    ColumnChunkMeta,
+    FileMetadata,
+    RowGroupMeta,
+)
+from repro.format.pages import decode_column_chunk, encode_column_chunk
+from repro.format.reader import FormatError, PaxFile, read_metadata, read_table
+from repro.format.schema import ColumnType, Field, Schema
+from repro.format.table import Column, Table
+from repro.format.writer import DEFAULT_ROW_GROUP_ROWS, write_table
+
+__all__ = [
+    "DEFAULT_CODEC",
+    "DEFAULT_ROW_GROUP_ROWS",
+    "ChunkStats",
+    "Column",
+    "ColumnChunkMeta",
+    "ColumnType",
+    "Field",
+    "FileMetadata",
+    "FormatError",
+    "PaxFile",
+    "RowGroupMeta",
+    "Schema",
+    "Table",
+    "codec_names",
+    "decode_column_chunk",
+    "encode_column_chunk",
+    "get_codec",
+    "read_metadata",
+    "read_table",
+    "write_table",
+]

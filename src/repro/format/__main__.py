@@ -1,0 +1,71 @@
+"""PAX file inspector.
+
+Usage::
+
+    python -m repro.format inspect <file> [--chunks]
+
+Prints the footer summary (schema, row groups, sizes) and, with
+``--chunks``, the per-chunk table: byte ranges, encodings and
+compressibility — everything FAC consumes when laying the file out.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.format.reader import FormatError, PaxFile
+
+
+def describe(pax: PaxFile, show_chunks: bool = False) -> str:
+    meta = pax.metadata
+    chunks = meta.all_chunks()
+    lines = [
+        f"rows:        {meta.num_rows:,}",
+        f"row groups:  {meta.num_row_groups}",
+        f"columns:     {len(meta.schema)}",
+        f"chunks:      {len(chunks)}",
+        f"data bytes:  {meta.data_size:,}",
+        f"file bytes:  {len(pax.data):,}",
+        "",
+        "schema:",
+    ]
+    for field in meta.schema:
+        lines.append(f"  {field.name:24s} {field.type.value}")
+    if show_chunks:
+        lines.append("")
+        lines.append(
+            f"{'rg':>3} {'column':24s} {'offset':>10} {'size':>9} "
+            f"{'plain':>10} {'ratio':>6} {'encoding':10s} {'codec'}"
+        )
+        for c in chunks:
+            lines.append(
+                f"{c.row_group:>3} {c.column:24s} {c.offset:>10,} {c.size:>9,} "
+                f"{c.plain_size:>10,} {c.compressibility:>6.1f} {c.encoding:10s} {c.codec}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2 or argv[0] != "inspect":
+        print(__doc__)
+        return 0 if argv and argv[0] in ("-h", "--help") else 1
+    path = argv[1]
+    show_chunks = "--chunks" in argv[2:]
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        pax = PaxFile(data)
+    except FormatError as exc:
+        print(f"not a PAX file: {exc}", file=sys.stderr)
+        return 1
+    print(f"{path}")
+    print(describe(pax, show_chunks))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,243 @@
+"""Value encodings for column chunks.
+
+Implements the encodings the paper's Parquet files rely on (Section 2):
+
+* **plain** — fixed-width little-endian values; strings are 4-byte
+  length-prefixed UTF-8.
+* **bit-packing** — non-negative integer codes packed at the minimal bit
+  width (LSB-first within each value, values concatenated).
+* **RLE** — run-length encoding of integer codes as (varint run length,
+  varint value) pairs.
+* **dictionary** — unique values in first-appearance order plus an index
+  stream encoded with whichever of RLE/bit-packing is smaller (Parquet's
+  hybrid behaviour, simplified to a per-page choice).
+
+All functions operate on numpy arrays and return ``bytes``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.format.schema import ColumnType
+
+PLAIN = "plain"
+DICTIONARY = "dictionary"
+RLE = "rle"
+BITPACK = "bitpack"
+
+
+# ---------------------------------------------------------------------------
+# Plain encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_plain(type_: ColumnType, values: np.ndarray) -> bytes:
+    """Encode values in plain form (the uncompressed representation)."""
+    if type_ is ColumnType.STRING:
+        parts = []
+        for v in values:
+            raw = v.encode("utf-8")
+            parts.append(struct.pack("<I", len(raw)))
+            parts.append(raw)
+        return b"".join(parts)
+    dtype = type_.numpy_dtype
+    if type_ is ColumnType.BOOL:
+        return np.asarray(values, dtype=np.uint8).tobytes()
+    return np.ascontiguousarray(values, dtype=np.dtype(dtype).newbyteorder("<")).tobytes()
+
+
+def decode_plain(type_: ColumnType, data: bytes, count: int) -> np.ndarray:
+    """Inverse of :func:`encode_plain`."""
+    if type_ is ColumnType.STRING:
+        out = np.empty(count, dtype=object)
+        pos = 0
+        for i in range(count):
+            (length,) = struct.unpack_from("<I", data, pos)
+            pos += 4
+            out[i] = data[pos : pos + length].decode("utf-8")
+            pos += length
+        return out
+    if type_ is ColumnType.BOOL:
+        return np.frombuffer(data, dtype=np.uint8, count=count).astype(np.bool_)
+    dtype = np.dtype(type_.numpy_dtype).newbyteorder("<")
+    return np.frombuffer(data, dtype=dtype, count=count).astype(type_.numpy_dtype)
+
+
+# ---------------------------------------------------------------------------
+# Varints (LEB128, unsigned)
+# ---------------------------------------------------------------------------
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a ULEB128 varint."""
+    if value < 0:
+        raise ValueError("varints encode non-negative integers only")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, pos: int) -> tuple[int, int]:
+    """Decode one varint at ``pos``; returns ``(value, next_pos)``."""
+    result = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+# ---------------------------------------------------------------------------
+# Bit-packing
+# ---------------------------------------------------------------------------
+
+
+def bit_width_for(max_value: int) -> int:
+    """Minimal bit width needed to represent values in ``[0, max_value]``."""
+    if max_value < 0:
+        raise ValueError("bit packing requires non-negative values")
+    return max(1, int(max_value).bit_length())
+
+
+def bitpack_encode(codes: np.ndarray, bit_width: int) -> bytes:
+    """Pack non-negative integer codes at ``bit_width`` bits per value."""
+    if len(codes) == 0:
+        return b""
+    codes = np.asarray(codes, dtype=np.uint64)
+    if codes.max(initial=0) >= (1 << bit_width):
+        raise ValueError(f"value exceeds bit width {bit_width}")
+    # Expand to a bit matrix (LSB first per value), then pack.
+    shifts = np.arange(bit_width, dtype=np.uint64)
+    bits = ((codes[:, None] >> shifts) & 1).astype(np.uint8)
+    return np.packbits(bits.reshape(-1), bitorder="little").tobytes()
+
+
+def bitpack_decode(data: bytes, bit_width: int, count: int) -> np.ndarray:
+    """Inverse of :func:`bitpack_encode`; returns int64 codes."""
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    raw = np.frombuffer(data, dtype=np.uint8)
+    bits = np.unpackbits(raw, bitorder="little")[: count * bit_width]
+    bits = bits.reshape(count, bit_width).astype(np.int64)
+    weights = (1 << np.arange(bit_width, dtype=np.int64))
+    return bits @ weights
+
+
+# ---------------------------------------------------------------------------
+# Run-length encoding
+# ---------------------------------------------------------------------------
+
+
+def rle_encode(codes: np.ndarray) -> bytes:
+    """Run-length encode integer codes as (varint length, varint value) pairs."""
+    codes = np.asarray(codes, dtype=np.int64)
+    if len(codes) == 0:
+        return b""
+    if codes.min() < 0:
+        raise ValueError("RLE requires non-negative codes")
+    boundaries = np.flatnonzero(np.diff(codes)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(codes)]))
+    out = bytearray()
+    for s, e in zip(starts, ends):
+        out += encode_varint(int(e - s))
+        out += encode_varint(int(codes[s]))
+    return bytes(out)
+
+
+def rle_decode(data: bytes, count: int) -> np.ndarray:
+    """Inverse of :func:`rle_encode`."""
+    out = np.empty(count, dtype=np.int64)
+    pos = 0
+    filled = 0
+    while filled < count:
+        run, pos = decode_varint(data, pos)
+        value, pos = decode_varint(data, pos)
+        out[filled : filled + run] = value
+        filled += run
+    if filled != count:
+        raise ValueError(f"RLE stream decoded {filled} values, expected {count}")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Index streams (hybrid RLE / bit-pack, chosen per stream)
+# ---------------------------------------------------------------------------
+
+_INDEX_RLE = 0
+_INDEX_BITPACK = 1
+
+
+def encode_index_stream(codes: np.ndarray, bit_width: int) -> bytes:
+    """Encode dictionary indices, choosing the smaller of RLE and bit-packing.
+
+    The one-byte header records which variant was used.
+    """
+    rle = rle_encode(codes)
+    packed = bitpack_encode(codes, bit_width)
+    if len(rle) <= len(packed):
+        return bytes([_INDEX_RLE]) + rle
+    return bytes([_INDEX_BITPACK]) + packed
+
+
+def decode_index_stream(data: bytes, bit_width: int, count: int) -> np.ndarray:
+    """Inverse of :func:`encode_index_stream`."""
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    kind = data[0]
+    body = data[1:]
+    if kind == _INDEX_RLE:
+        return rle_decode(body, count)
+    if kind == _INDEX_BITPACK:
+        return bitpack_decode(body, bit_width, count)
+    raise ValueError(f"unknown index stream kind {kind}")
+
+
+# ---------------------------------------------------------------------------
+# Dictionary building
+# ---------------------------------------------------------------------------
+
+
+def build_dictionary(type_: ColumnType, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(unique_values, codes)`` with uniques in first-appearance order."""
+    if type_ is ColumnType.STRING:
+        mapping: dict[str, int] = {}
+        codes = np.empty(len(values), dtype=np.int64)
+        uniques: list[str] = []
+        for i, v in enumerate(values):
+            code = mapping.get(v)
+            if code is None:
+                code = len(uniques)
+                mapping[v] = code
+                uniques.append(v)
+            codes[i] = code
+        uniq_arr = np.empty(len(uniques), dtype=object)
+        for i, v in enumerate(uniques):
+            uniq_arr[i] = v
+        return uniq_arr, codes
+    uniques, first_idx, codes = np.unique(values, return_index=True, return_inverse=True)
+    # np.unique sorts; remap to first-appearance order like Parquet writers do.
+    order = np.argsort(first_idx)
+    remap = np.empty(len(uniques), dtype=np.int64)
+    remap[order] = np.arange(len(uniques))
+    return uniques[order], remap[codes]
+
+
+def should_use_dictionary(num_values: int, num_unique: int) -> bool:
+    """Heuristic mirroring Parquet writers: dictionary pays off when the
+    column repeats values; fall back to plain for near-unique columns."""
+    if num_values == 0:
+        return False
+    return num_unique <= max(1, num_values // 2) and num_unique < (1 << 20)

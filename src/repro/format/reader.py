@@ -1,0 +1,86 @@
+"""PAX file reader.
+
+Parses the footer and exposes chunk-granular access: the whole point of the
+format (and of Fusion) is that a single column chunk's byte range can be
+fetched and decoded independently of the rest of the file.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.format.metadata import MAGIC, ColumnChunkMeta, FileMetadata
+from repro.format.pages import decode_column_chunk
+from repro.format.schema import Field
+from repro.format.table import Column, Table
+
+
+class FormatError(Exception):
+    """Raised when file bytes do not parse as a valid PAX file."""
+
+
+def read_metadata(data: bytes) -> FileMetadata:
+    """Parse the footer of a serialised PAX file."""
+    if len(data) < 2 * len(MAGIC) + 4:
+        raise FormatError("file too small to be a PAX file")
+    if data[: len(MAGIC)] != MAGIC or data[-len(MAGIC) :] != MAGIC:
+        raise FormatError("bad magic bytes")
+    (footer_len,) = struct.unpack_from("<I", data, len(data) - len(MAGIC) - 4)
+    footer_end = len(data) - len(MAGIC) - 4
+    footer_start = footer_end - footer_len
+    if footer_start < len(MAGIC):
+        raise FormatError("footer length exceeds file size")
+    return FileMetadata.from_json(data[footer_start:footer_end])
+
+
+class PaxFile:
+    """A parsed PAX file over an in-memory byte buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.metadata = read_metadata(data)
+
+    @property
+    def schema(self):
+        return self.metadata.schema
+
+    @property
+    def num_rows(self) -> int:
+        return self.metadata.num_rows
+
+    def chunk_bytes(self, meta: ColumnChunkMeta) -> bytes:
+        """The raw byte range of one column chunk."""
+        return self.data[meta.offset : meta.end_offset]
+
+    def read_chunk(self, row_group: int, column: str) -> np.ndarray:
+        """Decode one column chunk to its value array."""
+        meta = self.metadata.chunk(row_group, column)
+        return decode_column_chunk(self.chunk_bytes(meta))
+
+    def read_column(self, column: str) -> np.ndarray:
+        """Decode a whole column across all row groups."""
+        parts = [self.read_chunk(rg.index, column) for rg in self.metadata.row_groups]
+        if self.schema.field(column).type.numpy_dtype is None:
+            out = np.empty(self.num_rows, dtype=object)
+            pos = 0
+            for p in parts:
+                out[pos : pos + len(p)] = p
+                pos += len(p)
+            return out
+        return np.concatenate(parts) if parts else np.zeros(0)
+
+    def read_table(self, columns: list[str] | None = None) -> Table:
+        """Decode the file (or a column subset) back into a Table."""
+        names = columns if columns is not None else self.schema.names()
+        cols = [
+            Column(Field(name, self.schema.field(name).type), self.read_column(name))
+            for name in names
+        ]
+        return Table(cols)
+
+
+def read_table(data: bytes, columns: list[str] | None = None) -> Table:
+    """Convenience one-shot: parse and decode a PAX file."""
+    return PaxFile(data).read_table(columns)

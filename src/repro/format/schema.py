@@ -1,0 +1,110 @@
+"""Logical schema for the PAX columnar format.
+
+The format supports the column types needed by the paper's datasets
+(TPC-H lineitem, NYC taxi, recipeNLG, UK property prices): 64-bit integers,
+doubles, dates (days since epoch), booleans and UTF-8 strings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class ColumnType(enum.Enum):
+    """Physical/logical type of a column."""
+
+    INT64 = "int64"
+    DOUBLE = "double"
+    DATE = "date"  # stored as int32 days since 1970-01-01
+    BOOL = "bool"
+    STRING = "string"
+
+    @property
+    def numpy_dtype(self) -> np.dtype | None:
+        """The numpy dtype backing this type, or ``None`` for strings."""
+        mapping = {
+            ColumnType.INT64: np.dtype(np.int64),
+            ColumnType.DOUBLE: np.dtype(np.float64),
+            ColumnType.DATE: np.dtype(np.int32),
+            ColumnType.BOOL: np.dtype(np.bool_),
+        }
+        return mapping.get(self)
+
+    @property
+    def fixed_width(self) -> int | None:
+        """Plain-encoded width in bytes, or ``None`` for variable width."""
+        widths = {
+            ColumnType.INT64: 8,
+            ColumnType.DOUBLE: 8,
+            ColumnType.DATE: 4,
+            ColumnType.BOOL: 1,
+        }
+        return widths.get(self)
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named, typed column in a schema."""
+
+    name: str
+    type: ColumnType
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "type": self.type.value}
+
+    @staticmethod
+    def from_dict(d: dict) -> "Field":
+        return Field(name=d["name"], type=ColumnType(d["type"]))
+
+
+class Schema:
+    """An ordered collection of fields with by-name lookup."""
+
+    def __init__(self, fields: list[Field]) -> None:
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in schema: {names}")
+        self.fields = list(fields)
+        self._index = {f.name: i for i, f in enumerate(fields)}
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self):
+        return iter(self.fields)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.fields == other.fields
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def field(self, name: str) -> Field:
+        """Look up a field by name; raises ``KeyError`` for unknown names."""
+        try:
+            return self.fields[self._index[name]]
+        except KeyError:
+            raise KeyError(f"no column named {name!r}; have {self.names()}") from None
+
+    def index_of(self, name: str) -> int:
+        """Ordinal position of ``name`` in the schema."""
+        if name not in self._index:
+            raise KeyError(f"no column named {name!r}; have {self.names()}")
+        return self._index[name]
+
+    def names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    def to_dict(self) -> dict:
+        return {"fields": [f.to_dict() for f in self.fields]}
+
+    @staticmethod
+    def from_dict(d: dict) -> "Schema":
+        return Schema([Field.from_dict(f) for f in d["fields"]])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cols = ", ".join(f"{f.name}:{f.type.value}" for f in self.fields)
+        return f"Schema({cols})"

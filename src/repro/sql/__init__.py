@@ -1,0 +1,72 @@
+"""SQL subset engine: SELECT / FROM / WHERE plus coordinator aggregates.
+
+Pipeline: :func:`parse` → :func:`plan` → execution.  The distributed
+stores in :mod:`repro.core` consume :class:`PhysicalPlan`;
+:func:`execute_local` provides single-process reference semantics.
+"""
+
+from repro.sql.ast_nodes import (
+    Aggregate,
+    AggregateFunc,
+    And,
+    Between,
+    ColumnRef,
+    CompareOp,
+    Comparison,
+    InList,
+    Like,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    leaves,
+)
+from repro.sql.bitmap import Bitmap
+from repro.sql.dates import date_to_days, days_to_date
+from repro.sql.lexer import SqlSyntaxError, tokenize
+from repro.sql.local import QueryResult, execute_local
+from repro.sql.parser import parse
+from repro.sql.planner import FilterOp, PhysicalPlan, PlanError, plan
+from repro.sql.predicate import (
+    PredicateTypeError,
+    combine_leaf_bitmaps,
+    eval_leaf,
+    eval_tree,
+    leaf_may_match,
+    tree_may_match,
+)
+
+__all__ = [
+    "Aggregate",
+    "AggregateFunc",
+    "And",
+    "Between",
+    "Bitmap",
+    "ColumnRef",
+    "CompareOp",
+    "Comparison",
+    "FilterOp",
+    "InList",
+    "Like",
+    "Not",
+    "Or",
+    "PhysicalPlan",
+    "PlanError",
+    "Predicate",
+    "PredicateTypeError",
+    "Query",
+    "QueryResult",
+    "SqlSyntaxError",
+    "combine_leaf_bitmaps",
+    "date_to_days",
+    "days_to_date",
+    "eval_leaf",
+    "eval_tree",
+    "execute_local",
+    "leaf_may_match",
+    "leaves",
+    "parse",
+    "plan",
+    "tokenize",
+    "tree_may_match",
+]

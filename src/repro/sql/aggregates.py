@@ -1,0 +1,91 @@
+"""Aggregate evaluation.
+
+The shipped Fusion system evaluates aggregates at the coordinator over
+projected values (aggregate *pushdown* is the paper's future work; we
+implement it as an optional extension in the engine).  These helpers
+compute one aggregate over the filtered values of its input column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sql.ast_nodes import Aggregate, AggregateFunc
+
+
+def compute_aggregate(agg: Aggregate, values: np.ndarray | None, match_count: int) -> object:
+    """Evaluate ``agg`` over already-filtered ``values``.
+
+    ``values`` is None only for ``COUNT(*)``, which needs just the match
+    count.  SUM/AVG/MIN/MAX over zero rows return None (SQL NULL).
+    """
+    if agg.func is AggregateFunc.COUNT:
+        if agg.column is None:
+            return match_count
+        return int(len(values))
+    if values is None:
+        raise ValueError(f"{agg.func.value.upper()} needs column values")
+    if len(values) == 0:
+        return None
+    if agg.func is AggregateFunc.SUM:
+        return _numeric(values).sum().item()
+    if agg.func is AggregateFunc.AVG:
+        return float(_numeric(values).mean())
+    if agg.func is AggregateFunc.MIN:
+        return _scalar(values.min()) if values.dtype != object else min(values)
+    if agg.func is AggregateFunc.MAX:
+        return _scalar(values.max()) if values.dtype != object else max(values)
+    raise ValueError(f"unknown aggregate {agg.func}")
+
+
+def merge_partial_aggregates(agg: Aggregate, partials: list[dict]) -> object:
+    """Merge per-chunk partial aggregate states (for aggregate pushdown).
+
+    Each partial is a dict with keys depending on the function:
+    ``count`` for COUNT, ``sum``/``count`` for SUM/AVG, ``min``/``max``
+    for MIN/MAX.  Empty partials (no matched rows) carry ``count == 0``.
+    """
+    if agg.func is AggregateFunc.COUNT:
+        return sum(p["count"] for p in partials)
+    if agg.func is AggregateFunc.SUM:
+        live = [p for p in partials if p["count"]]
+        return sum(p["sum"] for p in live) if live else None
+    if agg.func is AggregateFunc.AVG:
+        total = sum(p["count"] for p in partials)
+        if total == 0:
+            return None
+        return sum(p["sum"] for p in partials if p["count"]) / total
+    if agg.func is AggregateFunc.MIN:
+        live = [p["min"] for p in partials if p["count"]]
+        return min(live) if live else None
+    if agg.func is AggregateFunc.MAX:
+        live = [p["max"] for p in partials if p["count"]]
+        return max(live) if live else None
+    raise ValueError(f"unknown aggregate {agg.func}")
+
+
+def partial_aggregate(agg: Aggregate, values: np.ndarray | None, match_count: int) -> dict:
+    """Compute one chunk's partial state for :func:`merge_partial_aggregates`."""
+    if agg.func is AggregateFunc.COUNT:
+        return {"count": match_count if agg.column is None else int(len(values))}
+    if values is None or len(values) == 0:
+        return {"count": 0}
+    nums = _numeric(values) if agg.func in (AggregateFunc.SUM, AggregateFunc.AVG) else values
+    state: dict = {"count": int(len(values))}
+    if agg.func in (AggregateFunc.SUM, AggregateFunc.AVG):
+        state["sum"] = nums.sum().item()
+    if agg.func is AggregateFunc.MIN:
+        state["min"] = _scalar(values.min()) if values.dtype != object else min(values)
+    if agg.func is AggregateFunc.MAX:
+        state["max"] = _scalar(values.max()) if values.dtype != object else max(values)
+    return state
+
+
+def _numeric(values: np.ndarray) -> np.ndarray:
+    if values.dtype == object:
+        raise TypeError("cannot SUM/AVG a string column")
+    return values
+
+
+def _scalar(value) -> object:
+    return value.item() if hasattr(value, "item") else value

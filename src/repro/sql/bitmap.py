@@ -1,0 +1,91 @@
+"""Filter-result bitmaps and their compressed wire form.
+
+Fusion's filter stage returns one bitmap per column chunk to the
+coordinator, Snappy-compressed (paper Section 5).  :class:`Bitmap` wraps a
+boolean numpy array with the logical operations the coordinator needs and
+a compressed serialisation whose size is charged to the network model.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.format.compression import get_codec
+
+#: Codec used for bitmaps on the wire (the paper uses Snappy).
+BITMAP_CODEC = "snappy"
+
+
+class Bitmap:
+    """A fixed-length boolean vector of row matches."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: np.ndarray) -> None:
+        self.bits = np.asarray(bits, dtype=np.bool_)
+
+    @staticmethod
+    def zeros(n: int) -> "Bitmap":
+        return Bitmap(np.zeros(n, dtype=np.bool_))
+
+    @staticmethod
+    def ones(n: int) -> "Bitmap":
+        return Bitmap(np.ones(n, dtype=np.bool_))
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def __and__(self, other: "Bitmap") -> "Bitmap":
+        self._check(other)
+        return Bitmap(self.bits & other.bits)
+
+    def __or__(self, other: "Bitmap") -> "Bitmap":
+        self._check(other)
+        return Bitmap(self.bits | other.bits)
+
+    def __invert__(self) -> "Bitmap":
+        return Bitmap(~self.bits)
+
+    def _check(self, other: "Bitmap") -> None:
+        if len(self.bits) != len(other.bits):
+            raise ValueError(f"bitmap length mismatch: {len(self.bits)} vs {len(other.bits)}")
+
+    def count(self) -> int:
+        """Number of set bits (matching rows)."""
+        return int(self.bits.sum())
+
+    def selectivity(self) -> float:
+        """Fraction of rows selected (the paper's query selectivity)."""
+        if len(self.bits) == 0:
+            return 0.0
+        return self.count() / len(self.bits)
+
+    def indices(self) -> np.ndarray:
+        """Positions of set bits."""
+        return np.flatnonzero(self.bits)
+
+    def to_wire(self, codec_name: str = BITMAP_CODEC) -> bytes:
+        """Serialise: varint-free header (count, codec id implied) + packed,
+        compressed bits."""
+        packed = np.packbits(self.bits.astype(np.uint8)).tobytes()
+        compressed = get_codec(codec_name).compress(packed)
+        return struct.pack("<I", len(self.bits)) + compressed
+
+    @staticmethod
+    def from_wire(data: bytes, codec_name: str = BITMAP_CODEC) -> "Bitmap":
+        (n,) = struct.unpack_from("<I", data, 0)
+        packed = get_codec(codec_name).decompress(data[4:])
+        bits = np.unpackbits(np.frombuffer(packed, dtype=np.uint8))[:n]
+        return Bitmap(bits.astype(np.bool_))
+
+    def wire_size(self, codec_name: str = BITMAP_CODEC) -> int:
+        """Bytes this bitmap occupies on the wire."""
+        return len(self.to_wire(codec_name))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Bitmap) and np.array_equal(self.bits, other.bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Bitmap({self.count()}/{len(self.bits)})"

@@ -1,0 +1,21 @@
+"""Date helpers: DATE columns store int32 days since 1970-01-01."""
+
+from __future__ import annotations
+
+import datetime
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+def date_to_days(text: str) -> int:
+    """Convert ``'YYYY-MM-DD'`` to days since epoch."""
+    try:
+        d = datetime.date.fromisoformat(text)
+    except ValueError as exc:
+        raise ValueError(f"not an ISO date: {text!r}") from exc
+    return (d - _EPOCH).days
+
+
+def days_to_date(days: int) -> str:
+    """Convert days since epoch back to ``'YYYY-MM-DD'``."""
+    return (_EPOCH + datetime.timedelta(days=int(days))).isoformat()

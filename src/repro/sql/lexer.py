@@ -1,0 +1,125 @@
+"""Tokeniser for the SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SqlSyntaxError(Exception):
+    """Raised for any lexing or parsing failure, with position context."""
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    COMMA = "comma"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    STAR = "star"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "select",
+    "from",
+    "where",
+    "group",
+    "by",
+    "limit",
+    "and",
+    "or",
+    "not",
+    "between",
+    "in",
+    "like",
+    "count",
+    "sum",
+    "avg",
+    "min",
+    "max",
+    "true",
+    "false",
+}
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "==", "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    pos: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split SQL text into tokens; raises :class:`SqlSyntaxError` on junk."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenType.COMMA, ",", i))
+            i += 1
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", i))
+            i += 1
+            continue
+        if ch == "*":
+            tokens.append(Token(TokenType.STAR, "*", i))
+            i += 1
+            continue
+        if ch == "'":
+            end = text.find("'", i + 1)
+            if end < 0:
+                raise SqlSyntaxError(f"unterminated string literal at position {i}")
+            tokens.append(Token(TokenType.STRING, text[i + 1 : end], i))
+            i = end + 1
+            continue
+        matched_op = next((op for op in _OPERATORS if text.startswith(op, i)), None)
+        if matched_op is not None:
+            # Normalise the aliases to canonical forms.
+            canonical = {"==": "=", "<>": "!="}.get(matched_op, matched_op)
+            tokens.append(Token(TokenType.OP, canonical, i))
+            i += len(matched_op)
+            continue
+        if ch.isdigit() or (ch in "+-." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] in ".eE+-"):
+                # Stop '+'/'-' unless directly after an exponent marker.
+                if text[j] in "+-" and text[j - 1] not in "eE":
+                    break
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "_."):
+                j += 1
+            word = text[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, i))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, i))
+            i = j
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

@@ -1,0 +1,123 @@
+"""Single-process reference executor.
+
+Runs a query directly against an in-memory :class:`~repro.format.table.Table`
+with no cluster, no erasure coding and no pushdown.  This is the ground
+truth the distributed stores are tested against: for any stored object,
+``FusionStore.query(...)`` and ``BaselineStore.query(...)`` must return
+exactly what :func:`execute_local` returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.format.table import Table
+from repro.sql.aggregates import compute_aggregate
+from repro.sql.ast_nodes import Aggregate, ColumnRef, Query
+from repro.sql.parser import parse
+from repro.sql.planner import plan
+from repro.sql.predicate import eval_tree
+
+
+@dataclass
+class QueryResult:
+    """The result of a query: either a row table or aggregate scalars."""
+
+    columns: list[str]
+    rows: Table | None  # projected, filtered rows (None for aggregates)
+    aggregates: list[object] | None  # scalar per aggregate (None otherwise)
+    matched_rows: int
+    total_rows: int
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of table rows the filter matched."""
+        if self.total_rows == 0:
+            return 0.0
+        return self.matched_rows / self.total_rows
+
+    def equals(self, other: "QueryResult") -> bool:
+        if self.columns != other.columns or self.matched_rows != other.matched_rows:
+            return False
+        if (self.rows is None) != (other.rows is None):
+            return False
+        if self.rows is not None and not self.rows.equals(other.rows):
+            return False
+        if self.aggregates is not None:
+            if other.aggregates is None or len(self.aggregates) != len(other.aggregates):
+                return False
+            for a, b in zip(self.aggregates, other.aggregates):
+                if isinstance(a, float) and isinstance(b, float):
+                    if not np.isclose(a, b, equal_nan=True):
+                        return False
+                elif a != b:
+                    return False
+        return True
+
+
+def execute_local(sql_or_query: str | Query, table: Table) -> QueryResult:
+    """Execute a query against an in-memory table (the reference semantics)."""
+    query = parse(sql_or_query) if isinstance(sql_or_query, str) else sql_or_query
+    physical = plan(query, table.schema)
+
+    if physical.where is None:
+        mask = np.ones(table.num_rows, dtype=np.bool_)
+    else:
+        mask = eval_tree(
+            physical.where,
+            column_values=lambda name: table[name],
+            column_type=lambda name: table.schema.field(name).type,
+        )
+    matched = int(mask.sum())
+    indices = np.flatnonzero(mask)
+
+    if query.group_by:
+        from repro.sql.grouping import evaluate_group_by, grouped_needed_types
+
+        needed = grouped_needed_types(query, table.schema)
+        filtered = {name: table[name][indices] for name in needed}
+        grouped = evaluate_group_by(query, needed, filtered)
+        grouped = _apply_limit(grouped, query.limit)
+        return QueryResult(
+            columns=grouped.schema.names(),
+            rows=grouped,
+            aggregates=None,
+            matched_rows=matched,
+            total_rows=table.num_rows,
+        )
+
+    if query.has_aggregates():
+        results = []
+        for item in query.select:
+            assert isinstance(item, Aggregate)
+            values = table[item.column][indices] if item.column is not None else None
+            results.append(compute_aggregate(item, values, matched))
+        labels = [
+            f"{i.func.value}({i.column or '*'})" for i in query.select  # type: ignore[union-attr]
+        ]
+        return QueryResult(
+            columns=labels,
+            rows=None,
+            aggregates=results,
+            matched_rows=matched,
+            total_rows=table.num_rows,
+        )
+
+    names = physical.projection_columns
+    projected = _apply_limit(table.select(names).take(indices), query.limit)
+    return QueryResult(
+        columns=names,
+        rows=projected,
+        aggregates=None,
+        matched_rows=matched,
+        total_rows=table.num_rows,
+    )
+
+
+def _apply_limit(rows: Table, limit: int | None) -> Table:
+    """Truncate a result table to the query's LIMIT (row order preserved)."""
+    if limit is None or rows.num_rows <= limit:
+        return rows
+    return rows.slice(0, limit)

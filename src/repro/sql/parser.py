@@ -1,0 +1,219 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar::
+
+    query      := SELECT select_list FROM ident [WHERE or_expr]
+    select_list:= select_item (',' select_item)* | '*'
+    select_item:= ident | agg_func '(' (ident | '*') ')'
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := NOT not_expr | primary
+    primary    := '(' or_expr ')' | comparison
+    comparison := ident op literal
+                | ident BETWEEN literal AND literal
+                | ident [NOT] IN '(' literal (',' literal)* ')'
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast_nodes import (
+    Aggregate,
+    AggregateFunc,
+    And,
+    Between,
+    ColumnRef,
+    CompareOp,
+    Comparison,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    SelectItem,
+)
+from repro.sql.lexer import SqlSyntaxError, Token, TokenType, tokenize
+
+_AGG_KEYWORDS = {f.value for f in AggregateFunc}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        self._pos += 1
+        return tok
+
+    def _expect_keyword(self, word: str) -> Token:
+        tok = self._advance()
+        if not tok.is_keyword(word):
+            raise SqlSyntaxError(f"expected {word.upper()} at position {tok.pos}, got {tok.value!r}")
+        return tok
+
+    def _expect(self, type_: TokenType) -> Token:
+        tok = self._advance()
+        if tok.type is not type_:
+            raise SqlSyntaxError(
+                f"expected {type_.value} at position {tok.pos}, got {tok.value!r}"
+            )
+        return tok
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self._expect_keyword("select")
+        select = self._parse_select_list()
+        self._expect_keyword("from")
+        table = self._expect(TokenType.IDENT).value
+        where = None
+        if self._peek().is_keyword("where"):
+            self._advance()
+            where = self._parse_or()
+        group_by: tuple[str, ...] = ()
+        if self._peek().is_keyword("group"):
+            self._advance()
+            self._expect_keyword("by")
+            keys = [self._expect(TokenType.IDENT).value]
+            while self._peek().type is TokenType.COMMA:
+                self._advance()
+                keys.append(self._expect(TokenType.IDENT).value)
+            group_by = tuple(keys)
+        limit = None
+        if self._peek().is_keyword("limit"):
+            self._advance()
+            tok = self._expect(TokenType.NUMBER)
+            try:
+                limit = int(tok.value)
+            except ValueError:
+                raise SqlSyntaxError(
+                    f"LIMIT must be an integer, got {tok.value!r} at position {tok.pos}"
+                ) from None
+            if limit < 0:
+                raise SqlSyntaxError("LIMIT must be non-negative")
+        tok = self._peek()
+        if tok.type is not TokenType.EOF:
+            raise SqlSyntaxError(f"unexpected trailing input at position {tok.pos}: {tok.value!r}")
+        return Query(
+            select=tuple(select), table=table, where=where, group_by=group_by, limit=limit
+        )
+
+    def _parse_select_list(self) -> list[SelectItem]:
+        if self._peek().type is TokenType.STAR:
+            self._advance()
+            return [ColumnRef("*")]
+        items = [self._parse_select_item()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        tok = self._peek()
+        if tok.type is TokenType.KEYWORD and tok.value in _AGG_KEYWORDS:
+            self._advance()
+            func = AggregateFunc(tok.value)
+            self._expect(TokenType.LPAREN)
+            inner = self._advance()
+            if inner.type is TokenType.STAR:
+                column = None
+            elif inner.type is TokenType.IDENT:
+                column = inner.value
+            else:
+                raise SqlSyntaxError(
+                    f"expected column or * in aggregate at position {inner.pos}"
+                )
+            self._expect(TokenType.RPAREN)
+            return Aggregate(func=func, column=column)
+        if tok.type is TokenType.IDENT:
+            self._advance()
+            return ColumnRef(tok.value)
+        raise SqlSyntaxError(f"expected select item at position {tok.pos}, got {tok.value!r}")
+
+    def _parse_or(self) -> Predicate:
+        left = self._parse_and()
+        while self._peek().is_keyword("or"):
+            self._advance()
+            left = Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Predicate:
+        left = self._parse_not()
+        while self._peek().is_keyword("and"):
+            self._advance()
+            left = And(left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Predicate:
+        if self._peek().is_keyword("not"):
+            self._advance()
+            return Not(self._parse_not())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Predicate:
+        tok = self._peek()
+        if tok.type is TokenType.LPAREN:
+            self._advance()
+            inner = self._parse_or()
+            self._expect(TokenType.RPAREN)
+            return inner
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Predicate:
+        column = self._expect(TokenType.IDENT).value
+        tok = self._advance()
+        if tok.is_keyword("between"):
+            low = self._parse_literal()
+            self._expect_keyword("and")
+            high = self._parse_literal()
+            return Between(column=column, low=low, high=high)
+        if tok.is_keyword("not"):
+            self._expect_keyword("in")
+            return Not(self._parse_in_list(column))
+        if tok.is_keyword("in"):
+            return self._parse_in_list(column)
+        if tok.is_keyword("like"):
+            pattern = self._parse_literal()
+            if not isinstance(pattern, str):
+                raise SqlSyntaxError(f"LIKE needs a string pattern, got {pattern!r}")
+            return Like(column=column, pattern=pattern)
+        if tok.type is TokenType.OP:
+            return Comparison(column=column, op=CompareOp(tok.value), value=self._parse_literal())
+        raise SqlSyntaxError(f"expected comparison operator at position {tok.pos}, got {tok.value!r}")
+
+    def _parse_in_list(self, column: str) -> InList:
+        self._expect(TokenType.LPAREN)
+        values = [self._parse_literal()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            values.append(self._parse_literal())
+        self._expect(TokenType.RPAREN)
+        return InList(column=column, values=tuple(values))
+
+    def _parse_literal(self) -> Literal:
+        tok = self._advance()
+        if tok.type is TokenType.NUMBER:
+            text = tok.value
+            if any(c in text for c in ".eE"):
+                return float(text)
+            return int(text)
+        if tok.type is TokenType.STRING:
+            return tok.value
+        if tok.is_keyword("true"):
+            return True
+        if tok.is_keyword("false"):
+            return False
+        raise SqlSyntaxError(f"expected literal at position {tok.pos}, got {tok.value!r}")
+
+
+def parse(sql: str) -> Query:
+    """Parse one SELECT statement; raises :class:`SqlSyntaxError` on errors."""
+    return _Parser(tokenize(sql)).parse_query()

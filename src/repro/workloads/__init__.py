@@ -1,0 +1,48 @@
+"""Dataset generators and query workloads from the paper's evaluation.
+
+Four datasets (Table 3): TPC-H lineitem, NYC taxi, recipeNLG, UK property
+prices — scaled down but with matching schemas, cardinalities and value
+distributions.  Plus synthetic chunk-size profiles for layout-only
+experiments and the paper's microbenchmark/Q1-Q4 queries.
+"""
+
+from repro.workloads.queries import (
+    WorkloadQuery,
+    microbenchmark_query,
+    real_world_queries,
+)
+from repro.workloads.recipe import recipe_file, recipe_table
+from repro.workloads.synthetic import (
+    LINEITEM_CHUNK_MB,
+    MB,
+    TAXI_CHUNK_MB,
+    items_from_sizes,
+    paper_scale_chunk_ranges,
+    uniform_chunk_sizes,
+    zipf_chunk_sizes,
+)
+from repro.workloads.taxi import taxi_file, taxi_table
+from repro.workloads.tpch import column_name, lineitem_file, lineitem_table
+from repro.workloads.ukpp import ukpp_file, ukpp_table
+
+__all__ = [
+    "LINEITEM_CHUNK_MB",
+    "MB",
+    "TAXI_CHUNK_MB",
+    "WorkloadQuery",
+    "column_name",
+    "items_from_sizes",
+    "lineitem_file",
+    "lineitem_table",
+    "microbenchmark_query",
+    "paper_scale_chunk_ranges",
+    "real_world_queries",
+    "recipe_file",
+    "recipe_table",
+    "taxi_file",
+    "taxi_table",
+    "ukpp_file",
+    "ukpp_table",
+    "uniform_chunk_sizes",
+    "zipf_chunk_sizes",
+]

@@ -1,0 +1,95 @@
+"""Synthetic chunk-size profiles for layout-only experiments.
+
+The storage-overhead sweeps (Figures 10a and 16a) operate purely on chunk
+*sizes* — no data needs to exist.  These helpers generate size lists from
+the paper's parameter ranges: 1-100 MB chunks, Zipfian or uniform
+distributions, plus paper-scale per-column profiles for the split-fraction
+experiment (Figure 4a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.layout import ChunkItem
+
+MB = 1024 * 1024
+
+
+def zipf_chunk_sizes(
+    num_chunks: int,
+    skew: float,
+    min_size: int = 1 * MB,
+    max_size: int = 100 * MB,
+    seed: int = 0,
+) -> list[int]:
+    """Chunk sizes in ``[min_size, max_size]`` with Zipfian skew.
+
+    ``skew=0`` is uniform; larger skews concentrate mass on small sizes
+    (matching the paper's Zipfian 0 / 0.5 / 0.99 sweeps).
+    """
+    if num_chunks <= 0:
+        raise ValueError("num_chunks must be positive")
+    if not 0 <= skew:
+        raise ValueError("skew must be non-negative")
+    rng = np.random.default_rng(seed)
+    if skew == 0:
+        sizes = rng.uniform(min_size, max_size, size=num_chunks)
+    else:
+        # Zipf over a rank grid mapped onto the size range.
+        ranks = np.arange(1, 1025)
+        weights = 1.0 / np.power(ranks, skew)
+        weights /= weights.sum()
+        chosen = rng.choice(ranks, size=num_chunks, p=weights)
+        sizes = min_size + (chosen - 1) / (len(ranks) - 1) * (max_size - min_size)
+    return [int(s) for s in sizes]
+
+
+def items_from_sizes(sizes: list[int]) -> list[ChunkItem]:
+    """Wrap raw sizes as ChunkItems keyed ``(0, i)``."""
+    return [ChunkItem(key=(0, i), size=s) for i, s in enumerate(sizes)]
+
+
+def uniform_chunk_sizes(
+    num_chunks: int,
+    min_size: int = 1 * MB,
+    max_size: int = 100 * MB,
+    seed: int = 0,
+) -> list[int]:
+    """The Fig 10a oracle-runtime dataset: uniform 1-100 MB chunks."""
+    return zipf_chunk_sizes(num_chunks, 0.0, min_size, max_size, seed)
+
+
+# ---------------------------------------------------------------------------
+# Paper-scale per-column chunk profiles (Figure 12 averages, in MB)
+# ---------------------------------------------------------------------------
+
+#: Average column chunk size per lineitem column, from the paper's Fig 12.
+LINEITEM_CHUNK_MB = [48, 148, 60, 7, 23, 173, 15, 15, 7, 4, 45, 45, 45, 8, 11, 386]
+
+#: Taxi columns are more uniform (Fig 4c); ~26 MB average over 20 columns
+#: for the 8.4 GB file with 16 row groups.
+TAXI_CHUNK_MB = [30, 12, 40, 40, 6, 35, 45, 45, 5, 2, 45, 45, 6, 10, 4, 1, 30, 8, 38, 35]
+
+
+def paper_scale_chunk_ranges(
+    chunk_mb: list[int],
+    num_row_groups: int,
+    jitter: float = 0.1,
+    seed: int = 0,
+) -> list[tuple[int, int]]:
+    """Byte ranges ``(offset, size)`` of chunks laid out row-group-major.
+
+    Sizes follow the per-column averages with ``jitter`` relative noise,
+    reproducing the file layout the splits experiment (Fig 4a) scans.
+    """
+    rng = np.random.default_rng(seed)
+    ranges: list[tuple[int, int]] = []
+    offset = 0
+    for _rg in range(num_row_groups):
+        for mean_mb in chunk_mb:
+            noise = 1.0 + rng.uniform(-jitter, jitter)
+            size = max(1, int(mean_mb * MB * noise))
+            ranges.append((offset, size))
+            offset += size
+    return ranges

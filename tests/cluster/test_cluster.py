@@ -1,0 +1,76 @@
+"""Cluster topology: routing, placement, metrics."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, Simulator
+from repro.cluster.metrics import QueryMetrics, percentile
+
+
+class TestRouting:
+    def test_coordinator_is_deterministic(self, cluster):
+        a = cluster.coordinator_for("object-1")
+        b = cluster.coordinator_for("object-1")
+        assert a is b
+
+    def test_coordinator_spreads_objects(self, cluster):
+        coords = {cluster.coordinator_for(f"obj-{i}").node_id for i in range(100)}
+        assert len(coords) > 1
+
+
+class TestPlacement:
+    def test_stripe_nodes_distinct_when_possible(self, cluster):
+        nodes = cluster.choose_stripe_nodes(9)
+        assert len(set(nodes)) == 9
+
+    def test_stripe_nodes_wrap_when_fewer_nodes(self):
+        sim = Simulator()
+        small = Cluster(sim, ClusterConfig(num_nodes=4))
+        nodes = small.choose_stripe_nodes(9)
+        assert len(nodes) == 9
+        assert set(nodes) <= {0, 1, 2, 3}
+
+    def test_placement_is_seeded(self):
+        a = Cluster(Simulator(), ClusterConfig(num_nodes=9, placement_seed=5))
+        b = Cluster(Simulator(), ClusterConfig(num_nodes=9, placement_seed=5))
+        assert a.choose_stripe_nodes(9) == b.choose_stripe_nodes(9)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(Simulator(), ClusterConfig(num_nodes=0))
+
+
+class TestMetrics:
+    def test_record_query_accumulates(self, cluster):
+        qm = QueryMetrics(start_time=0.0, end_time=1.5)
+        qm.network_bytes = 100
+        cluster.metrics.record_query(qm)
+        assert cluster.metrics.network_bytes == 100
+        assert cluster.metrics.latencies() == [1.5]
+
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) in (2.0, 3.0)
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_breakdown_fractions_sum_to_one(self):
+        qm = QueryMetrics()
+        qm.add("disk", 1.0)
+        qm.add("network", 3.0)
+        frac = qm.breakdown_fractions()
+        assert sum(frac.values()) == pytest.approx(1.0)
+        assert frac["network"] == pytest.approx(0.75)
+
+    def test_breakdown_empty_is_zero(self):
+        assert sum(QueryMetrics().breakdown_fractions().values()) == 0.0
+
+    def test_unknown_category_raises(self):
+        with pytest.raises(KeyError):
+            QueryMetrics().add("gpu", 1.0)
+
+    def test_cpu_utilization_starts_zero(self, cluster):
+        assert cluster.cpu_utilization() == 0.0

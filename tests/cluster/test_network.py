@@ -1,0 +1,128 @@
+"""Network model: transfer timing, contention, loopback, CPU charging."""
+
+import pytest
+
+from repro.cluster.metrics import NETWORK, QueryMetrics
+from repro.cluster.network import Network, NetworkConfig, NetworkEndpoint
+from repro.cluster.simcore import Resource, Simulator
+
+
+def _net(sim, bw=1e9, rtt=0.0, rpc=0.0, cpu_bps=0.0):
+    return Network(sim, NetworkConfig(bandwidth_bps=bw, rtt_s=rtt, rpc_overhead_s=rpc, cpu_bps=cpu_bps))
+
+
+class TestTransferTiming:
+    def test_duration_is_bytes_over_bandwidth(self):
+        sim = Simulator()
+        net = _net(sim, bw=1e9)
+        a, b = NetworkEndpoint(sim, "a"), NetworkEndpoint(sim, "b")
+        sim.process(net.transfer(a, b, 500_000_000))
+        sim.run()
+        assert sim.now == pytest.approx(0.5)
+
+    def test_rtt_and_rpc_overhead_added(self):
+        sim = Simulator()
+        net = _net(sim, bw=1e9, rtt=0.002, rpc=0.003)
+        a, b = NetworkEndpoint(sim, "a"), NetworkEndpoint(sim, "b")
+        sim.process(net.transfer(a, b, 0))
+        sim.run()
+        assert sim.now == pytest.approx(0.001 + 0.003)
+
+    def test_loopback_is_free(self):
+        sim = Simulator()
+        net = _net(sim, bw=1, rtt=10, rpc=10)
+        a = NetworkEndpoint(sim, "a")
+        sim.process(net.transfer(a, a, 10**9))
+        sim.run()
+        assert sim.now == 0.0
+        assert net.total_bytes == 0
+
+    def test_negative_bytes_raise(self):
+        sim = Simulator()
+        net = _net(sim)
+        a, b = NetworkEndpoint(sim, "a"), NetworkEndpoint(sim, "b")
+        proc_gen = net.transfer(a, b, -1)
+        sim.process(proc_gen)
+        with pytest.raises(ValueError):
+            sim.run()
+
+
+class TestContention:
+    def test_shared_egress_serialises(self):
+        sim = Simulator()
+        net = _net(sim, bw=1e9)
+        src = NetworkEndpoint(sim, "src")
+        dsts = [NetworkEndpoint(sim, f"d{i}") for i in range(3)]
+        for d in dsts:
+            sim.process(net.transfer(src, d, 1_000_000_000))
+        sim.run()
+        # Three 1s transfers through one egress pipe: 3 seconds.
+        assert sim.now == pytest.approx(3.0)
+
+    def test_distinct_pairs_run_in_parallel(self):
+        sim = Simulator()
+        net = _net(sim, bw=1e9)
+        pairs = [
+            (NetworkEndpoint(sim, f"s{i}"), NetworkEndpoint(sim, f"d{i}")) for i in range(3)
+        ]
+        for s, d in pairs:
+            sim.process(net.transfer(s, d, 1_000_000_000))
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+    def test_shared_ingress_serialises(self):
+        sim = Simulator()
+        net = _net(sim, bw=1e9)
+        dst = NetworkEndpoint(sim, "dst")
+        srcs = [NetworkEndpoint(sim, f"s{i}") for i in range(2)]
+        for s in srcs:
+            sim.process(net.transfer(s, dst, 1_000_000_000))
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+
+class TestAccounting:
+    def test_total_bytes(self):
+        sim = Simulator()
+        net = _net(sim)
+        a, b = NetworkEndpoint(sim, "a"), NetworkEndpoint(sim, "b")
+        sim.process(net.transfer(a, b, 123))
+        sim.process(net.transfer(b, a, 77))
+        sim.run()
+        assert net.total_bytes == 200
+
+    def test_query_metrics_charged(self):
+        sim = Simulator()
+        net = _net(sim, bw=1e9, rtt=0.002)
+        a, b = NetworkEndpoint(sim, "a"), NetworkEndpoint(sim, "b")
+        qm = QueryMetrics()
+        sim.process(net.transfer(a, b, 1_000_000, qm))
+        sim.run()
+        assert qm.network_bytes == 1_000_000
+        assert qm.seconds[NETWORK] == pytest.approx(0.002)
+
+    def test_cpu_charged_at_endpoints(self):
+        sim = Simulator()
+        net = _net(sim, bw=1e9, cpu_bps=1e9)
+        cpu_a, cpu_b = Resource(sim, 4), Resource(sim, 4)
+        a = NetworkEndpoint(sim, "a", cpu=cpu_a)
+        b = NetworkEndpoint(sim, "b", cpu=cpu_b)
+        sim.process(net.transfer(a, b, 2_000_000_000))
+        sim.run()
+        cpu_a._account()
+        cpu_b._account()
+        assert cpu_a.busy_time == pytest.approx(2.0)
+        assert cpu_b.busy_time == pytest.approx(2.0)
+
+    def test_no_cpu_charge_without_cpu(self):
+        sim = Simulator()
+        net = _net(sim, cpu_bps=1e9)
+        a, b = NetworkEndpoint(sim, "a"), NetworkEndpoint(sim, "b")
+        sim.process(net.transfer(a, b, 1000))
+        sim.run()  # must simply not crash
+
+    def test_bandwidth_knob(self):
+        sim = Simulator()
+        net = _net(sim)
+        net.set_bandwidth_gbps(10)
+        assert net.config.bandwidth_bps == pytest.approx(10e9 / 8)

@@ -1,0 +1,140 @@
+"""Disk and StorageNode models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.disk import Disk, DiskConfig
+from repro.cluster.metrics import CPU, DISK, QueryMetrics
+from repro.cluster.node import CpuConfig, StorageNode
+from repro.cluster.simcore import Simulator
+
+
+class TestDisk:
+    def test_read_time(self):
+        sim = Simulator()
+        disk = Disk(sim, DiskConfig(bandwidth_bps=1e9, access_latency_s=0.001))
+        sim.process(disk.read(500_000_000))
+        sim.run()
+        assert sim.now == pytest.approx(0.501)
+
+    def test_reads_serialise(self):
+        sim = Simulator()
+        disk = Disk(sim, DiskConfig(bandwidth_bps=1e9, access_latency_s=0.0))
+        for _ in range(3):
+            sim.process(disk.read(1_000_000_000))
+        sim.run()
+        assert sim.now == pytest.approx(3.0)
+
+    def test_write_same_cost(self):
+        sim = Simulator()
+        disk = Disk(sim, DiskConfig(bandwidth_bps=1e9, access_latency_s=0.0))
+        sim.process(disk.write(1_000_000_000))
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+    def test_metrics_charged(self):
+        sim = Simulator()
+        disk = Disk(sim, DiskConfig(bandwidth_bps=1e9, access_latency_s=0.0))
+        qm = QueryMetrics()
+        sim.process(disk.read(1_000_000, qm))
+        sim.run()
+        assert qm.seconds[DISK] == pytest.approx(0.001)
+        assert disk.total_bytes == 1_000_000
+
+    def test_negative_read_raises(self):
+        sim = Simulator()
+        disk = Disk(sim, DiskConfig())
+        sim.process(disk.read(-1))
+        with pytest.raises(ValueError):
+            sim.run()
+
+
+def _node(sim, cores=4):
+    return StorageNode(
+        sim,
+        node_id=0,
+        disk_config=DiskConfig(bandwidth_bps=1e9, access_latency_s=0.0),
+        cpu_config=CpuConfig(cores=cores),
+    )
+
+
+class TestBlockStore:
+    def test_put_has_drop(self):
+        sim = Simulator()
+        node = _node(sim)
+        node.put_block("b", np.arange(10, dtype=np.uint8))
+        assert node.has_block("b")
+        assert node.block_size("b") == 10
+        assert node.stored_bytes == 10
+        node.drop_block("b")
+        assert not node.has_block("b")
+
+    def test_read_block_range_returns_slice(self):
+        sim = Simulator()
+        node = _node(sim)
+        node.put_block("b", np.arange(100, dtype=np.uint8))
+        p = sim.process(node.read_block_range("b", 10, 5, scale=1.0))
+        sim.run()
+        assert p.value.tolist() == [10, 11, 12, 13, 14]
+
+    def test_read_missing_block_raises(self):
+        sim = Simulator()
+        node = _node(sim)
+        sim.process(node.read_block("nope", scale=1.0))
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_out_of_bounds_raises(self):
+        sim = Simulator()
+        node = _node(sim)
+        node.put_block("b", np.zeros(10, dtype=np.uint8))
+        sim.process(node.read_block_range("b", 5, 10, scale=1.0))
+        with pytest.raises(ValueError, match="out of bounds"):
+            sim.run()
+
+    def test_scale_multiplies_simulated_bytes(self):
+        sim = Simulator()
+        node = _node(sim)
+        node.put_block("b", np.zeros(1000, dtype=np.uint8))
+        sim.process(node.read_block("b", scale=1e6))
+        sim.run()
+        # 1000 real bytes * 1e6 = 1 GB simulated at 1 GB/s.
+        assert sim.now == pytest.approx(1.0)
+
+
+class TestCompute:
+    def test_compute_charges_cpu_bucket(self):
+        sim = Simulator()
+        node = _node(sim)
+        qm = QueryMetrics()
+        sim.process(node.compute(0.25, qm))
+        sim.run()
+        assert qm.seconds[CPU] == pytest.approx(0.25)
+
+    def test_cores_limit_parallelism(self):
+        sim = Simulator()
+        node = _node(sim, cores=2)
+        for _ in range(4):
+            sim.process(node.compute(1.0))
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+    def test_negative_compute_raises(self):
+        sim = Simulator()
+        node = _node(sim)
+        sim.process(node.compute(-0.1))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_decode_seconds_formula(self):
+        sim = Simulator()
+        node = StorageNode(
+            sim,
+            0,
+            DiskConfig(),
+            CpuConfig(decompress_bps=1e9, materialize_bps=2e9, scan_bps=4e9),
+        )
+        assert node.decode_seconds(1_000_000, 2_000_000, scale=1.0) == pytest.approx(
+            0.001 + 0.001
+        )
+        assert node.scan_seconds(2_000_000, scale=2.0) == pytest.approx(0.001)

@@ -1,0 +1,259 @@
+"""The DES kernel: clock, events, processes, resources."""
+
+import pytest
+
+from repro.cluster.simcore import (
+    Event,
+    Resource,
+    SimulationError,
+    Simulator,
+    all_of,
+)
+
+
+class TestEvents:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield sim.timeout(5.0)
+            fired.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert fired == [5.0]
+
+    def test_timeout_value_delivery(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            value = yield sim.timeout(1.0, value="hello")
+            got.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["hello"]
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+    def test_event_fires_once(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_callback_after_fire_runs_immediately(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed("x")
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+
+        def proc(delay, tag):
+            yield sim.timeout(delay)
+            order.append(tag)
+
+        sim.process(proc(3, "c"))
+        sim.process(proc(1, "a"))
+        sim.process(proc(2, "b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tiebreak_at_same_time(self):
+        sim = Simulator()
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abcd":
+            sim.process(proc(tag))
+        sim.run()
+        assert order == list("abcd")
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield sim.timeout(10)
+            fired.append(True)
+
+        sim.process(proc())
+        sim.run(until=5)
+        assert sim.now == 5 and not fired
+        sim.run()
+        assert fired
+
+
+class TestProcesses:
+    def test_return_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1)
+            return 42
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 42
+
+    def test_process_joins_process(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(2)
+            return "done"
+
+        def parent():
+            result = yield sim.process(child())
+            return (result, sim.now)
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == ("done", 2)
+
+    def test_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError, match="must yield"):
+            sim.run()
+
+    def test_immediate_return(self):
+        sim = Simulator()
+
+        def proc():
+            return 7
+            yield  # pragma: no cover
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 7
+
+
+class TestResource:
+    def test_capacity_enforced(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        finish = []
+
+        def worker(i):
+            with (yield from res.acquire()):
+                yield sim.timeout(1.0)
+            finish.append((i, sim.now))
+
+        for i in range(5):
+            sim.process(worker(i))
+        sim.run()
+        times = [t for _, t in finish]
+        assert times == [1.0, 1.0, 2.0, 2.0, 3.0]
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(i):
+            with (yield from res.acquire()):
+                order.append(i)
+                yield sim.timeout(1)
+
+        for i in range(4):
+            sim.process(worker(i))
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_queue_length(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def worker():
+            with (yield from res.acquire()):
+                yield sim.timeout(1)
+
+        for _ in range(3):
+            sim.process(worker())
+        sim.run(until=0.5)
+        assert res.in_use == 1
+        assert res.queue_length == 2
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), capacity=0)
+
+    def test_utilization_accounting(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+
+        def worker():
+            with (yield from res.acquire()):
+                yield sim.timeout(4)
+
+        sim.process(worker())
+        sim.run()
+        # One of two slots busy for 4 of 4 seconds -> 50%.
+        assert res.utilization(sim.now) == pytest.approx(0.5)
+
+    def test_release_is_idempotent(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def worker():
+            ctx = yield from res.acquire()
+            ctx.release()
+            ctx.release()  # second release must be a no-op
+
+        sim.process(worker())
+        sim.run()
+        assert res.in_use == 0
+
+
+class TestAllOf:
+    def test_gathers_values_in_order(self):
+        sim = Simulator()
+
+        def proc(delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        procs = [sim.process(proc(3, "a")), sim.process(proc(1, "b"))]
+        gathered = []
+
+        def waiter():
+            values = yield all_of(sim, procs)
+            gathered.append((values, sim.now))
+
+        sim.process(waiter())
+        sim.run()
+        assert gathered == [(["a", "b"], 3)]
+
+    def test_empty_list_fires_immediately(self):
+        sim = Simulator()
+        done = all_of(sim, [])
+        assert done.fired and done.value == []
+
+    def test_already_fired_events(self):
+        sim = Simulator()
+        e1 = sim.event()
+        e1.succeed(1)
+        e2 = sim.event()
+        combined = all_of(sim, [e1, e2])
+        assert not combined.fired
+        e2.succeed(2)
+        assert combined.fired and combined.value == [1, 2]

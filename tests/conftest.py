@@ -1,0 +1,80 @@
+"""Shared fixtures: small deterministic tables, files and clusters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, Simulator
+from repro.core import BaselineStore, FusionStore, StoreConfig
+from repro.format import ColumnType, Table, write_table
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_small_table(num_rows: int = 2000, seed: int = 9) -> Table:
+    """A mixed-type table exercising every column type."""
+    r = np.random.default_rng(seed)
+    return Table.from_dict(
+        {
+            "id": (ColumnType.INT64, np.arange(num_rows)),
+            "qty": (ColumnType.INT64, r.integers(1, 50, num_rows)),
+            "price": (ColumnType.DOUBLE, np.round(r.uniform(0, 100, num_rows), 2)),
+            "day": (ColumnType.DATE, r.integers(16_000, 17_000, num_rows)),
+            "flag": (ColumnType.BOOL, r.integers(0, 2, num_rows).astype(bool)),
+            "tag": (ColumnType.STRING, [f"tag-{i % 7}" for i in range(num_rows)]),
+            "note": (
+                ColumnType.STRING,
+                [f"note {int(v)}" for v in r.integers(0, 10**9, num_rows)],
+            ),
+        }
+    )
+
+
+@pytest.fixture(scope="session")
+def small_table() -> Table:
+    return make_small_table()
+
+
+@pytest.fixture(scope="session")
+def small_file(small_table) -> bytes:
+    return write_table(small_table, row_group_rows=500)
+
+
+@pytest.fixture
+def cluster():
+    sim = Simulator()
+    return Cluster(sim, ClusterConfig(num_nodes=9))
+
+
+@pytest.fixture
+def fusion_store(cluster):
+    return FusionStore(cluster, StoreConfig(size_scale=100.0, storage_overhead_threshold=0.1, block_size=2_000_000))
+
+
+@pytest.fixture
+def baseline_store(cluster):
+    return BaselineStore(cluster, StoreConfig(size_scale=100.0, storage_overhead_threshold=0.1, block_size=2_000_000))
+
+
+@pytest.fixture
+def loaded_fusion(small_file):
+    """A FusionStore with the small table stored as 'tbl'."""
+    sim = Simulator()
+    cl = Cluster(sim, ClusterConfig(num_nodes=9))
+    store = FusionStore(cl, StoreConfig(size_scale=100.0, storage_overhead_threshold=0.1, block_size=2_000_000))
+    store.put("tbl", small_file)
+    return store
+
+
+@pytest.fixture
+def loaded_baseline(small_file):
+    """A BaselineStore with the small table stored as 'tbl'."""
+    sim = Simulator()
+    cl = Cluster(sim, ClusterConfig(num_nodes=9))
+    store = BaselineStore(cl, StoreConfig(size_scale=100.0, storage_overhead_threshold=0.1, block_size=2_000_000))
+    store.put("tbl", small_file)
+    return store

@@ -1,0 +1,144 @@
+"""BaselineStore: Put/Get/Query semantics and recovery."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, Simulator
+from repro.core import BaselineStore, ObjectNotFound, StoreConfig
+from repro.format import write_table
+from repro.sql import execute_local
+from tests.conftest import make_small_table
+
+QUERIES = [
+    "SELECT id, price FROM tbl WHERE qty < 5",
+    "SELECT tag FROM tbl WHERE id BETWEEN 100 AND 200",
+    "SELECT count(*), avg(price) FROM tbl WHERE flag = true",
+    "SELECT * FROM tbl WHERE day < '2013-12-01' AND qty > 25",
+    "SELECT note FROM tbl WHERE tag = 'tag-3' OR id < 3",
+    "SELECT id FROM tbl",
+]
+
+
+class TestPut:
+    def test_put_report(self, loaded_baseline, small_file):
+        obj = loaded_baseline.objects["tbl"]
+        assert obj.total_bytes == len(small_file)
+        assert len(obj.data_block_nodes) == len(obj.layout.blocks)
+
+    def test_duplicate_put_raises(self, loaded_baseline, small_file):
+        with pytest.raises(ValueError, match="exists"):
+            loaded_baseline.put("tbl", small_file)
+
+    def test_blocks_distributed_across_nodes(self, loaded_baseline):
+        obj = loaded_baseline.objects["tbl"]
+        nodes_used = set(obj.data_block_nodes.values())
+        assert len(nodes_used) > 1
+
+    def test_parity_blocks_stored(self, loaded_baseline):
+        obj = loaded_baseline.objects["tbl"]
+        for (stripe, pj), node_id in obj.parity_block_nodes.items():
+            node = loaded_baseline.cluster.node(node_id)
+            assert node.has_block(obj.parity_block_id(stripe, pj))
+
+    def test_stored_bytes_include_parity(self, loaded_baseline, small_file):
+        total = loaded_baseline.cluster.stored_bytes
+        assert total > len(small_file)
+
+    def test_put_latency_simulated(self, small_file):
+        sim = Simulator()
+        cl = Cluster(sim, ClusterConfig())
+        store = BaselineStore(cl, StoreConfig(size_scale=100.0))
+        report = store.put("tbl", small_file)
+        assert report.simulated_put_seconds > 0
+        assert report.strategy == "fixed"
+
+
+class TestGet:
+    def test_roundtrip(self, loaded_baseline, small_file):
+        assert loaded_baseline.get("tbl") == small_file
+
+    def test_unknown_object(self, loaded_baseline):
+        with pytest.raises(ObjectNotFound):
+            loaded_baseline.get("nope")
+
+
+class TestQuery:
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_matches_reference(self, loaded_baseline, small_table, sql):
+        result, metrics = loaded_baseline.query(sql)
+        expected = execute_local(sql, small_table)
+        assert result.equals(expected)
+        assert metrics.latency > 0
+
+    def test_unknown_object_raises(self, loaded_baseline):
+        with pytest.raises(ObjectNotFound):
+            loaded_baseline.query("SELECT x FROM missing")
+
+    def test_byte_granular_mode_same_results(self, small_file, small_table):
+        sim = Simulator()
+        cl = Cluster(sim, ClusterConfig())
+        store = BaselineStore(
+            cl, StoreConfig(size_scale=100.0, baseline_whole_block_reads=False)
+        )
+        store.put("tbl", small_file)
+        for sql in QUERIES[:3]:
+            result, _ = store.query(sql)
+            assert result.equals(execute_local(sql, small_table))
+
+    def test_whole_block_mode_moves_more_bytes(self, small_file):
+        def run(whole):
+            sim = Simulator()
+            cl = Cluster(sim, ClusterConfig())
+            store = BaselineStore(
+                cl, StoreConfig(size_scale=100.0, baseline_whole_block_reads=whole)
+            )
+            store.put("tbl", small_file)
+            _result, metrics = store.query(QUERIES[0])
+            return metrics.network_bytes
+
+        assert run(True) >= run(False)
+
+    def test_pruning_reduces_traffic(self, loaded_baseline):
+        # id is sorted: a narrow id filter prunes most row groups.
+        _r1, narrow = loaded_baseline.query("SELECT qty FROM tbl WHERE id < 10")
+        _r2, broad = loaded_baseline.query("SELECT qty FROM tbl WHERE qty < 100")
+        assert narrow.network_bytes < broad.network_bytes
+
+
+class TestRecovery:
+    def test_node_loss_recovery_preserves_object(self, small_file):
+        sim = Simulator()
+        cl = Cluster(sim, ClusterConfig(num_nodes=12))
+        store = BaselineStore(cl, StoreConfig(size_scale=10.0, block_size=500_000))
+        store.put("tbl", small_file)
+        victim = next(iter(store.objects["tbl"].data_block_nodes.values()))
+        for bid in list(cl.node(victim)._blocks):
+            cl.node(victim).drop_block(bid)
+        rebuilt = store.recover_node(victim)
+        assert rebuilt > 0
+        assert store.get("tbl") == small_file
+
+    def test_recovery_moves_blocks_off_victim(self, small_file):
+        sim = Simulator()
+        cl = Cluster(sim, ClusterConfig(num_nodes=12))
+        store = BaselineStore(cl, StoreConfig(size_scale=10.0, block_size=500_000))
+        store.put("tbl", small_file)
+        obj = store.objects["tbl"]
+        victim = next(iter(obj.data_block_nodes.values()))
+        for bid in list(cl.node(victim)._blocks):
+            cl.node(victim).drop_block(bid)
+        store.recover_node(victim)
+        assert victim not in set(obj.data_block_nodes.values())
+
+    def test_query_correct_after_recovery(self, small_file, small_table):
+        sim = Simulator()
+        cl = Cluster(sim, ClusterConfig(num_nodes=12))
+        store = BaselineStore(cl, StoreConfig(size_scale=10.0, block_size=500_000))
+        store.put("tbl", small_file)
+        victim = next(iter(store.objects["tbl"].data_block_nodes.values()))
+        for bid in list(cl.node(victim)._blocks):
+            cl.node(victim).drop_block(bid)
+        store.recover_node(victim)
+        sql = QUERIES[0]
+        result, _ = store.query(sql)
+        assert result.equals(execute_local(sql, small_table))

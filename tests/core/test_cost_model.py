@@ -1,0 +1,69 @@
+"""The pushdown Cost Equation and policy modes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PushdownCostEstimator, PushdownMode
+
+
+class TestCostEquation:
+    def test_pushes_when_product_below_one(self):
+        est = PushdownCostEstimator()
+        # selectivity 0.01 x compressibility 10 = 0.1 < 1 -> push.
+        d = est.decide(selectivity=0.01, compressed_size=100, plain_size=1000)
+        assert d.push_down
+        assert d.cost_product == pytest.approx(0.1)
+
+    def test_fetches_when_product_above_one(self):
+        est = PushdownCostEstimator()
+        # selectivity 0.5 x compressibility 10 = 5 > 1 -> fetch.
+        d = est.decide(selectivity=0.5, compressed_size=100, plain_size=1000)
+        assert not d.push_down
+
+    def test_boundary_is_strict(self):
+        est = PushdownCostEstimator()
+        # product exactly 1: not pushed (strict <).
+        d = est.decide(selectivity=0.1, compressed_size=100, plain_size=1000)
+        assert not d.push_down
+
+    def test_byte_estimates(self):
+        est = PushdownCostEstimator()
+        d = est.decide(selectivity=0.25, compressed_size=400, plain_size=2000)
+        assert d.pushdown_bytes == pytest.approx(500)
+        assert d.fetch_bytes == 400
+        assert d.compressibility == pytest.approx(5.0)
+
+    def test_zero_compressed_size(self):
+        est = PushdownCostEstimator()
+        d = est.decide(selectivity=0.5, compressed_size=0, plain_size=100)
+        assert d.compressibility == 1.0
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_invalid_selectivity_raises(self, bad):
+        with pytest.raises(ValueError):
+            PushdownCostEstimator().decide(bad, 10, 100)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        selectivity=st.floats(0, 1),
+        compressed=st.integers(1, 10**7),
+        plain=st.integers(1, 10**8),
+    )
+    def test_decision_matches_byte_comparison(self, selectivity, compressed, plain):
+        """Pushdown is chosen exactly when it ships fewer bytes."""
+        d = PushdownCostEstimator().decide(selectivity, compressed, plain)
+        assert d.push_down == (d.pushdown_bytes < d.fetch_bytes)
+
+
+class TestModes:
+    def test_always(self):
+        est = PushdownCostEstimator(PushdownMode.ALWAYS)
+        assert est.decide(1.0, 1, 10**6).push_down
+
+    def test_never(self):
+        est = PushdownCostEstimator(PushdownMode.NEVER)
+        assert not est.decide(0.0001, 10**6, 10**6).push_down
+
+    def test_mode_values(self):
+        assert PushdownMode("adaptive") is PushdownMode.ADAPTIVE

@@ -1,0 +1,100 @@
+"""Compression codecs: round trips, ratio sanity, corruption handling."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.format.compression import (
+    DEFAULT_CODEC,
+    SnappyLikeCodec,
+    codec_names,
+    get_codec,
+)
+
+
+class TestRegistry:
+    def test_known_codecs(self):
+        assert set(codec_names()) == {"none", "zlib", "snappy"}
+
+    def test_default_exists(self):
+        assert DEFAULT_CODEC in codec_names()
+
+    def test_unknown_codec_raises(self):
+        with pytest.raises(KeyError, match="unknown codec"):
+            get_codec("lz4")
+
+    @pytest.mark.parametrize("name", ["none", "zlib", "snappy"])
+    def test_name_attribute(self, name):
+        assert get_codec(name).name == name
+
+
+@pytest.mark.parametrize("name", ["none", "zlib", "snappy"])
+class TestRoundTrips:
+    def test_empty(self, name):
+        codec = get_codec(name)
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    def test_short(self, name):
+        codec = get_codec(name)
+        for data in (b"a", b"ab", b"abc", b"abcd"):
+            assert codec.decompress(codec.compress(data)) == data
+
+    def test_repetitive(self, name):
+        codec = get_codec(name)
+        data = b"abcdefgh" * 10_000
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_binary(self, name, rng):
+        codec = get_codec(name)
+        data = rng.integers(0, 256, size=50_000, dtype="u1").tobytes()
+        assert codec.decompress(codec.compress(data)) == data
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.binary(max_size=2000))
+    def test_property(self, name, data):
+        codec = get_codec(name)
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestSnappyLike:
+    def test_compresses_repetitive_data(self):
+        codec = SnappyLikeCodec()
+        data = b"the quick brown fox " * 1000
+        compressed = codec.compress(data)
+        assert len(compressed) < len(data) / 5
+
+    def test_incompressible_data_grows_bounded(self, rng):
+        codec = SnappyLikeCodec()
+        data = rng.integers(0, 256, size=10_000, dtype="u1").tobytes()
+        compressed = codec.compress(data)
+        # Literal framing adds at most 1 byte per 128 plus the 4-byte header.
+        assert len(compressed) <= len(data) + len(data) // 128 + 16
+
+    def test_overlapping_copy(self):
+        # Run replication requires overlapping back-references.
+        codec = SnappyLikeCodec()
+        data = b"ab" * 5000
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_long_runs_of_one_byte(self):
+        codec = SnappyLikeCodec()
+        data = b"\x00" * 100_000
+        compressed = codec.compress(data)
+        assert codec.decompress(compressed) == data
+        # Max match length is 131 bytes, so ~770 copy tokens of 3 bytes.
+        assert len(compressed) < 4000
+
+    def test_corrupt_offset_raises(self):
+        codec = SnappyLikeCodec()
+        # Header says 10 bytes; a match token with offset 0 is invalid.
+        bad = struct.pack("<I", 10) + bytes([0x80, 0x00, 0x00])
+        with pytest.raises(ValueError, match="offset"):
+            codec.decompress(bad)
+
+    def test_truncated_stream_raises(self):
+        codec = SnappyLikeCodec()
+        good = codec.compress(b"hello world, hello world, hello world")
+        with pytest.raises((ValueError, IndexError)):
+            codec.decompress(good[:-3] + struct.pack("<I", 999)[:3])

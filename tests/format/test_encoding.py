@@ -1,0 +1,188 @@
+"""Value encodings: plain, varint, bit-pack, RLE, dictionary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.format import encoding as enc
+from repro.format.schema import ColumnType
+
+
+class TestPlain:
+    @pytest.mark.parametrize(
+        "type_,values",
+        [
+            (ColumnType.INT64, [0, -5, 2**62, -(2**62)]),
+            (ColumnType.DOUBLE, [0.0, -1.5, 3.14159, 1e300]),
+            (ColumnType.DATE, [0, 18000, -365]),
+            (ColumnType.BOOL, [True, False, True]),
+        ],
+    )
+    def test_numeric_roundtrip(self, type_, values):
+        arr = np.asarray(values, dtype=type_.numpy_dtype)
+        data = enc.encode_plain(type_, arr)
+        out = enc.decode_plain(type_, data, len(values))
+        assert np.array_equal(out, arr)
+
+    def test_string_roundtrip(self):
+        values = np.array(["", "a", "héllo wörld", "x" * 1000], dtype=object)
+        data = enc.encode_plain(ColumnType.STRING, values)
+        out = enc.decode_plain(ColumnType.STRING, data, 4)
+        assert list(out) == list(values)
+
+    def test_fixed_width_sizes(self):
+        arr = np.arange(10, dtype=np.int64)
+        assert len(enc.encode_plain(ColumnType.INT64, arr)) == 80
+        days = np.arange(10, dtype=np.int32)
+        assert len(enc.encode_plain(ColumnType.DATE, days)) == 40
+
+    @given(st.lists(st.floats(allow_nan=False), max_size=50))
+    def test_double_property(self, values):
+        arr = np.asarray(values, dtype=np.float64)
+        out = enc.decode_plain(
+            ColumnType.DOUBLE, enc.encode_plain(ColumnType.DOUBLE, arr), len(values)
+        )
+        assert np.array_equal(out, arr)
+
+    @given(st.lists(st.text(max_size=20), max_size=30))
+    def test_string_property(self, values):
+        arr = np.empty(len(values), dtype=object)
+        for i, v in enumerate(values):
+            arr[i] = v
+        out = enc.decode_plain(
+            ColumnType.STRING, enc.encode_plain(ColumnType.STRING, arr), len(values)
+        )
+        assert list(out) == values
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**60])
+    def test_roundtrip(self, value):
+        data = enc.encode_varint(value)
+        out, pos = enc.decode_varint(data, 0)
+        assert out == value
+        assert pos == len(data)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            enc.encode_varint(-1)
+
+    def test_single_byte_for_small(self):
+        assert len(enc.encode_varint(127)) == 1
+        assert len(enc.encode_varint(128)) == 2
+
+    @given(st.lists(st.integers(0, 2**50), min_size=1, max_size=20))
+    def test_stream_roundtrip(self, values):
+        data = b"".join(enc.encode_varint(v) for v in values)
+        pos = 0
+        out = []
+        for _ in values:
+            v, pos = enc.decode_varint(data, pos)
+            out.append(v)
+        assert out == values
+
+
+class TestBitpack:
+    @pytest.mark.parametrize("bit_width", [1, 2, 3, 7, 8, 13, 20])
+    def test_roundtrip(self, bit_width, rng):
+        codes = rng.integers(0, 2**bit_width, size=100)
+        data = enc.bitpack_encode(codes, bit_width)
+        out = enc.bitpack_decode(data, bit_width, 100)
+        assert np.array_equal(out, codes)
+
+    def test_empty(self):
+        assert enc.bitpack_encode(np.zeros(0, dtype=np.int64), 4) == b""
+        assert len(enc.bitpack_decode(b"", 4, 0)) == 0
+
+    def test_value_exceeding_width_raises(self):
+        with pytest.raises(ValueError):
+            enc.bitpack_encode(np.array([8]), 3)
+
+    def test_packed_size(self):
+        # 100 values at 3 bits = 300 bits = 38 bytes.
+        data = enc.bitpack_encode(np.ones(100, dtype=np.int64), 3)
+        assert len(data) == 38
+
+    def test_bit_width_for(self):
+        assert enc.bit_width_for(0) == 1
+        assert enc.bit_width_for(1) == 1
+        assert enc.bit_width_for(2) == 2
+        assert enc.bit_width_for(255) == 8
+        assert enc.bit_width_for(256) == 9
+
+    def test_bit_width_for_negative_raises(self):
+        with pytest.raises(ValueError):
+            enc.bit_width_for(-1)
+
+
+class TestRle:
+    def test_roundtrip_runs(self):
+        codes = np.array([5] * 100 + [2] * 50 + [5] * 3)
+        data = enc.rle_encode(codes)
+        assert np.array_equal(enc.rle_decode(data, len(codes)), codes)
+
+    def test_compresses_runs(self):
+        codes = np.zeros(10_000, dtype=np.int64)
+        assert len(enc.rle_encode(codes)) < 10
+
+    def test_empty(self):
+        assert enc.rle_encode(np.zeros(0, dtype=np.int64)) == b""
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            enc.rle_encode(np.array([-1]))
+
+    @given(st.lists(st.integers(0, 10), max_size=200))
+    def test_property(self, values):
+        codes = np.asarray(values, dtype=np.int64)
+        if len(codes) == 0:
+            return
+        data = enc.rle_encode(codes)
+        assert np.array_equal(enc.rle_decode(data, len(codes)), codes)
+
+
+class TestIndexStream:
+    def test_picks_rle_for_runs(self):
+        codes = np.zeros(1000, dtype=np.int64)
+        data = enc.encode_index_stream(codes, 1)
+        assert data[0] == 0  # RLE marker
+        assert np.array_equal(enc.decode_index_stream(data, 1, 1000), codes)
+
+    def test_picks_bitpack_for_random(self, rng):
+        codes = rng.integers(0, 16, size=1000)
+        data = enc.encode_index_stream(codes, 4)
+        assert data[0] == 1  # bitpack marker
+        assert np.array_equal(enc.decode_index_stream(data, 4, 1000), codes)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="kind"):
+            enc.decode_index_stream(b"\x07abc", 4, 10)
+
+    def test_empty_stream(self):
+        assert len(enc.decode_index_stream(b"", 4, 0)) == 0
+
+
+class TestDictionary:
+    def test_first_appearance_order(self):
+        values = np.array(["b", "a", "b", "c", "a"], dtype=object)
+        uniques, codes = enc.build_dictionary(ColumnType.STRING, values)
+        assert list(uniques) == ["b", "a", "c"]
+        assert codes.tolist() == [0, 1, 0, 2, 1]
+
+    def test_numeric_first_appearance_order(self):
+        values = np.array([30, 10, 30, 20], dtype=np.int64)
+        uniques, codes = enc.build_dictionary(ColumnType.INT64, values)
+        assert uniques.tolist() == [30, 10, 20]
+        assert codes.tolist() == [0, 1, 0, 2]
+
+    def test_codes_reconstruct_values(self, rng):
+        values = rng.integers(0, 20, size=500)
+        uniques, codes = enc.build_dictionary(ColumnType.INT64, values)
+        assert np.array_equal(uniques[codes], values)
+
+    def test_should_use_dictionary_heuristic(self):
+        assert enc.should_use_dictionary(1000, 10)
+        assert enc.should_use_dictionary(1000, 500)
+        assert not enc.should_use_dictionary(1000, 501)
+        assert not enc.should_use_dictionary(0, 0)

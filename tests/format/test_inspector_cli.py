@@ -1,0 +1,51 @@
+"""The `python -m repro.format inspect` CLI."""
+
+import pytest
+
+from repro.format.__main__ import describe, main
+from repro.format.reader import PaxFile
+
+
+@pytest.fixture
+def pax_path(tmp_path, small_file):
+    path = tmp_path / "table.pax"
+    path.write_bytes(small_file)
+    return str(path)
+
+
+class TestDescribe:
+    def test_summary_fields(self, small_file):
+        text = describe(PaxFile(small_file))
+        assert "rows:" in text and "row groups:" in text
+        assert "schema:" in text
+        assert "qty" in text
+
+    def test_chunk_listing(self, small_file):
+        text = describe(PaxFile(small_file), show_chunks=True)
+        assert "encoding" in text
+        assert "zlib" in text
+
+
+class TestMain:
+    def test_inspect(self, pax_path, capsys):
+        assert main(["inspect", pax_path]) == 0
+        out = capsys.readouterr().out
+        assert "rows:" in out
+
+    def test_inspect_chunks(self, pax_path, capsys):
+        assert main(["inspect", pax_path, "--chunks"]) == 0
+        assert "ratio" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["inspect", "/no/such/file.pax"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.pax"
+        bad.write_bytes(b"junk data, definitely not PAX")
+        assert main(["inspect", str(bad)]) == 1
+        assert "not a PAX file" in capsys.readouterr().err
+
+    def test_usage(self, capsys):
+        assert main([]) == 1
+        assert main(["--help"]) == 0

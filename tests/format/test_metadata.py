@@ -1,0 +1,112 @@
+"""Footer metadata structures and JSON serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.format import ColumnType, PaxFile, write_table
+from repro.format.metadata import (
+    ChunkStats,
+    ColumnChunkMeta,
+    FileMetadata,
+    RowGroupMeta,
+    compute_stats,
+)
+from repro.format.schema import Field, Schema
+
+
+def _chunk(rg=0, col=0, name="x", offset=4, size=10):
+    return ColumnChunkMeta(
+        column=name,
+        type=ColumnType.INT64,
+        row_group=rg,
+        column_index=col,
+        offset=offset,
+        size=size,
+        plain_size=40,
+        num_values=5,
+        encoding="plain",
+        codec="zlib",
+        stats=ChunkStats(min_value=1, max_value=9),
+    )
+
+
+class TestColumnChunkMeta:
+    def test_derived_fields(self):
+        c = _chunk()
+        assert c.end_offset == 14
+        assert c.key == (0, 0)
+        assert c.compressibility == pytest.approx(4.0)
+
+    def test_zero_size_compressibility(self):
+        c = _chunk(size=0)
+        assert c.compressibility == 1.0
+
+    def test_dict_roundtrip(self):
+        c = _chunk()
+        assert ColumnChunkMeta.from_dict(c.to_dict()) == c
+
+
+class TestRowGroupMeta:
+    def test_column_lookup(self):
+        rg = RowGroupMeta(index=0, num_rows=5, columns=(_chunk(name="a"), _chunk(col=1, name="b")))
+        assert rg.column("b").column_index == 1
+        with pytest.raises(KeyError):
+            rg.column("z")
+
+
+class TestFileMetadata:
+    def _meta(self):
+        schema = Schema([Field("a", ColumnType.INT64)])
+        rgs = [
+            RowGroupMeta(index=0, num_rows=5, columns=(_chunk(name="a"),)),
+            RowGroupMeta(index=1, num_rows=5, columns=(_chunk(rg=1, name="a", offset=14),)),
+        ]
+        return FileMetadata(schema=schema, num_rows=10, row_groups=rgs)
+
+    def test_all_chunks_order(self):
+        meta = self._meta()
+        assert [c.row_group for c in meta.all_chunks()] == [0, 1]
+
+    def test_chunks_for_column(self):
+        assert len(self._meta().chunks_for_column("a")) == 2
+
+    def test_json_roundtrip(self):
+        meta = self._meta()
+        restored = FileMetadata.from_json(meta.to_json())
+        assert restored.schema == meta.schema
+        assert restored.num_rows == meta.num_rows
+        assert restored.all_chunks() == meta.all_chunks()
+
+    def test_data_size(self):
+        assert self._meta().data_size == 20
+
+
+class TestComputeStats:
+    def test_numeric(self):
+        stats = compute_stats(ColumnType.INT64, np.array([5, 1, 9]))
+        assert (stats.min_value, stats.max_value) == (1, 9)
+        assert isinstance(stats.min_value, int)
+
+    def test_double(self):
+        stats = compute_stats(ColumnType.DOUBLE, np.array([1.5, -2.25]))
+        assert stats.min_value == -2.25
+        assert isinstance(stats.max_value, float)
+
+    def test_string(self):
+        arr = np.array(["b", "a", "c"], dtype=object)
+        stats = compute_stats(ColumnType.STRING, arr)
+        assert (stats.min_value, stats.max_value) == ("a", "c")
+
+    def test_bool(self):
+        stats = compute_stats(ColumnType.BOOL, np.array([True, False]))
+        assert (stats.min_value, stats.max_value) == (False, True)
+
+    def test_empty(self):
+        stats = compute_stats(ColumnType.INT64, np.zeros(0, dtype=np.int64))
+        assert stats.min_value is None and stats.max_value is None
+
+    def test_stats_survive_json(self, small_table):
+        data = write_table(small_table, row_group_rows=500)
+        meta = PaxFile(data).metadata
+        c = meta.chunk(0, "day")
+        assert isinstance(c.stats.min_value, int)

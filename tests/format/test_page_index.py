@@ -1,0 +1,103 @@
+"""Per-page statistics and the page index reader."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.format.pages import (
+    chunk_page_index,
+    decode_column_chunk,
+    encode_column_chunk,
+)
+from repro.format.schema import ColumnType
+from repro.sql.ast_nodes import CompareOp, Comparison
+from repro.sql.predicate import eval_leaf, leaf_may_match
+
+
+class TestPageIndex:
+    def test_page_boundaries(self):
+        values = np.arange(2500, dtype=np.int64)
+        chunk = encode_column_chunk(ColumnType.INT64, values, "zlib", page_values=1000)
+        pages = chunk_page_index(chunk.data)
+        assert [p.num_values for p in pages] == [1000, 1000, 500]
+        assert [p.start_row for p in pages] == [0, 1000, 2000]
+
+    def test_stats_match_page_contents(self):
+        values = np.arange(3000, dtype=np.int64)
+        chunk = encode_column_chunk(ColumnType.INT64, values, "zlib", page_values=1000)
+        for p in chunk_page_index(chunk.data):
+            assert p.min_value == p.start_row
+            assert p.max_value == p.start_row + p.num_values - 1
+
+    def test_string_stats(self):
+        values = np.array([f"k{i:04d}" for i in range(1000)], dtype=object)
+        chunk = encode_column_chunk(ColumnType.STRING, values, "none", page_values=500)
+        pages = chunk_page_index(chunk.data)
+        assert pages[0].min_value == "k0000"
+        assert pages[1].max_value == "k0999"
+
+    def test_long_strings_omit_stats(self):
+        values = np.array(["x" * 100, "y" * 100], dtype=object)
+        chunk = encode_column_chunk(ColumnType.STRING, values, "none", page_values=1)
+        for p in chunk_page_index(chunk.data):
+            assert p.min_value is None and p.max_value is None
+
+    def test_double_and_date_and_bool(self):
+        for type_, values in [
+            (ColumnType.DOUBLE, np.linspace(0, 1, 100)),
+            (ColumnType.DATE, np.arange(100, dtype=np.int32)),
+            (ColumnType.BOOL, np.array([False] * 50 + [True] * 50)),
+        ]:
+            chunk = encode_column_chunk(type_, values, "zlib", page_values=50)
+            pages = chunk_page_index(chunk.data)
+            assert len(pages) == 2
+            assert pages[0].min_value is not None
+
+    def test_dictionary_encoded_chunk(self):
+        values = np.array([i % 5 for i in range(2000)], dtype=np.int64)
+        chunk = encode_column_chunk(ColumnType.INT64, values, "zlib", page_values=400)
+        assert chunk.encoding == "dictionary"
+        pages = chunk_page_index(chunk.data)
+        assert len(pages) == 5
+        assert all(p.min_value == 0 and p.max_value == 4 for p in pages)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(1, 600),
+        page_values=st.integers(1, 200),
+        seed=st.integers(0, 50),
+    )
+    def test_index_consistent_with_decode(self, n, page_values, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(-50, 50, size=n)
+        chunk = encode_column_chunk(ColumnType.INT64, values, "zlib", page_values=page_values)
+        pages = chunk_page_index(chunk.data)
+        decoded = decode_column_chunk(chunk.data)
+        assert sum(p.num_values for p in pages) == n
+        for p in pages:
+            segment = decoded[p.start_row : p.start_row + p.num_values]
+            assert p.min_value == segment.min()
+            assert p.max_value == segment.max()
+
+
+class TestPageSkippingConservative:
+    """The invariant page skipping relies on: a pruned page has no match."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(1, 500),
+        literal=st.integers(-60, 60),
+        op=st.sampled_from(list(CompareOp)),
+        seed=st.integers(0, 30),
+    )
+    def test_pruned_pages_have_no_matches(self, n, literal, op, seed):
+        rng = np.random.default_rng(seed)
+        values = np.sort(rng.integers(-50, 50, size=n))
+        chunk = encode_column_chunk(ColumnType.INT64, values, "zlib", page_values=100)
+        decoded = decode_column_chunk(chunk.data)
+        leaf = Comparison("x", op, literal)
+        for p in chunk_page_index(chunk.data):
+            if not leaf_may_match(leaf, ColumnType.INT64, p.min_value, p.max_value):
+                segment = decoded[p.start_row : p.start_row + p.num_values]
+                assert not eval_leaf(leaf, ColumnType.INT64, segment).any()

@@ -1,0 +1,134 @@
+"""Self-contained column chunks: encode/decode across types and codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.format.encoding import DICTIONARY, PLAIN
+from repro.format.pages import chunk_type, decode_column_chunk, encode_column_chunk
+from repro.format.schema import ColumnType
+
+
+def _values(type_: ColumnType, n: int, seed: int = 0, cardinality: int = 10):
+    rng = np.random.default_rng(seed)
+    if type_ is ColumnType.INT64:
+        return rng.integers(0, cardinality, size=n)
+    if type_ is ColumnType.DOUBLE:
+        return np.round(rng.uniform(0, 100, size=n), 2)
+    if type_ is ColumnType.DATE:
+        return rng.integers(15_000, 15_000 + cardinality, size=n).astype(np.int32)
+    if type_ is ColumnType.BOOL:
+        return rng.integers(0, 2, size=n).astype(bool)
+    arr = np.empty(n, dtype=object)
+    for i in range(n):
+        arr[i] = f"value-{rng.integers(0, cardinality)}"
+    return arr
+
+
+ALL_TYPES = list(ColumnType)
+
+
+@pytest.mark.parametrize("type_", ALL_TYPES)
+@pytest.mark.parametrize("codec", ["none", "zlib", "snappy"])
+class TestRoundTrip:
+    def test_roundtrip(self, type_, codec):
+        values = _values(type_, 500)
+        chunk = encode_column_chunk(type_, values, codec_name=codec)
+        out = decode_column_chunk(chunk.data)
+        if type_ is ColumnType.STRING:
+            assert list(out) == list(values)
+        else:
+            assert np.array_equal(out, np.asarray(values, dtype=type_.numpy_dtype))
+
+    def test_multiple_pages(self, type_, codec):
+        values = _values(type_, 1000)
+        chunk = encode_column_chunk(type_, values, codec_name=codec, page_values=100)
+        out = decode_column_chunk(chunk.data)
+        if type_ is ColumnType.STRING:
+            assert list(out) == list(values)
+        else:
+            assert np.array_equal(out, np.asarray(values, dtype=type_.numpy_dtype))
+
+
+class TestEncodingChoice:
+    def test_low_cardinality_uses_dictionary(self):
+        values = _values(ColumnType.INT64, 1000, cardinality=5)
+        chunk = encode_column_chunk(ColumnType.INT64, values, codec_name="zlib")
+        assert chunk.encoding == DICTIONARY
+
+    def test_unique_values_use_plain(self):
+        values = np.arange(1000, dtype=np.int64)
+        chunk = encode_column_chunk(ColumnType.INT64, values, codec_name="zlib")
+        assert chunk.encoding == PLAIN
+
+    def test_force_encoding(self):
+        values = np.arange(100, dtype=np.int64)
+        chunk = encode_column_chunk(
+            ColumnType.INT64, values, codec_name="none", force_encoding=DICTIONARY
+        )
+        assert chunk.encoding == DICTIONARY
+        assert np.array_equal(decode_column_chunk(chunk.data), values)
+
+    def test_dictionary_compresses_repetitive(self):
+        values = _values(ColumnType.STRING, 2000, cardinality=3)
+        chunk = encode_column_chunk(ColumnType.STRING, values, codec_name="zlib")
+        assert chunk.compressibility > 5
+
+
+class TestChunkFacts:
+    def test_plain_size_matches_plain_encoding(self):
+        values = np.arange(100, dtype=np.int64)
+        chunk = encode_column_chunk(ColumnType.INT64, values, codec_name="zlib")
+        assert chunk.plain_size == 800
+
+    def test_num_values(self):
+        chunk = encode_column_chunk(
+            ColumnType.DOUBLE, _values(ColumnType.DOUBLE, 321), codec_name="none"
+        )
+        assert chunk.num_values == 321
+
+    def test_compressed_size_is_len_data(self):
+        chunk = encode_column_chunk(
+            ColumnType.INT64, np.arange(50, dtype=np.int64), codec_name="zlib"
+        )
+        assert chunk.compressed_size == len(chunk.data)
+
+    def test_chunk_type_peek(self):
+        for type_ in ALL_TYPES:
+            chunk = encode_column_chunk(type_, _values(type_, 10), codec_name="none")
+            assert chunk_type(chunk.data) is type_
+
+    def test_empty_chunk_roundtrip(self):
+        values = np.zeros(0, dtype=np.int64)
+        chunk = encode_column_chunk(ColumnType.INT64, values, codec_name="zlib")
+        assert chunk.num_values == 0
+        assert len(decode_column_chunk(chunk.data)) == 0
+
+    def test_bad_page_values_raises(self):
+        with pytest.raises(ValueError):
+            encode_column_chunk(
+                ColumnType.INT64, np.arange(10, dtype=np.int64), "none", page_values=0
+            )
+
+
+class TestSelfContainment:
+    """A chunk's bytes alone must suffice to decode it (the paper's
+    smallest-computable-unit property)."""
+
+    def test_decode_needs_only_chunk_bytes(self):
+        values = _values(ColumnType.STRING, 300, cardinality=4)
+        chunk = encode_column_chunk(ColumnType.STRING, values, codec_name="snappy")
+        copied = bytes(bytearray(chunk.data))  # fresh buffer, no shared state
+        assert list(decode_column_chunk(copied)) == list(values)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(1, 400),
+        cardinality=st.integers(1, 50),
+        seed=st.integers(0, 99),
+    )
+    def test_int_roundtrip_property(self, n, cardinality, seed):
+        values = _values(ColumnType.INT64, n, seed=seed, cardinality=cardinality)
+        chunk = encode_column_chunk(ColumnType.INT64, values, codec_name="zlib")
+        assert np.array_equal(decode_column_chunk(chunk.data), values)

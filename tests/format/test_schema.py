@@ -1,0 +1,58 @@
+"""Schema and type metadata."""
+
+import numpy as np
+import pytest
+
+from repro.format import ColumnType, Field, Schema
+
+
+class TestColumnType:
+    def test_numpy_dtypes(self):
+        assert ColumnType.INT64.numpy_dtype == np.int64
+        assert ColumnType.DOUBLE.numpy_dtype == np.float64
+        assert ColumnType.DATE.numpy_dtype == np.int32
+        assert ColumnType.BOOL.numpy_dtype == np.bool_
+        assert ColumnType.STRING.numpy_dtype is None
+
+    def test_fixed_widths(self):
+        assert ColumnType.INT64.fixed_width == 8
+        assert ColumnType.DOUBLE.fixed_width == 8
+        assert ColumnType.DATE.fixed_width == 4
+        assert ColumnType.BOOL.fixed_width == 1
+        assert ColumnType.STRING.fixed_width is None
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema([Field("a", ColumnType.INT64), Field("b", ColumnType.STRING)])
+
+    def test_lookup(self):
+        s = self._schema()
+        assert s.field("b").type is ColumnType.STRING
+        assert s.index_of("a") == 0
+        assert "a" in s
+        assert "z" not in s
+
+    def test_unknown_field_raises_with_names(self):
+        with pytest.raises(KeyError, match="have"):
+            self._schema().field("z")
+        with pytest.raises(KeyError):
+            self._schema().index_of("z")
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema([Field("a", ColumnType.INT64), Field("a", ColumnType.INT64)])
+
+    def test_len_iter_names(self):
+        s = self._schema()
+        assert len(s) == 2
+        assert [f.name for f in s] == ["a", "b"]
+        assert s.names() == ["a", "b"]
+
+    def test_dict_roundtrip(self):
+        s = self._schema()
+        assert Schema.from_dict(s.to_dict()) == s
+
+    def test_equality(self):
+        assert self._schema() == self._schema()
+        assert self._schema() != Schema([Field("a", ColumnType.INT64)])

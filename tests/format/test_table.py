@@ -1,0 +1,95 @@
+"""Table and Column: coercion, slicing, projection, equality."""
+
+import numpy as np
+import pytest
+
+from repro.format import Column, ColumnType, Field, Table
+
+
+class TestColumn:
+    def test_coerces_dtype(self):
+        col = Column(Field("x", ColumnType.INT64), [1, 2, 3])
+        assert col.values.dtype == np.int64
+
+    def test_string_column_rejects_non_str(self):
+        with pytest.raises(TypeError, match="non-str"):
+            Column(Field("s", ColumnType.STRING), ["a", 5])
+
+    def test_take_and_slice(self):
+        col = Column(Field("x", ColumnType.INT64), np.arange(10))
+        assert col.take(np.array([1, 3])).values.tolist() == [1, 3]
+        assert col.slice(2, 5).values.tolist() == [2, 3, 4]
+
+    def test_plain_size_fixed_width(self):
+        col = Column(Field("x", ColumnType.DOUBLE), np.zeros(10))
+        assert col.plain_size() == 80
+        date = Column(Field("d", ColumnType.DATE), np.zeros(10, dtype=np.int32))
+        assert date.plain_size() == 40
+
+    def test_plain_size_strings(self):
+        col = Column(Field("s", ColumnType.STRING), ["ab", "c"])
+        assert col.plain_size() == (4 + 2) + (4 + 1)
+
+
+class TestTable:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_rejects_unequal_lengths(self):
+        a = Column(Field("a", ColumnType.INT64), [1, 2])
+        b = Column(Field("b", ColumnType.INT64), [1, 2, 3])
+        with pytest.raises(ValueError, match="unequal"):
+            Table([a, b])
+
+    def test_rejects_duplicate_names(self):
+        a = Column(Field("a", ColumnType.INT64), [1])
+        b = Column(Field("a", ColumnType.INT64), [2])
+        with pytest.raises(ValueError, match="duplicate"):
+            Table([a, b])
+
+    def test_getitem_and_column(self, small_table):
+        assert np.array_equal(small_table["id"], small_table.column("id").values)
+
+    def test_unknown_column_raises(self, small_table):
+        with pytest.raises(KeyError):
+            small_table.column("nope")
+
+    def test_select_order(self, small_table):
+        sub = small_table.select(["price", "id"])
+        assert sub.schema.names() == ["price", "id"]
+
+    def test_slice_preserves_schema(self, small_table):
+        sub = small_table.slice(10, 20)
+        assert sub.num_rows == 10
+        assert sub.schema == small_table.schema
+
+    def test_take(self, small_table):
+        idx = np.array([5, 1, 100])
+        sub = small_table.take(idx)
+        assert sub["id"].tolist() == [5, 1, 100]
+
+    def test_equals_self(self, small_table):
+        assert small_table.equals(small_table)
+
+    def test_equals_detects_value_change(self, small_table):
+        other = small_table.take(np.arange(small_table.num_rows))
+        other["qty"][0] += 1
+        assert not small_table.equals(other)
+
+    def test_equals_detects_schema_change(self, small_table):
+        assert not small_table.equals(small_table.select(["id", "qty"]))
+
+    def test_equals_nan_safe(self):
+        t1 = Table.from_dict({"x": (ColumnType.DOUBLE, [1.0, float("nan")])})
+        t2 = Table.from_dict({"x": (ColumnType.DOUBLE, [1.0, float("nan")])})
+        assert t1.equals(t2)
+
+    def test_from_dict_preserves_order(self):
+        t = Table.from_dict(
+            {
+                "b": (ColumnType.INT64, [1]),
+                "a": (ColumnType.INT64, [2]),
+            }
+        )
+        assert t.schema.names() == ["b", "a"]

@@ -1,0 +1,121 @@
+"""Whole-file writer/reader: round trips, footer facts, error handling."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.format import (
+    ColumnType,
+    FormatError,
+    PaxFile,
+    Table,
+    decode_column_chunk,
+    read_metadata,
+    read_table,
+    write_table,
+)
+from tests.conftest import make_small_table
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("codec", ["none", "zlib", "snappy"])
+    def test_full_roundtrip(self, small_table, codec):
+        data = write_table(small_table, row_group_rows=700, codec=codec)
+        assert read_table(data).equals(small_table)
+
+    def test_column_subset(self, small_file, small_table):
+        out = read_table(small_file, columns=["price", "tag"])
+        assert out.equals(small_table.select(["price", "tag"]))
+
+    def test_single_row_group(self, small_table):
+        data = write_table(small_table, row_group_rows=10_000)
+        f = PaxFile(data)
+        assert f.metadata.num_row_groups == 1
+        assert f.read_table().equals(small_table)
+
+    def test_exact_row_group_boundary(self):
+        table = make_small_table(num_rows=1000)
+        data = write_table(table, row_group_rows=250)
+        f = PaxFile(data)
+        assert f.metadata.num_row_groups == 4
+        assert all(rg.num_rows == 250 for rg in f.metadata.row_groups)
+        assert f.read_table().equals(table)
+
+    def test_trailing_partial_row_group(self):
+        table = make_small_table(num_rows=1001)
+        f = PaxFile(write_table(table, row_group_rows=250))
+        assert f.metadata.num_row_groups == 5
+        assert f.metadata.row_groups[-1].num_rows == 1
+
+    def test_single_row_table(self):
+        table = make_small_table(num_rows=1)
+        assert read_table(write_table(table)).equals(table)
+
+
+class TestChunkAccess:
+    def test_chunk_bytes_are_self_contained(self, small_file, small_table):
+        f = PaxFile(small_file)
+        meta = f.metadata.chunk(1, "qty")
+        values = decode_column_chunk(f.chunk_bytes(meta))
+        assert np.array_equal(values, small_table["qty"][500:1000])
+
+    def test_read_chunk(self, small_file, small_table):
+        f = PaxFile(small_file)
+        out = f.read_chunk(0, "tag")
+        assert list(out) == list(small_table["tag"][:500])
+
+    def test_read_column_concatenates_row_groups(self, small_file, small_table):
+        f = PaxFile(small_file)
+        assert np.array_equal(f.read_column("price"), small_table["price"])
+
+    def test_chunks_are_contiguous(self, small_file):
+        f = PaxFile(small_file)
+        chunks = f.metadata.all_chunks()
+        pos = 4  # after magic
+        for c in chunks:
+            assert c.offset == pos
+            pos += c.size
+
+
+class TestFooterFacts:
+    def test_stats_match_values(self, small_file, small_table):
+        f = PaxFile(small_file)
+        meta = f.metadata.chunk(0, "qty")
+        segment = small_table["qty"][:500]
+        assert meta.stats.min_value == segment.min()
+        assert meta.stats.max_value == segment.max()
+
+    def test_plain_and_compressed_sizes(self, small_file):
+        f = PaxFile(small_file)
+        for c in f.metadata.all_chunks():
+            assert c.size > 0
+            assert c.plain_size > 0
+            assert c.compressibility > 0
+
+    def test_num_rows(self, small_file, small_table):
+        assert PaxFile(small_file).num_rows == small_table.num_rows
+
+    def test_data_size_excludes_footer(self, small_file):
+        f = PaxFile(small_file)
+        assert f.metadata.data_size < len(small_file)
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(FormatError, match="magic"):
+            read_metadata(b"NOPE" + b"\x00" * 100 + b"NOPE")
+
+    def test_too_small(self):
+        with pytest.raises(FormatError, match="small"):
+            read_metadata(b"FU")
+
+    def test_bad_footer_length(self, small_file):
+        corrupted = bytearray(small_file)
+        struct.pack_into("<I", corrupted, len(corrupted) - 8, 2**31)
+        with pytest.raises(FormatError, match="footer"):
+            read_metadata(bytes(corrupted))
+
+    def test_bad_row_group_rows(self, small_table):
+        with pytest.raises(ValueError):
+            write_table(small_table, row_group_rows=0)

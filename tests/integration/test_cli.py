@@ -1,0 +1,67 @@
+"""The `python -m repro.bench` CLI."""
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig13ab", "table3", "fig16bc"):
+            assert name in out
+
+    def test_help(self, capsys):
+        assert main([]) == 0
+        assert "experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 1
+        assert "unknown" in capsys.readouterr().err
+
+    def test_runs_one_experiment(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Q1" in out and "took" in out
+
+    def test_registry_complete(self):
+        # Every paper table/figure has an entry.
+        for required in (
+            "table3",
+            "table4",
+            "fig4a",
+            "fig4b",
+            "fig4c",
+            "fig4d",
+            "fig6",
+            "fig10a",
+            "fig10b",
+            "fig12",
+            "fig13ab",
+            "fig13cd",
+            "fig14ab",
+            "fig14c",
+            "fig14d",
+            "fig15a",
+            "fig15b",
+            "fig16a",
+            "fig16bc",
+        ):
+            assert required in ALL_EXPERIMENTS
+
+    def test_every_experiment_has_docstring(self):
+        for name, fn in ALL_EXPERIMENTS.items():
+            assert fn.__doc__, name
+
+    def test_json_export(self, tmp_path, capsys):
+        import json
+
+        assert main(["table4", "--json", str(tmp_path)]) == 0
+        doc = json.loads((tmp_path / "table4.json").read_text())
+        assert doc["experiment"] == "table4"
+        assert doc["rows"]
+
+    def test_json_flag_needs_dir(self, capsys):
+        assert main(["table4", "--json"]) == 1

@@ -1,0 +1,85 @@
+"""Delete API: block reclamation and name reuse."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, Simulator
+from repro.core import BaselineStore, FusionStore, ObjectNotFound, StoreConfig
+from repro.format import write_table
+from tests.conftest import make_small_table
+
+
+def _system(store_cls):
+    table = make_small_table(num_rows=1500, seed=55)
+    data = write_table(table, row_group_rows=300)
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(num_nodes=9))
+    store = store_cls(
+        cluster,
+        StoreConfig(size_scale=50.0, storage_overhead_threshold=0.1, block_size=500_000),
+    )
+    store.put("tbl", data)
+    return store, cluster, data
+
+
+@pytest.mark.parametrize("store_cls", [FusionStore, BaselineStore])
+class TestDelete:
+    def test_reclaims_all_blocks(self, store_cls):
+        store, cluster, _data = _system(store_cls)
+        assert cluster.stored_bytes > 0
+        reclaimed = store.delete("tbl")
+        assert reclaimed > 0
+        assert cluster.stored_bytes == 0
+
+    def test_object_gone_after_delete(self, store_cls):
+        store, _cluster, _data = _system(store_cls)
+        store.delete("tbl")
+        with pytest.raises(ObjectNotFound):
+            store.get("tbl")
+        with pytest.raises(ObjectNotFound):
+            store.query("SELECT id FROM tbl")
+
+    def test_delete_unknown_raises(self, store_cls):
+        store, _cluster, _data = _system(store_cls)
+        with pytest.raises(ObjectNotFound):
+            store.delete("missing")
+
+    def test_name_reusable_after_delete(self, store_cls):
+        store, _cluster, data = _system(store_cls)
+        store.delete("tbl")
+        store.put("tbl", data)
+        assert store.get("tbl") == data
+
+    def test_delete_one_of_many(self, store_cls):
+        store, cluster, data = _system(store_cls)
+        other = write_table(make_small_table(num_rows=500, seed=56), row_group_rows=250)
+        store.put("other", other)
+        store.delete("tbl")
+        assert store.get("other") == other
+        result, _ = store.query("SELECT id FROM other WHERE qty < 100")
+        assert result.total_rows == 500
+
+
+class TestFusionFallbackDelete:
+    def test_delete_fallback_object(self):
+        import numpy as np
+
+        from repro.format import ColumnType, Table
+
+        rng = np.random.default_rng(0)
+        n = 2000
+        table = Table.from_dict(
+            {
+                "k": (ColumnType.INT64, np.zeros(n, dtype=np.int64)),
+                "pad": (ColumnType.STRING, ["x" * int(v) for v in rng.integers(300, 600, n)]),
+            }
+        )
+        data = write_table(table, row_group_rows=n, codec="none")
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterConfig(num_nodes=9))
+        store = FusionStore(
+            cluster, StoreConfig(size_scale=10.0, storage_overhead_threshold=0.02)
+        )
+        report = store.put("skewed", data)
+        assert report.fallback
+        assert store.delete("skewed") > 0
+        assert cluster.stored_bytes == 0

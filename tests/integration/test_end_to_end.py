@@ -1,0 +1,91 @@
+"""End-to-end: generated datasets through both stores, checked against the
+single-process reference executor."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, Simulator
+from repro.core import BaselineStore, FusionStore, StoreConfig
+from repro.sql import execute_local
+from repro.workloads import (
+    lineitem_file,
+    microbenchmark_query,
+    real_world_queries,
+    taxi_file,
+)
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    ldata, ltable = lineitem_file(num_rows=6000, row_group_rows=1500, seed=21)
+    tdata, ttable = taxi_file(num_rows=6000, row_group_rows=1500, seed=22)
+    return {"lineitem": (ldata, ltable), "taxi": (tdata, ttable)}
+
+
+def _store(kind, datasets):
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(num_nodes=9))
+    config = StoreConfig(size_scale=1000.0, storage_overhead_threshold=0.05)
+    store = (FusionStore if kind == "fusion" else BaselineStore)(cluster, config)
+    for name, (data, _table) in datasets.items():
+        store.put(name, data)
+    return store
+
+
+@pytest.fixture(scope="module")
+def fusion(datasets):
+    return _store("fusion", datasets)
+
+
+@pytest.fixture(scope="module")
+def baseline(datasets):
+    return _store("baseline", datasets)
+
+
+class TestRealWorldQueries:
+    def test_q1_to_q4_match_reference_on_both_stores(self, datasets, fusion, baseline):
+        _l, ltable = datasets["lineitem"]
+        _t, ttable = datasets["taxi"]
+        for q in real_world_queries(ltable, ttable):
+            table = ltable if q.dataset == "tpch" else ttable
+            expected = execute_local(q.sql, table)
+            got_fusion, _ = fusion.query(q.sql)
+            got_baseline, _ = baseline.query(q.sql)
+            assert got_fusion.equals(expected), q.name
+            assert got_baseline.equals(expected), q.name
+
+
+class TestMicrobenchmarkSweep:
+    @pytest.mark.parametrize("column_id", range(16))
+    def test_every_lineitem_column(self, datasets, fusion, baseline, column_id):
+        from repro.workloads import column_name
+
+        _l, ltable = datasets["lineitem"]
+        sql = microbenchmark_query(ltable, column_name(column_id), 0.01)
+        expected = execute_local(sql, ltable)
+        got_fusion, fm = fusion.query(sql)
+        got_baseline, bm = baseline.query(sql)
+        assert got_fusion.equals(expected)
+        assert got_baseline.equals(expected)
+        assert fm.network_bytes <= bm.network_bytes
+
+    @pytest.mark.parametrize("selectivity", [0.001, 0.05, 0.5, 1.0])
+    def test_selectivity_sweep(self, datasets, fusion, selectivity):
+        _l, ltable = datasets["lineitem"]
+        sql = microbenchmark_query(ltable, "l_extendedprice", selectivity)
+        expected = execute_local(sql, ltable)
+        got, _ = fusion.query(sql)
+        assert got.equals(expected)
+
+
+class TestObjectIntegrity:
+    def test_get_roundtrips_both_stores(self, datasets, fusion, baseline):
+        for name, (data, _table) in datasets.items():
+            assert fusion.get(name) == data
+            assert baseline.get(name) == data
+
+    def test_fusion_traffic_advantage_on_q4(self, datasets, fusion, baseline):
+        _t, ttable = datasets["taxi"]
+        q4 = [q for q in real_world_queries(datasets["lineitem"][1], ttable) if q.name == "Q4"][0]
+        _r, fm = fusion.query(q4.sql)
+        _r, bm = baseline.query(q4.sql)
+        assert fm.network_bytes < bm.network_bytes

@@ -1,0 +1,47 @@
+"""The example scripts must run end-to-end without error."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "Get round-trip: OK" in out
+    assert "Fusion latency reduction" in out
+
+
+@pytest.mark.slow
+def test_analytics_queries():
+    out = _run("analytics_queries.py")
+    assert "matched the single-process reference executor" in out
+    for q in ("Q1", "Q2", "Q3", "Q4"):
+        assert q in out
+
+
+def test_fault_tolerance():
+    out = _run("fault_tolerance.py")
+    assert "identical after three failures" in out
+    assert "unrecoverable" in out
+
+
+@pytest.mark.slow
+def test_layout_explorer():
+    out = _run("layout_explorer.py")
+    assert "fac" in out
+    assert "never splits" in out

@@ -1,0 +1,36 @@
+"""The report-rendering utilities."""
+
+from repro.bench.report import format_bytes, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table("T", ["a", "long-header"], [[1, 2], ["xxx", 4.5]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1] == "="
+        # All body rows align to the same width.
+        assert len(lines[3]) == len(lines[2])
+
+    def test_float_formatting(self):
+        out = format_table("T", ["v"], [[0.123456], [12345.6], [float("nan")]])
+        assert "0.123" in out
+        assert "1.23e+04" in out
+        assert "nan" in out
+
+    def test_bool_formatting(self):
+        out = format_table("T", ["v"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_empty_rows(self):
+        out = format_table("T", ["a"], [])
+        assert "T" in out
+
+
+class TestFormatBytes:
+    def test_units(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2048) == "2.0KB"
+        assert format_bytes(5 * 1024**2) == "5.0MB"
+        assert format_bytes(3 * 1024**3) == "3.0GB"
+        assert "TB" in format_bytes(2 * 1024**4)

@@ -1,0 +1,100 @@
+"""Aggregates: direct evaluation and partial-state merging.
+
+Key property (hypothesis): merging per-chunk partial aggregates must give
+exactly the same answer as computing the aggregate over all values — the
+invariant the aggregate-pushdown extension relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import Aggregate, AggregateFunc
+from repro.sql.aggregates import (
+    compute_aggregate,
+    merge_partial_aggregates,
+    partial_aggregate,
+)
+
+
+class TestComputeAggregate:
+    def test_count_star(self):
+        agg = Aggregate(AggregateFunc.COUNT, None)
+        assert compute_aggregate(agg, None, 42) == 42
+
+    def test_count_column(self):
+        agg = Aggregate(AggregateFunc.COUNT, "x")
+        assert compute_aggregate(agg, np.array([1, 2, 3]), 3) == 3
+
+    def test_sum_avg_min_max(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        assert compute_aggregate(Aggregate(AggregateFunc.SUM, "x"), values, 4) == 10.0
+        assert compute_aggregate(Aggregate(AggregateFunc.AVG, "x"), values, 4) == 2.5
+        assert compute_aggregate(Aggregate(AggregateFunc.MIN, "x"), values, 4) == 1.0
+        assert compute_aggregate(Aggregate(AggregateFunc.MAX, "x"), values, 4) == 4.0
+
+    def test_empty_returns_null(self):
+        empty = np.zeros(0)
+        for func in (AggregateFunc.SUM, AggregateFunc.AVG, AggregateFunc.MIN, AggregateFunc.MAX):
+            assert compute_aggregate(Aggregate(func, "x"), empty, 0) is None
+
+    def test_string_min_max(self):
+        values = np.array(["b", "a", "c"], dtype=object)
+        assert compute_aggregate(Aggregate(AggregateFunc.MIN, "s"), values, 3) == "a"
+        assert compute_aggregate(Aggregate(AggregateFunc.MAX, "s"), values, 3) == "c"
+
+    def test_sum_of_strings_raises(self):
+        values = np.array(["a"], dtype=object)
+        with pytest.raises(TypeError):
+            compute_aggregate(Aggregate(AggregateFunc.SUM, "s"), values, 1)
+
+
+class TestPartialMerge:
+    @pytest.mark.parametrize(
+        "func",
+        [AggregateFunc.COUNT, AggregateFunc.SUM, AggregateFunc.AVG, AggregateFunc.MIN, AggregateFunc.MAX],
+    )
+    def test_merge_equals_direct(self, func, rng):
+        agg = Aggregate(func, "x")
+        chunks = [rng.uniform(-10, 10, size=n) for n in (5, 0, 17, 3)]
+        partials = [partial_aggregate(agg, c, len(c)) for c in chunks]
+        merged = merge_partial_aggregates(agg, partials)
+        combined = np.concatenate(chunks)
+        direct = compute_aggregate(agg, combined, len(combined))
+        if isinstance(direct, float):
+            assert merged == pytest.approx(direct)
+        else:
+            assert merged == direct
+
+    def test_all_empty_partials(self):
+        agg = Aggregate(AggregateFunc.AVG, "x")
+        assert merge_partial_aggregates(agg, [{"count": 0}, {"count": 0}]) is None
+
+    def test_count_star_partials(self):
+        agg = Aggregate(AggregateFunc.COUNT, None)
+        partials = [partial_aggregate(agg, None, 7), partial_aggregate(agg, None, 3)]
+        assert merge_partial_aggregates(agg, partials) == 10
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        chunks=st.lists(
+            st.lists(st.integers(-1000, 1000), max_size=20), min_size=1, max_size=5
+        ),
+        func=st.sampled_from(
+            [AggregateFunc.SUM, AggregateFunc.AVG, AggregateFunc.MIN, AggregateFunc.MAX]
+        ),
+    )
+    def test_merge_property(self, chunks, func):
+        agg = Aggregate(func, "x")
+        arrays = [np.asarray(c, dtype=np.int64) for c in chunks]
+        partials = [partial_aggregate(agg, a, len(a)) for a in arrays]
+        merged = merge_partial_aggregates(agg, partials)
+        combined = np.concatenate(arrays) if arrays else np.zeros(0, dtype=np.int64)
+        direct = compute_aggregate(agg, combined, len(combined))
+        if direct is None:
+            assert merged is None
+        elif isinstance(direct, float):
+            assert merged == pytest.approx(direct)
+        else:
+            assert merged == direct

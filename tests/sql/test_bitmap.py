@@ -1,0 +1,69 @@
+"""Bitmaps and their compressed wire form."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import Bitmap
+
+
+class TestOps:
+    def test_and_or_invert(self):
+        a = Bitmap(np.array([True, True, False, False]))
+        b = Bitmap(np.array([True, False, True, False]))
+        assert (a & b).bits.tolist() == [True, False, False, False]
+        assert (a | b).bits.tolist() == [True, True, True, False]
+        assert (~a).bits.tolist() == [False, False, True, True]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Bitmap.zeros(3) & Bitmap.zeros(4)
+
+    def test_count_and_selectivity(self):
+        bm = Bitmap(np.array([True, False, True, False]))
+        assert bm.count() == 2
+        assert bm.selectivity() == pytest.approx(0.5)
+
+    def test_empty_selectivity(self):
+        assert Bitmap.zeros(0).selectivity() == 0.0
+
+    def test_indices(self):
+        bm = Bitmap(np.array([False, True, False, True]))
+        assert bm.indices().tolist() == [1, 3]
+
+    def test_constructors(self):
+        assert Bitmap.ones(5).count() == 5
+        assert Bitmap.zeros(5).count() == 0
+
+    def test_equality(self):
+        assert Bitmap.ones(3) == Bitmap.ones(3)
+        assert Bitmap.ones(3) != Bitmap.zeros(3)
+
+
+class TestWire:
+    def test_roundtrip(self, rng):
+        bm = Bitmap(rng.integers(0, 2, size=1000).astype(bool))
+        assert Bitmap.from_wire(bm.to_wire()) == bm
+
+    def test_non_multiple_of_eight(self):
+        bm = Bitmap(np.array([True, False, True]))
+        assert Bitmap.from_wire(bm.to_wire()) == bm
+
+    def test_sparse_bitmap_compresses(self, rng):
+        bits = np.zeros(100_000, dtype=bool)
+        bits[rng.integers(0, 100_000, size=100)] = True
+        bm = Bitmap(bits)
+        # Packed raw is 12.5 KB; sparse content should compress well below.
+        assert bm.wire_size() < 6_000
+
+    def test_zlib_codec_option(self, rng):
+        bm = Bitmap(rng.integers(0, 2, size=500).astype(bool))
+        wire = bm.to_wire(codec_name="zlib")
+        assert Bitmap.from_wire(wire, codec_name="zlib") == bm
+
+    @settings(max_examples=50, deadline=None)
+    @given(bits=st.lists(st.booleans(), max_size=300))
+    def test_roundtrip_property(self, bits):
+        bm = Bitmap(np.asarray(bits, dtype=bool))
+        assert Bitmap.from_wire(bm.to_wire()) == bm

@@ -1,0 +1,33 @@
+"""Date conversion helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sql import date_to_days, days_to_date
+
+
+class TestDates:
+    def test_epoch(self):
+        assert date_to_days("1970-01-01") == 0
+        assert days_to_date(0) == "1970-01-01"
+
+    def test_known_dates(self):
+        assert date_to_days("1970-01-02") == 1
+        assert date_to_days("2015-12-31") == 16800
+        assert date_to_days("1969-12-31") == -1
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            date_to_days("31/12/2015")
+        with pytest.raises(ValueError):
+            date_to_days("2015-13-01")
+
+    @given(st.integers(-10_000, 40_000))
+    def test_roundtrip(self, days):
+        assert date_to_days(days_to_date(days)) == days
+
+    def test_ordering_preserved(self):
+        a = date_to_days("1995-06-15")
+        b = date_to_days("1995-06-16")
+        assert a < b

@@ -1,0 +1,108 @@
+"""LIKE predicates: matching semantics, pruning, distributed execution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.format.schema import ColumnType
+from repro.sql import Like, PlanError, SqlSyntaxError, execute_local, parse, plan
+from repro.sql.predicate import eval_leaf, leaf_may_match
+
+
+class TestParsing:
+    def test_like_parsed(self):
+        q = parse("SELECT a FROM t WHERE name LIKE 'bob%'")
+        assert q.where == Like("name", "bob%")
+
+    def test_non_string_pattern_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t WHERE name LIKE 5")
+
+    def test_literal_prefix(self):
+        assert Like("c", "abc%def").literal_prefix == "abc"
+        assert Like("c", "%abc").literal_prefix == ""
+        assert Like("c", "a_c").literal_prefix == "a"
+        assert Like("c", "plain").literal_prefix == "plain"
+
+
+class TestMatching:
+    def _match(self, pattern, values):
+        arr = np.empty(len(values), dtype=object)
+        for i, v in enumerate(values):
+            arr[i] = v
+        return eval_leaf(Like("c", pattern), ColumnType.STRING, arr).tolist()
+
+    def test_prefix(self):
+        assert self._match("ab%", ["abc", "ab", "xab", "b"]) == [True, True, False, False]
+
+    def test_suffix(self):
+        assert self._match("%ing", ["going", "ring", "ingot"]) == [True, True, False]
+
+    def test_contains(self):
+        assert self._match("%mid%", ["amidst", "mid", "m-i-d"]) == [True, True, False]
+
+    def test_underscore_single_char(self):
+        assert self._match("a_c", ["abc", "ac", "abbc"]) == [True, False, False]
+
+    def test_exact_when_no_wildcards(self):
+        assert self._match("abc", ["abc", "abcd"]) == [True, False]
+
+    def test_regex_metachars_are_literal(self):
+        assert self._match("a.c%", ["a.cd", "abcd"]) == [True, False]
+        assert self._match("a*b", ["a*b", "aXb", "ab"]) == [True, False, False]
+        assert self._match("a[b]%", ["a[b]x", "ab"]) == [True, False]
+
+    def test_non_string_column_raises(self):
+        from repro.sql import PredicateTypeError
+
+        with pytest.raises(PredicateTypeError):
+            eval_leaf(Like("c", "a%"), ColumnType.INT64, np.array([1, 2]))
+
+
+class TestPruning:
+    def test_prefix_prunes_disjoint_ranges(self):
+        leaf = Like("c", "zz%")
+        assert not leaf_may_match(leaf, ColumnType.STRING, "aaa", "mmm")
+        assert leaf_may_match(leaf, ColumnType.STRING, "ya", "zzz")
+
+    def test_leading_wildcard_never_prunes(self):
+        leaf = Like("c", "%zz")
+        assert leaf_may_match(leaf, ColumnType.STRING, "aaa", "bbb")
+
+    def test_missing_stats_conservative(self):
+        assert leaf_may_match(Like("c", "a%"), ColumnType.STRING, None, None)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(
+            st.text(alphabet="abcdef", min_size=1, max_size=6), min_size=1, max_size=25
+        ),
+        prefix=st.text(alphabet="abcdef", min_size=1, max_size=3),
+    )
+    def test_pruning_never_loses_matches(self, values, prefix):
+        arr = np.empty(len(values), dtype=object)
+        for i, v in enumerate(values):
+            arr[i] = v
+        leaf = Like("c", prefix + "%")
+        may = leaf_may_match(leaf, ColumnType.STRING, min(values), max(values))
+        if not may:
+            assert not eval_leaf(leaf, ColumnType.STRING, arr).any()
+
+
+class TestEndToEnd:
+    def test_plan_rejects_like_on_numbers(self, small_table):
+        with pytest.raises(PlanError, match="LIKE"):
+            plan(parse("SELECT id FROM t WHERE qty LIKE '5%'"), small_table.schema)
+
+    def test_local_execution(self, small_table):
+        r = execute_local("SELECT tag FROM t WHERE tag LIKE 'tag-1%'", small_table)
+        assert all(v.startswith("tag-1") for v in r.rows["tag"])
+        assert r.matched_rows > 0
+
+    def test_distributed_matches_local(self, loaded_fusion, loaded_baseline, small_table):
+        sql = "SELECT id, note FROM tbl WHERE note LIKE 'note 1%' AND qty < 40"
+        expected = execute_local(sql, small_table)
+        for store in (loaded_fusion, loaded_baseline):
+            result, _ = store.query(sql)
+            assert result.equals(expected)

@@ -1,0 +1,59 @@
+"""LIMIT clause (S3 Select supports it; so do we)."""
+
+import pytest
+
+from repro.sql import SqlSyntaxError, execute_local, parse
+
+
+class TestParsing:
+    def test_limit_parsed(self):
+        assert parse("SELECT a FROM t LIMIT 10").limit == 10
+
+    def test_no_limit_is_none(self):
+        assert parse("SELECT a FROM t").limit is None
+
+    def test_limit_after_where_and_group(self):
+        q = parse("SELECT a, count(*) FROM t WHERE a < 5 GROUP BY a LIMIT 2")
+        assert q.limit == 2 and q.group_by == ("a",)
+
+    def test_zero_allowed(self):
+        assert parse("SELECT a FROM t LIMIT 0").limit == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t LIMIT -1")
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t LIMIT 2.5")
+
+
+class TestSemantics:
+    def test_truncates_rows(self, small_table):
+        r = execute_local("SELECT id FROM t WHERE qty < 25 LIMIT 5", small_table)
+        assert r.rows.num_rows == 5
+        # matched_rows still reports the full filter cardinality.
+        assert r.matched_rows > 5
+
+    def test_limit_larger_than_result(self, small_table):
+        r = execute_local("SELECT id FROM t WHERE id < 3 LIMIT 100", small_table)
+        assert r.rows.num_rows == 3
+
+    def test_limit_zero(self, small_table):
+        r = execute_local("SELECT id FROM t LIMIT 0", small_table)
+        assert r.rows.num_rows == 0
+
+    def test_keeps_first_rows_in_order(self, small_table):
+        r = execute_local("SELECT id FROM t LIMIT 4", small_table)
+        assert r.rows["id"].tolist() == [0, 1, 2, 3]
+
+    def test_grouped_limit(self, small_table):
+        r = execute_local("SELECT tag, count(*) FROM t GROUP BY tag LIMIT 3", small_table)
+        assert r.rows.num_rows == 3
+
+    def test_distributed_matches_local(self, loaded_fusion, loaded_baseline, small_table):
+        sql = "SELECT id, tag FROM tbl WHERE qty < 30 LIMIT 11"
+        expected = execute_local(sql, small_table)
+        for store in (loaded_fusion, loaded_baseline):
+            result, _ = store.query(sql)
+            assert result.rows.equals(expected.rows)

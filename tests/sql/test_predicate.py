@@ -1,0 +1,204 @@
+"""Predicate evaluation and stats pruning.
+
+Key property (hypothesis): min/max pruning must be *conservative* — a
+pruned chunk can never contain a matching row.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.format.schema import ColumnType
+from repro.sql import (
+    And,
+    Between,
+    CompareOp,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    PredicateTypeError,
+    combine_leaf_bitmaps,
+    eval_leaf,
+    eval_tree,
+    leaf_may_match,
+    tree_may_match,
+)
+from repro.sql.predicate import coerce_literal
+
+
+class TestCoercion:
+    def test_date_string(self):
+        assert coerce_literal(ColumnType.DATE, "1970-01-02") == 1
+
+    def test_date_invalid_string_raises(self):
+        with pytest.raises(ValueError):
+            coerce_literal(ColumnType.DATE, "not-a-date")
+
+    def test_string_rejects_number(self):
+        with pytest.raises(PredicateTypeError):
+            coerce_literal(ColumnType.STRING, 5)
+
+    def test_numeric_rejects_string(self):
+        with pytest.raises(PredicateTypeError):
+            coerce_literal(ColumnType.INT64, "five")
+
+    def test_numeric_rejects_bool(self):
+        with pytest.raises(PredicateTypeError):
+            coerce_literal(ColumnType.DOUBLE, True)
+
+    def test_bool_rejects_int(self):
+        with pytest.raises(PredicateTypeError):
+            coerce_literal(ColumnType.BOOL, 1)
+
+
+class TestEvalLeaf:
+    def test_all_numeric_ops(self):
+        values = np.array([1, 2, 3, 4, 5], dtype=np.int64)
+        cases = {
+            CompareOp.EQ: [False, False, True, False, False],
+            CompareOp.NE: [True, True, False, True, True],
+            CompareOp.LT: [True, True, False, False, False],
+            CompareOp.LE: [True, True, True, False, False],
+            CompareOp.GT: [False, False, False, True, True],
+            CompareOp.GE: [False, False, True, True, True],
+        }
+        for op, expected in cases.items():
+            out = eval_leaf(Comparison("x", op, 3), ColumnType.INT64, values)
+            assert out.tolist() == expected, op
+
+    def test_string_ops(self):
+        values = np.array(["apple", "banana", "cherry"], dtype=object)
+        eq = eval_leaf(Comparison("s", CompareOp.EQ, "banana"), ColumnType.STRING, values)
+        assert eq.tolist() == [False, True, False]
+        lt = eval_leaf(Comparison("s", CompareOp.LT, "banana"), ColumnType.STRING, values)
+        assert lt.tolist() == [True, False, False]
+
+    def test_date_with_iso_literal(self):
+        values = np.array([0, 10, 20], dtype=np.int32)
+        out = eval_leaf(
+            Comparison("d", CompareOp.LT, "1970-01-11"), ColumnType.DATE, values
+        )
+        assert out.tolist() == [True, False, False]
+
+    def test_between_inclusive(self):
+        values = np.array([1, 2, 3, 4], dtype=np.int64)
+        out = eval_leaf(Between("x", 2, 3), ColumnType.INT64, values)
+        assert out.tolist() == [False, True, True, False]
+
+    def test_in_list_numeric_and_string(self):
+        nums = np.array([1, 2, 3], dtype=np.int64)
+        assert eval_leaf(InList("x", (1, 3)), ColumnType.INT64, nums).tolist() == [
+            True,
+            False,
+            True,
+        ]
+        strs = np.array(["a", "b", "c"], dtype=object)
+        assert eval_leaf(InList("s", ("b",)), ColumnType.STRING, strs).tolist() == [
+            False,
+            True,
+            False,
+        ]
+
+    def test_non_leaf_raises(self):
+        with pytest.raises(TypeError):
+            eval_leaf(And(Comparison("x", CompareOp.EQ, 1), Comparison("x", CompareOp.EQ, 2)), ColumnType.INT64, np.array([1]))
+
+
+class TestEvalTree:
+    def _eval(self, pred, data):
+        return eval_tree(
+            pred,
+            column_values=lambda name: data[name],
+            column_type=lambda name: ColumnType.INT64,
+        )
+
+    def test_and_or_not(self):
+        data = {"a": np.array([1, 2, 3, 4]), "b": np.array([10, 20, 30, 40])}
+        pred = And(Comparison("a", CompareOp.GT, 1), Comparison("b", CompareOp.LT, 40))
+        assert self._eval(pred, data).tolist() == [False, True, True, False]
+        pred = Or(Comparison("a", CompareOp.EQ, 1), Comparison("b", CompareOp.EQ, 40))
+        assert self._eval(pred, data).tolist() == [True, False, False, True]
+        pred = Not(Comparison("a", CompareOp.LE, 2))
+        assert self._eval(pred, data).tolist() == [False, False, True, True]
+
+
+class TestCombineLeafBitmaps:
+    def test_matches_direct_evaluation(self):
+        data = {"a": np.array([1, 2, 3, 4]), "b": np.array([4, 3, 2, 1])}
+        pred = Or(
+            And(Comparison("a", CompareOp.GT, 2), Comparison("b", CompareOp.LT, 2)),
+            Not(Comparison("a", CompareOp.EQ, 1)),
+        )
+        direct = eval_tree(
+            pred, lambda n: data[n], lambda n: ColumnType.INT64
+        )
+        from repro.sql import leaves
+
+        leaf_bms = [
+            eval_leaf(leaf, ColumnType.INT64, data[leaf.column]) for leaf in leaves(pred)
+        ]
+        combined = combine_leaf_bitmaps(pred, leaf_bms)
+        assert np.array_equal(direct, combined)
+
+    def test_wrong_bitmap_count_raises(self):
+        pred = Comparison("a", CompareOp.EQ, 1)
+        with pytest.raises(ValueError, match="leaves"):
+            combine_leaf_bitmaps(pred, [np.array([True]), np.array([True])])
+
+
+class TestPruning:
+    def test_leaf_may_match_eq(self):
+        leaf = Comparison("x", CompareOp.EQ, 5)
+        assert leaf_may_match(leaf, ColumnType.INT64, 1, 10)
+        assert not leaf_may_match(leaf, ColumnType.INT64, 6, 10)
+
+    def test_leaf_may_match_lt(self):
+        leaf = Comparison("x", CompareOp.LT, 5)
+        assert leaf_may_match(leaf, ColumnType.INT64, 1, 3)
+        assert not leaf_may_match(leaf, ColumnType.INT64, 5, 9)
+
+    def test_missing_stats_conservative(self):
+        leaf = Comparison("x", CompareOp.EQ, 5)
+        assert leaf_may_match(leaf, ColumnType.INT64, None, None)
+
+    def test_between_overlap(self):
+        assert leaf_may_match(Between("x", 5, 8), ColumnType.INT64, 1, 6)
+        assert not leaf_may_match(Between("x", 5, 8), ColumnType.INT64, 9, 12)
+
+    def test_in_list(self):
+        assert leaf_may_match(InList("x", (1, 20)), ColumnType.INT64, 15, 30)
+        assert not leaf_may_match(InList("x", (1, 2)), ColumnType.INT64, 10, 20)
+
+    def test_not_is_conservative(self):
+        pred = Not(Comparison("x", CompareOp.LT, 0))
+        assert tree_may_match(pred, lambda n: ColumnType.INT64, lambda n: (5, 9))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        values=st.lists(st.integers(-100, 100), min_size=1, max_size=30),
+        op=st.sampled_from(list(CompareOp)),
+        literal=st.integers(-100, 100),
+    )
+    def test_pruning_never_loses_matches(self, values, op, literal):
+        """If the stats say 'cannot match', no row may actually match."""
+        arr = np.asarray(values, dtype=np.int64)
+        leaf = Comparison("x", op, literal)
+        may = leaf_may_match(leaf, ColumnType.INT64, int(arr.min()), int(arr.max()))
+        matches = eval_leaf(leaf, ColumnType.INT64, arr)
+        if not may:
+            assert not matches.any()
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(st.integers(-50, 50), min_size=1, max_size=30),
+        low=st.integers(-60, 60),
+        high=st.integers(-60, 60),
+    )
+    def test_between_pruning_conservative(self, values, low, high):
+        arr = np.asarray(values, dtype=np.int64)
+        leaf = Between("x", min(low, high), max(low, high))
+        may = leaf_may_match(leaf, ColumnType.INT64, int(arr.min()), int(arr.max()))
+        if not may:
+            assert not eval_leaf(leaf, ColumnType.INT64, arr).any()

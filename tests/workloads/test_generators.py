@@ -1,0 +1,148 @@
+"""Dataset generators: schemas, determinism, paper-profile properties."""
+
+import numpy as np
+import pytest
+
+from repro.format import PaxFile
+from repro.sql import date_to_days
+from repro.workloads import (
+    lineitem_file,
+    lineitem_table,
+    recipe_table,
+    taxi_file,
+    taxi_table,
+    ukpp_table,
+)
+from repro.workloads.tpch import COLUMN_NAMES, column_name
+
+
+class TestLineitem:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return lineitem_table(num_rows=5000, seed=1)
+
+    def test_schema(self, table):
+        assert table.schema.names() == COLUMN_NAMES
+        assert len(table.schema) == 16
+
+    def test_column_name_mapping(self):
+        assert column_name(5) == "l_extendedprice"
+        assert column_name(15) == "l_comment"
+
+    def test_deterministic(self):
+        a = lineitem_table(num_rows=500, seed=7)
+        b = lineitem_table(num_rows=500, seed=7)
+        assert a.equals(b)
+
+    def test_seed_changes_data(self):
+        a = lineitem_table(num_rows=500, seed=7)
+        b = lineitem_table(num_rows=500, seed=8)
+        assert not a.equals(b)
+
+    def test_value_domains(self, table):
+        assert table["l_quantity"].min() >= 1
+        assert table["l_quantity"].max() <= 50
+        assert table["l_discount"].min() >= 0.0
+        assert table["l_discount"].max() <= 0.10
+        assert set(np.unique(table["l_returnflag"])) <= {"R", "A", "N"}
+        assert set(np.unique(table["l_linestatus"])) <= {"O", "F"}
+
+    def test_orderkey_sorted(self, table):
+        ok = table["l_orderkey"]
+        assert (np.diff(ok) >= 0).all()
+
+    def test_linenumber_restarts_per_order(self, table):
+        ok, ln = table["l_orderkey"], table["l_linenumber"]
+        starts = np.flatnonzero(np.diff(ok)) + 1
+        assert (ln[starts] == 1).all()
+
+    def test_receipt_after_ship(self, table):
+        assert (table["l_receiptdate"] > table["l_shipdate"]).all()
+
+    def test_extendedprice_consistent(self, table):
+        ratio = table["l_extendedprice"] / table["l_quantity"]
+        assert ratio.min() >= 899
+        assert ratio.max() <= 2101
+
+    def test_shipdate_time_correlated(self, table):
+        """Row-group min/max ranges should be roughly disjoint (pruning)."""
+        days = table["l_shipdate"]
+        half = len(days) // 2
+        assert np.median(days[:half]) < np.median(days[half:])
+
+    def test_bimodal_chunk_sizes(self):
+        data, _t = lineitem_file(num_rows=8000, row_group_rows=2000)
+        meta = PaxFile(data).metadata
+        sizes = np.array([c.size for c in meta.all_chunks()])
+        assert sizes.max() / sizes.min() > 20  # paper Fig 4c: heavy bimodality
+
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError):
+            lineitem_table(num_rows=0)
+
+
+class TestTaxi:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return taxi_table(num_rows=5000, seed=1)
+
+    def test_schema_width(self, table):
+        assert len(table.schema) == 20
+
+    def test_date_range_gives_q3_selectivity(self, table):
+        cutoff = date_to_days("2015-12-31")
+        sel = float((table["date"] < cutoff).mean())
+        assert 0.33 <= sel <= 0.42  # paper: 37.5%
+
+    def test_q4_selectivity(self, table):
+        cutoff = date_to_days("2015-03-01")
+        sel = float((table["date"] < cutoff).mean())
+        assert 0.04 <= sel <= 0.09  # paper: 6.3%
+
+    def test_fare_highly_compressed_date_not(self):
+        data, _t = taxi_file(num_rows=12_000, row_group_rows=3000)
+        meta = PaxFile(data).metadata
+        fare = np.mean([c.compressibility for c in meta.chunks_for_column("fare")])
+        date = np.mean([c.compressibility for c in meta.chunks_for_column("date")])
+        # Cost-equation regimes of Q3/Q4: date product < 1, fare product > 1.
+        assert 0.375 * date < 1.0
+        assert 0.063 * fare > 1.0
+
+    def test_dropoff_after_pickup(self, table):
+        assert (table["dropoff_time"] > table["pickup_time"]).all()
+
+    def test_totals_consistent(self, table):
+        total = (
+            table["fare"]
+            + table["extra"]
+            + table["mta_tax"]
+            + table["tip_amount"]
+            + table["tolls_amount"]
+        )
+        assert np.allclose(total, table["total_amount"], atol=0.01)
+
+    def test_deterministic(self):
+        assert taxi_table(300, seed=3).equals(taxi_table(300, seed=3))
+
+
+class TestRecipeAndUkpp:
+    def test_recipe_schema(self):
+        t = recipe_table(num_rows=200)
+        assert len(t.schema) == 7
+        # Text-heavy: directions strings are long.
+        assert np.mean([len(v) for v in t["directions"]]) > 200
+
+    def test_ukpp_schema(self):
+        t = ukpp_table(num_rows=200)
+        assert len(t.schema) == 16
+        assert (t["price"] > 0).all()
+
+    def test_deterministic(self):
+        assert recipe_table(100, seed=2).equals(recipe_table(100, seed=2))
+        assert ukpp_table(100, seed=2).equals(ukpp_table(100, seed=2))
+
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError):
+            recipe_table(num_rows=-1)
+        with pytest.raises(ValueError):
+            ukpp_table(num_rows=0)

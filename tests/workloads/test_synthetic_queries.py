@@ -1,0 +1,123 @@
+"""Synthetic chunk profiles and the query workloads."""
+
+import numpy as np
+import pytest
+
+from repro.sql import execute_local
+from repro.workloads import (
+    LINEITEM_CHUNK_MB,
+    MB,
+    TAXI_CHUNK_MB,
+    items_from_sizes,
+    lineitem_table,
+    microbenchmark_query,
+    paper_scale_chunk_ranges,
+    real_world_queries,
+    taxi_table,
+    uniform_chunk_sizes,
+    zipf_chunk_sizes,
+)
+
+
+class TestSyntheticSizes:
+    def test_range_respected(self):
+        sizes = zipf_chunk_sizes(500, 0.5, min_size=MB, max_size=100 * MB, seed=1)
+        assert len(sizes) == 500
+        assert min(sizes) >= MB
+        assert max(sizes) <= 100 * MB
+
+    def test_zipf_skew_shifts_mass_to_small(self):
+        uniform = np.median(zipf_chunk_sizes(2000, 0.0, seed=2))
+        skewed = np.median(zipf_chunk_sizes(2000, 0.99, seed=2))
+        assert skewed < uniform
+
+    def test_deterministic(self):
+        assert zipf_chunk_sizes(100, 0.5, seed=3) == zipf_chunk_sizes(100, 0.5, seed=3)
+
+    def test_uniform_alias(self):
+        assert uniform_chunk_sizes(50, seed=4) == zipf_chunk_sizes(50, 0.0, seed=4)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_chunk_sizes(0, 0.5)
+        with pytest.raises(ValueError):
+            zipf_chunk_sizes(10, -1)
+
+    def test_items_from_sizes_keys(self):
+        items = items_from_sizes([5, 6])
+        assert [i.key for i in items] == [(0, 0), (0, 1)]
+
+
+class TestPaperProfiles:
+    def test_ranges_are_contiguous(self):
+        ranges = paper_scale_chunk_ranges(LINEITEM_CHUNK_MB, num_row_groups=10)
+        assert len(ranges) == 160
+        pos = 0
+        for offset, size in ranges:
+            assert offset == pos
+            pos += size
+
+    def test_sizes_near_profile(self):
+        ranges = paper_scale_chunk_ranges(TAXI_CHUNK_MB, num_row_groups=16, jitter=0.1)
+        assert len(ranges) == 320
+        first_col = [ranges[i * 20][1] for i in range(16)]
+        mean_mb = np.mean(first_col) / MB
+        assert TAXI_CHUNK_MB[0] * 0.85 <= mean_mb <= TAXI_CHUNK_MB[0] * 1.15
+
+
+class TestMicrobenchmarkQuery:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return lineitem_table(num_rows=8000, seed=2)
+
+    @pytest.mark.parametrize("column", ["l_extendedprice", "l_shipdate", "l_comment"])
+    def test_continuous_columns_hit_target(self, table, column):
+        sql = microbenchmark_query(table, column, 0.01)
+        sel = execute_local(sql, table).selectivity
+        assert 0.005 <= sel <= 0.02
+
+    @pytest.mark.parametrize(
+        "column", ["l_quantity", "l_discount", "l_returnflag", "l_linenumber"]
+    )
+    def test_discrete_columns_never_degenerate(self, table, column):
+        """Low-cardinality columns get the nearest achievable selectivity,
+        never a zero-row query."""
+        sql = microbenchmark_query(table, column, 0.01)
+        result = execute_local(sql, table)
+        assert result.matched_rows > 0
+
+    def test_full_scan(self, table):
+        sql = microbenchmark_query(table, "l_quantity", 1.0)
+        assert execute_local(sql, table).selectivity == 1.0
+
+    def test_selectivity_monotone(self, table):
+        sels = []
+        for target in (0.01, 0.1, 0.5):
+            sql = microbenchmark_query(table, "l_extendedprice", target)
+            sels.append(execute_local(sql, table).selectivity)
+        assert sels == sorted(sels)
+
+    def test_invalid_selectivity(self, table):
+        with pytest.raises(ValueError):
+            microbenchmark_query(table, "l_quantity", 0.0)
+
+
+class TestRealWorldQueries:
+    def test_selectivities_near_table4(self):
+        lineitem = lineitem_table(num_rows=8000, seed=2)
+        taxi = taxi_table(num_rows=8000, seed=2)
+        targets = {"Q1": 0.014, "Q2": 0.054, "Q3": 0.375, "Q4": 0.063}
+        for q in real_world_queries(lineitem, taxi):
+            table = lineitem if q.dataset == "tpch" else taxi
+            sel = execute_local(q.sql, table).selectivity
+            target = targets[q.name]
+            assert target * 0.5 <= sel <= target * 1.8, (q.name, sel)
+
+    def test_descriptors_match_table4(self):
+        lineitem = lineitem_table(num_rows=1000, seed=2)
+        taxi = taxi_table(num_rows=1000, seed=2)
+        queries = {q.name: q for q in real_world_queries(lineitem, taxi)}
+        assert queries["Q1"].num_filters == 1 and queries["Q1"].num_projections == 6
+        assert queries["Q2"].num_filters == 3 and queries["Q2"].num_projections == 2
+        assert queries["Q3"].num_filters == 1 and queries["Q3"].num_projections == 1
+        assert queries["Q4"].num_filters == 1 and queries["Q4"].num_projections == 2

@@ -1,0 +1,46 @@
+"""Text-generation helpers behind the dataset generators."""
+
+import numpy as np
+
+from repro.workloads.text import pick, random_codes, random_sentences
+
+
+class TestRandomSentences:
+    def test_count_and_type(self, rng):
+        out = random_sentences(rng, 50)
+        assert len(out) == 50
+        assert all(isinstance(s, str) for s in out)
+
+    def test_word_count_bounds(self, rng):
+        out = random_sentences(rng, 100, min_words=3, max_words=5)
+        for s in out:
+            assert 3 <= len(s.split()) <= 5
+
+    def test_diverse(self, rng):
+        out = random_sentences(rng, 200)
+        assert len(set(out)) > 150  # near-unique: resists dictionaries
+
+    def test_deterministic(self):
+        a = random_sentences(np.random.default_rng(5), 20)
+        b = random_sentences(np.random.default_rng(5), 20)
+        assert list(a) == list(b)
+
+
+class TestRandomCodes:
+    def test_format(self, rng):
+        out = random_codes(rng, 10, "TX", 100)
+        assert all(s.startswith("TX-") and len(s) == 12 for s in out)
+
+    def test_span_bounds_cardinality(self, rng):
+        out = random_codes(rng, 1000, "A", 5)
+        assert len(set(out)) <= 5
+
+
+class TestPick:
+    def test_choices_only(self, rng):
+        out = pick(rng, 100, ["a", "b"])
+        assert set(out) <= {"a", "b"}
+
+    def test_probabilities_respected(self, rng):
+        out = pick(rng, 5000, ["x", "y"], p=[0.95, 0.05])
+        assert (out == "x").mean() > 0.9
