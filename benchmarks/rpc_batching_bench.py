@@ -1,0 +1,151 @@
+"""Before/after benchmark for per-node scatter-gather RPC batching.
+
+Drives one TPC-H query (Q1, projection heavy) and one taxi query (Q3,
+aggregate) through Fusion and the baseline with ``enable_rpc_batching``
+off and on, then writes ``BENCH_rpc_batching.json`` with mean/percentile
+latency, RPC counts, and the acceptance check: with batching on, a
+multi-row-group projection query issues at most one data-plane RPC pair
+per (node, stage).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/rpc_batching_bench.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import replace
+
+from repro.bench.experiments import dataset, dataset_scale, store_config
+from repro.bench.harness import WorkloadStats, build_system, reduction_pct, run_workload
+from repro.cluster.metrics import QueryMetrics
+from repro.workloads import real_world_queries
+
+NUM_CLIENTS = 10
+NUM_QUERIES = 40
+
+
+def _workload_sqls() -> dict[str, str]:
+    _ldata, ltable = dataset("lineitem")
+    _tdata, ttable = dataset("taxi")
+    queries = {q.name: q for q in real_world_queries(ltable, ttable)}
+    return {"tpch_q1": queries["Q1"].sql, "taxi_q3": queries["Q3"].sql}
+
+
+def _run(
+    kind: str,
+    batching: bool,
+    clients: int = NUM_CLIENTS,
+    queries: int = NUM_QUERIES,
+) -> WorkloadStats:
+    ldata, _lt = dataset("lineitem")
+    tdata, _tt = dataset("taxi")
+    cfg = replace(store_config("lineitem"), enable_rpc_batching=batching)
+    system = build_system(kind, {"lineitem": ldata, "taxi": tdata}, store_config=cfg)
+    sqls = list(_workload_sqls().values())
+    return run_workload(system, sqls, num_clients=clients, num_queries=queries)
+
+
+def _summarise(stats: WorkloadStats) -> dict:
+    return {
+        "mean_latency_s": stats.mean_latency(),
+        "p50_latency_s": stats.p50(),
+        "p99_latency_s": stats.p99(),
+        "rpcs_issued": stats.rpcs_issued,
+        "rpcs_saved": stats.rpcs_saved,
+        "network_bytes": stats.network_bytes,
+        "num_queries": len(stats.metrics),
+    }
+
+
+def _acceptance() -> dict:
+    """Single multi-row-group projection query, batching on: the RPC bound."""
+    ldata, _lt = dataset("lineitem")
+    cfg = replace(store_config("lineitem"), enable_rpc_batching=True)
+    system = build_system("fusion", {"lineitem": ldata}, store_config=cfg)
+    sql = _workload_sqls()["tpch_q1"]
+    qm = QueryMetrics()
+    done = {}
+
+    def driver():
+        done["result"] = yield from system.store.query_process(sql, qm)
+
+    system.sim.process(driver())
+    system.sim.run()
+    nodes_touched = len(set(system.store.chunk_nodes("lineitem").values()))
+    # Two data-plane stages (filter, projection), one batched request per
+    # touched node each (replies stream over the open exchange), plus the
+    # final result transfer.
+    bound = 2 * nodes_touched + 1
+    return {
+        "query": sql,
+        "nodes_touched": nodes_touched,
+        "rpcs_issued": qm.rpcs_issued,
+        "rpc_bound_one_per_node_per_stage": bound,
+        "passes": qm.rpcs_issued <= bound,
+        "matched_rows": done["result"].matched_rows,
+    }
+
+
+def main(out_path: str = "BENCH_rpc_batching.json") -> None:
+    report: dict = {
+        "benchmark": "rpc_batching",
+        "workload": _workload_sqls(),
+        "clients": NUM_CLIENTS,
+        "queries_per_run": NUM_QUERIES,
+        "systems": {},
+    }
+    ok = True
+    for kind in ("fusion", "baseline"):
+        off = _run(kind, batching=False)
+        on = _run(kind, batching=True)
+        # Completion order under 10 concurrent clients differs between
+        # modes, so bit-identity is checked on a sequential pair (issue
+        # order == completion order); traffic totals are order-free.
+        seq_off = _run(kind, batching=False, clients=1, queries=4)
+        seq_on = _run(kind, batching=True, clients=1, queries=4)
+        identical = (
+            all(a.equals(b) for a, b in zip(seq_off.results, seq_on.results))
+            and seq_off.network_bytes == seq_on.network_bytes
+            and off.network_bytes == on.network_bytes
+        )
+        entry = {
+            "unbatched": _summarise(off),
+            "batched": _summarise(on),
+            "mean_latency_reduction_pct": reduction_pct(
+                off.mean_latency(), on.mean_latency()
+            ),
+            "results_identical": identical,
+        }
+        report["systems"][kind] = entry
+        ok &= identical and on.rpcs_issued < off.rpcs_issued
+        print(
+            f"{kind}: mean {off.mean_latency() * 1e3:.2f}ms -> "
+            f"{on.mean_latency() * 1e3:.2f}ms "
+            f"({entry['mean_latency_reduction_pct']:.1f}% lower), "
+            f"RPCs {off.rpcs_issued} -> {on.rpcs_issued}, "
+            f"identical={identical}"
+        )
+
+    report["acceptance"] = _acceptance()
+    ok &= report["acceptance"]["passes"]
+    print(
+        "acceptance: {rpcs_issued} RPCs vs bound {bound} over {n} nodes -> {v}".format(
+            rpcs_issued=report["acceptance"]["rpcs_issued"],
+            bound=report["acceptance"]["rpc_bound_one_per_node_per_stage"],
+            n=report["acceptance"]["nodes_touched"],
+            v="PASS" if report["acceptance"]["passes"] else "FAIL",
+        )
+    )
+
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {out_path}")
+    if not ok:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

@@ -39,6 +39,36 @@ def test_reed_solomon_encode_throughput(benchmark):
     assert len(parity) == 3
 
 
+def _lossy_stripe(block_size: int):
+    # Small blocks mirror degraded reads of per-chunk bins, where the
+    # GF(2^8) matrix inversion (not the multiply) dominates decode time.
+    rng = np.random.default_rng(4)
+    coder = get_coder(RS_9_6)
+    blocks = [rng.integers(0, 256, size=block_size, dtype=np.uint8) for _ in range(6)]
+    shards = blocks + coder.encode(blocks)
+    shards[0] = shards[3] = None  # a fixed two-shard loss, as in repair
+    return coder, blocks, shards
+
+
+def test_reed_solomon_decode_memoised_inversion(benchmark):
+    """Repeated loss pattern: recovery matrix comes from the memo cache."""
+    coder, blocks, shards = _lossy_stripe(1024)
+    recovered = benchmark(coder.decode, shards)
+    assert np.array_equal(recovered[0], blocks[0])
+
+
+def test_reed_solomon_decode_cold_inversion(benchmark):
+    """Same decode with the memo cleared each round: pays the inversion."""
+    coder, blocks, shards = _lossy_stripe(1024)
+
+    def cold_decode():
+        coder._inversion_cache.clear()
+        return coder.decode(shards)
+
+    recovered = benchmark(cold_decode)
+    assert np.array_equal(recovered[0], blocks[0])
+
+
 def test_stripe_encode_variable_blocks(benchmark):
     rng = np.random.default_rng(1)
     sizes = [200_000, 150_000, 120_000, 80_000, 50_000, 10_000]

@@ -61,6 +61,21 @@ class WorkloadStats:
     def latencies(self) -> list[float]:
         return [m.latency for m in self.metrics]
 
+    @property
+    def rpcs_issued(self) -> int:
+        """Wire messages sent across all queries (loopback excluded)."""
+        return sum(m.rpcs_issued for m in self.metrics)
+
+    @property
+    def rpcs_saved(self) -> int:
+        """Per-op messages coalesced away by scatter-gather batching."""
+        return sum(m.rpcs_saved for m in self.metrics)
+
+    def mean_latency(self) -> float:
+        if not self.metrics:
+            return 0.0
+        return sum(self.latencies) / len(self.metrics)
+
     def p50(self) -> float:
         return percentile(self.latencies, 50)
 

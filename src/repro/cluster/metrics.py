@@ -31,6 +31,10 @@ class QueryMetrics:
     network_bytes: int = 0
     pushed_down_chunks: int = 0
     fallback_chunks: int = 0
+    #: Wire messages sent on behalf of this query (loopback excluded).
+    rpcs_issued: int = 0
+    #: Per-op messages coalesced away by scatter-gather batching.
+    rpcs_saved: int = 0
 
     @property
     def latency(self) -> float:
@@ -59,11 +63,15 @@ class ClusterMetrics:
 
     network_bytes: int = 0
     disk_bytes: int = 0
+    rpcs_issued: int = 0
+    rpcs_saved: int = 0
     queries: list[QueryMetrics] = field(default_factory=list)
 
     def record_query(self, qm: QueryMetrics) -> None:
         self.queries.append(qm)
         self.network_bytes += qm.network_bytes
+        self.rpcs_issued += qm.rpcs_issued
+        self.rpcs_saved += qm.rpcs_saved
 
     def latencies(self) -> list[float]:
         return [q.latency for q in self.queries]

@@ -61,6 +61,13 @@ class Network:
         self.sim = sim
         self.config = config
         self.total_bytes = 0
+        #: Messages actually put on the wire (loopback excluded).
+        self.rpcs_issued = 0
+        #: Per-op messages coalesced away by batching: a batched request
+        #: carrying ``p`` op payloads counts as 1 issued and ``p - 1``
+        #: saved, and every streamed reply riding an open exchange
+        #: counts as 1 saved.
+        self.rpcs_saved = 0
 
     def set_bandwidth_gbps(self, gbps: float) -> None:
         """Adjust link bandwidth (the Fig 14c bandwidth sweep knob)."""
@@ -80,17 +87,82 @@ class Network:
         """
         if nbytes < 0:
             raise ValueError("cannot transfer a negative number of bytes")
+        yield from self.batch_transfer(src, dst, (nbytes,), query)
+
+    def batch_transfer(
+        self,
+        src: NetworkEndpoint,
+        dst: NetworkEndpoint,
+        sizes,
+        query: m.QueryMetrics | None = None,
+    ):
+        """Process: one coalesced RPC carrying ``len(sizes)`` op payloads.
+
+        The scatter-gather batching primitive: all payloads still
+        serialise through the FIFO pipes at link bandwidth (so queueing
+        and tail-latency shape are preserved), but the fixed per-RPC
+        overhead and the half-RTT propagation delay are paid *once* for
+        the whole batch instead of once per op.  ``sizes`` lists each
+        op's payload bytes; byte accounting is the sum, so batched and
+        unbatched executions move identical traffic.
+        """
+        sizes = list(sizes)
+        if not sizes:
+            return
+        if any(s < 0 for s in sizes):
+            raise ValueError("cannot transfer a negative number of bytes")
+        nbytes = sum(sizes)
         start = self.sim.now
         if src is dst:
             # Loopback: no pipes, no RTT, no traffic accounting.
             return
+        self.rpcs_issued += 1
+        self.rpcs_saved += len(sizes) - 1
+        if query is not None:
+            query.rpcs_issued += 1
+            query.rpcs_saved += len(sizes) - 1
+        yield from self._move(
+            src,
+            dst,
+            nbytes,
+            self.config.rtt_s / 2 + self.config.rpc_overhead_s,
+            query,
+            start,
+        )
+
+    def stream_transfer(
+        self,
+        src: NetworkEndpoint,
+        dst: NetworkEndpoint,
+        nbytes: int,
+        query: m.QueryMetrics | None = None,
+        half_rtt: bool = False,
+    ):
+        """Process: a per-op reply riding an already-opened batched exchange.
+
+        The payload still serialises through the FIFO pipes at link
+        bandwidth, but no new RPC is set up: the message pays no
+        per-RPC overhead (and propagation only when ``half_rtt`` is set,
+        for the first reply of an exchange).  Counts as one saved RPC —
+        unbatched, this reply would have been its own round trip.
+        """
+        if nbytes < 0:
+            raise ValueError("cannot transfer a negative number of bytes")
+        start = self.sim.now
+        if src is dst:
+            return
+        self.rpcs_saved += 1
+        if query is not None:
+            query.rpcs_saved += 1
+        yield from self._move(
+            src, dst, nbytes, self.config.rtt_s / 2 if half_rtt else 0.0, query, start
+        )
+
+    def _move(self, src, dst, nbytes, latency_s, query, start):
+        """Occupy the pipes for ``nbytes`` plus ``latency_s`` of fixed cost."""
         with (yield from src.egress.acquire()):
             with (yield from dst.ingress.acquire()):
-                duration = (
-                    nbytes / self.config.bandwidth_bps
-                    + self.config.rtt_s / 2
-                    + self.config.rpc_overhead_s
-                )
+                duration = nbytes / self.config.bandwidth_bps + latency_s
                 yield self.sim.timeout(duration)
         self.total_bytes += nbytes
         # Network processing burns CPU at both endpoints, overlapped with

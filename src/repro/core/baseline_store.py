@@ -19,8 +19,10 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import QueryMetrics
 from repro.cluster.simcore import all_of
 from repro.core import engine
+from repro.core.cache import LruDict
 from repro.core.config import StoreConfig
 from repro.core.fixed import FixedLayout, build_fixed_layout
+from repro.core.scatter_gather import RemoteOp, execute_remote_ops
 from repro.ec.stripe import decode_stripe, encode_stripe
 from repro.format.metadata import FileMetadata
 from repro.format.pages import decode_column_chunk
@@ -82,10 +84,20 @@ class BaselineStore:
         # Decoded-value memoisation: chunks are immutable once Put, and
         # simulated decode time is charged independently, so re-decoding
         # the same chunk for every simulated query would only burn real
-        # wall-clock in benchmarks.
-        self._decode_cache: dict[tuple[str, int, str], np.ndarray] = {}
+        # wall-clock in benchmarks.  Bounded LRU, invalidated on
+        # put/delete so a reused name never serves stale values.
+        self._decode_cache: LruDict[tuple[str, int, str], np.ndarray] = LruDict(
+            self.config.decode_cache_entries
+        )
         # Degraded-read reconstruction cache (see FusionStore).
-        self._degraded_block_cache: dict[tuple[str, int], np.ndarray] = {}
+        self._degraded_block_cache: LruDict[tuple[str, int], np.ndarray] = LruDict(
+            self.config.degraded_cache_entries
+        )
+
+    def _invalidate_object_caches(self, name: str) -> None:
+        """Drop every cached artefact derived from object ``name``."""
+        self._decode_cache.evict_where(lambda key: key[0] == name)
+        self._degraded_block_cache.evict_where(lambda key: key[0] == name)
 
     # -- Put -----------------------------------------------------------------
 
@@ -99,6 +111,9 @@ class BaselineStore:
         """Simulated Put: client -> coordinator -> striped across nodes."""
         if name in self.objects:
             raise ValueError(f"object {name!r} already exists (updates are fresh inserts)")
+        # A reused name (put after delete) must never serve bytes decoded
+        # from its previous incarnation.
+        self._invalidate_object_caches(name)
         start = self.sim.now
         config = self.config
         metadata = read_metadata(data)
@@ -213,31 +228,40 @@ class BaselineStore:
             return b""
         coordinator = self.cluster.coordinator_for(name)
         fragments = obj.layout.locate(offset, size)
-        fetches = [
-            self.sim.process(
-                self._fetch_fragment(
+        parts = yield from execute_remote_ops(
+            self.cluster,
+            coordinator,
+            [
+                self._fetch_fragment_op(
                     obj, coordinator, f.block_index, f.block_offset, f.length, query
                 )
-            )
-            for f in fragments
-        ]
-        barrier = all_of(self.sim, fetches)
-        yield barrier
-        parts = barrier.value
+                for f in fragments
+            ],
+            query,
+            self.config.enable_rpc_batching,
+        )
         return b"".join(bytes(p) for p in parts)
 
-    def _fetch_fragment(self, obj, coordinator, block_index, offset, length, query):
+    def _fetch_fragment_op(self, obj, coordinator, block_index, offset, length, query) -> RemoteOp:
+        """Op reading one block fragment on its node and shipping it back."""
         node = self.cluster.node(obj.data_block_nodes[block_index])
         if not node.alive:
-            block = yield from self._degraded_block_read(obj, coordinator, block_index, query)
-            return block[offset : offset + length]
-        data = yield from node.read_block_range(
-            obj.data_block_id(block_index), offset, length, self.config.size_scale, query
-        )
-        yield from self.cluster.network.transfer(
-            node.endpoint, coordinator.endpoint, self.config.scaled(length), query
-        )
-        return data
+
+            def degraded():
+                block = yield from self._degraded_block_read(
+                    obj, coordinator, block_index, query
+                )
+                return block[offset : offset + length]
+
+            return RemoteOp(standalone=degraded)
+
+        def execute():
+            data = yield from node.read_block_range(
+                obj.data_block_id(block_index), offset, length, self.config.size_scale, query
+            )
+            return self.config.scaled(length), data
+
+        return RemoteOp(node=node, execute=execute)
 
     def _degraded_block_read(self, obj, coordinator, block_index: int, query):
         """Reconstruct one lost block at the coordinator from its stripe.
@@ -258,11 +282,12 @@ class BaselineStore:
         for i in range(len(blocks), k):
             shards[i] = np.zeros(0, dtype=np.uint8)
 
-        def present() -> int:
-            return sum(1 for s in shards if s is not None)
-
+        # Pick the surviving shards to gather (first k in stripe order),
+        # then fetch them as one scatter-gather round (see FusionStore).
+        pending = sum(1 for s in shards if s is not None)
+        gather: list[tuple[int, object, str]] = []
         for i in range(n):
-            if present() >= k:
+            if pending + len(gather) >= k:
                 break
             if shards[i] is not None:
                 continue
@@ -275,10 +300,23 @@ class BaselineStore:
             node = self.cluster.node(nid)
             if not node.alive or not node.has_block(bid):
                 continue
-            data = yield from node.read_block(bid, self.config.size_scale, query)
-            yield from self.cluster.network.transfer(
-                node.endpoint, coordinator.endpoint, self.config.scaled(data.size), query
-            )
+            gather.append((i, node, bid))
+
+        def fetch_op(node, bid: str) -> RemoteOp:
+            def execute():
+                data = yield from node.read_block(bid, self.config.size_scale, query)
+                return self.config.scaled(data.size), data
+
+            return RemoteOp(node=node, execute=execute)
+
+        payloads = yield from execute_remote_ops(
+            self.cluster,
+            coordinator,
+            [fetch_op(node, bid) for _i, node, bid in gather],
+            query,
+            self.config.enable_rpc_batching,
+        )
+        for (i, _node, _bid), data in zip(gather, payloads):
             shards[i] = data
 
         gathered = sum(s.size for s in shards if s is not None)
@@ -320,13 +358,9 @@ class BaselineStore:
                 obj, coordinator, needed, metrics
             )
         else:
-            tasks = [
-                self.sim.process(self._fetch_chunk(obj, coordinator, rg, col, metrics))
-                for rg, col in needed
-            ]
-            barrier = all_of(self.sim, tasks)
-            yield barrier
-            decoded = dict(zip(needed, barrier.value))
+            decoded = yield from self._fetch_chunks_byte_granular(
+                obj, coordinator, needed, metrics
+            )
 
         # Stage 2: local evaluation at the coordinator.
         rg_selected: dict[int, np.ndarray] = {}
@@ -381,17 +415,20 @@ class BaselineStore:
             for f in obj.layout.locate(meta.offset, meta.size):
                 block_set.add(f.block_index)
 
-        fetches = {
-            idx: self.sim.process(
-                self._fetch_fragment(
+        indices = sorted(block_set)
+        payloads = yield from execute_remote_ops(
+            self.cluster,
+            coordinator,
+            [
+                self._fetch_fragment_op(
                     obj, coordinator, idx, 0, obj.layout.blocks[idx].size, metrics
                 )
-            )
-            for idx in sorted(block_set)
-        }
-        barrier = all_of(self.sim, list(fetches.values()))
-        yield barrier
-        block_bytes = {idx: proc.value for idx, proc in fetches.items()}
+                for idx in indices
+            ],
+            metrics,
+            self.config.enable_rpc_batching,
+        )
+        block_bytes = dict(zip(indices, payloads))
 
         decoded = {}
         for rg, col in needed:
@@ -412,31 +449,51 @@ class BaselineStore:
             decoded[(rg, col)] = cached
         return decoded
 
-    def _fetch_chunk(self, obj, coordinator, rg: int, col: str, metrics: QueryMetrics):
-        """Reassemble one column chunk from its block fragments, decode it."""
-        meta = obj.metadata.chunk(rg, col)
-        fragments = obj.layout.locate(meta.offset, meta.size)
-        fetches = [
-            self.sim.process(
-                self._fetch_fragment(
-                    obj, coordinator, f.block_index, f.block_offset, f.length, metrics
+    def _fetch_chunks_byte_granular(self, obj, coordinator, needed, metrics: QueryMetrics):
+        """Reassemble each needed chunk from its exact byte fragments.
+
+        All chunks' fragments travel in one scatter-gather round (batched:
+        one reply per holding node); each chunk is then decoded at the
+        coordinator once its bytes are assembled.
+        """
+        frag_ops = []
+        frag_owner: list[int] = []  # fragment -> index into ``needed``
+        for ci, (rg, col) in enumerate(needed):
+            meta = obj.metadata.chunk(rg, col)
+            for f in obj.layout.locate(meta.offset, meta.size):
+                frag_owner.append(ci)
+                frag_ops.append(
+                    self._fetch_fragment_op(
+                        obj, coordinator, f.block_index, f.block_offset, f.length, metrics
+                    )
                 )
-            )
-            for f in fragments
-        ]
-        barrier = all_of(self.sim, fetches)
-        yield barrier
-        yield from coordinator.compute(
-            coordinator.decode_seconds(meta.size, meta.plain_size, self.config.size_scale),
-            metrics,
+        payloads = yield from execute_remote_ops(
+            self.cluster, coordinator, frag_ops, metrics, self.config.enable_rpc_batching
         )
-        cache_key = (obj.name, rg, col)
-        cached = self._decode_cache.get(cache_key)
-        if cached is None:
-            raw = b"".join(bytes(p) for p in barrier.value)
-            cached = decode_column_chunk(raw)
-            self._decode_cache[cache_key] = cached
-        return cached
+        chunk_parts: dict[int, list] = {ci: [] for ci in range(len(needed))}
+        for ci, payload in zip(frag_owner, payloads):
+            chunk_parts[ci].append(payload)
+
+        def decode_one(rg: int, col: str, parts: list):
+            meta = obj.metadata.chunk(rg, col)
+            yield from coordinator.compute(
+                coordinator.decode_seconds(meta.size, meta.plain_size, self.config.size_scale),
+                metrics,
+            )
+            cache_key = (obj.name, rg, col)
+            cached = self._decode_cache.get(cache_key)
+            if cached is None:
+                cached = decode_column_chunk(b"".join(bytes(p) for p in parts))
+                self._decode_cache[cache_key] = cached
+            return cached
+
+        decodes = [
+            self.sim.process(decode_one(rg, col, chunk_parts[ci]))
+            for ci, (rg, col) in enumerate(needed)
+        ]
+        barrier = all_of(self.sim, decodes)
+        yield barrier
+        return dict(zip(needed, barrier.value))
 
     # -- Delete ----------------------------------------------------------------
 
@@ -459,12 +516,7 @@ class BaselineStore:
                 node.drop_block(bid)
                 reclaimed += 1
         del self.objects[name]
-        self._decode_cache = {
-            k: v for k, v in self._decode_cache.items() if k[0] != name
-        }
-        self._degraded_block_cache = {
-            k: v for k, v in self._degraded_block_cache.items() if k[0] != name
-        }
+        self._invalidate_object_caches(name)
         return reclaimed
 
     # -- Scrubbing -----------------------------------------------------------

@@ -1,0 +1,61 @@
+"""A small LRU mapping for the stores' real-bytes memoisation caches.
+
+Both stores memoise decoded column-chunk values, page indexes and
+degraded-read reconstructions keyed by object name.  The cached values
+carry *real* bytes only — every simulated cost is still charged per
+access — so the caches exist purely to save benchmark wall-clock.  They
+must therefore stay small (bounded LRU) and must be invalidated whenever
+an object's bytes can change (put of a reused name, delete).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Generic, Hashable, Iterator, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LruDict(Generic[K, V]):
+    """Mapping bounded to ``max_entries`` with least-recently-used eviction."""
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError("cache must hold at least one entry")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[K, V] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._entries)
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        value = self._entries.get(key, default)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        return value
+
+    def __setitem__(self, key: K, value: V) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def pop(self, key: K, default: V | None = None) -> V | None:
+        return self._entries.pop(key, default)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def evict_where(self, predicate: Callable[[K], bool]) -> int:
+        """Drop every entry whose key matches; returns how many went."""
+        doomed = [k for k in self._entries if predicate(k)]
+        for k in doomed:
+            del self._entries[k]
+        return len(doomed)

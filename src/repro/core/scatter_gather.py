@@ -1,0 +1,163 @@
+"""Scatter-gather execution of per-chunk remote ops, optionally batched.
+
+Both stores execute query stages as fan-outs of small per-chunk ops
+(push a filter, push a projection, fetch a fragment).  Unbatched, every
+op is its own round trip: request message, node-side work, reply
+message — hundreds of serialized RPC setups for a many-row-group object.
+This module centralises the fan-out so the stores can coalesce it: with
+batching enabled, all ops bound for the same storage node share *one*
+batched request message per stage (``Network.batch_transfer``), and
+their replies stream back per-op over the open exchange
+(``Network.stream_transfer``) as each op finishes — amortising the
+fixed per-RPC overhead and the RTT across the node's whole op group
+while payload bytes still serialise through the pipes and node-side
+work keeps pipelining with the reply transfers.
+
+An op is described declaratively by :class:`RemoteOp`:
+
+* ``node`` / ``request_bytes`` / ``execute`` / ``finalize`` for the
+  common healthy-node shape — ``execute`` runs on the node (disk reads,
+  compute) and returns ``(reply_bytes, value)``; ``finalize`` optionally
+  continues at the coordinator after the reply arrives;
+* ``standalone`` for ops that cannot ride a batch (degraded reads that
+  reconstruct at the coordinator); they run as independent processes in
+  both modes.
+
+Results come back in op order, so callers can ``zip`` them with their
+keys exactly as they did with per-op process barriers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+from repro.cluster.simcore import all_of
+
+
+@dataclass
+class RemoteOp:
+    """One unit of remote work in a scatter-gather stage.
+
+    Exactly one of ``execute`` (with ``node``) or ``standalone`` must be
+    set.  ``request_bytes`` and the first element of ``execute``'s
+    return value are *simulated* (already scaled) byte counts; byte
+    accounting sums them per batch, so batched and unbatched runs move
+    identical traffic.
+    """
+
+    node: object | None = None  # StorageNode holding the chunk
+    request_bytes: int | None = None  # None: the stage sends no request message
+    execute: Callable[[], Generator] | None = None  # -> (reply_bytes, value)
+    finalize: Callable[[object], Generator] | None = None  # value -> final value
+    standalone: Callable[[], Generator] | None = None  # full op, unbatchable
+
+    def __post_init__(self) -> None:
+        if (self.execute is None) == (self.standalone is None):
+            raise ValueError("RemoteOp needs exactly one of execute/standalone")
+        if self.execute is not None and self.node is None:
+            raise ValueError("batchable RemoteOp needs a destination node")
+
+
+def execute_remote_ops(cluster, coordinator, ops, metrics, batched: bool):
+    """Process: run ``ops``; returns their final values in op order.
+
+    Unbatched, each op is an independent process paying its own request
+    and reply RPCs (the seed behaviour).  Batched, ops are grouped by
+    destination node: one coalesced request per node opens the exchange,
+    then each op executes, streams its reply, and finalises
+    independently — no barrier, so node-side work still overlaps the
+    reply transfers exactly as in the unbatched pipeline.
+    """
+    sim = cluster.sim
+    if not batched:
+        procs = [sim.process(_single_op(cluster, coordinator, op, metrics)) for op in ops]
+        barrier = all_of(sim, procs)
+        yield barrier
+        return barrier.value
+
+    results: list[object] = [None] * len(ops)
+    groups: dict[int, list[int]] = {}
+    waits = []
+    for i, op in enumerate(ops):
+        if op.standalone is not None:
+            waits.append(([i], sim.process(_boxed(op.standalone()))))
+        else:
+            groups.setdefault(op.node.node_id, []).append(i)
+    for indices in groups.values():
+        group = [ops[i] for i in indices]
+        waits.append((indices, sim.process(_node_group(cluster, coordinator, group, metrics))))
+    barrier = all_of(sim, [proc for _indices, proc in waits])
+    yield barrier
+    for (indices, _proc), values in zip(waits, barrier.value):
+        for i, value in zip(indices, values):
+            results[i] = value
+    return results
+
+
+def _boxed(gen):
+    """Wrap a standalone op so its value arrives as a one-element list."""
+    value = yield from gen
+    return [value]
+
+
+def _single_op(cluster, coordinator, op: RemoteOp, metrics):
+    """One op, unbatched: its own request RPC, work, and reply RPC."""
+    if op.standalone is not None:
+        value = yield from op.standalone()
+        return value
+    if op.request_bytes is not None:
+        yield from cluster.network.transfer(
+            coordinator.endpoint, op.node.endpoint, op.request_bytes, metrics
+        )
+    reply_bytes, value = yield from op.execute()
+    yield from cluster.network.transfer(
+        op.node.endpoint, coordinator.endpoint, reply_bytes, metrics
+    )
+    if op.finalize is not None:
+        value = yield from op.finalize(value)
+    return value
+
+
+def _node_group(cluster, coordinator, group: list[RemoteOp], metrics):
+    """All of one node's ops for a stage, as one scatter-gather exchange.
+
+    One batched request opens the exchange (one RPC overhead, half an
+    RTT); each op then runs and streams its reply back as soon as it is
+    ready, the first reply carrying the other half-RTT.  Stages whose
+    ops send no request (Get fetches) open the exchange with the first
+    reply instead.
+    """
+    sim = cluster.sim
+    net = cluster.network
+    node = group[0].node
+    request_sizes = [op.request_bytes for op in group if op.request_bytes is not None]
+    state = {"replies_sent": 0}
+    if request_sizes:
+        yield from net.batch_transfer(
+            coordinator.endpoint, node.endpoint, request_sizes, metrics
+        )
+
+    def run_op(op: RemoteOp):
+        reply_bytes, value = yield from op.execute()
+        first = state["replies_sent"] == 0
+        state["replies_sent"] += 1
+        if first and not request_sizes:
+            # No request leg: the first reply is the RPC that opens the
+            # exchange; later replies ride it.
+            yield from net.transfer(
+                node.endpoint, coordinator.endpoint, reply_bytes, metrics
+            )
+        else:
+            yield from net.stream_transfer(
+                node.endpoint, coordinator.endpoint, reply_bytes, metrics,
+                half_rtt=first,
+            )
+        if op.finalize is not None:
+            value = yield from op.finalize(value)
+        return value
+
+    procs = [sim.process(run_op(op)) for op in group]
+    barrier = all_of(sim, procs)
+    yield barrier
+    return barrier.value

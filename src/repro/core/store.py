@@ -25,9 +25,11 @@ from repro.cluster.metrics import QueryMetrics
 from repro.cluster.simcore import all_of
 from repro.core import engine
 from repro.core.baseline_store import BaselineStore, ObjectNotFound, PutReport
+from repro.core.cache import LruDict
 from repro.core.config import OP_REQUEST_BYTES, SCALAR_RESULT_BYTES, StoreConfig
 from repro.core.cost_model import PushdownCostEstimator
 from repro.core.fac import construct_stripes
+from repro.core.scatter_gather import RemoteOp, execute_remote_ops
 from repro.core.layout import ChunkItem, StripeLayout
 from repro.core.location_map import ChunkLocation, LocationMap
 from repro.ec.stripe import decode_stripe, encode_stripe
@@ -85,12 +87,28 @@ class FusionStore:
         # fixed-block coding and baseline-style execution.
         self.fallback_store = BaselineStore(cluster, self.config)
         # Decoded-value memoisation (see BaselineStore._decode_cache).
-        self._decode_cache: dict[tuple[str, tuple[int, int]], np.ndarray] = {}
-        # Degraded-read reconstruction cache: block_id -> recovered bin
-        # bytes (real bytes only; simulated costs are charged per read).
-        self._degraded_bin_cache: dict[str, np.ndarray] = {}
+        # All three caches hold real bytes only (simulated costs are
+        # charged per access), are bounded by a small LRU, and are
+        # invalidated on put/delete so a reused object name never serves
+        # stale values.
+        self._decode_cache: LruDict[tuple[str, tuple[int, int]], np.ndarray] = LruDict(
+            self.config.decode_cache_entries
+        )
+        # Degraded-read reconstruction cache: block_id -> recovered bin.
+        self._degraded_bin_cache: LruDict[str, np.ndarray] = LruDict(
+            self.config.degraded_cache_entries
+        )
         # Page-index cache for node-local page skipping.
-        self._page_index_cache: dict[tuple[str, tuple[int, int]], list] = {}
+        self._page_index_cache: LruDict[tuple[str, tuple[int, int]], list] = LruDict(
+            self.config.decode_cache_entries
+        )
+
+    def _invalidate_object_caches(self, name: str) -> None:
+        """Drop every cached artefact derived from object ``name``."""
+        self._decode_cache.evict_where(lambda key: key[0] == name)
+        self._page_index_cache.evict_where(lambda key: key[0] == name)
+        # Degraded-bin keys are block ids of the form "<name>/s<i>/d<j>".
+        self._degraded_bin_cache.evict_where(lambda bid: bid.startswith(name + "/s"))
 
     def _page_fraction(self, obj_name: str, meta: ColumnChunkMeta, op, data) -> float:
         """Fraction of the chunk's rows in pages the filter can match."""
@@ -130,6 +148,9 @@ class FusionStore:
         """Simulated Put with FAC stripe construction."""
         if name in self.objects or name in self.fallback_store.objects:
             raise ValueError(f"object {name!r} already exists (updates are fresh inserts)")
+        # A reused name (put after delete) must never serve bytes decoded
+        # from its previous incarnation.
+        self._invalidate_object_caches(name)
         start = self.sim.now
         config = self.config
         metadata = read_metadata(data)
@@ -316,7 +337,7 @@ class FusionStore:
         # that overlap the requested range.  Local segments (header and
         # footer live with the replicated metadata) cost nothing.
         parts: list[tuple[int, bytes | None]] = []  # (segment_start, local bytes)
-        fetches = []
+        fetch_ops = []
         fetch_starts = []
         header_end = len(obj.header_bytes)
         if offset < header_end:
@@ -328,11 +349,9 @@ class FusionStore:
                 continue
             loc = obj.location_map.lookup(meta.key)
             fetch_starts.append(lo)
-            fetches.append(
-                self.sim.process(
-                    self._fetch_chunk_range(
-                        obj, coordinator, loc, lo - meta.offset, hi - lo, metrics
-                    )
+            fetch_ops.append(
+                self._fetch_chunk_range_op(
+                    obj, coordinator, loc, lo - meta.offset, hi - lo, metrics
                 )
             )
         trailer_start = total - len(obj.trailer_bytes)
@@ -340,14 +359,15 @@ class FusionStore:
             lo = max(offset, trailer_start)
             parts.append((lo, obj.trailer_bytes[lo - trailer_start : end - trailer_start]))
 
-        barrier = all_of(self.sim, fetches)
-        yield barrier
-        for start, payload in zip(fetch_starts, barrier.value):
+        payloads = yield from execute_remote_ops(
+            self.cluster, coordinator, fetch_ops, metrics, self.config.enable_rpc_batching
+        )
+        for start, payload in zip(fetch_starts, payloads):
             parts.append((start, bytes(payload)))
         parts.sort(key=lambda item: item[0])
         return b"".join(p for _start, p in parts)
 
-    def _fetch_chunk_range(
+    def _fetch_chunk_range_op(
         self,
         obj: StoredFusionObject,
         coordinator,
@@ -355,23 +375,28 @@ class FusionStore:
         within: int,
         length: int,
         metrics: QueryMetrics | None,
-    ):
-        """Read ``[within, within+length)`` of one chunk from its node."""
+    ) -> RemoteOp:
+        """Op reading ``[within, within+length)`` of one chunk from its node."""
         node = self.cluster.node(loc.node_id)
         if not node.alive:
-            chunk = yield from self._degraded_chunk_read(obj, loc, coordinator, metrics)
-            return chunk[within : within + length]
-        data = yield from node.read_block_range(
-            loc.block_id,
-            loc.offset_in_block + within,
-            length,
-            self.config.size_scale,
-            metrics,
-        )
-        yield from self.cluster.network.transfer(
-            node.endpoint, coordinator.endpoint, self.config.scaled(length), metrics
-        )
-        return data
+
+            def degraded():
+                chunk = yield from self._degraded_chunk_read(obj, loc, coordinator, metrics)
+                return chunk[within : within + length]
+
+            return RemoteOp(standalone=degraded)
+
+        def execute():
+            data = yield from node.read_block_range(
+                loc.block_id,
+                loc.offset_in_block + within,
+                length,
+                self.config.size_scale,
+                metrics,
+            )
+            return self.config.scaled(length), data
+
+        return RemoteOp(node=node, execute=execute)
 
     # -- Degraded reads ----------------------------------------------------------
 
@@ -403,11 +428,14 @@ class FusionStore:
             if placement.data_sizes[i] == 0:
                 shards[i] = np.zeros(0, dtype=np.uint8)
 
-        def present() -> int:
-            return sum(1 for s in shards if s is not None)
-
+        # Pick the surviving shards to gather (first k in stripe order),
+        # then fetch them as one scatter-gather round: the stripe spreads
+        # over distinct nodes, so this is one RPC per surviving node
+        # either way, but the reads overlap instead of serialising.
+        pending = sum(1 for s in shards if s is not None)
+        gather: list[tuple[int, object, str]] = []
         for i in range(n):
-            if present() >= k:
+            if pending + len(gather) >= k:
                 break
             if shards[i] is not None:
                 continue
@@ -417,10 +445,23 @@ class FusionStore:
             )
             if not node.alive or not node.has_block(block_id):
                 continue
-            data = yield from node.read_block(block_id, self.config.size_scale, metrics)
-            yield from self.cluster.network.transfer(
-                node.endpoint, coordinator.endpoint, self.config.scaled(data.size), metrics
-            )
+            gather.append((i, node, block_id))
+
+        def fetch_op(node, block_id: str) -> RemoteOp:
+            def execute():
+                data = yield from node.read_block(block_id, self.config.size_scale, metrics)
+                return self.config.scaled(data.size), data
+
+            return RemoteOp(node=node, execute=execute)
+
+        payloads = yield from execute_remote_ops(
+            self.cluster,
+            coordinator,
+            [fetch_op(node, bid) for _i, node, bid in gather],
+            metrics,
+            self.config.enable_rpc_batching,
+        )
+        for (i, _node, _bid), data in zip(gather, payloads):
             shards[i] = data
 
         gathered = sum(s.size for s in shards if s is not None)
@@ -488,7 +529,7 @@ class FusionStore:
 
         # ---- Filter stage: push every live leaf down, gather bitmaps. ----
         rg_selected: dict[int, np.ndarray] = {}
-        tasks = []
+        ops = []
         keys: list[tuple[int, int]] = []
         zero_bitmaps: dict[tuple[int, int], np.ndarray] = {}
         for rg in row_groups:
@@ -502,12 +543,11 @@ class FusionStore:
                     zero_bitmaps[(rg, op.index)] = np.zeros(num_rows, dtype=np.bool_)
                     continue
                 keys.append((rg, op.index))
-                tasks.append(
-                    self.sim.process(self._filter_op(obj, coordinator, rg, op, meta, metrics))
-                )
-        barrier = all_of(self.sim, tasks)
-        yield barrier
-        leaf_results = dict(zip(keys, barrier.value))
+                ops.append(self._filter_op(obj, coordinator, rg, op, meta, metrics))
+        bitmaps_out = yield from execute_remote_ops(
+            self.cluster, coordinator, ops, metrics, self.config.enable_rpc_batching
+        )
+        leaf_results = dict(zip(keys, bitmaps_out))
         leaf_results.update(zero_bitmaps)
 
         for rg in row_groups:
@@ -532,7 +572,7 @@ class FusionStore:
             )
         else:
             rg_projected: dict[tuple[int, str], np.ndarray] = {}
-            tasks = []
+            ops = []
             task_keys = []
             for rg in row_groups:
                 bitmap = rg_selected[rg]
@@ -544,16 +584,15 @@ class FusionStore:
                         continue
                     meta = obj.metadata.chunk(rg, col)
                     task_keys.append((rg, col))
-                    tasks.append(
-                        self.sim.process(
-                            self._projection_op(
-                                obj, coordinator, meta, type_, bitmap, indices, metrics
-                            )
+                    ops.append(
+                        self._projection_op(
+                            obj, coordinator, meta, type_, bitmap, indices, metrics
                         )
                     )
-            barrier = all_of(self.sim, tasks)
-            yield barrier
-            rg_projected.update(dict(zip(task_keys, barrier.value)))
+            values_out = yield from execute_remote_ops(
+                self.cluster, coordinator, ops, metrics, self.config.enable_rpc_batching
+            )
+            rg_projected.update(dict(zip(task_keys, values_out)))
             result = engine.assemble_result(
                 physical, obj.metadata, row_groups, rg_selected, rg_projected
             )
@@ -586,7 +625,7 @@ class FusionStore:
         rg_projected: dict[tuple[int, str], np.ndarray] = {}
         type_ = physical.schema.field(op.column).type
 
-        tasks = []
+        ops = []
         task_rgs = []
         for rg in row_groups:
             num_rows = obj.metadata.row_groups[rg].num_rows
@@ -596,110 +635,122 @@ class FusionStore:
                 rg_projected[(rg, op.column)] = _empty_values(type_)
                 continue
             task_rgs.append(rg)
-            tasks.append(
-                self.sim.process(self._fused_op(obj, coordinator, op, meta, type_, metrics))
-            )
-        barrier = all_of(self.sim, tasks)
-        yield barrier
-        for rg, (bits, values) in zip(task_rgs, barrier.value):
+            ops.append(self._fused_op(obj, coordinator, op, meta, type_, metrics))
+        fused_out = yield from execute_remote_ops(
+            self.cluster, coordinator, ops, metrics, self.config.enable_rpc_batching
+        )
+        for rg, (bits, values) in zip(task_rgs, fused_out):
             rg_selected[rg] = bits
             rg_projected[(rg, op.column)] = values
         return engine.assemble_result(
             physical, obj.metadata, row_groups, rg_selected, rg_projected
         )
 
-    def _fused_op(self, obj, coordinator, op, meta: ColumnChunkMeta, type_, metrics):
+    def _fused_op(self, obj, coordinator, op, meta: ColumnChunkMeta, type_, metrics) -> RemoteOp:
         """One fused filter+projection op on the node holding the chunk."""
         loc = obj.location_map.lookup(meta.key)
         node = self.cluster.node(loc.node_id)
         if not node.alive:
             # Degraded: reconstruct at the coordinator and process there.
-            metrics.fallback_chunks += 1
-            values = yield from self._degraded_chunk_values(obj, meta, loc, coordinator, metrics)
-            yield from coordinator.compute(
-                2 * coordinator.scan_seconds(meta.plain_size, self.config.size_scale), metrics
+            def degraded():
+                metrics.fallback_chunks += 1
+                values = yield from self._degraded_chunk_values(
+                    obj, meta, loc, coordinator, metrics
+                )
+                yield from coordinator.compute(
+                    2 * coordinator.scan_seconds(meta.plain_size, self.config.size_scale),
+                    metrics,
+                )
+                bits = eval_leaf(op.leaf, op.type, values)
+                return bits, values[np.flatnonzero(bits)]
+
+            return RemoteOp(standalone=degraded)
+
+        def execute():
+            data = yield from node.read_block_range(
+                loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
             )
+            fraction = self._page_fraction(obj.name, meta, op, data)
+            yield from node.compute(
+                fraction
+                * (
+                    node.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
+                    + 2 * node.scan_seconds(meta.plain_size, self.config.size_scale)
+                ),
+                metrics,
+            )
+            values = self._decode_cached(obj.name, meta, data)
             bits = eval_leaf(op.leaf, op.type, values)
-            return bits, values[np.flatnonzero(bits)]
-        yield from self.cluster.network.transfer(
-            coordinator.endpoint, node.endpoint, self.config.scaled(OP_REQUEST_BYTES), metrics
-        )
-        data = yield from node.read_block_range(
-            loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
-        )
-        fraction = self._page_fraction(obj.name, meta, op, data)
-        yield from node.compute(
-            fraction
-            * (
-                node.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
-                + 2 * node.scan_seconds(meta.plain_size, self.config.size_scale)
-            ),
-            metrics,
-        )
-        values = self._decode_cached(obj.name, meta, data)
-        bits = eval_leaf(op.leaf, op.type, values)
-        indices = np.flatnonzero(bits)
-        selectivity = len(indices) / len(bits) if len(bits) else 0.0
-        decision = self.estimator.decide(selectivity, meta.size, meta.plain_size)
-        bitmap_wire = Bitmap(bits).wire_size()
+            indices = np.flatnonzero(bits)
+            selectivity = len(indices) / len(bits) if len(bits) else 0.0
+            decision = self.estimator.decide(selectivity, meta.size, meta.plain_size)
+            bitmap_wire = Bitmap(bits).wire_size()
 
-        if decision.push_down:
-            metrics.pushed_down_chunks += 1
-            selected = values[indices]
-            reply = bitmap_wire + engine.selected_plain_bytes(type_, selected)
-            yield from self.cluster.network.transfer(
-                node.endpoint, coordinator.endpoint, self.config.scaled(reply), metrics
-            )
-            return bits, selected
+            if decision.push_down:
+                metrics.pushed_down_chunks += 1
+                selected = values[indices]
+                reply = bitmap_wire + engine.selected_plain_bytes(type_, selected)
+                return self.config.scaled(reply), ("pushed", bits, selected)
+            # Unfavourable cost product: reply with the bitmap plus the
+            # whole compressed chunk; the coordinator decodes locally.
+            metrics.fallback_chunks += 1
+            reply = bitmap_wire + loc.size
+            return self.config.scaled(reply), ("fallback", bits, values[indices])
 
-        # Unfavourable cost product: reply with the bitmap plus the whole
-        # compressed chunk; the coordinator decodes and selects locally.
-        metrics.fallback_chunks += 1
-        yield from self.cluster.network.transfer(
-            node.endpoint,
-            coordinator.endpoint,
-            self.config.scaled(bitmap_wire + loc.size),
-            metrics,
-        )
-        yield from coordinator.compute(
-            coordinator.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
-            + coordinator.scan_seconds(meta.plain_size, self.config.size_scale),
-            metrics,
-        )
-        return bits, values[indices]
+        def finalize(reply):
+            kind, bits, values = reply
+            if kind == "fallback":
+                yield from coordinator.compute(
+                    coordinator.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
+                    + coordinator.scan_seconds(meta.plain_size, self.config.size_scale),
+                    metrics,
+                )
+            return bits, values
 
-    def _filter_op(self, obj, coordinator, rg: int, op, meta: ColumnChunkMeta, metrics):
+        return RemoteOp(
+            node=node,
+            request_bytes=self.config.scaled(OP_REQUEST_BYTES),
+            execute=execute,
+            finalize=finalize,
+        )
+
+    def _filter_op(self, obj, coordinator, rg: int, op, meta: ColumnChunkMeta, metrics) -> RemoteOp:
         """One pushed-down filter: runs in-situ, replies with a bitmap."""
         loc = obj.location_map.lookup(meta.key)
         node = self.cluster.node(loc.node_id)
         if not node.alive:
-            values = yield from self._degraded_chunk_values(obj, meta, loc, coordinator, metrics)
-            yield from coordinator.compute(
-                coordinator.scan_seconds(meta.plain_size, self.config.size_scale), metrics
+
+            def degraded():
+                values = yield from self._degraded_chunk_values(
+                    obj, meta, loc, coordinator, metrics
+                )
+                yield from coordinator.compute(
+                    coordinator.scan_seconds(meta.plain_size, self.config.size_scale), metrics
+                )
+                return eval_leaf(op.leaf, op.type, values)
+
+            return RemoteOp(standalone=degraded)
+
+        def execute():
+            data = yield from node.read_block_range(
+                loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
             )
-            return eval_leaf(op.leaf, op.type, values)
-        yield from self.cluster.network.transfer(
-            coordinator.endpoint, node.endpoint, self.config.scaled(OP_REQUEST_BYTES), metrics
+            fraction = self._page_fraction(obj.name, meta, op, data)
+            yield from node.compute(
+                fraction
+                * (
+                    node.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
+                    + node.scan_seconds(meta.plain_size, self.config.size_scale)
+                ),
+                metrics,
+            )
+            values = self._decode_cached(obj.name, meta, data)
+            bits = eval_leaf(op.leaf, op.type, values)
+            return self.config.scaled(Bitmap(bits).wire_size()), bits
+
+        return RemoteOp(
+            node=node, request_bytes=self.config.scaled(OP_REQUEST_BYTES), execute=execute
         )
-        data = yield from node.read_block_range(
-            loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
-        )
-        fraction = self._page_fraction(obj.name, meta, op, data)
-        yield from node.compute(
-            fraction
-            * (
-                node.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
-                + node.scan_seconds(meta.plain_size, self.config.size_scale)
-            ),
-            metrics,
-        )
-        values = self._decode_cached(obj.name, meta, data)
-        bits = eval_leaf(op.leaf, op.type, values)
-        wire = Bitmap(bits).wire_size()
-        yield from self.cluster.network.transfer(
-            node.endpoint, coordinator.endpoint, self.config.scaled(wire), metrics
-        )
-        return bits
 
     def _projection_op(
         self,
@@ -710,17 +761,24 @@ class FusionStore:
         bitmap: np.ndarray,
         indices: np.ndarray,
         metrics: QueryMetrics,
-    ):
+    ) -> RemoteOp:
         """One projection: pushed down or fetched, per the Cost Equation."""
         loc = obj.location_map.lookup(meta.key)
         node = self.cluster.node(loc.node_id)
         if not node.alive:
-            metrics.fallback_chunks += 1
-            values = yield from self._degraded_chunk_values(obj, meta, loc, coordinator, metrics)
-            yield from coordinator.compute(
-                coordinator.scan_seconds(meta.plain_size, self.config.size_scale), metrics
-            )
-            return values[indices]
+
+            def degraded():
+                metrics.fallback_chunks += 1
+                values = yield from self._degraded_chunk_values(
+                    obj, meta, loc, coordinator, metrics
+                )
+                yield from coordinator.compute(
+                    coordinator.scan_seconds(meta.plain_size, self.config.size_scale), metrics
+                )
+                return values[indices]
+
+            return RemoteOp(standalone=degraded)
+
         selectivity = len(indices) / len(bitmap) if len(bitmap) else 0.0
         decision = self.estimator.decide(selectivity, meta.size, meta.plain_size)
 
@@ -728,44 +786,49 @@ class FusionStore:
             metrics.pushed_down_chunks += 1
             # Ship the bitmap with the op; receive selected raw values.
             bitmap_wire = Bitmap(bitmap).wire_size()
-            yield from self.cluster.network.transfer(
-                coordinator.endpoint,
-                node.endpoint,
-                self.config.scaled(OP_REQUEST_BYTES + bitmap_wire),
-                metrics,
+
+            def execute_pushed():
+                data = yield from node.read_block_range(
+                    loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
+                )
+                yield from node.compute(
+                    node.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
+                    + node.scan_seconds(meta.plain_size, self.config.size_scale),
+                    metrics,
+                )
+                values = self._decode_cached(obj.name, meta, data)[indices]
+                reply = engine.selected_plain_bytes(type_, values)
+                return self.config.scaled(reply), values
+
+            return RemoteOp(
+                node=node,
+                request_bytes=self.config.scaled(OP_REQUEST_BYTES + bitmap_wire),
+                execute=execute_pushed,
             )
-            data = yield from node.read_block_range(
-                loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
-            )
-            yield from node.compute(
-                node.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
-                + node.scan_seconds(meta.plain_size, self.config.size_scale),
-                metrics,
-            )
-            values = self._decode_cached(obj.name, meta, data)[indices]
-            reply = engine.selected_plain_bytes(type_, values)
-            yield from self.cluster.network.transfer(
-                node.endpoint, coordinator.endpoint, self.config.scaled(reply), metrics
-            )
-            return values
 
         # Fallback: fetch the compressed chunk, process at the coordinator.
         metrics.fallback_chunks += 1
-        yield from self.cluster.network.transfer(
-            coordinator.endpoint, node.endpoint, self.config.scaled(OP_REQUEST_BYTES), metrics
+
+        def execute_fetch():
+            data = yield from node.read_block_range(
+                loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
+            )
+            return self.config.scaled(loc.size), data
+
+        def finalize(data):
+            yield from coordinator.compute(
+                coordinator.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
+                + coordinator.scan_seconds(meta.plain_size, self.config.size_scale),
+                metrics,
+            )
+            return self._decode_cached(obj.name, meta, data)[indices]
+
+        return RemoteOp(
+            node=node,
+            request_bytes=self.config.scaled(OP_REQUEST_BYTES),
+            execute=execute_fetch,
+            finalize=finalize,
         )
-        data = yield from node.read_block_range(
-            loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
-        )
-        yield from self.cluster.network.transfer(
-            node.endpoint, coordinator.endpoint, self.config.scaled(loc.size), metrics
-        )
-        yield from coordinator.compute(
-            coordinator.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
-            + coordinator.scan_seconds(meta.plain_size, self.config.size_scale),
-            metrics,
-        )
-        return self._decode_cached(obj.name, meta, data)[indices]
 
     def _aggregate_pushdown_stage(
         self,
@@ -781,7 +844,7 @@ class FusionStore:
         aggs = [item for item in query.select if isinstance(item, Aggregate)]
         matched = sum(int(rg_selected[rg].sum()) for rg in row_groups)
 
-        tasks = []
+        ops = []
         task_keys = []
         for rg in row_groups:
             bitmap = rg_selected[rg]
@@ -792,15 +855,14 @@ class FusionStore:
                     continue  # COUNT(*) comes from bitmaps alone
                 meta = obj.metadata.chunk(rg, agg.column)
                 task_keys.append((rg, agg_idx))
-                tasks.append(
-                    self.sim.process(
-                        self._partial_aggregate_op(obj, coordinator, meta, agg, bitmap, metrics)
-                    )
+                ops.append(
+                    self._partial_aggregate_op(obj, coordinator, meta, agg, bitmap, metrics)
                 )
-        barrier = all_of(self.sim, tasks)
-        yield barrier
+        partials_out = yield from execute_remote_ops(
+            self.cluster, coordinator, ops, metrics, self.config.enable_rpc_batching
+        )
         partials_by_agg: dict[int, list[dict]] = {i: [] for i in range(len(aggs))}
-        for (rg, agg_idx), partial in zip(task_keys, barrier.value):
+        for (rg, agg_idx), partial in zip(task_keys, partials_out):
             partials_by_agg[agg_idx].append(partial)
 
         results = []
@@ -819,39 +881,47 @@ class FusionStore:
             total_rows=obj.metadata.num_rows,
         )
 
-    def _partial_aggregate_op(self, obj, coordinator, meta, agg: Aggregate, bitmap, metrics):
+    def _partial_aggregate_op(
+        self, obj, coordinator, meta, agg: Aggregate, bitmap, metrics
+    ) -> RemoteOp:
         """One pushed-down partial aggregate over a chunk."""
         loc = obj.location_map.lookup(meta.key)
         node = self.cluster.node(loc.node_id)
         if not node.alive:
-            values = yield from self._degraded_chunk_values(obj, meta, loc, coordinator, metrics)
-            yield from coordinator.compute(
-                coordinator.scan_seconds(meta.plain_size, self.config.size_scale), metrics
-            )
-            selected = values[np.flatnonzero(bitmap)]
-            return partial_aggregate(agg, selected, int(bitmap.sum()))
+
+            def degraded():
+                values = yield from self._degraded_chunk_values(
+                    obj, meta, loc, coordinator, metrics
+                )
+                yield from coordinator.compute(
+                    coordinator.scan_seconds(meta.plain_size, self.config.size_scale), metrics
+                )
+                selected = values[np.flatnonzero(bitmap)]
+                return partial_aggregate(agg, selected, int(bitmap.sum()))
+
+            return RemoteOp(standalone=degraded)
+
         bitmap_wire = Bitmap(bitmap).wire_size()
-        yield from self.cluster.network.transfer(
-            coordinator.endpoint,
-            node.endpoint,
-            self.config.scaled(OP_REQUEST_BYTES + bitmap_wire),
-            metrics,
+
+        def execute():
+            data = yield from node.read_block_range(
+                loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
+            )
+            yield from node.compute(
+                node.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
+                + node.scan_seconds(meta.plain_size, self.config.size_scale),
+                metrics,
+            )
+            values = self._decode_cached(obj.name, meta, data)[np.flatnonzero(bitmap)]
+            partial = partial_aggregate(agg, values, int(bitmap.sum()))
+            metrics.pushed_down_chunks += 1
+            return self.config.scaled(SCALAR_RESULT_BYTES), partial
+
+        return RemoteOp(
+            node=node,
+            request_bytes=self.config.scaled(OP_REQUEST_BYTES + bitmap_wire),
+            execute=execute,
         )
-        data = yield from node.read_block_range(
-            loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
-        )
-        yield from node.compute(
-            node.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
-            + node.scan_seconds(meta.plain_size, self.config.size_scale),
-            metrics,
-        )
-        values = self._decode_cached(obj.name, meta, data)[np.flatnonzero(bitmap)]
-        partial = partial_aggregate(agg, values, int(bitmap.sum()))
-        metrics.pushed_down_chunks += 1
-        yield from self.cluster.network.transfer(
-            node.endpoint, coordinator.endpoint, self.config.scaled(SCALAR_RESULT_BYTES), metrics
-        )
-        return partial
 
     # -- Delete ----------------------------------------------------------------
 
@@ -869,11 +939,8 @@ class FusionStore:
                 if node.has_block(bid):
                     node.drop_block(bid)
                     reclaimed += 1
-                self._degraded_bin_cache.pop(bid, None)
         del self.objects[name]
-        self._decode_cache = {
-            k: v for k, v in self._decode_cache.items() if k[0] != name
-        }
+        self._invalidate_object_caches(name)
         return reclaimed
 
     # -- Scrubbing -----------------------------------------------------------

@@ -83,6 +83,19 @@ class ReedSolomon:
     def __init__(self, params: CodeParams) -> None:
         self.params = params
         self.matrix = build_encoding_matrix(params.n, params.k)
+        # Recovery matrices memoised per surviving-shard set: repair and
+        # degraded reads hit the same few loss patterns over and over,
+        # and GF(2^8) Gaussian elimination dominates small-stripe decode.
+        # At most C(n, k) entries (84 for RS(9,6)), so no bound needed.
+        self._inversion_cache: dict[tuple[int, ...], np.ndarray] = {}
+
+    def _recovery_matrix(self, rows: tuple[int, ...]) -> np.ndarray:
+        """Inverse of the encoding submatrix for one surviving-shard set."""
+        inv = self._inversion_cache.get(rows)
+        if inv is None:
+            inv = gf256.gf_mat_inv(self.matrix[list(rows), :])
+            self._inversion_cache[rows] = inv
+        return inv
 
     def encode(self, data_blocks: list[np.ndarray]) -> list[np.ndarray]:
         """Compute the ``n - k`` parity blocks for ``k`` equal-sized blocks.
@@ -128,9 +141,8 @@ class ReedSolomon:
         if all(shards[i] is not None for i in range(k)):
             return [np.ascontiguousarray(shards[i], dtype=np.uint8) for i in range(k)]
 
-        rows = present[:k]
-        sub = self.matrix[rows, :]
-        inv = gf256.gf_mat_inv(sub)
+        rows = tuple(present[:k])
+        inv = self._recovery_matrix(rows)
         size = shards[rows[0]].size  # type: ignore[union-attr]
         out: list[np.ndarray] = []
         for data_idx in range(k):

@@ -126,3 +126,119 @@ class TestAccounting:
         net = _net(sim)
         net.set_bandwidth_gbps(10)
         assert net.config.bandwidth_bps == pytest.approx(10e9 / 8)
+
+
+class TestBatchTransfer:
+    def test_one_overhead_for_whole_batch(self):
+        sim = Simulator()
+        net = _net(sim, bw=1e9, rtt=0.002, rpc=0.003)
+        a, b = NetworkEndpoint(sim, "a"), NetworkEndpoint(sim, "b")
+        sim.process(net.batch_transfer(a, b, [500_000_000, 250_000_000, 250_000_000]))
+        sim.run()
+        # 1 GB of payload at 1 GB/s plus ONE half-RTT and ONE rpc overhead.
+        assert sim.now == pytest.approx(1.0 + 0.001 + 0.003)
+
+    def test_counts_issued_and_saved(self):
+        sim = Simulator()
+        net = _net(sim)
+        a, b = NetworkEndpoint(sim, "a"), NetworkEndpoint(sim, "b")
+        qm = QueryMetrics()
+        sim.process(net.batch_transfer(a, b, [10, 20, 30], qm))
+        sim.process(net.transfer(a, b, 5, qm))
+        sim.run()
+        assert net.rpcs_issued == 2
+        assert net.rpcs_saved == 2
+        assert qm.rpcs_issued == 2 and qm.rpcs_saved == 2
+        assert qm.network_bytes == 65
+        assert net.total_bytes == 65
+
+    def test_empty_batch_is_noop(self):
+        sim = Simulator()
+        net = _net(sim, rtt=10, rpc=10)
+        a, b = NetworkEndpoint(sim, "a"), NetworkEndpoint(sim, "b")
+        sim.process(net.batch_transfer(a, b, []))
+        sim.run()
+        assert sim.now == 0.0
+        assert net.rpcs_issued == 0
+
+    def test_loopback_batch_is_free(self):
+        sim = Simulator()
+        net = _net(sim, rtt=10, rpc=10)
+        a = NetworkEndpoint(sim, "a")
+        sim.process(net.batch_transfer(a, a, [100, 200]))
+        sim.run()
+        assert sim.now == 0.0
+        assert net.total_bytes == 0 and net.rpcs_issued == 0
+
+    def test_negative_size_raises(self):
+        sim = Simulator()
+        net = _net(sim)
+        a, b = NetworkEndpoint(sim, "a"), NetworkEndpoint(sim, "b")
+        sim.process(net.batch_transfer(a, b, [10, -1]))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_single_transfer_counts_one_issued(self):
+        sim = Simulator()
+        net = _net(sim)
+        a, b = NetworkEndpoint(sim, "a"), NetworkEndpoint(sim, "b")
+        sim.process(net.transfer(a, b, 100))
+        sim.run()
+        assert net.rpcs_issued == 1 and net.rpcs_saved == 0
+
+
+class TestStreamTransfer:
+    def test_pays_bytes_only(self):
+        sim = Simulator()
+        net = _net(sim, bw=1e9, rtt=0.002, rpc=0.003)
+        a, b = NetworkEndpoint(sim, "a"), NetworkEndpoint(sim, "b")
+        sim.process(net.stream_transfer(a, b, 500_000_000))
+        sim.run()
+        assert sim.now == pytest.approx(0.5)  # no RTT, no rpc overhead
+
+    def test_half_rtt_for_first_reply(self):
+        sim = Simulator()
+        net = _net(sim, bw=1e9, rtt=0.002, rpc=0.003)
+        a, b = NetworkEndpoint(sim, "a"), NetworkEndpoint(sim, "b")
+        sim.process(net.stream_transfer(a, b, 0, half_rtt=True))
+        sim.run()
+        assert sim.now == pytest.approx(0.001)
+
+    def test_counts_as_saved_not_issued(self):
+        sim = Simulator()
+        net = _net(sim)
+        a, b = NetworkEndpoint(sim, "a"), NetworkEndpoint(sim, "b")
+        qm = QueryMetrics()
+        sim.process(net.stream_transfer(a, b, 42, qm))
+        sim.run()
+        assert net.rpcs_issued == 0 and net.rpcs_saved == 1
+        assert qm.rpcs_issued == 0 and qm.rpcs_saved == 1
+        assert qm.network_bytes == 42 and net.total_bytes == 42
+
+    def test_loopback_is_free_and_uncounted(self):
+        sim = Simulator()
+        net = _net(sim, rtt=10, rpc=10)
+        a = NetworkEndpoint(sim, "a")
+        sim.process(net.stream_transfer(a, a, 1000, half_rtt=True))
+        sim.run()
+        assert sim.now == 0.0
+        assert net.total_bytes == 0 and net.rpcs_saved == 0
+
+    def test_negative_bytes_raise(self):
+        sim = Simulator()
+        net = _net(sim)
+        a, b = NetworkEndpoint(sim, "a"), NetworkEndpoint(sim, "b")
+        sim.process(net.stream_transfer(a, b, -5))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_queues_through_pipes(self):
+        sim = Simulator()
+        net = _net(sim, bw=1e9)
+        src = NetworkEndpoint(sim, "src")
+        dsts = [NetworkEndpoint(sim, f"d{i}") for i in range(3)]
+        for d in dsts:
+            sim.process(net.stream_transfer(src, d, 1_000_000_000))
+        sim.run()
+        # Streamed payloads still serialise through the shared egress pipe.
+        assert sim.now == pytest.approx(3.0)

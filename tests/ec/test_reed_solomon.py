@@ -148,3 +148,23 @@ class TestCoderCache:
 
     def test_distinct_params_distinct_coders(self):
         assert get_coder(RS_9_6) is not get_coder(RS_14_10)
+
+    def test_inversion_memoised_per_surviving_set(self):
+        coder = ReedSolomon(RS_9_6)
+        blocks = _blocks(RS_9_6, 48, seed=21)
+        full = blocks + coder.encode(blocks)
+
+        shards = [None if i in (1, 4) else full[i] for i in range(9)]
+        first = coder.decode(shards)
+        assert len(coder._inversion_cache) == 1
+        cached = next(iter(coder._inversion_cache.values()))
+        second = coder.decode(shards)  # hits the memo
+        assert len(coder._inversion_cache) == 1
+        assert next(iter(coder._inversion_cache.values())) is cached
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+        assert all(np.array_equal(r, b) for r, b in zip(second, blocks))
+
+        # A different loss pattern gets its own entry.
+        other = [None if i in (0, 2) else full[i] for i in range(9)]
+        coder.decode(other)
+        assert len(coder._inversion_cache) == 2
