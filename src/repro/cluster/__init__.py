@@ -8,6 +8,8 @@ clients.
 
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.disk import Disk, DiskConfig
+from repro.cluster.faults import AppliedFault, FaultEvent, FaultInjector, random_schedule
+from repro.cluster.health import NodeHealthTracker
 from repro.cluster.metrics import (
     CATEGORIES,
     CPU,
@@ -30,6 +32,7 @@ from repro.cluster.simcore import (
 )
 
 __all__ = [
+    "AppliedFault",
     "CATEGORIES",
     "CPU",
     "Cluster",
@@ -40,6 +43,9 @@ __all__ = [
     "Disk",
     "DiskConfig",
     "Event",
+    "FaultEvent",
+    "FaultInjector",
+    "NodeHealthTracker",
     "NETWORK",
     "Network",
     "NetworkConfig",
@@ -53,4 +59,5 @@ __all__ = [
     "StorageNode",
     "all_of",
     "percentile",
+    "random_schedule",
 ]

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.cluster.disk import DiskConfig
+from repro.cluster.health import NodeHealthTracker
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.network import Network, NetworkConfig, NetworkEndpoint
 from repro.cluster.node import CpuConfig, StorageNode
@@ -46,6 +47,21 @@ class Cluster:
         self.client = NetworkEndpoint(sim, "client")
         self.metrics = ClusterMetrics()
         self._rng = random.Random(self.config.placement_seed)
+        #: Shared failure detector; liveness changes are pushed to it (and
+        #: to any other registered listener) instead of being polled.
+        self.health = NodeHealthTracker(self.config.num_nodes)
+        self._liveness_listeners = [self.health.on_liveness]
+        #: Optional FaultInjector (set by repro.cluster.faults); the RPC
+        #: layer consults it for per-RPC drop windows.
+        self.faults = None
+
+    def add_liveness_listener(self, callback) -> None:
+        """Register ``callback(node_id, alive)`` for liveness changes."""
+        self._liveness_listeners.append(callback)
+
+    def _notify_liveness(self, node_id: int, alive: bool) -> None:
+        for callback in self._liveness_listeners:
+            callback(node_id, alive)
 
     @property
     def num_nodes(self) -> int:
@@ -54,26 +70,53 @@ class Cluster:
     def node(self, node_id: int) -> StorageNode:
         return self.nodes[node_id]
 
-    def fail_node(self, node_id: int) -> None:
+    def fail_node(self, node_id: int, wipe: bool = False) -> None:
         """Mark a node dead: its blocks become unreachable until restore.
 
         Stores answer reads for its data with degraded reads (on-the-fly
         erasure-code reconstruction) until :meth:`restore_node` or an
-        explicit recovery rebuilds the blocks elsewhere.
+        explicit recovery rebuilds the blocks elsewhere.  ``wipe=True``
+        also discards the node's stored blocks (a disk loss: the node
+        comes back empty on restore and its data must be repaired).
+
+        Interested components (health trackers, store caches) are
+        notified through the liveness-listener registry rather than
+        having to poll ``node.alive``.
         """
-        self.nodes[node_id].alive = False
+        node = self.nodes[node_id]
+        if wipe:
+            node.wipe_blocks()
+        if node.alive:
+            node.alive = False
+            self._notify_liveness(node_id, False)
 
     def restore_node(self, node_id: int) -> None:
-        """Bring a failed node back (its stored blocks intact)."""
-        self.nodes[node_id].alive = True
+        """Bring a failed node back (blocks intact unless it was wiped)."""
+        node = self.nodes[node_id]
+        if not node.alive:
+            node.alive = True
+            self._notify_liveness(node_id, True)
 
     def alive_nodes(self) -> list[int]:
         return [n.node_id for n in self.nodes if n.alive]
 
     def coordinator_for(self, object_name: str) -> StorageNode:
-        """Route a request to a node by the hash of the object name."""
+        """Route a request to a node by the hash of the object name.
+
+        Walks forward from the hashed slot to the first *alive* node so a
+        coordinator crash does not take the object offline — new requests
+        re-route to the next node (requests already in flight finish at
+        the old coordinator; the model treats a query as owned by the
+        node that accepted it).  With every node alive this is exactly
+        the hashed node.
+        """
         digest = hashlib.sha256(object_name.encode("utf-8")).digest()
-        return self.nodes[int.from_bytes(digest[:8], "big") % len(self.nodes)]
+        slot = int.from_bytes(digest[:8], "big") % len(self.nodes)
+        for step in range(len(self.nodes)):
+            node = self.nodes[(slot + step) % len(self.nodes)]
+            if node.alive:
+                return node
+        return self.nodes[slot]  # whole cluster down: degenerate fallback
 
     def choose_stripe_nodes(self, count: int) -> list[int]:
         """Pick ``count`` distinct nodes for one stripe's blocks.

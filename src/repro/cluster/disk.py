@@ -29,6 +29,9 @@ class Disk:
         self.config = config
         self._device = Resource(sim, capacity=1)
         self.total_bytes = 0
+        #: Service-time multiplier; raised above 1.0 by fault injection
+        #: to model a degraded device (slow-node fault).
+        self.slow_factor = 1.0
 
     def read(self, nbytes: int, query: m.QueryMetrics | None = None):
         """Process: read ``nbytes`` from the device (FIFO queued)."""
@@ -37,7 +40,7 @@ class Disk:
         start = self.sim.now
         with (yield from self._device.acquire()):
             duration = self.config.access_latency_s + nbytes / self.config.bandwidth_bps
-            yield self.sim.timeout(duration)
+            yield self.sim.timeout(duration * self.slow_factor)
         self.total_bytes += nbytes
         if query is not None:
             query.add(m.DISK, self.sim.now - start)

@@ -1,0 +1,259 @@
+"""Deterministic fault injection for the simulated cluster.
+
+A :class:`FaultInjector` drives a *schedule* of :class:`FaultEvent`\\ s
+through the simulator so any workload can run under a reproducible fault
+pattern: node crashes and recoveries at fixed simulated times, transient
+unavailability windows (blips), slow nodes (degraded disk and NIC
+throughput for a window), silent block corruption, and per-RPC drop
+windows.  Schedules are plain data — write them by hand for scripted
+scenarios or generate them with :func:`random_schedule` from a seed.
+
+Everything is deterministic: the event list is applied in time order,
+and the only randomness (which block to corrupt, whether a given RPC in
+a drop window is dropped) comes from one seeded ``random.Random``
+consumed in simulation order.  The same seed and workload therefore
+replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``kind`` is one of:
+
+    * ``"crash"`` — mark the node dead (``wipe=True`` also discards its
+      stored blocks, modelling a disk loss rather than a reboot);
+    * ``"restore"`` — bring the node back (blocks intact unless wiped);
+    * ``"blip"`` — crash now, restore automatically after ``duration``;
+    * ``"slow"`` — multiply the node's disk and NIC service times by
+      ``factor`` for ``duration`` seconds (a degraded device);
+    * ``"corrupt"`` — silently flip bytes in ``blocks`` stored blocks
+      chosen by the injector's seeded RNG (bit rot; only scrubbing or a
+      failed decode will notice);
+    * ``"drop"`` — for ``duration`` seconds, RPCs to/from the node are
+      dropped with probability ``rate`` (a flaky link).
+    """
+
+    at: float
+    kind: str
+    node_id: int
+    duration: float = 0.0
+    factor: float = 1.0
+    rate: float = 0.0
+    wipe: bool = False
+    blocks: int = 1
+
+    KINDS = ("crash", "restore", "blip", "slow", "corrupt", "drop")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {self.KINDS}")
+        if self.at < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.kind in ("blip", "slow", "drop") and self.duration <= 0:
+            raise ValueError(f"{self.kind} fault needs a positive duration")
+        if self.kind == "slow" and self.factor < 1.0:
+            raise ValueError("slow factor must be >= 1 (it degrades throughput)")
+        if self.kind == "drop" and not (0.0 < self.rate <= 1.0):
+            raise ValueError("drop rate must be in (0, 1]")
+
+
+@dataclass
+class AppliedFault:
+    """Log entry: one fault as it actually landed."""
+
+    at: float
+    event: FaultEvent
+    detail: str = ""
+
+
+class FaultInjector:
+    """Applies a fault schedule to a cluster inside the simulation.
+
+    Construct with the cluster, a list of :class:`FaultEvent`, and a
+    seed, then call :meth:`install` *before* ``sim.run()``; the injector
+    registers itself as ``cluster.faults`` (consulted by the RPC layer
+    for drop windows) and spawns a driver process that sleeps to each
+    event's time and applies it.
+    """
+
+    def __init__(self, cluster, schedule, seed: int = 0) -> None:
+        self.cluster = cluster
+        self.schedule = sorted(schedule, key=lambda ev: ev.at)
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.log: list[AppliedFault] = []
+        #: node_id -> (window end, drop probability)
+        self._drop_windows: dict[int, tuple[float, float]] = {}
+        self._installed = False
+        cluster.faults = self
+
+    def install(self) -> "FaultInjector":
+        """Spawn the schedule-driver process (idempotent)."""
+        if not self._installed:
+            self._installed = True
+            if self.schedule:
+                self.cluster.sim.process(self._driver())
+        return self
+
+    # -- RPC drop hook (called by repro.core.scatter_gather) -----------------
+
+    def drop_rpc(self, node_id: int) -> bool:
+        """Decide whether an RPC exchanged with ``node_id`` is dropped now."""
+        window = self._drop_windows.get(node_id)
+        if window is None:
+            return False
+        until, rate = window
+        if self.cluster.sim.now >= until:
+            del self._drop_windows[node_id]
+            return False
+        return self.rng.random() < rate
+
+    # -- schedule driver ------------------------------------------------------
+
+    def _driver(self):
+        sim = self.cluster.sim
+        for event in self.schedule:
+            if event.at > sim.now:
+                yield sim.timeout(event.at - sim.now)
+            self._apply(event)
+
+    def _later(self, delay: float, fn) -> None:
+        def waiter():
+            yield self.cluster.sim.timeout(delay)
+            fn()
+
+        self.cluster.sim.process(waiter())
+
+    def _apply(self, event: FaultEvent) -> None:
+        sim = self.cluster.sim
+        node = self.cluster.node(event.node_id)
+        detail = ""
+        if event.kind == "crash":
+            self.cluster.fail_node(event.node_id, wipe=event.wipe)
+        elif event.kind == "restore":
+            self.cluster.restore_node(event.node_id)
+        elif event.kind == "blip":
+            self.cluster.fail_node(event.node_id, wipe=event.wipe)
+            self._later(event.duration, lambda: self.cluster.restore_node(event.node_id))
+        elif event.kind == "slow":
+            node.disk.slow_factor = event.factor
+            node.endpoint.slow_factor = event.factor
+
+            def reset(n=node):
+                n.disk.slow_factor = 1.0
+                n.endpoint.slow_factor = 1.0
+
+            self._later(event.duration, reset)
+        elif event.kind == "corrupt":
+            corrupted = self._corrupt_blocks(node, event.blocks)
+            detail = ",".join(corrupted) if corrupted else "no blocks stored"
+        elif event.kind == "drop":
+            self._drop_windows[event.node_id] = (sim.now + event.duration, event.rate)
+        self.log.append(AppliedFault(at=sim.now, event=event, detail=detail))
+
+    def _corrupt_blocks(self, node, count: int) -> list[str]:
+        """Flip one byte in up to ``count`` seeded-random stored blocks."""
+        candidates = [bid for bid in node.block_ids() if node.block_size(bid) > 0]
+        corrupted = []
+        for _ in range(min(count, len(candidates))):
+            bid = self.rng.choice(candidates)
+            candidates.remove(bid)
+            offset = self.rng.randrange(node.block_size(bid))
+            node.corrupt_block(bid, offset)
+            corrupted.append(bid)
+        return corrupted
+
+
+def random_schedule(
+    num_nodes: int,
+    horizon_s: float,
+    seed: int,
+    crashes: int = 2,
+    blips: int = 2,
+    slow_windows: int = 1,
+    drop_windows: int = 1,
+    corruptions: int = 1,
+    max_concurrent_down: int = 1,
+    mean_downtime_s: float | None = None,
+) -> list[FaultEvent]:
+    """Generate a reproducible random fault schedule.
+
+    Crash/restore pairs and blips are placed so that at most
+    ``max_concurrent_down`` nodes are ever dead at once (keeping the
+    workload inside the code's erasure tolerance is the caller's job —
+    with RS(9,6) up to 3 concurrent losses are recoverable).  All
+    placement comes from ``random.Random(seed)``, so the same arguments
+    always produce the same schedule.
+    """
+    rng = random.Random(seed)
+    events: list[FaultEvent] = []
+    # Non-overlapping downtime windows, assigned to random nodes.
+    downtime = mean_downtime_s if mean_downtime_s is not None else horizon_s / 10.0
+    windows: list[tuple[float, float, int]] = []  # (start, end, node)
+
+    def place_window(length: float) -> tuple[float, float, int] | None:
+        for _ in range(50):
+            start = rng.uniform(0.0, max(1e-9, horizon_s - length))
+            end = start + length
+            concurrent = sum(1 for s, e, _n in windows if s < end and start < e)
+            if concurrent >= max_concurrent_down:
+                continue
+            busy_nodes = {n for s, e, n in windows if s < end and start < e}
+            free = [n for n in range(num_nodes) if n not in busy_nodes]
+            if not free:
+                continue
+            node = rng.choice(free)
+            windows.append((start, end, node))
+            return start, end, node
+        return None
+
+    for _ in range(crashes):
+        placed = place_window(rng.uniform(0.5, 1.5) * downtime)
+        if placed is None:
+            continue
+        start, end, node = placed
+        events.append(FaultEvent(at=start, kind="crash", node_id=node))
+        events.append(FaultEvent(at=end, kind="restore", node_id=node))
+    for _ in range(blips):
+        length = rng.uniform(0.1, 0.4) * downtime
+        placed = place_window(length)
+        if placed is None:
+            continue
+        start, _end, node = placed
+        events.append(FaultEvent(at=start, kind="blip", node_id=node, duration=length))
+    for _ in range(slow_windows):
+        events.append(
+            FaultEvent(
+                at=rng.uniform(0.0, horizon_s),
+                kind="slow",
+                node_id=rng.randrange(num_nodes),
+                duration=rng.uniform(0.2, 0.6) * horizon_s,
+                factor=rng.uniform(2.0, 8.0),
+            )
+        )
+    for _ in range(drop_windows):
+        events.append(
+            FaultEvent(
+                at=rng.uniform(0.0, horizon_s),
+                kind="drop",
+                node_id=rng.randrange(num_nodes),
+                duration=rng.uniform(0.1, 0.3) * horizon_s,
+                rate=rng.uniform(0.05, 0.3),
+            )
+        )
+    for _ in range(corruptions):
+        events.append(
+            FaultEvent(
+                at=rng.uniform(0.0, horizon_s),
+                kind="corrupt",
+                node_id=rng.randrange(num_nodes),
+            )
+        )
+    return sorted(events, key=lambda ev: ev.at)

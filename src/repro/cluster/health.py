@@ -1,0 +1,74 @@
+"""Per-node failure detection shared by every store on a cluster.
+
+The hot path (``repro.core.scatter_gather``) cannot afford to keep
+retrying a node that is clearly gone: after a few consecutive failed ops
+the node is *suspect* and new ops route straight to degraded-read
+reconstruction instead of paying the timeout again.  The tracker is
+owned by the :class:`~repro.cluster.cluster.Cluster` so Fusion, its
+fixed-block fallback store, and the standalone baseline all share one
+view of node health, and it subscribes to the cluster's liveness
+notifications so an explicit ``fail_node``/``restore_node`` updates it
+without callers polling ``node.alive``.
+"""
+
+from __future__ import annotations
+
+
+class NodeHealthTracker:
+    """Counts per-node op failures and derives a usable/suspect verdict.
+
+    * ``down`` mirrors the cluster's liveness flags (updated via the
+      liveness-listener callback, never polled).
+    * ``consecutive_failures`` counts failed remote ops since the last
+      success; at ``suspicion_threshold`` the node becomes *suspect* and
+      :meth:`usable` turns false until a success or a restore resets it.
+    """
+
+    def __init__(self, num_nodes: int, suspicion_threshold: int = 3) -> None:
+        if suspicion_threshold < 1:
+            raise ValueError("suspicion threshold must be >= 1")
+        self.suspicion_threshold = suspicion_threshold
+        self.down = [False] * num_nodes
+        self.consecutive_failures = [0] * num_nodes
+        self.total_failures = [0] * num_nodes
+        self.total_successes = [0] * num_nodes
+
+    # -- liveness (pushed by Cluster.fail_node / restore_node) ---------------
+
+    def on_liveness(self, node_id: int, alive: bool) -> None:
+        self.down[node_id] = not alive
+        if alive:
+            # A restored node starts with a clean slate: stale suspicion
+            # from its dead period must not divert ops from it forever.
+            self.consecutive_failures[node_id] = 0
+
+    # -- op outcomes (recorded by the scatter-gather executor) ---------------
+
+    def record_failure(self, node_id: int) -> None:
+        self.consecutive_failures[node_id] += 1
+        self.total_failures[node_id] += 1
+
+    def record_success(self, node_id: int) -> None:
+        self.consecutive_failures[node_id] = 0
+        self.total_successes[node_id] += 1
+
+    # -- verdicts -------------------------------------------------------------
+
+    def is_suspect(self, node_id: int) -> bool:
+        return self.consecutive_failures[node_id] >= self.suspicion_threshold
+
+    def usable(self, node_id: int) -> bool:
+        """True when ops should still be sent to the node."""
+        return not self.down[node_id] and not self.is_suspect(node_id)
+
+    def snapshot(self) -> dict[int, dict]:
+        return {
+            nid: {
+                "down": self.down[nid],
+                "suspect": self.is_suspect(nid),
+                "consecutive_failures": self.consecutive_failures[nid],
+                "total_failures": self.total_failures[nid],
+                "total_successes": self.total_successes[nid],
+            }
+            for nid in range(len(self.down))
+        }

@@ -35,6 +35,16 @@ class QueryMetrics:
     rpcs_issued: int = 0
     #: Per-op messages coalesced away by scatter-gather batching.
     rpcs_saved: int = 0
+    #: Remote ops re-attempted after a failure (bounded retry with backoff).
+    retries: int = 0
+    #: Op timeouts observed (dropped request/reply, node dead mid-op).
+    timeouts: int = 0
+    #: Speculative duplicate RPCs.  Reserved: the executor currently
+    #: retries after a timeout rather than hedging, so this stays 0.
+    hedges: int = 0
+    #: Chunk/block reads answered by erasure-code reconstruction instead
+    #: of the node that holds the data (dead or suspect node).
+    degraded_reads: int = 0
 
     @property
     def latency(self) -> float:
@@ -65,6 +75,17 @@ class ClusterMetrics:
     disk_bytes: int = 0
     rpcs_issued: int = 0
     rpcs_saved: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    hedges: int = 0
+    degraded_reads: int = 0
+    #: Repair traffic is accounted separately from query traffic: these
+    #: bytes never enter ``network_bytes`` (which only accumulates via
+    #: :meth:`record_query`), so availability experiments can report the
+    #: cost of background repair on its own axis.
+    repair_bytes: int = 0
+    blocks_repaired: int = 0
+    repair_seconds: float = 0.0
     queries: list[QueryMetrics] = field(default_factory=list)
 
     def record_query(self, qm: QueryMetrics) -> None:
@@ -72,6 +93,16 @@ class ClusterMetrics:
         self.network_bytes += qm.network_bytes
         self.rpcs_issued += qm.rpcs_issued
         self.rpcs_saved += qm.rpcs_saved
+        self.retries += qm.retries
+        self.timeouts += qm.timeouts
+        self.hedges += qm.hedges
+        self.degraded_reads += qm.degraded_reads
+
+    def record_repair(self, nbytes: int, blocks: int, seconds: float) -> None:
+        """Account one repair run's traffic, separate from query traffic."""
+        self.repair_bytes += nbytes
+        self.blocks_repaired += blocks
+        self.repair_seconds += seconds
 
     def latencies(self) -> list[float]:
         return [q.latency for q in self.queries]

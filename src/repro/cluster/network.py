@@ -52,6 +52,9 @@ class NetworkEndpoint:
         self.egress = Resource(sim, capacity=1)
         self.ingress = Resource(sim, capacity=1)
         self.cpu = cpu
+        #: Serialisation-time multiplier; raised above 1.0 by fault
+        #: injection to model a degraded NIC (slow-node fault).
+        self.slow_factor = 1.0
 
 
 class Network:
@@ -162,7 +165,8 @@ class Network:
         """Occupy the pipes for ``nbytes`` plus ``latency_s`` of fixed cost."""
         with (yield from src.egress.acquire()):
             with (yield from dst.ingress.acquire()):
-                duration = nbytes / self.config.bandwidth_bps + latency_s
+                slow = max(src.slow_factor, dst.slow_factor)
+                duration = nbytes / self.config.bandwidth_bps * slow + latency_s
                 yield self.sim.timeout(duration)
         self.total_bytes += nbytes
         # Network processing burns CPU at both endpoints, overlapped with

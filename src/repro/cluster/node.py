@@ -81,6 +81,31 @@ class StorageNode:
         """Simulate losing a block (for recovery tests)."""
         self._blocks.pop(block_id, None)
 
+    def wipe_blocks(self) -> None:
+        """Discard every stored block (a disk loss, not just a reboot)."""
+        self._blocks.clear()
+
+    def block_ids(self) -> list[str]:
+        """Stored block ids in sorted order (deterministic iteration)."""
+        return sorted(self._blocks)
+
+    def corrupt_block(
+        self, block_id: str, offset: int, length: int = 1, xor_mask: int = 0x5A
+    ) -> None:
+        """Silently flip bytes inside a stored block (bit rot).
+
+        No metadata changes and no error is raised — only scrubbing (or
+        a decode of the damaged range) can notice.
+        """
+        block = self._blocks[block_id]
+        if not 0 <= offset < block.size:
+            raise ValueError(f"offset {offset} outside block of size {block.size}")
+        if not block.flags.writeable:  # stored views can be read-only
+            block = block.copy()
+            self._blocks[block_id] = block
+        end = min(offset + length, block.size)
+        block[offset:end] ^= np.uint8(xor_mask)
+
     def block_size(self, block_id: str) -> int:
         return self._blocks[block_id].size
 

@@ -23,6 +23,8 @@ from repro.core.layout import Bin, BinSet, ChunkItem, StripeLayout
 from repro.core.location_map import ChunkLocation, LocationMap
 from repro.core.oracle import OracleError, brute_force_optimal, construct_oracle_layout
 from repro.core.padding import construct_padding_layout
+from repro.core.repair import RepairError, RepairManager, RepairReport, find_bad_shards
+from repro.core.scatter_gather import RemoteOp, RemoteOpError
 from repro.core.scrub import ScrubReport, check_stripe
 from repro.core.store import FusionStore, StoredFusionObject, StripePlacement
 
@@ -42,10 +44,16 @@ __all__ = [
     "PushdownDecision",
     "PushdownMode",
     "PutReport",
+    "RemoteOp",
+    "RemoteOpError",
+    "RepairError",
+    "RepairManager",
+    "RepairReport",
     "SCALAR_RESULT_BYTES",
     "ScrubReport",
     "StoreConfig",
     "check_stripe",
+    "find_bad_shards",
     "StoredFusionObject",
     "StripeLayout",
     "StripePlacement",

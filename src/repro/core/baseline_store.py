@@ -93,6 +93,17 @@ class BaselineStore:
         self._degraded_block_cache: LruDict[tuple[str, int], np.ndarray] = LruDict(
             self.config.degraded_cache_entries
         )
+        cluster.health.suspicion_threshold = self.config.suspicion_threshold
+        cluster.add_liveness_listener(self._on_liveness)
+
+    def _on_liveness(self, node_id: int, alive: bool) -> None:
+        # Reconstructions cached while a node was down may differ from
+        # what a direct read now returns (and vice versa): drop them.
+        self._degraded_block_cache.clear()
+
+    def _usable(self, node) -> bool:
+        """Node is alive and not currently suspected by the health tracker."""
+        return node.alive and self.cluster.health.usable(node.node_id)
 
     def _invalidate_object_caches(self, name: str) -> None:
         """Drop every cached artefact derived from object ``name``."""
@@ -239,20 +250,21 @@ class BaselineStore:
             ],
             query,
             self.config.enable_rpc_batching,
+            config=self.config,
         )
         return b"".join(bytes(p) for p in parts)
 
     def _fetch_fragment_op(self, obj, coordinator, block_index, offset, length, query) -> RemoteOp:
         """Op reading one block fragment on its node and shipping it back."""
         node = self.cluster.node(obj.data_block_nodes[block_index])
-        if not node.alive:
 
-            def degraded():
-                block = yield from self._degraded_block_read(
-                    obj, coordinator, block_index, query
-                )
-                return block[offset : offset + length]
+        def degraded():
+            block = yield from self._degraded_block_read(
+                obj, coordinator, block_index, query
+            )
+            return block[offset : offset + length]
 
+        if not self._usable(node):
             return RemoteOp(standalone=degraded)
 
         def execute():
@@ -261,7 +273,7 @@ class BaselineStore:
             )
             return self.config.scaled(length), data
 
-        return RemoteOp(node=node, execute=execute)
+        return RemoteOp(node=node, execute=execute, fallback=degraded)
 
     def _degraded_block_read(self, obj, coordinator, block_index: int, query):
         """Reconstruct one lost block at the coordinator from its stripe.
@@ -272,6 +284,8 @@ class BaselineStore:
         """
         import numpy as np
 
+        if query is not None:
+            query.degraded_reads += 1
         k, n = self.config.code.k, self.config.code.n
         stripe = obj.layout.stripe_of(block_index)
         blocks = obj.layout.stripe_blocks(stripe)
@@ -282,13 +296,12 @@ class BaselineStore:
         for i in range(len(blocks), k):
             shards[i] = np.zeros(0, dtype=np.uint8)
 
-        # Pick the surviving shards to gather (first k in stripe order),
-        # then fetch them as one scatter-gather round (see FusionStore).
+        # Pick the surviving shards to gather (first k in stripe order,
+        # preferring nodes the health tracker trusts), then fetch them as
+        # one scatter-gather round (see FusionStore).
         pending = sum(1 for s in shards if s is not None)
-        gather: list[tuple[int, object, str]] = []
+        candidates: list[tuple[int, object, str]] = []
         for i in range(n):
-            if pending + len(gather) >= k:
-                break
             if shards[i] is not None:
                 continue
             if i < k:
@@ -300,7 +313,10 @@ class BaselineStore:
             node = self.cluster.node(nid)
             if not node.alive or not node.has_block(bid):
                 continue
-            gather.append((i, node, bid))
+            candidates.append((i, node, bid))
+        healthy = [c for c in candidates if self.cluster.health.usable(c[1].node_id)]
+        suspect = [c for c in candidates if not self.cluster.health.usable(c[1].node_id)]
+        gather = (healthy + suspect)[: max(0, k - pending)]
 
         def fetch_op(node, bid: str) -> RemoteOp:
             def execute():
@@ -315,6 +331,7 @@ class BaselineStore:
             [fetch_op(node, bid) for _i, node, bid in gather],
             query,
             self.config.enable_rpc_batching,
+            config=self.config,
         )
         for (i, _node, _bid), data in zip(gather, payloads):
             shards[i] = data
@@ -427,6 +444,7 @@ class BaselineStore:
             ],
             metrics,
             self.config.enable_rpc_batching,
+            config=self.config,
         )
         block_bytes = dict(zip(indices, payloads))
 
@@ -468,7 +486,12 @@ class BaselineStore:
                     )
                 )
         payloads = yield from execute_remote_ops(
-            self.cluster, coordinator, frag_ops, metrics, self.config.enable_rpc_batching
+            self.cluster,
+            coordinator,
+            frag_ops,
+            metrics,
+            self.config.enable_rpc_batching,
+            config=self.config,
         )
         chunk_parts: dict[int, list] = {ci: [] for ci in range(len(needed))}
         for ci, payload in zip(frag_owner, payloads):
@@ -536,6 +559,7 @@ class BaselineStore:
         k, n = self.config.code.k, self.config.code.n
         for stripe in range(obj.layout.num_stripes):
             blocks = obj.layout.stripe_blocks(stripe)
+            data_sizes = [b.size for b in blocks] + [0] * (k - len(blocks))
             data_blocks: list = []
             parity_blocks: list = []
             for i in range(n):
@@ -562,7 +586,7 @@ class BaselineStore:
                 * self.config.size_scale
                 / coordinator.cpu_config.decode_bps
             )
-            verdict = check_stripe(self.config.code, data_blocks, parity_blocks)
+            verdict = check_stripe(self.config.code, data_blocks, parity_blocks, data_sizes)
             report.stripes_checked += 1
             if verdict == "corrupt":
                 report.corrupt_stripes.append(stripe)
@@ -580,46 +604,60 @@ class BaselineStore:
         self.sim.run()
         return proc.value
 
-    def recover_node_process(self, node_id: int):
+    def recover_node_process(self, node_id: int, metrics: QueryMetrics | None = None):
         rebuilt = 0
-        k, n = self.config.code.k, self.config.code.n
         for obj in self.objects.values():
             for stripe in range(obj.layout.num_stripes):
-                blocks = obj.layout.stripe_blocks(stripe)
-                # Stripe-aligned holders: positions 0..k-1 are data (None
-                # for trailing blocks that do not exist in a partial
-                # stripe), k..n-1 are parity.
-                holders: list[tuple[str, int] | None] = []
-                for b in blocks:
-                    holders.append((obj.data_block_id(b.index), obj.data_block_nodes[b.index]))
-                while len(holders) < k:
-                    holders.append(None)
-                for pj in range(n - k):
-                    holders.append(
-                        (obj.parity_block_id(stripe, pj), obj.parity_block_nodes[(stripe, pj)])
-                    )
+                holders = self._stripe_holders(obj, stripe)
                 lost = [
                     i for i, h in enumerate(holders) if h is not None and h[1] == node_id
                 ]
                 if not lost:
                     continue
                 rebuilt += len(lost)
-                yield from self._rebuild_stripe(obj, stripe, holders, lost)
+                yield from self._rebuild_stripe(obj, stripe, holders, lost, metrics)
         return rebuilt
 
-    def _rebuild_stripe(self, obj, stripe: int, holders, lost: list[int]):
+    def _stripe_holders(self, obj, stripe: int) -> list[tuple[str, int] | None]:
+        """Stripe-aligned (block_id, node_id) holders: positions 0..k-1
+        are data (None for trailing blocks that do not exist in a partial
+        stripe), k..n-1 are parity."""
+        k, n = self.config.code.k, self.config.code.n
+        blocks = obj.layout.stripe_blocks(stripe)
+        holders: list[tuple[str, int] | None] = []
+        for b in blocks:
+            holders.append((obj.data_block_id(b.index), obj.data_block_nodes[b.index]))
+        while len(holders) < k:
+            holders.append(None)
+        for pj in range(n - k):
+            holders.append(
+                (obj.parity_block_id(stripe, pj), obj.parity_block_nodes[(stripe, pj)])
+            )
+        return holders
+
+    def _pick_rescue_node(self, holder_ids: set[int], lost_node_id: int):
+        """An *alive* node to host rebuilt blocks, preferring non-holders.
+
+        Matches the seed's choice (smallest non-holder id, else the lost
+        node's successor) whenever every node is alive."""
+        for nid in range(self.cluster.num_nodes):
+            if nid not in holder_ids and self.cluster.node(nid).alive:
+                return self.cluster.node(nid)
+        for step in range(1, self.cluster.num_nodes + 1):
+            nid = (lost_node_id + step) % self.cluster.num_nodes
+            if self.cluster.node(nid).alive:
+                return self.cluster.node(nid)
+        raise RuntimeError("no alive node available to host rebuilt blocks")
+
+    def _rebuild_stripe(
+        self, obj, stripe: int, holders, lost: list[int], metrics: QueryMetrics | None = None
+    ):
         """Gather surviving shards, RS-decode, re-encode, re-place lost ones."""
         k, n = self.config.code.k, self.config.code.n
         blocks = obj.layout.stripe_blocks(stripe)
         data_sizes = [b.size for b in blocks] + [0] * (k - len(blocks))
         holder_ids = {h[1] for h in holders if h is not None}
-        candidates = [nid for nid in range(self.cluster.num_nodes) if nid not in holder_ids]
-        rescue_id = (
-            candidates[0]
-            if candidates
-            else (holders[lost[0]][1] + 1) % self.cluster.num_nodes
-        )
-        rescue_node = self.cluster.node(rescue_id)
+        rescue_node = self._pick_rescue_node(holder_ids, holders[lost[0]][1])
         shards: list[np.ndarray | None] = []
         for i, holder in enumerate(holders):
             if holder is None:
@@ -635,9 +673,9 @@ class BaselineStore:
             if not node.alive or not node.has_block(bid):
                 shards.append(None)
                 continue
-            data = yield from node.read_block(bid, self.config.size_scale)
+            data = yield from node.read_block(bid, self.config.size_scale, metrics)
             yield from self.cluster.network.transfer(
-                node.endpoint, rescue_node.endpoint, self.config.scaled(data.size)
+                node.endpoint, rescue_node.endpoint, self.config.scaled(data.size), metrics
             )
             shards.append(data)
         recovered = decode_stripe(self.config.code, shards, data_sizes)
@@ -647,11 +685,117 @@ class BaselineStore:
             payload = reencoded.shards()[i]
             if i < k:
                 payload = payload[: blocks[i].size]
-                obj.data_block_nodes[blocks[i].index] = rescue_node.node_id
+                self._relocate_block(obj, stripe, i, rescue_node.node_id)
             else:
                 obj.parity_block_nodes[(stripe, i - k)] = rescue_node.node_id
-            yield from rescue_node.disk.write(self.config.scaled(payload.size))
+            yield from rescue_node.disk.write(self.config.scaled(payload.size), metrics)
             rescue_node.put_block(bid, payload)
+            self._invalidate_block(obj, stripe, i)
+
+    def _relocate_block(self, obj, stripe: int, i: int, node_id: int) -> None:
+        """Point the placement maps at the node now holding position ``i``."""
+        k = self.config.code.k
+        if i < k:
+            blocks = obj.layout.stripe_blocks(stripe)
+            obj.data_block_nodes[blocks[i].index] = node_id
+        else:
+            obj.parity_block_nodes[(stripe, i - k)] = node_id
+
+    def _invalidate_block(self, obj, stripe: int, i: int) -> None:
+        """A stripe position was rewritten: drop cached artefacts that
+        could have been derived from its previous bytes."""
+        k = self.config.code.k
+        if i < k:
+            blocks = obj.layout.stripe_blocks(stripe)
+            if i < len(blocks):
+                self._degraded_block_cache.pop((obj.name, blocks[i].index))
+                # Chunks straddle blocks, so decoded values keyed by
+                # (rg, col) cannot be mapped back to one block cheaply:
+                # evict the whole object (repair is rare).
+                self._decode_cache.evict_where(lambda key: key[0] == obj.name)
+
+    def repair_stripe_process(
+        self, name: str, stripe_id: int, metrics: QueryMetrics | None = None
+    ):
+        """Diagnose and repair one stripe (see FusionStore's twin): read
+        every reachable block, isolate missing/corrupt positions,
+        reconstruct them, and rewrite — corrupt blocks in place, lost
+        ones onto an alive rescue node.  Returns blocks rewritten."""
+        from repro.core.repair import find_bad_shards
+
+        obj = self._lookup(name)
+        k, n = self.config.code.k, self.config.code.n
+        blocks = obj.layout.stripe_blocks(stripe_id)
+        data_sizes = [b.size for b in blocks] + [0] * (k - len(blocks))
+        holders = self._stripe_holders(obj, stripe_id)
+        coordinator = self.cluster.coordinator_for(name)
+
+        shards: list[np.ndarray | None] = []
+        for i, holder in enumerate(holders):
+            if holder is None:
+                shards.append(np.zeros(0, dtype=np.uint8))
+                continue
+            bid, nid = holder
+            node = self.cluster.node(nid)
+            if not node.alive or not node.has_block(bid):
+                shards.append(None)
+                continue
+            data = yield from node.read_block(bid, self.config.size_scale, metrics)
+            yield from self.cluster.network.transfer(
+                node.endpoint, coordinator.endpoint, self.config.scaled(data.size), metrics
+            )
+            shards.append(data)
+
+        yield from coordinator.compute(
+            sum(s.size for s in shards if s is not None)
+            * self.config.size_scale
+            / coordinator.cpu_config.decode_bps,
+            metrics,
+        )
+        bad = [i for i in find_bad_shards(self.config.code, shards, data_sizes)
+               if holders[i] is not None]
+        if not bad:
+            return 0
+        good = [s if i not in bad else None for i, s in enumerate(shards)]
+        recovered = decode_stripe(self.config.code, good, data_sizes)
+        reencoded = encode_stripe(self.config.code, recovered)
+        all_blocks = reencoded.shards()
+        written = 0
+        for i in sorted(bad):
+            bid, nid = holders[i]
+            payload = all_blocks[i]
+            if i < k:
+                payload = payload[: blocks[i].size]
+            holder = self.cluster.node(nid)
+            if not holder.alive:
+                holder = self._pick_rescue_node(
+                    {h[1] for h in holders if h is not None}, nid
+                )
+            yield from self.cluster.network.transfer(
+                coordinator.endpoint, holder.endpoint, self.config.scaled(payload.size), metrics
+            )
+            yield from holder.disk.write(self.config.scaled(payload.size), metrics)
+            holder.put_block(bid, payload)
+            self._relocate_block(obj, stripe_id, i, holder.node_id)
+            self._invalidate_block(obj, stripe_id, i)
+            written += 1
+        return written
+
+    def stripes_of(self, name: str) -> list[int]:
+        """Stripe ids of one object (repair-manager iteration helper)."""
+        return list(range(self._lookup(name).layout.num_stripes))
+
+    def stripes_on_node(self, node_id: int) -> list[tuple[str, int]]:
+        """Every (object, stripe) with a block placed on ``node_id``."""
+        found = []
+        for obj in self.objects.values():
+            for stripe in range(obj.layout.num_stripes):
+                if any(
+                    h is not None and h[1] == node_id
+                    for h in self._stripe_holders(obj, stripe)
+                ):
+                    found.append((obj.name, stripe))
+        return found
 
     # -- helpers ---------------------------------------------------------------
 

@@ -1,0 +1,234 @@
+"""Background repair: rebuild lost and corrupt blocks onto live nodes.
+
+The :class:`RepairManager` is the control loop between failure detection
+and durability: it consumes scrub reports (``verify_object``) and node
+failures, asks the owning store to repair each damaged stripe via
+EC reconstruction (``repair_stripe_process`` on either store), and
+accounts the traffic separately from query traffic — repair bytes land
+in ``ClusterMetrics.repair_bytes`` via :meth:`ClusterMetrics.record_repair`,
+never in ``network_bytes``.
+
+Corruption isolation lives here too: :func:`find_bad_shards` localises
+*which* readable shard is damaged by treating candidate shards as
+erasures and checking whether the remainder re-encodes consistently —
+the standard decode-trial localisation for MDS codes.  Repair is paced
+by ``StoreConfig.repair_throttle_bps`` so background reconstruction does
+not starve foreground queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from repro.cluster.metrics import QueryMetrics
+from repro.ec.reed_solomon import CodeParams
+from repro.ec.stripe import DecodeError, decode_stripe, encode_stripe
+
+
+class RepairError(RuntimeError):
+    """A stripe is damaged beyond what the code can localise or rebuild."""
+
+
+def _consistent(
+    params: CodeParams,
+    shards: list[np.ndarray | None],
+    data_sizes: list[int],
+    erased: frozenset[int],
+) -> bool:
+    """True when the non-erased shards form a consistent codeword.
+
+    Decodes the stripe with ``erased`` positions treated as lost,
+    re-encodes, and compares every readable non-erased shard against its
+    recomputed value.
+    """
+    trial: list[np.ndarray | None] = [
+        None if (i in erased or s is None) else s for i, s in enumerate(shards)
+    ]
+    try:
+        recovered = decode_stripe(params, trial, data_sizes)
+    except DecodeError:
+        return False
+    expected = encode_stripe(params, recovered).shards()
+    for i, shard in enumerate(trial):
+        if shard is None:
+            continue
+        if not np.array_equal(shard, expected[i]):
+            return False
+    return True
+
+
+def find_bad_shards(
+    params: CodeParams,
+    shards: list[np.ndarray | None],
+    data_sizes: list[int],
+) -> set[int]:
+    """Positions of missing or corrupt shards in one stripe.
+
+    ``shards`` holds the n stripe positions in order (data then parity)
+    at their true sizes; ``None`` marks an unreadable position.  Returns
+    the set of positions needing reconstruction: the missing ones plus
+    any readable shard whose bytes are inconsistent with the rest of the
+    codeword.  Corruption is localised by decode trials: each candidate
+    subset of readable shards is treated as erased, and the smallest
+    subset whose exclusion leaves a consistent codeword is the damage.
+
+    Raises :class:`RepairError` when the stripe has lost more positions
+    than the code tolerates, or when corruption cannot be localised
+    within the remaining erasure budget.
+    """
+    n = params.n
+    if len(shards) != n:
+        raise ValueError(f"expected {n} stripe positions, got {len(shards)}")
+    missing = {i for i, s in enumerate(shards) if s is None}
+    if len(missing) > params.parity:
+        raise RepairError(
+            f"{len(missing)} positions unreadable; RS({params.n},{params.k}) "
+            f"tolerates {params.parity}"
+        )
+    # Zero-size data blocks are padding the encoder synthesises — they
+    # carry no bytes and cannot be corrupt.
+    readable = [
+        i
+        for i, s in enumerate(shards)
+        if s is not None and not (i < params.k and data_sizes[i] == 0)
+    ]
+    budget = params.parity - len(missing)
+    for r in range(budget + 1):
+        for combo in combinations(readable, r):
+            if _consistent(params, shards, data_sizes, frozenset(missing) | frozenset(combo)):
+                return missing | set(combo)
+    raise RepairError(
+        "cannot localise corruption within the code's erasure budget "
+        f"({len(missing)} unreadable, {params.parity} tolerated)"
+    )
+
+
+@dataclass
+class RepairReport:
+    """What one repair run did, and what it cost."""
+
+    objects: list[str] = field(default_factory=list)
+    stripes_examined: int = 0
+    stripes_repaired: int = 0
+    blocks_repaired: int = 0
+    repair_bytes: int = 0  # simulated network bytes moved by repair
+    started: float = 0.0
+    finished: float = 0.0
+
+    @property
+    def time_to_repair(self) -> float:
+        return self.finished - self.started
+
+
+class RepairManager:
+    """Consumes scrub reports and node failures; rebuilds onto live nodes.
+
+    Wraps one store (``FusionStore`` or ``BaselineStore``).  For a
+    ``FusionStore`` the manager also covers objects the store routed to
+    its fixed-block fallback, so one manager repairs everything reachable
+    through the store it was built for.
+    """
+
+    def __init__(self, store) -> None:
+        self.store = store
+        self.cluster = store.cluster
+        self.sim = store.sim
+        self.config = store.config
+
+    # -- public entry points (each has a run-the-sim convenience) ---------
+
+    def repair_node(self, node_id: int) -> RepairReport:
+        """Repair every stripe that had a block on ``node_id`` (runs sim)."""
+        proc = self.sim.process(self.repair_node_process(node_id))
+        self.sim.run()
+        return proc.value
+
+    def repair_node_process(self, node_id: int):
+        targets = [
+            (store, name, sid)
+            for store in self._stores()
+            for name, sid in store.stripes_on_node(node_id)
+        ]
+        report = yield from self._repair_targets(targets)
+        return report
+
+    def repair_from_scrub(self, scrub_report) -> RepairReport:
+        """Repair the stripes a scrub flagged (runs the simulation)."""
+        proc = self.sim.process(self.repair_from_scrub_process(scrub_report))
+        self.sim.run()
+        return proc.value
+
+    def repair_from_scrub_process(self, scrub_report):
+        store = self._store_for(scrub_report.object_name)
+        damaged = sorted(
+            set(scrub_report.corrupt_stripes) | set(scrub_report.incomplete_stripes)
+        )
+        targets = [(store, scrub_report.object_name, sid) for sid in damaged]
+        report = yield from self._repair_targets(targets)
+        return report
+
+    def repair_object(self, name: str) -> RepairReport:
+        """Examine and repair every stripe of one object (runs the sim)."""
+        proc = self.sim.process(self.repair_object_process(name))
+        self.sim.run()
+        return proc.value
+
+    def repair_object_process(self, name: str):
+        store = self._store_for(name)
+        targets = [(store, name, sid) for sid in store.stripes_of(name)]
+        report = yield from self._repair_targets(targets)
+        return report
+
+    # -- internals --------------------------------------------------------
+
+    def _stores(self):
+        stores = [self.store]
+        fallback = getattr(self.store, "fallback_store", None)
+        if fallback is not None:
+            stores.append(fallback)
+        return stores
+
+    def _store_for(self, name: str):
+        for store in self._stores():
+            if name in store.objects:
+                return store
+        raise KeyError(f"no object named {name!r} in any managed store")
+
+    def _repair_targets(self, targets):
+        """Process: repair each (store, object, stripe) target in order.
+
+        One :class:`QueryMetrics` accumulates the whole run's traffic;
+        it is *never* passed to ``record_query``, so repair bytes stay
+        out of the query totals and land in ``record_repair`` instead.
+        """
+        metrics = QueryMetrics()
+        report = RepairReport(started=self.sim.now)
+        touched: set[str] = set()
+        for store, name, sid in targets:
+            written = yield from store.repair_stripe_process(name, sid, metrics)
+            report.stripes_examined += 1
+            if written:
+                report.stripes_repaired += 1
+                report.blocks_repaired += written
+                touched.add(name)
+            yield from self._throttle(metrics, report.started)
+        report.objects = sorted(touched)
+        report.repair_bytes = metrics.network_bytes
+        report.finished = self.sim.now
+        self.cluster.metrics.record_repair(
+            metrics.network_bytes, report.blocks_repaired, report.time_to_repair
+        )
+        return report
+
+    def _throttle(self, metrics: QueryMetrics, started: float):
+        """Pace repair to ``repair_throttle_bps`` of simulated traffic."""
+        bps = self.config.repair_throttle_bps
+        if bps <= 0:
+            return
+        target_elapsed = metrics.network_bytes / bps
+        lag = target_elapsed - (self.sim.now - started)
+        if lag > 0:
+            yield self.sim.timeout(lag)

@@ -21,10 +21,36 @@ An op is described declaratively by :class:`RemoteOp`:
   continues at the coordinator after the reply arrives;
 * ``standalone`` for ops that cannot ride a batch (degraded reads that
   reconstruct at the coordinator); they run as independent processes in
-  both modes.
+  both modes;
+* ``fallback`` optionally names a degraded-path generator used when the
+  primary attempt fails for good (see below).
 
 Results come back in op order, so callers can ``zip`` them with their
 keys exactly as they did with per-op process barriers.
+
+Failure handling
+----------------
+
+When a :class:`~repro.core.config.StoreConfig` is passed, the executor
+survives nodes that die, drop RPCs, or lose blocks *mid-stage*:
+
+1. every attempt is bounded by ``op_timeout_s`` — a dropped request or
+   reply, or a node that dies before replying, costs the coordinator
+   the remaining timeout instead of hanging forever;
+2. failed ops are retried (``rpc_max_retries`` times, exponential
+   backoff from ``rpc_retry_backoff_s``), re-batched per node;
+3. ops that exhaust their retries — or whose node the shared
+   :class:`~repro.cluster.health.NodeHealthTracker` no longer considers
+   usable — run their ``fallback`` (degraded-read reconstruction)
+   instead; an op with no fallback raises :class:`RemoteOpError`.
+
+Every op outcome feeds the health tracker, so a node that keeps failing
+crosses the suspicion threshold and later stages stop sending ops to it
+at construction time (the stores consult the tracker).  Node-side
+exceptions from ``execute`` (e.g. a wiped block) are treated as an
+immediate error reply — a fast failure, no timeout wait.  Without a
+config the executor behaves exactly as the seed did: no timeouts, no
+retries, exceptions propagate.
 """
 
 from __future__ import annotations
@@ -32,7 +58,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Generator
 
+from repro.cluster import metrics as m
 from repro.cluster.simcore import all_of
+
+#: Internal sentinel: an attempt failed and the op is eligible for retry.
+_FAILED = object()
+
+
+class RemoteOpError(RuntimeError):
+    """A remote op failed permanently and had no fallback path."""
 
 
 @dataclass
@@ -43,7 +77,8 @@ class RemoteOp:
     set.  ``request_bytes`` and the first element of ``execute``'s
     return value are *simulated* (already scaled) byte counts; byte
     accounting sums them per batch, so batched and unbatched runs move
-    identical traffic.
+    identical traffic.  ``fallback`` (batchable ops only) is the
+    degraded path run if every attempt fails.
     """
 
     node: object | None = None  # StorageNode holding the chunk
@@ -51,15 +86,18 @@ class RemoteOp:
     execute: Callable[[], Generator] | None = None  # -> (reply_bytes, value)
     finalize: Callable[[object], Generator] | None = None  # value -> final value
     standalone: Callable[[], Generator] | None = None  # full op, unbatchable
+    fallback: Callable[[], Generator] | None = None  # degraded path on failure
 
     def __post_init__(self) -> None:
         if (self.execute is None) == (self.standalone is None):
             raise ValueError("RemoteOp needs exactly one of execute/standalone")
         if self.execute is not None and self.node is None:
             raise ValueError("batchable RemoteOp needs a destination node")
+        if self.standalone is not None and self.fallback is not None:
+            raise ValueError("standalone ops are their own fallback")
 
 
-def execute_remote_ops(cluster, coordinator, ops, metrics, batched: bool):
+def execute_remote_ops(cluster, coordinator, ops, metrics, batched: bool, config=None):
     """Process: run ``ops``; returns their final values in op order.
 
     Unbatched, each op is an independent process paying its own request
@@ -68,31 +106,104 @@ def execute_remote_ops(cluster, coordinator, ops, metrics, batched: bool):
     then each op executes, streams its reply, and finalises
     independently — no barrier, so node-side work still overlaps the
     reply transfers exactly as in the unbatched pipeline.
+
+    With ``config`` set, failed ops are retried then routed to their
+    ``fallback`` (see module docstring); on a fault-free run the event
+    sequence is identical to the seed's.
     """
     sim = cluster.sim
-    if not batched:
-        procs = [sim.process(_single_op(cluster, coordinator, op, metrics)) for op in ops]
+    results: list[object] = [None] * len(ops)
+    pending = list(range(len(ops)))
+    max_retries = config.rpc_max_retries if config is not None else 0
+    attempts = 0
+    exhausted: list[int] = []
+    while True:
+        failed = yield from _run_round(
+            cluster, coordinator, ops, pending, results, metrics, batched, config
+        )
+        if not failed:
+            break
+        attempts += 1
+        retry: list[int] = []
+        for i in failed:
+            node = ops[i].node
+            if attempts <= max_retries and node.alive and cluster.health.usable(node.node_id):
+                retry.append(i)
+            else:
+                # Out of attempts, or the health tracker says to stop
+                # hammering this node: go straight to reconstruction.
+                exhausted.append(i)
+        if not retry:
+            break
+        if metrics is not None:
+            metrics.retries += len(retry)
+        backoff = config.rpc_retry_backoff_s * (2 ** (attempts - 1))
+        if backoff > 0:
+            yield sim.timeout(backoff)
+        pending = retry
+
+    if exhausted:
+        exhausted.sort()
+        missing = [i for i in exhausted if ops[i].fallback is None]
+        if missing:
+            nodes = {ops[i].node.node_id for i in missing}
+            raise RemoteOpError(
+                f"{len(missing)} remote op(s) failed permanently on node(s) "
+                f"{sorted(nodes)} and had no degraded fallback"
+            )
+        procs = [sim.process(_boxed(ops[i].fallback())) for i in exhausted]
         barrier = all_of(sim, procs)
         yield barrier
-        return barrier.value
+        for i, boxed in zip(exhausted, barrier.value):
+            results[i] = boxed[0]
+    return results
 
-    results: list[object] = [None] * len(ops)
+
+def _run_round(cluster, coordinator, ops, indices, results, metrics, batched, config):
+    """One attempt over ``indices``; fills ``results``, returns failures.
+
+    Standalone ops only ever appear in the first round (they cannot
+    fail-and-retry; genuine errors inside them propagate).
+    """
+    sim = cluster.sim
+    waits: list[tuple[list[int], object]] = []
+    if not batched:
+        for i in indices:
+            waits.append(
+                ([i], sim.process(_single_op(cluster, coordinator, ops[i], metrics, config)))
+            )
+        barrier = all_of(sim, [proc for _indices, proc in waits])
+        yield barrier
+        failed = []
+        for ([i], _proc), value in zip(waits, barrier.value):
+            if value is _FAILED:
+                failed.append(i)
+            else:
+                results[i] = value
+        return failed
+
     groups: dict[int, list[int]] = {}
-    waits = []
-    for i, op in enumerate(ops):
+    for i in indices:
+        op = ops[i]
         if op.standalone is not None:
             waits.append(([i], sim.process(_boxed(op.standalone()))))
         else:
             groups.setdefault(op.node.node_id, []).append(i)
-    for indices in groups.values():
-        group = [ops[i] for i in indices]
-        waits.append((indices, sim.process(_node_group(cluster, coordinator, group, metrics))))
+    for group_indices in groups.values():
+        group = [ops[i] for i in group_indices]
+        waits.append(
+            (group_indices, sim.process(_node_group(cluster, coordinator, group, metrics, config)))
+        )
     barrier = all_of(sim, [proc for _indices, proc in waits])
     yield barrier
-    for (indices, _proc), values in zip(waits, barrier.value):
-        for i, value in zip(indices, values):
-            results[i] = value
-    return results
+    failed = []
+    for (group_indices, _proc), values in zip(waits, barrier.value):
+        for i, value in zip(group_indices, values):
+            if value is _FAILED:
+                failed.append(i)
+            else:
+                results[i] = value
+    return sorted(failed)
 
 
 def _boxed(gen):
@@ -101,45 +212,113 @@ def _boxed(gen):
     return [value]
 
 
-def _single_op(cluster, coordinator, op: RemoteOp, metrics):
+def _op_timeout(sim, op_start, metrics, config):
+    """Wait out the rest of the op timeout and account it."""
+    remaining = max(0.0, op_start + config.op_timeout_s - sim.now)
+    if remaining > 0:
+        yield sim.timeout(remaining)
+    if metrics is not None:
+        metrics.timeouts += 1
+        metrics.add(m.OTHER, remaining)
+
+
+def _single_op(cluster, coordinator, op: RemoteOp, metrics, config):
     """One op, unbatched: its own request RPC, work, and reply RPC."""
     if op.standalone is not None:
         value = yield from op.standalone()
         return value
+    sim = cluster.sim
+    node = op.node
+    resilient = config is not None
+    # Loopback ops (coordinator-local chunks) cannot be dropped.
+    faults = cluster.faults if resilient and node.endpoint is not coordinator.endpoint else None
+    start = sim.now
     if op.request_bytes is not None:
+        if faults is not None and faults.drop_rpc(node.node_id):
+            yield from _op_timeout(sim, start, metrics, config)
+            cluster.health.record_failure(node.node_id)
+            return _FAILED
         yield from cluster.network.transfer(
-            coordinator.endpoint, op.node.endpoint, op.request_bytes, metrics
+            coordinator.endpoint, node.endpoint, op.request_bytes, metrics
         )
-    reply_bytes, value = yield from op.execute()
+    if resilient and not node.alive:
+        yield from _op_timeout(sim, start, metrics, config)
+        cluster.health.record_failure(node.node_id)
+        return _FAILED
+    try:
+        reply_bytes, value = yield from op.execute()
+    except Exception:
+        if not resilient:
+            raise
+        # The node answered with an error (e.g. block not found after a
+        # wipe): a fast failure, no timeout wait.
+        cluster.health.record_failure(node.node_id)
+        return _FAILED
+    if resilient and not node.alive:
+        # Died mid-execute: the reply never leaves the node.
+        yield from _op_timeout(sim, start, metrics, config)
+        cluster.health.record_failure(node.node_id)
+        return _FAILED
+    if faults is not None and faults.drop_rpc(node.node_id):
+        yield from _op_timeout(sim, start, metrics, config)
+        cluster.health.record_failure(node.node_id)
+        return _FAILED
     yield from cluster.network.transfer(
         op.node.endpoint, coordinator.endpoint, reply_bytes, metrics
     )
+    cluster.health.record_success(node.node_id)
     if op.finalize is not None:
         value = yield from op.finalize(value)
     return value
 
 
-def _node_group(cluster, coordinator, group: list[RemoteOp], metrics):
+def _node_group(cluster, coordinator, group: list[RemoteOp], metrics, config):
     """All of one node's ops for a stage, as one scatter-gather exchange.
 
     One batched request opens the exchange (one RPC overhead, half an
     RTT); each op then runs and streams its reply back as soon as it is
     ready, the first reply carrying the other half-RTT.  Stages whose
     ops send no request (Get fetches) open the exchange with the first
-    reply instead.
+    reply instead.  A dropped batched request fails the whole group (one
+    timeout wait); node death and per-reply drops fail ops individually.
     """
     sim = cluster.sim
     net = cluster.network
     node = group[0].node
+    resilient = config is not None
+    faults = cluster.faults if resilient and node.endpoint is not coordinator.endpoint else None
+    start = sim.now
     request_sizes = [op.request_bytes for op in group if op.request_bytes is not None]
     state = {"replies_sent": 0}
     if request_sizes:
+        if faults is not None and faults.drop_rpc(node.node_id):
+            yield from _op_timeout(sim, start, metrics, config)
+            cluster.health.record_failure(node.node_id)
+            return [_FAILED] * len(group)
         yield from net.batch_transfer(
             coordinator.endpoint, node.endpoint, request_sizes, metrics
         )
+    if resilient and not node.alive:
+        yield from _op_timeout(sim, start, metrics, config)
+        cluster.health.record_failure(node.node_id)
+        return [_FAILED] * len(group)
 
     def run_op(op: RemoteOp):
-        reply_bytes, value = yield from op.execute()
+        try:
+            reply_bytes, value = yield from op.execute()
+        except Exception:
+            if not resilient:
+                raise
+            cluster.health.record_failure(node.node_id)
+            return _FAILED
+        if resilient and not node.alive:
+            yield from _op_timeout(sim, start, metrics, config)
+            cluster.health.record_failure(node.node_id)
+            return _FAILED
+        if faults is not None and faults.drop_rpc(node.node_id):
+            yield from _op_timeout(sim, start, metrics, config)
+            cluster.health.record_failure(node.node_id)
+            return _FAILED
         first = state["replies_sent"] == 0
         state["replies_sent"] += 1
         if first and not request_sizes:
@@ -153,6 +332,7 @@ def _node_group(cluster, coordinator, group: list[RemoteOp], metrics):
                 node.endpoint, coordinator.endpoint, reply_bytes, metrics,
                 half_rtt=first,
             )
+        cluster.health.record_success(node.node_id)
         if op.finalize is not None:
             value = yield from op.finalize(value)
         return value

@@ -4,6 +4,13 @@ Production erasure-coded stores periodically re-read stripes and check
 that parity still matches data, catching silent corruption (bit rot,
 torn writes) before enough redundancy is lost to make it unrecoverable.
 Both stores expose ``verify_object``; the stripe-level check lives here.
+
+Verdicts distinguish *unreadable* from *damaged*: blocks on dead nodes
+(or missing entirely) make a stripe ``incomplete``, never ``corrupt``.
+When the caller supplies the stripe's true data sizes, a degraded stripe
+(missing blocks within the code's tolerance) is additionally checked for
+corruption by reconstructing the missing shards and re-verifying parity
+consistency — so bit rot is not masked by a concurrent node failure.
 """
 
 from __future__ import annotations
@@ -12,8 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.ec.reed_solomon import CodeParams, get_coder
-from repro.ec.stripe import encode_stripe
+from repro.ec.reed_solomon import CodeParams
+from repro.ec.stripe import DecodeError, decode_stripe, encode_stripe
 
 
 @dataclass
@@ -34,14 +41,29 @@ def check_stripe(
     params: CodeParams,
     data_blocks: list[np.ndarray | None],
     parity_blocks: list[np.ndarray | None],
+    data_sizes: list[int] | None = None,
 ) -> str:
     """Verify one stripe: ``"ok"``, ``"corrupt"`` or ``"incomplete"``.
 
     ``data_blocks`` holds the k stored data payloads at their true sizes
     (``None`` for unreadable ones); ``parity_blocks`` the n-k parity
     payloads.  Parity is recomputed from the data and compared.
+
+    With ``data_sizes`` given, a stripe with unreadable blocks (within
+    the code's erasure tolerance) is reconstructed and cross-checked, so
+    it can come back ``"corrupt"`` when a *readable* block is damaged;
+    without them, any unreadable block short-circuits to
+    ``"incomplete"``.  Unreadable blocks alone are always
+    ``"incomplete"``, never ``"corrupt"``.
     """
-    if any(b is None for b in data_blocks) or any(p is None for p in parity_blocks):
+    missing = sum(1 for b in data_blocks if b is None) + sum(
+        1 for p in parity_blocks if p is None
+    )
+    if missing:
+        if data_sizes is None or missing > params.parity:
+            return "incomplete"
+        if _degraded_stripe_corrupt(params, data_blocks, parity_blocks, data_sizes):
+            return "corrupt"
         return "incomplete"
     present = [np.ascontiguousarray(b, dtype=np.uint8) for b in data_blocks]
     if all(b.size == 0 for b in present):
@@ -51,3 +73,37 @@ def check_stripe(
         if not np.array_equal(np.ascontiguousarray(stored, dtype=np.uint8), computed):
             return "corrupt"
     return "ok"
+
+
+def _degraded_stripe_corrupt(
+    params: CodeParams,
+    data_blocks: list[np.ndarray | None],
+    parity_blocks: list[np.ndarray | None],
+    data_sizes: list[int],
+) -> bool:
+    """True when a degraded stripe's *readable* shards are inconsistent.
+
+    Treats the unreadable shards as erasures, reconstructs the stripe
+    from the readable ones, re-encodes, and compares every readable
+    shard against its recomputed value.  Any mismatch means at least one
+    readable shard is damaged (which shard is isolated at repair time,
+    see ``repro.core.repair``).
+    """
+    shards: list[np.ndarray | None] = [
+        None if b is None else np.ascontiguousarray(b, dtype=np.uint8)
+        for b in list(data_blocks) + list(parity_blocks)
+    ]
+    try:
+        recovered = decode_stripe(params, shards, data_sizes)
+    except DecodeError:
+        return False  # cannot reconstruct: stays merely incomplete
+    reencoded = encode_stripe(params, recovered)
+    expected = reencoded.shards()
+    k = params.k
+    for i, shard in enumerate(shards):
+        if shard is None:
+            continue
+        want = expected[i][: data_sizes[i]] if i < k else expected[i]
+        if not np.array_equal(shard, want):
+            return True
+    return False

@@ -102,6 +102,22 @@ class FusionStore:
         self._page_index_cache: LruDict[tuple[str, tuple[int, int]], list] = LruDict(
             self.config.decode_cache_entries
         )
+        # Failure detection: share the cluster's health tracker (the
+        # fallback store registers itself too) and hear about liveness
+        # changes so degraded-read reconstructions are never served stale
+        # after a restore or repair.
+        cluster.health.suspicion_threshold = self.config.suspicion_threshold
+        cluster.add_liveness_listener(self._on_liveness)
+
+    def _on_liveness(self, node_id: int, alive: bool) -> None:
+        """A node's liveness changed: cached reconstructions may describe
+        a world that no longer exists (restored node serving the real
+        block, repair rewriting it), so drop them all (the cache is tiny)."""
+        self._degraded_bin_cache.clear()
+
+    def _usable(self, node) -> bool:
+        """Send ops to this node, or route straight to reconstruction?"""
+        return node.alive and self.cluster.health.usable(node.node_id)
 
     def _invalidate_object_caches(self, name: str) -> None:
         """Drop every cached artefact derived from object ``name``."""
@@ -360,7 +376,7 @@ class FusionStore:
             parts.append((lo, obj.trailer_bytes[lo - trailer_start : end - trailer_start]))
 
         payloads = yield from execute_remote_ops(
-            self.cluster, coordinator, fetch_ops, metrics, self.config.enable_rpc_batching
+            self.cluster, coordinator, fetch_ops, metrics, self.config.enable_rpc_batching, config=self.config
         )
         for start, payload in zip(fetch_starts, payloads):
             parts.append((start, bytes(payload)))
@@ -378,12 +394,12 @@ class FusionStore:
     ) -> RemoteOp:
         """Op reading ``[within, within+length)`` of one chunk from its node."""
         node = self.cluster.node(loc.node_id)
-        if not node.alive:
 
-            def degraded():
-                chunk = yield from self._degraded_chunk_read(obj, loc, coordinator, metrics)
-                return chunk[within : within + length]
+        def degraded():
+            chunk = yield from self._degraded_chunk_read(obj, loc, coordinator, metrics)
+            return chunk[within : within + length]
 
+        if not self._usable(node):
             return RemoteOp(standalone=degraded)
 
         def execute():
@@ -396,7 +412,7 @@ class FusionStore:
             )
             return self.config.scaled(length), data
 
-        return RemoteOp(node=node, execute=execute)
+        return RemoteOp(node=node, execute=execute, fallback=degraded)
 
     # -- Degraded reads ----------------------------------------------------------
 
@@ -421,6 +437,8 @@ class FusionStore:
         prompt recovery.  Reconstructed bins are cached (real bytes only;
         simulated costs are charged on every call).
         """
+        if metrics is not None:
+            metrics.degraded_reads += 1
         placement, bin_idx = self._locate_block(obj, loc.block_id)
         k, n = self.config.code.k, self.config.code.n
         shards: list[np.ndarray | None] = [None] * n
@@ -428,15 +446,14 @@ class FusionStore:
             if placement.data_sizes[i] == 0:
                 shards[i] = np.zeros(0, dtype=np.uint8)
 
-        # Pick the surviving shards to gather (first k in stripe order),
-        # then fetch them as one scatter-gather round: the stripe spreads
-        # over distinct nodes, so this is one RPC per surviving node
-        # either way, but the reads overlap instead of serialising.
+        # Pick the surviving shards to gather (first k in stripe order,
+        # healthy nodes before suspect ones), then fetch them as one
+        # scatter-gather round: the stripe spreads over distinct nodes,
+        # so this is one RPC per surviving node either way, but the
+        # reads overlap instead of serialising.
         pending = sum(1 for s in shards if s is not None)
-        gather: list[tuple[int, object, str]] = []
+        candidates: list[tuple[int, object, str]] = []
         for i in range(n):
-            if pending + len(gather) >= k:
-                break
             if shards[i] is not None:
                 continue
             node = self.cluster.node(placement.node_ids[i])
@@ -445,7 +462,10 @@ class FusionStore:
             )
             if not node.alive or not node.has_block(block_id):
                 continue
-            gather.append((i, node, block_id))
+            candidates.append((i, node, block_id))
+        healthy = [c for c in candidates if self.cluster.health.usable(c[1].node_id)]
+        suspect = [c for c in candidates if not self.cluster.health.usable(c[1].node_id)]
+        gather = (healthy + suspect)[: max(0, k - pending)]
 
         def fetch_op(node, block_id: str) -> RemoteOp:
             def execute():
@@ -460,6 +480,7 @@ class FusionStore:
             [fetch_op(node, bid) for _i, node, bid in gather],
             metrics,
             self.config.enable_rpc_batching,
+            config=self.config,
         )
         for (i, _node, _bid), data in zip(gather, payloads):
             shards[i] = data
@@ -545,7 +566,7 @@ class FusionStore:
                 keys.append((rg, op.index))
                 ops.append(self._filter_op(obj, coordinator, rg, op, meta, metrics))
         bitmaps_out = yield from execute_remote_ops(
-            self.cluster, coordinator, ops, metrics, self.config.enable_rpc_batching
+            self.cluster, coordinator, ops, metrics, self.config.enable_rpc_batching, config=self.config
         )
         leaf_results = dict(zip(keys, bitmaps_out))
         leaf_results.update(zero_bitmaps)
@@ -590,7 +611,8 @@ class FusionStore:
                         )
                     )
             values_out = yield from execute_remote_ops(
-                self.cluster, coordinator, ops, metrics, self.config.enable_rpc_batching
+                self.cluster, coordinator, ops, metrics, self.config.enable_rpc_batching,
+                config=self.config,
             )
             rg_projected.update(dict(zip(task_keys, values_out)))
             result = engine.assemble_result(
@@ -637,7 +659,7 @@ class FusionStore:
             task_rgs.append(rg)
             ops.append(self._fused_op(obj, coordinator, op, meta, type_, metrics))
         fused_out = yield from execute_remote_ops(
-            self.cluster, coordinator, ops, metrics, self.config.enable_rpc_batching
+            self.cluster, coordinator, ops, metrics, self.config.enable_rpc_batching, config=self.config
         )
         for rg, (bits, values) in zip(task_rgs, fused_out):
             rg_selected[rg] = bits
@@ -650,20 +672,21 @@ class FusionStore:
         """One fused filter+projection op on the node holding the chunk."""
         loc = obj.location_map.lookup(meta.key)
         node = self.cluster.node(loc.node_id)
-        if not node.alive:
-            # Degraded: reconstruct at the coordinator and process there.
-            def degraded():
-                metrics.fallback_chunks += 1
-                values = yield from self._degraded_chunk_values(
-                    obj, meta, loc, coordinator, metrics
-                )
-                yield from coordinator.compute(
-                    2 * coordinator.scan_seconds(meta.plain_size, self.config.size_scale),
-                    metrics,
-                )
-                bits = eval_leaf(op.leaf, op.type, values)
-                return bits, values[np.flatnonzero(bits)]
 
+        # Degraded: reconstruct at the coordinator and process there.
+        def degraded():
+            metrics.fallback_chunks += 1
+            values = yield from self._degraded_chunk_values(
+                obj, meta, loc, coordinator, metrics
+            )
+            yield from coordinator.compute(
+                2 * coordinator.scan_seconds(meta.plain_size, self.config.size_scale),
+                metrics,
+            )
+            bits = eval_leaf(op.leaf, op.type, values)
+            return bits, values[np.flatnonzero(bits)]
+
+        if not self._usable(node):
             return RemoteOp(standalone=degraded)
 
         def execute():
@@ -712,23 +735,24 @@ class FusionStore:
             request_bytes=self.config.scaled(OP_REQUEST_BYTES),
             execute=execute,
             finalize=finalize,
+            fallback=degraded,
         )
 
     def _filter_op(self, obj, coordinator, rg: int, op, meta: ColumnChunkMeta, metrics) -> RemoteOp:
         """One pushed-down filter: runs in-situ, replies with a bitmap."""
         loc = obj.location_map.lookup(meta.key)
         node = self.cluster.node(loc.node_id)
-        if not node.alive:
 
-            def degraded():
-                values = yield from self._degraded_chunk_values(
-                    obj, meta, loc, coordinator, metrics
-                )
-                yield from coordinator.compute(
-                    coordinator.scan_seconds(meta.plain_size, self.config.size_scale), metrics
-                )
-                return eval_leaf(op.leaf, op.type, values)
+        def degraded():
+            values = yield from self._degraded_chunk_values(
+                obj, meta, loc, coordinator, metrics
+            )
+            yield from coordinator.compute(
+                coordinator.scan_seconds(meta.plain_size, self.config.size_scale), metrics
+            )
+            return eval_leaf(op.leaf, op.type, values)
 
+        if not self._usable(node):
             return RemoteOp(standalone=degraded)
 
         def execute():
@@ -749,7 +773,10 @@ class FusionStore:
             return self.config.scaled(Bitmap(bits).wire_size()), bits
 
         return RemoteOp(
-            node=node, request_bytes=self.config.scaled(OP_REQUEST_BYTES), execute=execute
+            node=node,
+            request_bytes=self.config.scaled(OP_REQUEST_BYTES),
+            execute=execute,
+            fallback=degraded,
         )
 
     def _projection_op(
@@ -765,18 +792,18 @@ class FusionStore:
         """One projection: pushed down or fetched, per the Cost Equation."""
         loc = obj.location_map.lookup(meta.key)
         node = self.cluster.node(loc.node_id)
-        if not node.alive:
 
-            def degraded():
-                metrics.fallback_chunks += 1
-                values = yield from self._degraded_chunk_values(
-                    obj, meta, loc, coordinator, metrics
-                )
-                yield from coordinator.compute(
-                    coordinator.scan_seconds(meta.plain_size, self.config.size_scale), metrics
-                )
-                return values[indices]
+        def degraded():
+            metrics.fallback_chunks += 1
+            values = yield from self._degraded_chunk_values(
+                obj, meta, loc, coordinator, metrics
+            )
+            yield from coordinator.compute(
+                coordinator.scan_seconds(meta.plain_size, self.config.size_scale), metrics
+            )
+            return values[indices]
 
+        if not self._usable(node):
             return RemoteOp(standalone=degraded)
 
         selectivity = len(indices) / len(bitmap) if len(bitmap) else 0.0
@@ -804,6 +831,7 @@ class FusionStore:
                 node=node,
                 request_bytes=self.config.scaled(OP_REQUEST_BYTES + bitmap_wire),
                 execute=execute_pushed,
+                fallback=degraded,
             )
 
         # Fallback: fetch the compressed chunk, process at the coordinator.
@@ -828,6 +856,7 @@ class FusionStore:
             request_bytes=self.config.scaled(OP_REQUEST_BYTES),
             execute=execute_fetch,
             finalize=finalize,
+            fallback=degraded,
         )
 
     def _aggregate_pushdown_stage(
@@ -859,7 +888,7 @@ class FusionStore:
                     self._partial_aggregate_op(obj, coordinator, meta, agg, bitmap, metrics)
                 )
         partials_out = yield from execute_remote_ops(
-            self.cluster, coordinator, ops, metrics, self.config.enable_rpc_batching
+            self.cluster, coordinator, ops, metrics, self.config.enable_rpc_batching, config=self.config
         )
         partials_by_agg: dict[int, list[dict]] = {i: [] for i in range(len(aggs))}
         for (rg, agg_idx), partial in zip(task_keys, partials_out):
@@ -887,18 +916,18 @@ class FusionStore:
         """One pushed-down partial aggregate over a chunk."""
         loc = obj.location_map.lookup(meta.key)
         node = self.cluster.node(loc.node_id)
-        if not node.alive:
 
-            def degraded():
-                values = yield from self._degraded_chunk_values(
-                    obj, meta, loc, coordinator, metrics
-                )
-                yield from coordinator.compute(
-                    coordinator.scan_seconds(meta.plain_size, self.config.size_scale), metrics
-                )
-                selected = values[np.flatnonzero(bitmap)]
-                return partial_aggregate(agg, selected, int(bitmap.sum()))
+        def degraded():
+            values = yield from self._degraded_chunk_values(
+                obj, meta, loc, coordinator, metrics
+            )
+            yield from coordinator.compute(
+                coordinator.scan_seconds(meta.plain_size, self.config.size_scale), metrics
+            )
+            selected = values[np.flatnonzero(bitmap)]
+            return partial_aggregate(agg, selected, int(bitmap.sum()))
 
+        if not self._usable(node):
             return RemoteOp(standalone=degraded)
 
         bitmap_wire = Bitmap(bitmap).wire_size()
@@ -921,6 +950,7 @@ class FusionStore:
             node=node,
             request_bytes=self.config.scaled(OP_REQUEST_BYTES + bitmap_wire),
             execute=execute,
+            fallback=degraded,
         )
 
     # -- Delete ----------------------------------------------------------------
@@ -982,7 +1012,9 @@ class FusionStore:
                 * self.config.size_scale
                 / coordinator.cpu_config.decode_bps
             )
-            verdict = check_stripe(self.config.code, data_blocks, parity_blocks)
+            verdict = check_stripe(
+                self.config.code, data_blocks, parity_blocks, placement.data_sizes
+            )
             report.stripes_checked += 1
             if verdict == "corrupt":
                 report.corrupt_stripes.append(placement.stripe_id)
@@ -998,7 +1030,7 @@ class FusionStore:
         self.sim.run()
         return proc.value
 
-    def recover_node_process(self, node_id: int):
+    def recover_node_process(self, node_id: int, metrics: QueryMetrics | None = None):
         rebuilt = 0
         for obj in self.objects.values():
             for placement in obj.stripes:
@@ -1006,17 +1038,38 @@ class FusionStore:
                 if not lost:
                     continue
                 rebuilt += len(lost)
-                yield from self._rebuild_stripe(obj, placement, lost)
-        fallback = yield from self.fallback_store.recover_node_process(node_id)
+                yield from self._rebuild_stripe(obj, placement, lost, metrics)
+        fallback = yield from self.fallback_store.recover_node_process(node_id, metrics)
         return rebuilt + fallback
 
-    def _rebuild_stripe(self, obj: StoredFusionObject, placement: StripePlacement, lost):
+    def _pick_rescue_node(self, holder_ids: set[int], lost_node_id: int):
+        """An *alive* node to host rebuilt blocks, preferring non-holders.
+
+        With every node alive this matches the seed's choice (smallest
+        non-holder id, else the lost node's successor); a dead candidate
+        is never picked — repaired data must land on reachable nodes.
+        """
+        for nid in range(self.cluster.num_nodes):
+            if nid not in holder_ids and self.cluster.node(nid).alive:
+                return self.cluster.node(nid)
+        for step in range(1, self.cluster.num_nodes + 1):
+            nid = (lost_node_id + step) % self.cluster.num_nodes
+            if self.cluster.node(nid).alive:
+                return self.cluster.node(nid)
+        raise RuntimeError("no alive node available to host rebuilt blocks")
+
+    def _rebuild_stripe(
+        self,
+        obj: StoredFusionObject,
+        placement: StripePlacement,
+        lost,
+        metrics: QueryMetrics | None = None,
+    ):
         k, n = self.config.code.k, self.config.code.n
         block_ids = placement.data_block_ids + placement.parity_block_ids
-        holder_ids = set(placement.node_ids)
-        candidates = [nid for nid in range(self.cluster.num_nodes) if nid not in holder_ids]
-        rescue_id = candidates[0] if candidates else (node_id_rotate(placement.node_ids[lost[0]], self.cluster.num_nodes))
-        rescue = self.cluster.node(rescue_id)
+        rescue = self._pick_rescue_node(
+            set(placement.node_ids), placement.node_ids[lost[0]]
+        )
 
         shards: list[np.ndarray | None] = []
         for i in range(n):
@@ -1031,9 +1084,9 @@ class FusionStore:
                 else:
                     shards.append(None)
                 continue
-            data = yield from node.read_block(block_ids[i], self.config.size_scale)
+            data = yield from node.read_block(block_ids[i], self.config.size_scale, metrics)
             yield from self.cluster.network.transfer(
-                node.endpoint, rescue.endpoint, self.config.scaled(data.size)
+                node.endpoint, rescue.endpoint, self.config.scaled(data.size), metrics
             )
             shards.append(data)
 
@@ -1045,20 +1098,115 @@ class FusionStore:
             if i < k and payload.size == 0:
                 placement.node_ids[i] = rescue.node_id
                 continue
-            yield from rescue.disk.write(self.config.scaled(payload.size))
+            yield from rescue.disk.write(self.config.scaled(payload.size), metrics)
             rescue.put_block(block_ids[i], payload)
-            placement.node_ids[i] = rescue.node_id
-            if i < k:
-                # Chunks in this bin moved with it: update the location map.
-                for key, loc in list(obj.location_map.entries.items()):
-                    if loc.block_id == block_ids[i]:
-                        obj.location_map.entries[key] = ChunkLocation(
-                            chunk_key=loc.chunk_key,
-                            node_id=rescue.node_id,
-                            block_id=loc.block_id,
-                            offset_in_block=loc.offset_in_block,
-                            size=loc.size,
-                        )
+            self._relocate_block(obj, placement, i, rescue.node_id)
+            self._invalidate_block(obj, block_ids[i])
+
+    def _relocate_block(
+        self, obj: StoredFusionObject, placement: StripePlacement, i: int, node_id: int
+    ) -> None:
+        """Point the placement (and, for data bins, the location map) at
+        the node now holding stripe position ``i``."""
+        placement.node_ids[i] = node_id
+        if i < self.config.code.k:
+            block_id = placement.data_block_ids[i]
+            for key, loc in list(obj.location_map.entries.items()):
+                if loc.block_id == block_id:
+                    obj.location_map.entries[key] = ChunkLocation(
+                        chunk_key=loc.chunk_key,
+                        node_id=node_id,
+                        block_id=loc.block_id,
+                        offset_in_block=loc.offset_in_block,
+                        size=loc.size,
+                    )
+
+    def _invalidate_block(self, obj: StoredFusionObject, block_id: str) -> None:
+        """A block was rewritten (repair) or changed reachability: drop
+        every cached artefact derived from it."""
+        self._degraded_bin_cache.pop(block_id)
+        for key, loc in obj.location_map.entries.items():
+            if loc.block_id == block_id:
+                self._decode_cache.pop((obj.name, key))
+                self._page_index_cache.pop((obj.name, key))
+
+    def repair_stripe_process(
+        self, name: str, stripe_id: int, metrics: QueryMetrics | None = None
+    ):
+        """Diagnose and repair one stripe: reads every reachable block,
+        isolates missing/corrupt positions (``repro.core.repair``),
+        reconstructs them, and rewrites — corrupt blocks in place on
+        their live node, unreachable ones onto an alive rescue node,
+        updating the placement and the chunk location map.  Returns the
+        number of blocks rewritten (0 when the stripe is healthy)."""
+        from repro.core.repair import find_bad_shards
+
+        obj = self._lookup(name)
+        placement = obj.stripes[stripe_id]
+        k, n = self.config.code.k, self.config.code.n
+        block_ids = placement.data_block_ids + placement.parity_block_ids
+        coordinator = self.cluster.coordinator_for(name)
+
+        shards: list[np.ndarray | None] = []
+        for i in range(n):
+            if i < k and placement.data_sizes[i] == 0:
+                shards.append(np.zeros(0, dtype=np.uint8))
+                continue
+            node = self.cluster.node(placement.node_ids[i])
+            if not node.alive or not node.has_block(block_ids[i]):
+                shards.append(None)
+                continue
+            data = yield from node.read_block(block_ids[i], self.config.size_scale, metrics)
+            yield from self.cluster.network.transfer(
+                node.endpoint, coordinator.endpoint, self.config.scaled(data.size), metrics
+            )
+            shards.append(data)
+
+        yield from coordinator.compute(
+            sum(s.size for s in shards if s is not None)
+            * self.config.size_scale
+            / coordinator.cpu_config.decode_bps,
+            metrics,
+        )
+        bad = find_bad_shards(self.config.code, shards, placement.data_sizes)
+        if not bad:
+            return 0
+        good = [s if i not in bad else None for i, s in enumerate(shards)]
+        recovered = decode_stripe(self.config.code, good, placement.data_sizes)
+        reencoded = encode_stripe(self.config.code, recovered)
+        all_blocks = reencoded.shards()
+        written = 0
+        for i in sorted(bad):
+            payload = all_blocks[i]
+            if i < k and placement.data_sizes[i] == 0:
+                continue
+            holder = self.cluster.node(placement.node_ids[i])
+            if not holder.alive:
+                holder = self._pick_rescue_node(
+                    set(placement.node_ids), placement.node_ids[i]
+                )
+            yield from self.cluster.network.transfer(
+                coordinator.endpoint, holder.endpoint, self.config.scaled(payload.size), metrics
+            )
+            yield from holder.disk.write(self.config.scaled(payload.size), metrics)
+            holder.put_block(block_ids[i], payload)
+            self._relocate_block(obj, placement, i, holder.node_id)
+            self._invalidate_block(obj, block_ids[i])
+            written += 1
+        return written
+
+    def stripes_of(self, name: str) -> list[int]:
+        """Stripe ids of one object (repair-manager iteration helper)."""
+        return [p.stripe_id for p in self._lookup(name).stripes]
+
+    def stripes_on_node(self, node_id: int) -> list[tuple[str, int]]:
+        """Every (object, stripe) with a block placed on ``node_id``."""
+        found = []
+        for obj in self.objects.values():
+            for placement in obj.stripes:
+                if node_id in placement.node_ids:
+                    found.append((obj.name, placement.stripe_id))
+        return found
 
     # -- helpers ---------------------------------------------------------------
 
