@@ -100,6 +100,24 @@ class Cluster:
     def alive_nodes(self) -> list[int]:
         return [n.node_id for n in self.nodes if n.alive]
 
+    def wal_records(self) -> list:
+        """Every WAL record readable right now, deduplicated.
+
+        Records are mirrored to each object's metadata replica nodes, so
+        the union over *alive* nodes reconstructs the log even when the
+        coordinator that wrote it is down.  Order: (op_id, phase-write
+        order) — stable because mirrors append identical record objects.
+        """
+        seen: list = []
+        for node in self.nodes:
+            if not node.alive:
+                continue
+            for record in node.wal:
+                if record not in seen:
+                    seen.append(record)
+        seen.sort(key=lambda r: (r.op_id, r.seq))
+        return seen
+
     def coordinator_for(self, object_name: str) -> StorageNode:
         """Route a request to a node by the hash of the object name.
 

@@ -37,7 +37,11 @@ class FaultEvent:
       chosen by the injector's seeded RNG (bit rot; only scrubbing or a
       failed decode will notice);
     * ``"drop"`` — for ``duration`` seconds, RPCs to/from the node are
-      dropped with probability ``rate`` (a flaky link).
+      dropped with probability ``rate`` (a flaky link);
+    * ``"crashpoint"`` — from time ``at``, arm the named WAL crash point
+      (``point``; see ``repro.core.wal.CRASH_POINTS``) so the next
+      Put/Delete reaching that stage kills its coordinator mid-operation
+      (``node_id < 0`` = whichever node is coordinating).
     """
 
     at: float
@@ -48,8 +52,9 @@ class FaultEvent:
     rate: float = 0.0
     wipe: bool = False
     blocks: int = 1
+    point: str = ""
 
-    KINDS = ("crash", "restore", "blip", "slow", "corrupt", "drop")
+    KINDS = ("crash", "restore", "blip", "slow", "corrupt", "drop", "crashpoint")
 
     def __post_init__(self) -> None:
         if self.kind not in self.KINDS:
@@ -62,6 +67,8 @@ class FaultEvent:
             raise ValueError("slow factor must be >= 1 (it degrades throughput)")
         if self.kind == "drop" and not (0.0 < self.rate <= 1.0):
             raise ValueError("drop rate must be in (0, 1]")
+        if self.kind == "crashpoint" and not self.point:
+            raise ValueError("crashpoint fault needs a point name")
 
 
 @dataclass
@@ -91,6 +98,8 @@ class FaultInjector:
         self.log: list[AppliedFault] = []
         #: node_id -> (window end, drop probability)
         self._drop_windows: dict[int, tuple[float, float]] = {}
+        #: Armed WAL crash points: (point, node_id or None) -> shots left.
+        self._crash_points: dict[tuple[str, int | None], int] = {}
         self._installed = False
         cluster.faults = self
 
@@ -114,6 +123,39 @@ class FaultInjector:
             del self._drop_windows[node_id]
             return False
         return self.rng.random() < rate
+
+    # -- WAL crash points (consulted by repro.core.wal) ----------------------
+
+    def arm_crash_point(self, point: str, node_id: int | None = None, count: int = 1) -> None:
+        """Arm a named WAL stage: the next ``count`` Put/Delete operations
+        reaching ``point`` on ``node_id`` (None = any coordinator) crash
+        their coordinator there."""
+        key = (point, node_id)
+        self._crash_points[key] = self._crash_points.get(key, 0) + count
+
+    def should_crash(self, node_id: int, point: str) -> bool:
+        """Consume one armed shot matching this (node, point), if any."""
+        for key in ((point, node_id), (point, None)):
+            shots = self._crash_points.get(key)
+            if shots:
+                if shots == 1:
+                    del self._crash_points[key]
+                else:
+                    self._crash_points[key] = shots - 1
+                self.log.append(
+                    AppliedFault(
+                        at=self.cluster.sim.now,
+                        event=FaultEvent(
+                            at=self.cluster.sim.now,
+                            kind="crashpoint",
+                            node_id=node_id,
+                            point=point,
+                        ),
+                        detail=f"coordinator {node_id} killed at {point}",
+                    )
+                )
+                return True
+        return False
 
     # -- schedule driver ------------------------------------------------------
 
@@ -156,6 +198,10 @@ class FaultInjector:
             detail = ",".join(corrupted) if corrupted else "no blocks stored"
         elif event.kind == "drop":
             self._drop_windows[event.node_id] = (sim.now + event.duration, event.rate)
+        elif event.kind == "crashpoint":
+            self.arm_crash_point(
+                event.point, None if event.node_id < 0 else event.node_id
+            )
         self.log.append(AppliedFault(at=sim.now, event=event, detail=detail))
 
     def _corrupt_blocks(self, node, count: int) -> list[str]:
@@ -182,6 +228,7 @@ def random_schedule(
     corruptions: int = 1,
     max_concurrent_down: int = 1,
     mean_downtime_s: float | None = None,
+    crash_points: tuple[str, ...] = (),
 ) -> list[FaultEvent]:
     """Generate a reproducible random fault schedule.
 
@@ -254,6 +301,17 @@ def random_schedule(
                 at=rng.uniform(0.0, horizon_s),
                 kind="corrupt",
                 node_id=rng.randrange(num_nodes),
+            )
+        )
+    for point in crash_points:
+        # Arm a WAL crash point at a random time; whichever coordinator
+        # next reaches that stage of a Put/Delete dies there.
+        events.append(
+            FaultEvent(
+                at=rng.uniform(0.0, horizon_s),
+                kind="crashpoint",
+                node_id=-1,
+                point=point,
             )
         )
     return sorted(events, key=lambda ev: ev.at)

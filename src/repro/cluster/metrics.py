@@ -45,6 +45,10 @@ class QueryMetrics:
     #: Chunk/block reads answered by erasure-code reconstruction instead
     #: of the node that holds the data (dead or suspect node).
     degraded_reads: int = 0
+    #: End-to-end checksum mismatches detected at the reader (direct
+    #: reads and reconstructed bytes alike); each one was answered by
+    #: reconstruction instead of surfacing bad bytes.
+    checksum_failures: int = 0
 
     @property
     def latency(self) -> float:
@@ -79,6 +83,9 @@ class ClusterMetrics:
     timeouts: int = 0
     hedges: int = 0
     degraded_reads: int = 0
+    #: Checksum mismatches detected across queries plus any caught by
+    #: repair/scrub verification (silent-corruption detection coverage).
+    checksum_failures: int = 0
     #: Repair traffic is accounted separately from query traffic: these
     #: bytes never enter ``network_bytes`` (which only accumulates via
     #: :meth:`record_query`), so availability experiments can report the
@@ -97,6 +104,7 @@ class ClusterMetrics:
         self.timeouts += qm.timeouts
         self.hedges += qm.hedges
         self.degraded_reads += qm.degraded_reads
+        self.checksum_failures += qm.checksum_failures
 
     def record_repair(self, nbytes: int, blocks: int, seconds: float) -> None:
         """Account one repair run's traffic, separate from query traffic."""

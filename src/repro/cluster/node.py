@@ -66,6 +66,16 @@ class StorageNode:
         #: with degraded reads.
         self.alive = True
         self._blocks: dict[str, np.ndarray] = {}
+        #: Write-ahead intent log for Put/Delete coordinated by this node
+        #: (mirrored to the object's metadata replica nodes so recovery
+        #: survives a dead coordinator).  Appends are metadata-plane
+        #: operations: no simulated device time is charged.
+        self.wal: list = []
+        #: Materialized metadata replicas this node holds, by object
+        #: name.  The replica payload stands in for the serialized
+        #: location/placement map whose wire cost the stores charge when
+        #: replicating it.
+        self._meta_replicas: dict[str, object] = {}
 
     # -- block storage -----------------------------------------------------
 
@@ -82,8 +92,33 @@ class StorageNode:
         self._blocks.pop(block_id, None)
 
     def wipe_blocks(self) -> None:
-        """Discard every stored block (a disk loss, not just a reboot)."""
+        """Discard everything on disk — blocks, metadata replicas, and
+        the write-ahead log (a disk loss, not just a reboot)."""
         self._blocks.clear()
+        self._meta_replicas.clear()
+        self.wal.clear()
+
+    # -- metadata replicas -------------------------------------------------
+
+    def put_meta(self, object_name: str, replica: object) -> None:
+        """Store (or overwrite) one object's metadata replica."""
+        self._meta_replicas[object_name] = replica
+
+    def get_meta(self, object_name: str):
+        """The stored metadata replica, or None."""
+        return self._meta_replicas.get(object_name)
+
+    def drop_meta(self, object_name: str) -> None:
+        self._meta_replicas.pop(object_name, None)
+
+    def meta_names(self) -> list[str]:
+        """Replicated object names in sorted order (deterministic)."""
+        return sorted(self._meta_replicas)
+
+    def wal_append(self, record: object) -> None:
+        """Append one WAL record (idempotent per record identity)."""
+        if record not in self.wal:
+            self.wal.append(record)
 
     def block_ids(self) -> list[str]:
         """Stored block ids in sorted order (deterministic iteration)."""
@@ -108,6 +143,14 @@ class StorageNode:
 
     def block_size(self, block_id: str) -> int:
         return self._blocks[block_id].size
+
+    def peek_block(self, block_id: str) -> np.ndarray:
+        """Stored bytes of a block with no simulated device time charged.
+
+        For offline integrity checking (fsck); simulated reads go through
+        :meth:`read_block` / :meth:`read_block_range`.
+        """
+        return self._blocks[block_id]
 
     @property
     def stored_bytes(self) -> int:

@@ -14,36 +14,59 @@ from repro.core.baseline_store import BaselineStore, ObjectNotFound, PutReport
 from repro.core.config import OP_REQUEST_BYTES, SCALAR_RESULT_BYTES, StoreConfig
 from repro.core.cost_model import PushdownCostEstimator, PushdownDecision, PushdownMode
 from repro.core.fac import construct_stripes, construct_stripes_first_fit
+from repro.core.fsck import FsckReport, RecoveryReport, fsck, recover
 from repro.core.fixed import (
     FixedLayout,
     build_fixed_layout,
     fraction_of_chunks_split,
 )
 from repro.core.layout import Bin, BinSet, ChunkItem, StripeLayout
-from repro.core.location_map import ChunkLocation, LocationMap
+from repro.core.location_map import (
+    ChecksumError,
+    ChunkLocation,
+    LocationMap,
+    chunk_checksum,
+)
 from repro.core.oracle import OracleError, brute_force_optimal, construct_oracle_layout
 from repro.core.padding import construct_padding_layout
 from repro.core.repair import RepairError, RepairManager, RepairReport, find_bad_shards
 from repro.core.scatter_gather import RemoteOp, RemoteOpError
 from repro.core.scrub import ScrubReport, check_stripe
 from repro.core.store import FusionStore, StoredFusionObject, StripePlacement
+from repro.core.wal import (
+    CRASH_POINTS,
+    DELETE_CRASH_POINTS,
+    PUT_CRASH_POINTS,
+    CoordinatorCrash,
+    MetaReplica,
+    WalRecord,
+    WalWriter,
+)
 
 __all__ = [
     "BaselineStore",
     "Bin",
     "BinSet",
+    "CRASH_POINTS",
+    "ChecksumError",
     "ChunkItem",
     "ChunkLocation",
+    "CoordinatorCrash",
+    "DELETE_CRASH_POINTS",
     "FixedLayout",
+    "FsckReport",
     "FusionStore",
     "LocationMap",
+    "MetaReplica",
     "OP_REQUEST_BYTES",
     "ObjectNotFound",
     "OracleError",
+    "PUT_CRASH_POINTS",
     "PushdownCostEstimator",
     "PushdownDecision",
     "PushdownMode",
     "PutReport",
+    "RecoveryReport",
     "RemoteOp",
     "RemoteOpError",
     "RepairError",
@@ -52,12 +75,17 @@ __all__ = [
     "SCALAR_RESULT_BYTES",
     "ScrubReport",
     "StoreConfig",
-    "check_stripe",
-    "find_bad_shards",
     "StoredFusionObject",
     "StripeLayout",
     "StripePlacement",
+    "WalRecord",
+    "WalWriter",
     "brute_force_optimal",
+    "check_stripe",
+    "chunk_checksum",
+    "find_bad_shards",
+    "fsck",
+    "recover",
     "build_fixed_layout",
     "construct_oracle_layout",
     "construct_padding_layout",

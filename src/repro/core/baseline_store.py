@@ -22,8 +22,10 @@ from repro.core import engine
 from repro.core.cache import LruDict
 from repro.core.config import StoreConfig
 from repro.core.fixed import FixedLayout, build_fixed_layout
+from repro.core.location_map import ChecksumError, chunk_checksum
 from repro.core.scatter_gather import RemoteOp, execute_remote_ops
-from repro.ec.stripe import decode_stripe, encode_stripe
+from repro.core.wal import MetaReplica, WalRecord, WalWriter
+from repro.ec.stripe import DecodeError, decode_stripe, encode_stripe
 from repro.format.metadata import FileMetadata
 from repro.format.pages import decode_column_chunk
 from repro.format.reader import read_metadata
@@ -50,6 +52,13 @@ class StoredFixedObject:
     parity_block_nodes: dict[tuple[int, int], int] = field(default_factory=dict)
     header_bytes: bytes = b""
     trailer_bytes: bytes = b""
+    #: Nodes holding this object's metadata replica (placement maps +
+    #: block checksums), chosen as the coordinator slot's successors.
+    replica_nodes: tuple[int, ...] = ()
+    #: CRC of each stored block's payload at Put time, by block id.
+    block_checksums: dict[str, int] = field(default_factory=dict)
+    #: Bumped on every replica republish (repair relocations).
+    meta_epoch: int = 0
 
     def data_block_id(self, index: int) -> str:
         return f"{self.name}/b{index}"
@@ -93,6 +102,10 @@ class BaselineStore:
         self._degraded_block_cache: LruDict[tuple[str, int], np.ndarray] = LruDict(
             self.config.degraded_cache_entries
         )
+        # Put/Delete write-ahead log.  When this store serves as a
+        # FusionStore's fixed-block fallback, the owner overwrites this
+        # with its own writer so both stores share one op-id space.
+        self.wal = WalWriter(cluster, self.config.wal_enabled)
         cluster.health.suspicion_threshold = self.config.suspicion_threshold
         cluster.add_liveness_listener(self._on_liveness)
 
@@ -131,18 +144,65 @@ class BaselineStore:
         layout = build_fixed_layout(config.code, len(data), config.real_block_size)
         coordinator = self.cluster.coordinator_for(name)
 
-        # Ship the object from the client to the coordinator.
-        yield from self.cluster.network.transfer(
-            self.cluster.client, coordinator.endpoint, config.scaled(len(data))
-        )
-
         obj = StoredFixedObject(
             name=name,
             metadata=metadata,
             total_bytes=len(data),
             layout=layout,
         )
+        obj.header_bytes = data[:4]
+        footer_start = metadata.all_chunks()[-1].end_offset if metadata.all_chunks() else 4
+        obj.trailer_bytes = data[footer_start:]
         raw = np.frombuffer(data, dtype=np.uint8)
+
+        # Precompute every placement so the WAL intent can name all the
+        # blocks the operation will write.  Placement draws stay in seed
+        # order (one per stripe); the metadata replica set is derived
+        # from the coordinator's hash slot (its successors) rather than
+        # drawn, so the shared placement RNG is not perturbed.
+        stripe_nodes: list[list[int]] = []
+        wal_blocks: list[tuple[int, str]] = []
+        wal_sizes: list[int] = []
+        for stripe in range(layout.num_stripes):
+            blocks = layout.stripe_blocks(stripe)
+            nodes = self.cluster.choose_stripe_nodes(config.code.n)
+            stripe_nodes.append(nodes)
+            max_size = max(b.size for b in blocks)
+            for j, block in enumerate(blocks):
+                obj.data_block_nodes[block.index] = nodes[j]
+                wal_blocks.append((nodes[j], obj.data_block_id(block.index)))
+                wal_sizes.append(block.size)
+            for pj in range(config.code.parity):
+                node_id = nodes[config.code.k + pj] if config.code.k + pj < len(nodes) else nodes[-1]
+                obj.parity_block_nodes[(stripe, pj)] = node_id
+                wal_blocks.append((node_id, obj.parity_block_id(stripe, pj)))
+                wal_sizes.append(max_size)
+        replica_count = config.resolved_metadata_replicas(self.cluster.num_nodes)
+        obj.replica_nodes = tuple(
+            (coordinator.node_id + i) % self.cluster.num_nodes for i in range(replica_count)
+        )
+
+        op_id = self.wal.new_op_id()
+        self.wal.append(
+            coordinator,
+            WalRecord(
+                op_id=op_id,
+                seq=0,
+                phase="intent",
+                op="put",
+                store_kind="fixed",
+                object_name=name,
+                blocks=tuple(wal_blocks),
+                block_sizes=tuple(wal_sizes),
+                replica_nodes=obj.replica_nodes,
+            ),
+        )
+        self.wal.crash_point(coordinator, "put:after-intent")
+
+        # Ship the object from the client to the coordinator.
+        yield from self.cluster.network.transfer(
+            self.cluster.client, coordinator.endpoint, config.scaled(len(data))
+        )
 
         # Encode and distribute stripe by stripe.
         writes = []
@@ -154,35 +214,55 @@ class BaselineStore:
                 encode_bytes * config.size_scale / coordinator.cpu_config.decode_bps
             )
             encoded = encode_stripe(config.code, list(payloads))
-            nodes = self.cluster.choose_stripe_nodes(config.code.n)
+            nodes = stripe_nodes[stripe]
             for j, block in enumerate(blocks):
-                node_id = nodes[j]
-                obj.data_block_nodes[block.index] = node_id
+                bid = obj.data_block_id(block.index)
+                obj.block_checksums[bid] = chunk_checksum(encoded.data_blocks[j])
                 writes.append(
                     self.sim.process(
-                        self._write_block(
-                            coordinator,
-                            node_id,
-                            obj.data_block_id(block.index),
-                            encoded.data_blocks[j],
-                        )
+                        self._write_block(coordinator, nodes[j], bid, encoded.data_blocks[j])
                     )
                 )
             for pj, parity in enumerate(encoded.parity_blocks):
-                node_id = nodes[config.code.k + pj] if config.code.k + pj < len(nodes) else nodes[-1]
-                obj.parity_block_nodes[(stripe, pj)] = node_id
+                bid = obj.parity_block_id(stripe, pj)
+                obj.block_checksums[bid] = chunk_checksum(parity)
                 writes.append(
                     self.sim.process(
                         self._write_block(
-                            coordinator, node_id, obj.parity_block_id(stripe, pj), parity
+                            coordinator, obj.parity_block_nodes[(stripe, pj)], bid, parity
                         )
                     )
                 )
         yield all_of(self.sim, writes)
+        self.wal.crash_point(coordinator, "put:after-data")
 
-        obj.header_bytes = data[:4]
-        footer_start = metadata.all_chunks()[-1].end_offset if metadata.all_chunks() else 4
-        obj.trailer_bytes = data[footer_start:]
+        # Materialize metadata replicas.  The fixed-block store's
+        # placement map is a handful of dict entries per block; the
+        # paper charges map replication only for Fusion's chunk-granular
+        # location map, so this publish is metadata-plane (no simulated
+        # bytes — fault-free runs stay event-identical to the seed).
+        replica = self._meta_snapshot(obj)
+        for nid in obj.replica_nodes:
+            node = self.cluster.node(nid)
+            if node.alive:
+                node.put_meta(name, replica)
+        self.wal.crash_point(coordinator, "put:after-meta")
+
+        self.wal.append(
+            coordinator,
+            WalRecord(
+                op_id=op_id,
+                seq=1,
+                phase="commit",
+                op="put",
+                store_kind="fixed",
+                object_name=name,
+                replica_nodes=obj.replica_nodes,
+            ),
+        )
+        self.wal.crash_point(coordinator, "put:after-commit")
+
+        # Atomic visibility: the object appears only after commit.
         self.objects[name] = obj
         return PutReport(
             object_name=name,
@@ -206,6 +286,71 @@ class BaselineStore:
         )
         yield from node.disk.read(self.config.scaled(payload.size))  # write ~ read cost
         node.put_block(block_id, payload)
+
+    # -- Metadata replicas ------------------------------------------------------
+
+    def _meta_snapshot(self, obj: StoredFixedObject) -> MetaReplica:
+        """Deep snapshot of the object's durable metadata for a replica
+        node (never aliases live placement state)."""
+        return MetaReplica(
+            object_name=obj.name,
+            epoch=obj.meta_epoch,
+            store_kind="fixed",
+            payload={
+                "metadata": obj.metadata,
+                "total_bytes": obj.total_bytes,
+                "layout": obj.layout,
+                "data_block_nodes": dict(obj.data_block_nodes),
+                "parity_block_nodes": dict(obj.parity_block_nodes),
+                "replica_nodes": tuple(obj.replica_nodes),
+                "block_checksums": dict(obj.block_checksums),
+                "header": obj.header_bytes,
+                "trailer": obj.trailer_bytes,
+            },
+        )
+
+    def _republish_meta(self, obj: StoredFixedObject) -> None:
+        """Repair relocated blocks: push a fresh snapshot (bumped epoch)
+        to the alive replica holders.  Metadata-plane operation."""
+        obj.meta_epoch += 1
+        replica = self._meta_snapshot(obj)
+        for nid in obj.replica_nodes:
+            node = self.cluster.node(nid)
+            if node.alive:
+                node.put_meta(obj.name, replica)
+
+    def _install_from_replica(self, replica: MetaReplica) -> StoredFixedObject:
+        """Recovery roll-forward: rebuild the in-memory object from a
+        surviving metadata replica snapshot."""
+        p = replica.payload
+        obj = StoredFixedObject(
+            name=replica.object_name,
+            metadata=p["metadata"],
+            total_bytes=p["total_bytes"],
+            layout=p["layout"],
+            data_block_nodes=dict(p["data_block_nodes"]),
+            parity_block_nodes=dict(p["parity_block_nodes"]),
+            header_bytes=p["header"],
+            trailer_bytes=p["trailer"],
+            replica_nodes=tuple(p["replica_nodes"]),
+            block_checksums=dict(p["block_checksums"]),
+            meta_epoch=replica.epoch,
+        )
+        self.objects[obj.name] = obj
+        self._invalidate_object_caches(obj.name)
+        return obj
+
+    # -- Integrity --------------------------------------------------------------
+
+    def _verify_block(self, obj: StoredFixedObject, block_id: str, data) -> None:
+        """Whole-block reads must match the CRC recorded at Put; raises
+        :class:`ChecksumError` (non-retryable — the scatter-gather layer
+        falls back to degraded reconstruction)."""
+        if not self.config.checksum_verify:
+            return
+        want = obj.block_checksums.get(block_id)
+        if want and chunk_checksum(data) != want:
+            raise ChecksumError(f"block {block_id} of {obj.name!r} failed CRC")
 
     # -- Get -------------------------------------------------------------------
 
@@ -271,6 +416,10 @@ class BaselineStore:
             data = yield from node.read_block_range(
                 obj.data_block_id(block_index), offset, length, self.config.size_scale, query
             )
+            if offset == 0 and length == obj.layout.blocks[block_index].size:
+                # Whole-block read (the default I/O granularity): the
+                # recorded CRC covers exactly these bytes.
+                self._verify_block(obj, obj.data_block_id(block_index), data)
             return self.config.scaled(length), data
 
         return RemoteOp(node=node, execute=execute, fallback=degraded)
@@ -346,7 +495,65 @@ class BaselineStore:
             recovered = decode_stripe(self.config.code, shards, data_sizes)
             cached = recovered[target_j]
             self._degraded_block_cache[cache_key] = cached
+        want = obj.block_checksums.get(obj.data_block_id(block_index))
+        if self.config.checksum_verify and want and chunk_checksum(cached) != want:
+            # A gathered shard was silently corrupt (possibly the target
+            # block itself): checksum-guided recovery over every
+            # reachable shard.
+            if query is not None:
+                query.checksum_failures += 1
+            rebuilt = yield from self._verified_block_recovery(
+                obj, stripe, target_j, data_sizes, coordinator, query
+            )
+            if rebuilt is not None:
+                cached = rebuilt
+                self._degraded_block_cache[cache_key] = cached
         return cached
+
+    def _verified_block_recovery(
+        self, obj, stripe: int, target_j: int, data_sizes, coordinator, query
+    ):
+        """Checksum-guided reconstruction of one data block: gather every
+        reachable shard, localise corrupt ones by decode trials, decode
+        with them excluded.  Returns the block's bytes, or None when the
+        stripe is damaged beyond what the code can localise."""
+        from repro.core.repair import RepairError, find_bad_shards
+
+        k, n = self.config.code.k, self.config.code.n
+        blocks = obj.layout.stripe_blocks(stripe)
+        shards: list[np.ndarray | None] = []
+        for i in range(n):
+            if i < k and i >= len(blocks):
+                shards.append(np.zeros(0, dtype=np.uint8))
+                continue
+            if i < k:
+                bid = obj.data_block_id(blocks[i].index)
+                nid = obj.data_block_nodes[blocks[i].index]
+            else:
+                bid = obj.parity_block_id(stripe, i - k)
+                nid = obj.parity_block_nodes[(stripe, i - k)]
+            node = self.cluster.node(nid)
+            if not node.alive or not node.has_block(bid):
+                shards.append(None)
+                continue
+            data = yield from node.read_block(bid, self.config.size_scale, query)
+            yield from self.cluster.network.transfer(
+                node.endpoint, coordinator.endpoint, self.config.scaled(data.size), query
+            )
+            shards.append(data)
+        yield from coordinator.compute(
+            sum(s.size for s in shards if s is not None)
+            * self.config.size_scale
+            / coordinator.cpu_config.decode_bps,
+            query,
+        )
+        try:
+            bad = find_bad_shards(self.config.code, shards, data_sizes)
+            good = [s if i not in bad else None for i, s in enumerate(shards)]
+            recovered = decode_stripe(self.config.code, good, data_sizes)
+        except (RepairError, DecodeError):
+            return None
+        return recovered[target_j]
 
     # -- Query -----------------------------------------------------------------
 
@@ -522,24 +729,69 @@ class BaselineStore:
 
     def delete(self, name: str) -> int:
         """Remove an object: drop its blocks everywhere.  Returns the
-        number of blocks reclaimed.  (Metadata-plane operation: no
-        simulated data movement.)"""
+        number of blocks reclaimed.
+
+        Runs the WAL protocol (intent -> drop metadata replicas -> drop
+        data blocks -> commit); once the intent is logged the delete is
+        durable and recovery redoes it (every stage is idempotent).
+        (Metadata-plane operation: no simulated data movement.)"""
         obj = self._lookup(name)
-        reclaimed = 0
+        coordinator = self.cluster.coordinator_for(name)
+        blocks: list[tuple[int, str]] = []
+        sizes: list[int] = []
         for index, nid in obj.data_block_nodes.items():
-            node = self.cluster.node(nid)
-            bid = obj.data_block_id(index)
-            if node.has_block(bid):
-                node.drop_block(bid)
-                reclaimed += 1
+            blocks.append((nid, obj.data_block_id(index)))
+            sizes.append(obj.layout.blocks[index].size)
         for (stripe, pj), nid in obj.parity_block_nodes.items():
-            node = self.cluster.node(nid)
-            bid = obj.parity_block_id(stripe, pj)
-            if node.has_block(bid):
-                node.drop_block(bid)
-                reclaimed += 1
+            blocks.append((nid, obj.parity_block_id(stripe, pj)))
+            sizes.append(max(b.size for b in obj.layout.stripe_blocks(stripe)))
+        op_id = self.wal.new_op_id()
+        self.wal.append(
+            coordinator,
+            WalRecord(
+                op_id=op_id,
+                seq=0,
+                phase="intent",
+                op="delete",
+                store_kind="fixed",
+                object_name=name,
+                blocks=tuple(blocks),
+                block_sizes=tuple(sizes),
+                replica_nodes=tuple(obj.replica_nodes),
+            ),
+        )
+        self.wal.crash_point(coordinator, "delete:after-intent")
+
+        # The object leaves the namespace at intent time; everything
+        # below (and recovery, after a crash) is idempotent cleanup.
         del self.objects[name]
         self._invalidate_object_caches(name)
+
+        for nid in obj.replica_nodes:
+            self.cluster.node(nid).drop_meta(name)
+        self.wal.crash_point(coordinator, "delete:after-meta-drop")
+
+        reclaimed = 0
+        for nid, bid in blocks:
+            node = self.cluster.node(nid)
+            if node.has_block(bid):
+                node.drop_block(bid)
+                reclaimed += 1
+        self.wal.crash_point(coordinator, "delete:after-data-drop")
+
+        self.wal.append(
+            coordinator,
+            WalRecord(
+                op_id=op_id,
+                seq=1,
+                phase="commit",
+                op="delete",
+                store_kind="fixed",
+                object_name=name,
+                replica_nodes=tuple(obj.replica_nodes),
+            ),
+        )
+        self.wal.crash_point(coordinator, "delete:after-commit")
         return reclaimed
 
     # -- Scrubbing -----------------------------------------------------------
@@ -580,6 +832,9 @@ class BaselineStore:
                 yield from self.cluster.network.transfer(
                     node.endpoint, coordinator.endpoint, self.config.scaled(payload.size)
                 )
+                want = obj.block_checksums.get(bid)
+                if self.config.checksum_verify and want and chunk_checksum(payload) != want:
+                    report.checksum_mismatch_blocks.append(bid)
                 (data_blocks if i < k else parity_blocks).append(payload)
             yield from coordinator.compute(
                 sum(b.size for b in data_blocks if b is not None)
@@ -607,6 +862,7 @@ class BaselineStore:
     def recover_node_process(self, node_id: int, metrics: QueryMetrics | None = None):
         rebuilt = 0
         for obj in self.objects.values():
+            touched = False
             for stripe in range(obj.layout.num_stripes):
                 holders = self._stripe_holders(obj, stripe)
                 lost = [
@@ -615,7 +871,10 @@ class BaselineStore:
                 if not lost:
                     continue
                 rebuilt += len(lost)
+                touched = True
                 yield from self._rebuild_stripe(obj, stripe, holders, lost, metrics)
+            if touched:
+                self._republish_meta(obj)
         return rebuilt
 
     def _stripe_holders(self, obj, stripe: int) -> list[tuple[str, int] | None]:
@@ -685,12 +944,24 @@ class BaselineStore:
             payload = reencoded.shards()[i]
             if i < k:
                 payload = payload[: blocks[i].size]
+            if self._rewrite_mismatch(obj, bid, payload):
+                continue
+            if i < k:
                 self._relocate_block(obj, stripe, i, rescue_node.node_id)
             else:
                 obj.parity_block_nodes[(stripe, i - k)] = rescue_node.node_id
             yield from rescue_node.disk.write(self.config.scaled(payload.size), metrics)
             rescue_node.put_block(bid, payload)
             self._invalidate_block(obj, stripe, i)
+
+    def _rewrite_mismatch(self, obj, bid: str, payload) -> bool:
+        """Reconstructed payload fails its Put-time CRC: refuse to write
+        bytes we can prove are wrong (and count the event)."""
+        want = obj.block_checksums.get(bid)
+        if not self.config.checksum_verify or not want or chunk_checksum(payload) == want:
+            return False
+        self.cluster.metrics.checksum_failures += 1
+        return True
 
     def _relocate_block(self, obj, stripe: int, i: int, node_id: int) -> None:
         """Point the placement maps at the node now holding position ``i``."""
@@ -766,6 +1037,8 @@ class BaselineStore:
             payload = all_blocks[i]
             if i < k:
                 payload = payload[: blocks[i].size]
+            if self._rewrite_mismatch(obj, bid, payload):
+                continue
             holder = self.cluster.node(nid)
             if not holder.alive:
                 holder = self._pick_rescue_node(
@@ -779,6 +1052,9 @@ class BaselineStore:
             self._relocate_block(obj, stripe_id, i, holder.node_id)
             self._invalidate_block(obj, stripe_id, i)
             written += 1
+        if written:
+            # Placements moved: the durable metadata replicas must follow.
+            self._republish_meta(obj)
         return written
 
     def stripes_of(self, name: str) -> list[int]:
@@ -796,6 +1072,23 @@ class BaselineStore:
                 ):
                     found.append((obj.name, stripe))
         return found
+
+    # -- Consistency ------------------------------------------------------------
+
+    def fsck(self):
+        """Cluster-wide invariant check for this store: blocks on disk
+        vs placement maps vs metadata replicas, block checksums, and
+        pending WAL operations (see :mod:`repro.core.fsck`)."""
+        from repro.core.fsck import fsck
+
+        return fsck(self)
+
+    def recover(self):
+        """Replay the cluster-wide WAL after a coordinator crash (see
+        :mod:`repro.core.fsck`)."""
+        from repro.core.fsck import recover
+
+        return recover(self)
 
     # -- helpers ---------------------------------------------------------------
 

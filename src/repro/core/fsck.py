@@ -1,0 +1,411 @@
+"""Cluster-wide consistency checking (fsck) and WAL-replay recovery.
+
+Two offline, metadata-plane entry points shared by both stores:
+
+:func:`fsck` walks the full invariant triangle — blocks on disk vs.
+location/placement maps vs. materialized metadata replicas — and reports
+every violation: blocks an object expects but an alive holder lost,
+orphan blocks no object or in-flight operation explains, location-map
+entries pointing at the wrong node or outside their block, stored bytes
+failing their Put-time CRC, objects whose metadata replicas have fallen
+below quorum, replicas for objects that no longer exist, and unresolved
+write-ahead-log operations that recovery still needs to replay.
+
+:func:`recover` is that replay.  It reconstructs the cluster-wide log
+from surviving nodes (records are mirrored to each object's metadata
+replica holders, so a dead coordinator does not take the log with it)
+and resolves every operation the crash left open:
+
+* a **committed Put** whose object never became visible rolls *forward*:
+  the newest surviving metadata replica (quorum read, highest epoch
+  wins) is reinstalled;
+* an **uncommitted Put** rolls *back*: every block its intent named is
+  garbage-collected and half-written replicas are dropped;
+* a **Delete** with a logged intent is durable and is *redone* — every
+  stage of the delete protocol is idempotent.
+
+Both functions run outside the simulation: like the seed's Delete, they
+are metadata-plane operations that move no simulated bytes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.location_map import chunk_checksum
+from repro.core.wal import WalRecord, pending_operations
+
+
+@dataclass
+class FsckReport:
+    """Every invariant violation one fsck pass found."""
+
+    objects_checked: int = 0
+    blocks_checked: int = 0
+    #: Expected blocks an *alive* holder does not have.
+    missing_blocks: list[tuple[str, str]] = field(default_factory=list)
+    #: Expected blocks on dead nodes (repair's job, not an inconsistency).
+    unreachable_blocks: list[tuple[str, str]] = field(default_factory=list)
+    #: (node_id, block_id) stored blocks nothing references.
+    orphan_blocks: list[tuple[int, str]] = field(default_factory=list)
+    orphan_bytes: int = 0
+    #: Location-map entries inconsistent with the placement they cite.
+    dangling_locations: list[tuple[str, str]] = field(default_factory=list)
+    #: (object, block) whose stored bytes fail the Put-time CRC.
+    checksum_mismatches: list[tuple[str, str]] = field(default_factory=list)
+    #: Objects with fewer fresh (current-epoch) replicas than quorum.
+    under_replicated: list[str] = field(default_factory=list)
+    #: (object, node_id) alive replicas at an old epoch (informational:
+    #: a quorum of fresh replicas still exists or the object would also
+    #: appear in ``under_replicated``).
+    stale_replicas: list[tuple[str, int]] = field(default_factory=list)
+    #: (node_id, object) replicas for objects nothing explains.
+    dangling_meta: list[tuple[int, str]] = field(default_factory=list)
+    #: WAL operations recovery still needs to resolve.
+    pending_ops: list[int] = field(default_factory=list)
+    #: Committed Puts whose object never became visible (crash between
+    #: commit and install); recovery rolls these forward.
+    unapplied_commits: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.missing_blocks
+            or self.orphan_blocks
+            or self.dangling_locations
+            or self.checksum_mismatches
+            or self.under_replicated
+            or self.dangling_meta
+            or self.pending_ops
+            or self.unapplied_commits
+        )
+
+    def summary(self) -> str:
+        problems = {
+            "missing": len(self.missing_blocks),
+            "orphans": len(self.orphan_blocks),
+            "dangling-loc": len(self.dangling_locations),
+            "crc": len(self.checksum_mismatches),
+            "under-replicated": len(self.under_replicated),
+            "dangling-meta": len(self.dangling_meta),
+            "pending-ops": len(self.pending_ops),
+            "unapplied": len(self.unapplied_commits),
+        }
+        if self.clean:
+            return f"clean ({self.objects_checked} objects, {self.blocks_checked} blocks)"
+        return ", ".join(f"{k}={v}" for k, v in problems.items() if v)
+
+
+@dataclass
+class RecoveryReport:
+    """What one WAL replay did."""
+
+    rolled_forward: list[str] = field(default_factory=list)  # reinstalled puts
+    rolled_back: list[str] = field(default_factory=list)  # aborted puts
+    redone_deletes: list[str] = field(default_factory=list)
+    #: Committed objects with no surviving metadata replica to reinstall.
+    lost_objects: list[str] = field(default_factory=list)
+    superseded_ops: int = 0  # older unresolved intents a newer op replaced
+    orphan_blocks_gcd: int = 0
+    orphan_bytes_gcd: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def resolved_ops(self) -> int:
+        return (
+            len(self.rolled_forward)
+            + len(self.rolled_back)
+            + len(self.redone_deletes)
+            + self.superseded_ops
+        )
+
+
+# -- shared helpers ---------------------------------------------------------
+
+
+def _stores(store) -> list:
+    """The store plus its fixed-block fallback, when it has one."""
+    stores = [store]
+    fallback = getattr(store, "fallback_store", None)
+    if fallback is not None:
+        stores.append(fallback)
+    return stores
+
+
+def _store_kind(obj) -> str:
+    return "fac" if hasattr(obj, "stripes") else "fixed"
+
+
+def _target_store(store, kind: str):
+    """The store that owns records of ``kind`` (None if unmanaged here)."""
+    fallback = getattr(store, "fallback_store", None)
+    if kind == "fac":
+        return store if fallback is not None else None
+    return fallback if fallback is not None else store
+
+
+def _expected_blocks(sub, obj):
+    """Yield (node_id, block_id, size, checksum) for every block ``obj``
+    should have on disk (zero-size data bins are never written)."""
+    k = sub.config.code.k
+    if hasattr(obj, "stripes"):  # FAC-coded fusion object
+        for p in obj.stripes:
+            sums = p.checksums or [0] * (len(p.data_block_ids) + len(p.parity_block_ids))
+            for j, bid in enumerate(p.data_block_ids):
+                if p.data_sizes[j] > 0:
+                    yield p.node_ids[j], bid, p.data_sizes[j], sums[j]
+            for pj, bid in enumerate(p.parity_block_ids):
+                yield p.node_ids[k + pj], bid, p.max_size, sums[k + pj]
+    else:  # fixed-block object
+        for index, nid in sorted(obj.data_block_nodes.items()):
+            bid = obj.data_block_id(index)
+            yield nid, bid, obj.layout.blocks[index].size, obj.block_checksums.get(bid, 0)
+        for (stripe, pj), nid in sorted(obj.parity_block_nodes.items()):
+            bid = obj.parity_block_id(stripe, pj)
+            size = max(b.size for b in obj.layout.stripe_blocks(stripe))
+            yield nid, bid, size, obj.block_checksums.get(bid, 0)
+
+
+def _replica_nodes(obj) -> tuple[int, ...]:
+    if hasattr(obj, "stripes"):
+        return tuple(obj.location_map.replica_nodes)
+    return tuple(obj.replica_nodes)
+
+
+# -- fsck -------------------------------------------------------------------
+
+
+def fsck(store) -> FsckReport:
+    """Check every invariant the store family maintains (see module doc)."""
+    cluster = store.cluster
+    report = FsckReport()
+    referenced: set[str] = set()
+    all_names: set[str] = set()
+
+    for sub in _stores(store):
+        for name, obj in sorted(sub.objects.items()):
+            report.objects_checked += 1
+            all_names.add(name)
+
+            # Blocks-on-disk leg: every expected block reachable + intact.
+            for nid, bid, _size, want in _expected_blocks(sub, obj):
+                referenced.add(bid)
+                report.blocks_checked += 1
+                node = cluster.node(nid)
+                if not node.alive:
+                    report.unreachable_blocks.append((name, bid))
+                    continue
+                if not node.has_block(bid):
+                    report.missing_blocks.append((name, bid))
+                    continue
+                if want and sub.config.checksum_verify:
+                    if chunk_checksum(node.peek_block(bid)) != want:
+                        report.checksum_mismatches.append((name, bid))
+
+            # Location-map leg (fusion only; the fixed store's placement
+            # dicts *are* its map and were walked above).
+            if hasattr(obj, "stripes"):
+                data_place: dict[str, tuple[int, int]] = {}
+                for p in obj.stripes:
+                    for j, bid in enumerate(p.data_block_ids):
+                        data_place[bid] = (p.node_ids[j], p.data_sizes[j])
+                for key, loc in sorted(obj.location_map.entries.items()):
+                    place = data_place.get(loc.block_id)
+                    if place is None:
+                        report.dangling_locations.append(
+                            (name, f"chunk {key} cites unknown block {loc.block_id}")
+                        )
+                        continue
+                    nid, size = place
+                    if loc.node_id != nid:
+                        report.dangling_locations.append(
+                            (name, f"chunk {key} points at node {loc.node_id}; block lives on {nid}")
+                        )
+                    elif loc.offset_in_block + loc.size > size:
+                        report.dangling_locations.append(
+                            (name, f"chunk {key} range exceeds block {loc.block_id}")
+                        )
+
+            # Metadata-replica leg: a quorum of alive holders must carry
+            # the current epoch.
+            replicas = _replica_nodes(obj)
+            kind = _store_kind(obj)
+            fresh = 0
+            for nid in replicas:
+                node = cluster.node(nid)
+                if not node.alive:
+                    continue
+                rep = node.get_meta(name)
+                if rep is None or rep.store_kind != kind:
+                    continue
+                if rep.epoch == obj.meta_epoch:
+                    fresh += 1
+                else:
+                    report.stale_replicas.append((name, nid))
+            if replicas and fresh < len(replicas) // 2 + 1:
+                report.under_replicated.append(name)
+
+    # WAL leg: unresolved operations and committed-but-invisible puts.
+    records = cluster.wal_records()
+    pending = pending_operations(records)
+    report.pending_ops = sorted(pending)
+    intents = {r.op_id: r for r in records if r.phase == "intent"}
+    committed = {r.op_id for r in records if r.phase == "commit"}
+    last_by_object: dict[tuple[str, str], WalRecord] = {}
+    for op_id in sorted(intents):
+        rec = intents[op_id]
+        last_by_object[(rec.store_kind, rec.object_name)] = rec
+    for (_kind, name), rec in sorted(last_by_object.items()):
+        if rec.op == "put" and rec.op_id in committed and name not in all_names:
+            report.unapplied_commits.append(name)
+
+    # Orphan scan: stored blocks neither a live object nor an open (or
+    # not-yet-applied) operation explains.
+    wal_blocks = {
+        bid
+        for rec in intents.values()
+        if rec.op_id in pending or rec.object_name in report.unapplied_commits
+        for _nid, bid in rec.blocks
+    }
+    explained_meta = all_names | {
+        name
+        for (_kind, name), rec in last_by_object.items()
+        if rec.op_id in pending or name in report.unapplied_commits
+    }
+    for node in cluster.nodes:
+        if not node.alive:
+            continue
+        for bid in node.block_ids():
+            if bid not in referenced and bid not in wal_blocks:
+                report.orphan_blocks.append((node.node_id, bid))
+                report.orphan_bytes += node.block_size(bid)
+        for name in node.meta_names():
+            if name not in explained_meta:
+                report.dangling_meta.append((node.node_id, name))
+    return report
+
+
+# -- recovery ---------------------------------------------------------------
+
+
+def _quorum_read(cluster, kind: str, name: str, replica_nodes):
+    """Newest surviving metadata replica for ``name`` (epoch wins)."""
+    best = None
+    for nid in replica_nodes:
+        node = cluster.node(nid)
+        if not node.alive:
+            continue
+        rep = node.get_meta(name)
+        if rep is None or rep.store_kind != kind:
+            continue
+        if best is None or rep.epoch > best.epoch:
+            best = rep
+    return best
+
+
+def _gc_blocks(cluster, intent: WalRecord) -> tuple[int, int]:
+    """Drop every reachable block an intent named; (count, bytes)."""
+    dropped = 0
+    freed = 0
+    sizes = intent.block_sizes or (0,) * len(intent.blocks)
+    for (nid, bid), size in zip(intent.blocks, sizes):
+        node = cluster.node(nid)
+        if node.alive and node.has_block(bid):
+            node.drop_block(bid)
+            dropped += 1
+            freed += size or 0
+    return dropped, freed
+
+
+def _log_outcome(store, cluster, intent: WalRecord, phase: str) -> None:
+    """Append a recovery-outcome record so the next replay (and fsck)
+    sees the operation as resolved.  ``seq=2`` marks recovery outcomes
+    (0 = intent, 1 = the coordinator's own outcome)."""
+    coordinator = cluster.coordinator_for(intent.object_name)
+    store.wal.append(
+        coordinator,
+        WalRecord(
+            op_id=intent.op_id,
+            seq=2,
+            phase=phase,
+            op=intent.op,
+            store_kind=intent.store_kind,
+            object_name=intent.object_name,
+            replica_nodes=intent.replica_nodes,
+        ),
+    )
+
+
+def recover(store) -> RecoveryReport:
+    """Replay the cluster-wide WAL and resolve every open operation."""
+    started = time.perf_counter()
+    cluster = store.cluster
+    report = RecoveryReport()
+    records = cluster.wal_records()
+    intents = {r.op_id: r for r in records if r.phase == "intent"}
+    resolved = {r.op_id for r in records if r.phase in ("commit", "abort")}
+    committed = {r.op_id for r in records if r.phase == "commit"}
+
+    # The last operation on each object decides its final state; older
+    # unresolved intents were superseded (their blocks now belong to the
+    # newer incarnation) and are only marked resolved.
+    by_object: dict[tuple[str, str], list[WalRecord]] = {}
+    for op_id in sorted(intents):
+        rec = intents[op_id]
+        by_object.setdefault((rec.store_kind, rec.object_name), []).append(rec)
+
+    for (kind, name), ops in sorted(by_object.items()):
+        target = _target_store(store, kind)
+        if target is None:
+            continue
+        last = ops[-1]
+        for rec in ops[:-1]:
+            if rec.op_id not in resolved:
+                _log_outcome(store, cluster, rec, "abort")
+                report.superseded_ops += 1
+
+        if last.op == "put":
+            if last.op_id in committed:
+                if name not in target.objects:
+                    replica = _quorum_read(cluster, kind, name, last.replica_nodes)
+                    if replica is not None:
+                        target._install_from_replica(replica)
+                        report.rolled_forward.append(name)
+                    else:
+                        report.lost_objects.append(name)
+            elif last.op_id not in resolved:
+                # Uncommitted Put: roll back.  GC every block the intent
+                # named and drop half-written metadata replicas.
+                dropped, freed = _gc_blocks(cluster, last)
+                report.orphan_blocks_gcd += dropped
+                report.orphan_bytes_gcd += freed
+                for nid in last.replica_nodes:
+                    node = cluster.node(nid)
+                    if node.alive:
+                        node.drop_meta(name)
+                target.objects.pop(name, None)
+                target._invalidate_object_caches(name)
+                _log_outcome(store, cluster, last, "abort")
+                report.rolled_back.append(name)
+        else:  # delete: a logged intent is durable -> redo (idempotent)
+            if last.op_id in resolved and last.op_id not in committed:
+                pass  # explicitly aborted: nothing to redo
+            else:
+                incomplete = last.op_id not in committed
+                if name in target.objects:
+                    del target.objects[name]
+                    target._invalidate_object_caches(name)
+                for nid in last.replica_nodes:
+                    node = cluster.node(nid)
+                    if node.alive:
+                        node.drop_meta(name)
+                dropped, freed = _gc_blocks(cluster, last)
+                if incomplete:
+                    report.orphan_blocks_gcd += dropped
+                    report.orphan_bytes_gcd += freed
+                    _log_outcome(store, cluster, last, "commit")
+                    report.redone_deletes.append(name)
+
+    report.wall_seconds = time.perf_counter() - started
+    return report

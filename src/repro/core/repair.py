@@ -162,11 +162,16 @@ class RepairManager:
         return proc.value
 
     def repair_from_scrub_process(self, scrub_report):
-        store = self._store_for(scrub_report.object_name)
-        damaged = sorted(
-            set(scrub_report.corrupt_stripes) | set(scrub_report.incomplete_stripes)
-        )
-        targets = [(store, scrub_report.object_name, sid) for sid in damaged]
+        targets = []
+        try:
+            store = self._store_for(scrub_report.object_name)
+        except KeyError:
+            pass  # deleted since the scrub ran: nothing left to repair
+        else:
+            damaged = sorted(
+                set(scrub_report.corrupt_stripes) | set(scrub_report.incomplete_stripes)
+            )
+            targets = [(store, scrub_report.object_name, sid) for sid in damaged]
         report = yield from self._repair_targets(targets)
         return report
 
@@ -177,8 +182,13 @@ class RepairManager:
         return proc.value
 
     def repair_object_process(self, name: str):
-        store = self._store_for(name)
-        targets = [(store, name, sid) for sid in store.stripes_of(name)]
+        targets = []
+        try:
+            store = self._store_for(name)
+        except KeyError:
+            pass  # deleted since repair was requested
+        else:
+            targets = [(store, name, sid) for sid in store.stripes_of(name)]
         report = yield from self._repair_targets(targets)
         return report
 
@@ -208,6 +218,11 @@ class RepairManager:
         report = RepairReport(started=self.sim.now)
         touched: set[str] = set()
         for store, name, sid in targets:
+            if name not in store.objects:
+                # Deleted (or crash-rolled-back) between scheduling and
+                # execution: nothing to repair, and looking it up would
+                # blow up the whole run.
+                continue
             written = yield from store.repair_stripe_process(name, sid, metrics)
             report.stripes_examined += 1
             if written:

@@ -60,9 +60,17 @@ from typing import Callable, Generator
 
 from repro.cluster import metrics as m
 from repro.cluster.simcore import all_of
+from repro.core.location_map import ChecksumError
 
 #: Internal sentinel: an attempt failed and the op is eligible for retry.
 _FAILED = object()
+
+#: Internal sentinel: the node's stored bytes failed checksum
+#: verification.  Deterministically corrupt — retrying would re-read the
+#: same bad bytes, so the op goes straight to its degraded fallback, and
+#: the failure is not held against the node's health (one rotten block
+#: does not make a node suspect).
+_CORRUPT = object()
 
 
 class RemoteOpError(RuntimeError):
@@ -118,9 +126,10 @@ def execute_remote_ops(cluster, coordinator, ops, metrics, batched: bool, config
     attempts = 0
     exhausted: list[int] = []
     while True:
-        failed = yield from _run_round(
+        failed, corrupt = yield from _run_round(
             cluster, coordinator, ops, pending, results, metrics, batched, config
         )
+        exhausted.extend(corrupt)
         if not failed:
             break
         attempts += 1
@@ -160,7 +169,8 @@ def execute_remote_ops(cluster, coordinator, ops, metrics, batched: bool, config
 
 
 def _run_round(cluster, coordinator, ops, indices, results, metrics, batched, config):
-    """One attempt over ``indices``; fills ``results``, returns failures.
+    """One attempt over ``indices``; fills ``results``, returns the
+    (retryable, checksum-corrupt) failure index lists.
 
     Standalone ops only ever appear in the first round (they cannot
     fail-and-retry; genuine errors inside them propagate).
@@ -175,12 +185,15 @@ def _run_round(cluster, coordinator, ops, indices, results, metrics, batched, co
         barrier = all_of(sim, [proc for _indices, proc in waits])
         yield barrier
         failed = []
+        corrupt = []
         for ([i], _proc), value in zip(waits, barrier.value):
             if value is _FAILED:
                 failed.append(i)
+            elif value is _CORRUPT:
+                corrupt.append(i)
             else:
                 results[i] = value
-        return failed
+        return failed, corrupt
 
     groups: dict[int, list[int]] = {}
     for i in indices:
@@ -197,13 +210,16 @@ def _run_round(cluster, coordinator, ops, indices, results, metrics, batched, co
     barrier = all_of(sim, [proc for _indices, proc in waits])
     yield barrier
     failed = []
+    corrupt = []
     for (group_indices, _proc), values in zip(waits, barrier.value):
         for i, value in zip(group_indices, values):
             if value is _FAILED:
                 failed.append(i)
+            elif value is _CORRUPT:
+                corrupt.append(i)
             else:
                 results[i] = value
-    return sorted(failed)
+    return sorted(failed), sorted(corrupt)
 
 
 def _boxed(gen):
@@ -247,6 +263,14 @@ def _single_op(cluster, coordinator, op: RemoteOp, metrics, config):
         return _FAILED
     try:
         reply_bytes, value = yield from op.execute()
+    except ChecksumError:
+        if not resilient:
+            raise
+        # Stored bytes are rotten: detected at read time, answered by
+        # reconstruction.  Not a node-health signal and not retryable.
+        if metrics is not None:
+            metrics.checksum_failures += 1
+        return _CORRUPT
     except Exception:
         if not resilient:
             raise
@@ -306,6 +330,12 @@ def _node_group(cluster, coordinator, group: list[RemoteOp], metrics, config):
     def run_op(op: RemoteOp):
         try:
             reply_bytes, value = yield from op.execute()
+        except ChecksumError:
+            if not resilient:
+                raise
+            if metrics is not None:
+                metrics.checksum_failures += 1
+            return _CORRUPT
         except Exception:
             if not resilient:
                 raise

@@ -31,10 +31,18 @@ class ScrubReport:
     stripes_checked: int = 0
     corrupt_stripes: list[int] = field(default_factory=list)
     incomplete_stripes: list[int] = field(default_factory=list)  # missing blocks
+    #: Blocks whose bytes fail the CRC recorded at Put (end-to-end
+    #: checksums localise damage to a block; parity cross-checks above
+    #: only prove *some* shard is damaged).
+    checksum_mismatch_blocks: list[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
-        return not self.corrupt_stripes and not self.incomplete_stripes
+        return (
+            not self.corrupt_stripes
+            and not self.incomplete_stripes
+            and not self.checksum_mismatch_blocks
+        )
 
 
 def check_stripe(

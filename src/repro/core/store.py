@@ -31,8 +31,9 @@ from repro.core.cost_model import PushdownCostEstimator
 from repro.core.fac import construct_stripes
 from repro.core.scatter_gather import RemoteOp, execute_remote_ops
 from repro.core.layout import ChunkItem, StripeLayout
-from repro.core.location_map import ChunkLocation, LocationMap
-from repro.ec.stripe import decode_stripe, encode_stripe
+from repro.core.location_map import ChecksumError, ChunkLocation, LocationMap, chunk_checksum
+from repro.core.wal import MetaReplica, WalRecord, WalWriter
+from repro.ec.stripe import DecodeError, decode_stripe, encode_stripe
 from repro.format.metadata import ColumnChunkMeta, FileMetadata
 from repro.format.pages import decode_column_chunk
 from repro.format.reader import read_metadata
@@ -55,6 +56,9 @@ class StripePlacement:
     data_block_ids: list[str]
     parity_block_ids: list[str]
     data_sizes: list[int]
+    #: CRC of each stored block payload (n entries, data then parity),
+    #: recorded at Put so repair can verify what it rewrites.
+    checksums: list[int] = field(default_factory=list)
 
     @property
     def max_size(self) -> int:
@@ -72,6 +76,10 @@ class StoredFusionObject:
     stripes: list[StripePlacement] = field(default_factory=list)
     header_bytes: bytes = b""
     trailer_bytes: bytes = b""
+    #: Version of the durable metadata; bumped on every replica
+    #: republish (repair relocations), so recovery's quorum read can
+    #: prefer the newest surviving snapshot.
+    meta_epoch: int = 0
 
 
 class FusionStore:
@@ -86,6 +94,10 @@ class FusionStore:
         # Objects whose FAC layout blew the storage budget fall back to
         # fixed-block coding and baseline-style execution.
         self.fallback_store = BaselineStore(cluster, self.config)
+        # One WAL op-id space across both stores: fused and fallback
+        # operations interleave in the same cluster-wide log.
+        self.wal = WalWriter(cluster, self.config.wal_enabled)
+        self.fallback_store.wal = self.wal
         # Decoded-value memoisation (see BaselineStore._decode_cache).
         # All three caches hold real bytes only (simulated costs are
         # charged per access), are bounded by a small LRU, and are
@@ -186,15 +198,6 @@ class FusionStore:
             return report
 
         coordinator = self.cluster.coordinator_for(name)
-        yield from self.cluster.network.transfer(
-            self.cluster.client, coordinator.endpoint, config.scaled(len(data))
-        )
-        # Footer parse cost at the coordinator.
-        footer_size = len(data) - (chunks[-1].end_offset if chunks else 0)
-        yield from coordinator.compute(
-            footer_size * config.size_scale / coordinator.cpu_config.decode_bps
-        )
-
         raw = np.frombuffer(data, dtype=np.uint8)
         obj = StoredFusionObject(
             name=name,
@@ -205,7 +208,12 @@ class FusionStore:
             trailer_bytes=data[chunks[-1].end_offset :],
         )
 
-        writes = []
+        # Precompute every placement (and the metadata replica set) up
+        # front so the WAL intent can name every resource the operation
+        # will touch.  Placement draws stay in seed order — one per
+        # stripe, then one for the replica nodes — so fault-free runs
+        # place blocks exactly where they always did.
+        stripe_payloads: list[list[np.ndarray]] = []
         for sid, binset in enumerate(layout.binsets):
             payloads = []
             for b in binset.bins:
@@ -217,11 +225,7 @@ class FusionStore:
                     )
                 else:
                     payloads.append(np.zeros(0, dtype=np.uint8))
-            encode_bytes = sum(p.size for p in payloads)
-            yield from coordinator.compute(
-                encode_bytes * config.size_scale / coordinator.cpu_config.decode_bps
-            )
-            encoded = encode_stripe(config.code, payloads)
+            stripe_payloads.append(payloads)
             node_ids = self.cluster.choose_stripe_nodes(config.code.n)
             placement = StripePlacement(
                 stripe_id=sid,
@@ -231,6 +235,71 @@ class FusionStore:
                 data_sizes=[p.size for p in payloads],
             )
             obj.stripes.append(placement)
+            # Record chunk locations (with end-to-end checksums) for this stripe.
+            for j, b in enumerate(binset.bins):
+                for item, offset in b.offsets():
+                    meta = by_key[item.key]
+                    obj.location_map.add(
+                        ChunkLocation(
+                            chunk_key=item.key,
+                            node_id=node_ids[j],
+                            block_id=placement.data_block_ids[j],
+                            offset_in_block=offset,
+                            size=item.size,
+                            checksum=chunk_checksum(raw[meta.offset : meta.end_offset]),
+                        )
+                    )
+        replica_count = config.resolved_metadata_replicas(self.cluster.num_nodes)
+        replica_nodes = self.cluster.choose_stripe_nodes(replica_count)
+        obj.location_map.replica_nodes = tuple(replica_nodes)
+
+        blocks: list[tuple[int, str]] = []
+        block_sizes: list[int] = []
+        for placement in obj.stripes:
+            for j, bid in enumerate(placement.data_block_ids):
+                if placement.data_sizes[j] > 0:
+                    blocks.append((placement.node_ids[j], bid))
+                    block_sizes.append(placement.data_sizes[j])
+            for pj, bid in enumerate(placement.parity_block_ids):
+                blocks.append((placement.node_ids[config.code.k + pj], bid))
+                block_sizes.append(placement.max_size)
+
+        op_id = self.wal.new_op_id()
+        self.wal.append(
+            coordinator,
+            WalRecord(
+                op_id=op_id,
+                seq=0,
+                phase="intent",
+                op="put",
+                store_kind="fac",
+                object_name=name,
+                blocks=tuple(blocks),
+                block_sizes=tuple(block_sizes),
+                replica_nodes=tuple(replica_nodes),
+            ),
+        )
+        self.wal.crash_point(coordinator, "put:after-intent")
+
+        yield from self.cluster.network.transfer(
+            self.cluster.client, coordinator.endpoint, config.scaled(len(data))
+        )
+        # Footer parse cost at the coordinator.
+        footer_size = len(data) - (chunks[-1].end_offset if chunks else 0)
+        yield from coordinator.compute(
+            footer_size * config.size_scale / coordinator.cpu_config.decode_bps
+        )
+
+        writes = []
+        for sid, payloads in enumerate(stripe_payloads):
+            placement = obj.stripes[sid]
+            node_ids = placement.node_ids
+            encode_bytes = sum(p.size for p in payloads)
+            yield from coordinator.compute(
+                encode_bytes * config.size_scale / coordinator.cpu_config.decode_bps
+            )
+            encoded = encode_stripe(config.code, payloads)
+            placement.checksums = [chunk_checksum(s) for s in encoded.shards()]
 
             for j, payload in enumerate(encoded.data_blocks):
                 if payload.size == 0:
@@ -253,40 +322,43 @@ class FusionStore:
                         )
                     )
                 )
-            # Record chunk locations for this stripe.
-            for j, b in enumerate(binset.bins):
-                for item, offset in b.offsets():
-                    obj.location_map.add(
-                        ChunkLocation(
-                            chunk_key=item.key,
-                            node_id=node_ids[j],
-                            block_id=placement.data_block_ids[j],
-                            offset_in_block=offset,
-                            size=item.size,
-                        )
-                    )
         yield all_of(self.sim, writes)
+        self.wal.crash_point(coordinator, "put:after-data")
 
-        # Replicate the location map (plus footer) to k+1 nodes.
-        replica_count = min(
-            config.code.k + config.map_replicas_extra, self.cluster.num_nodes
-        )
-        replica_nodes = self.cluster.choose_stripe_nodes(replica_count)
-        obj.location_map.replica_nodes = tuple(replica_nodes)
+        # Materialize the metadata replicas: the location map (plus
+        # footer) travels to each replica node and is stored there as a
+        # snapshot, charged at the paper's 8 bytes per entry.
         map_bytes = obj.location_map.wire_size + len(obj.trailer_bytes)
-        replications = [
-            self.sim.process(
-                self.cluster.network.transfer(
-                    coordinator.endpoint,
-                    self.cluster.node(nid).endpoint,
-                    config.scaled(map_bytes),
+        replica = self._meta_snapshot(obj)
+        replications = []
+        for nid in replica_nodes:
+            node = self.cluster.node(nid)
+            if node is coordinator:
+                node.put_meta(name, replica)
+            else:
+                replications.append(
+                    self.sim.process(
+                        self._replicate_meta(coordinator, node, map_bytes, name, replica)
+                    )
                 )
-            )
-            for nid in replica_nodes
-            if self.cluster.node(nid) is not coordinator
-        ]
         yield all_of(self.sim, replications)
+        self.wal.crash_point(coordinator, "put:after-meta")
 
+        self.wal.append(
+            coordinator,
+            WalRecord(
+                op_id=op_id,
+                seq=1,
+                phase="commit",
+                op="put",
+                store_kind="fac",
+                object_name=name,
+                replica_nodes=tuple(replica_nodes),
+            ),
+        )
+        self.wal.crash_point(coordinator, "put:after-commit")
+
+        # Atomic visibility: the object appears only after commit.
         self.objects[name] = obj
         return PutReport(
             object_name=name,
@@ -306,6 +378,85 @@ class FusionStore:
         )
         yield from node.disk.write(self.config.scaled(payload.size))
         node.put_block(block_id, payload)
+
+    # -- Metadata replicas ------------------------------------------------------
+
+    def _meta_snapshot(self, obj: StoredFusionObject) -> MetaReplica:
+        """Deep snapshot of the object's durable metadata for a replica
+        node — never aliases live placement state, so repair mutations
+        do not bleed into already-published replicas."""
+        return MetaReplica(
+            object_name=obj.name,
+            epoch=obj.meta_epoch,
+            store_kind="fac",
+            payload={
+                "metadata": obj.metadata,
+                "layout": obj.layout,
+                "entries": obj.location_map.snapshot(),
+                "replica_nodes": tuple(obj.location_map.replica_nodes),
+                "stripes": [_copy_placement(p) for p in obj.stripes],
+                "header": obj.header_bytes,
+                "trailer": obj.trailer_bytes,
+            },
+        )
+
+    def _replicate_meta(self, coordinator, node, map_bytes: int, name: str, replica) -> object:
+        """Process: ship the serialized map to one replica node, then
+        install the snapshot there (a node that died mid-transfer missed
+        the write)."""
+        yield from self.cluster.network.transfer(
+            coordinator.endpoint, node.endpoint, self.config.scaled(map_bytes)
+        )
+        if node.alive:
+            node.put_meta(name, replica)
+
+    def _republish_meta(self, obj: StoredFusionObject) -> None:
+        """Repair relocated blocks: push a fresh snapshot (bumped epoch)
+        to the alive replica holders.  Metadata-plane operation — the
+        repair traffic itself was already charged."""
+        obj.meta_epoch += 1
+        replica = self._meta_snapshot(obj)
+        for nid in obj.location_map.replica_nodes:
+            node = self.cluster.node(nid)
+            if node.alive:
+                node.put_meta(obj.name, replica)
+
+    def _install_from_replica(self, replica: MetaReplica) -> StoredFusionObject:
+        """Recovery roll-forward: rebuild the in-memory object from a
+        surviving metadata replica snapshot."""
+        p = replica.payload
+        obj = StoredFusionObject(
+            name=replica.object_name,
+            metadata=p["metadata"],
+            layout=p["layout"],
+            location_map=LocationMap(
+                object_name=replica.object_name,
+                entries=dict(p["entries"]),
+                replica_nodes=tuple(p["replica_nodes"]),
+            ),
+            stripes=[_copy_placement(s) for s in p["stripes"]],
+            header_bytes=p["header"],
+            trailer_bytes=p["trailer"],
+            meta_epoch=replica.epoch,
+        )
+        self.objects[obj.name] = obj
+        self._invalidate_object_caches(obj.name)
+        return obj
+
+    # -- Integrity --------------------------------------------------------------
+
+    def _verify_chunk(self, obj_name: str, loc, data) -> None:
+        """End-to-end check: bytes just read must match the CRC recorded
+        at Put.  Raises :class:`ChecksumError`; the scatter-gather layer
+        treats it as non-retryable and falls straight back to degraded
+        reconstruction (re-reading the same bad bytes cannot help, and a
+        media error says nothing about the node's liveness)."""
+        if not self.config.checksum_verify or not loc.checksum:
+            return
+        if chunk_checksum(data) != loc.checksum:
+            raise ChecksumError(
+                f"chunk {loc.chunk_key} of {obj_name!r} failed CRC in block {loc.block_id}"
+            )
 
     # -- Get -------------------------------------------------------------------
 
@@ -410,6 +561,11 @@ class FusionStore:
                 self.config.size_scale,
                 metrics,
             )
+            if within == 0 and length == loc.size:
+                # Whole-chunk read: the recorded CRC covers exactly these
+                # bytes (partial ranges are verified via reconstruction
+                # only when a full read flags the chunk).
+                self._verify_chunk(obj.name, loc, data)
             return self.config.scaled(length), data
 
         return RemoteOp(node=node, execute=execute, fallback=degraded)
@@ -494,7 +650,70 @@ class FusionStore:
             recovered = decode_stripe(self.config.code, shards, placement.data_sizes)
             cached = recovered[bin_idx]
             self._degraded_bin_cache[loc.block_id] = cached
-        return cached[loc.offset_in_block : loc.offset_in_block + loc.size]
+        chunk = cached[loc.offset_in_block : loc.offset_in_block + loc.size]
+        if (
+            self.config.checksum_verify
+            and loc.checksum
+            and chunk_checksum(chunk) != loc.checksum
+        ):
+            # The reconstruction itself is wrong: one of the gathered
+            # shards was silently corrupt (including, possibly, the
+            # target block itself when this path was entered because a
+            # direct read failed its CRC).  Fall back to checksum-guided
+            # recovery over every reachable shard.
+            if metrics is not None:
+                metrics.checksum_failures += 1
+            rebuilt = yield from self._verified_bin_recovery(
+                obj, placement, bin_idx, coordinator, metrics
+            )
+            if rebuilt is not None:
+                cached = rebuilt
+                self._degraded_bin_cache[loc.block_id] = cached
+                chunk = cached[loc.offset_in_block : loc.offset_in_block + loc.size]
+        return chunk
+
+    def _verified_bin_recovery(
+        self, obj, placement: StripePlacement, bin_idx: int, coordinator, metrics
+    ):
+        """Checksum-guided reconstruction of one data bin.
+
+        Gathers *every* reachable shard of the stripe (not just the
+        first k), localises silently-corrupt shards with decode trials
+        (:func:`repro.core.repair.find_bad_shards`), and decodes with
+        them excluded.  Returns the recovered bin's bytes, or None when
+        the stripe is damaged beyond what the code can localise.
+        """
+        from repro.core.repair import RepairError, find_bad_shards
+
+        k, n = self.config.code.k, self.config.code.n
+        block_ids = placement.data_block_ids + placement.parity_block_ids
+        shards: list[np.ndarray | None] = []
+        for i in range(n):
+            if i < k and placement.data_sizes[i] == 0:
+                shards.append(np.zeros(0, dtype=np.uint8))
+                continue
+            node = self.cluster.node(placement.node_ids[i])
+            if not node.alive or not node.has_block(block_ids[i]):
+                shards.append(None)
+                continue
+            data = yield from node.read_block(block_ids[i], self.config.size_scale, metrics)
+            yield from self.cluster.network.transfer(
+                node.endpoint, coordinator.endpoint, self.config.scaled(data.size), metrics
+            )
+            shards.append(data)
+        yield from coordinator.compute(
+            sum(s.size for s in shards if s is not None)
+            * self.config.size_scale
+            / coordinator.cpu_config.decode_bps,
+            metrics,
+        )
+        try:
+            bad = find_bad_shards(self.config.code, shards, placement.data_sizes)
+            good = [s if i not in bad else None for i, s in enumerate(shards)]
+            recovered = decode_stripe(self.config.code, good, placement.data_sizes)
+        except (RepairError, DecodeError):
+            return None
+        return recovered[bin_idx]
 
     def _degraded_chunk_values(
         self, obj, meta: ColumnChunkMeta, loc, coordinator, metrics
@@ -693,6 +912,7 @@ class FusionStore:
             data = yield from node.read_block_range(
                 loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
             )
+            self._verify_chunk(obj.name, loc, data)
             fraction = self._page_fraction(obj.name, meta, op, data)
             yield from node.compute(
                 fraction
@@ -759,6 +979,7 @@ class FusionStore:
             data = yield from node.read_block_range(
                 loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
             )
+            self._verify_chunk(obj.name, loc, data)
             fraction = self._page_fraction(obj.name, meta, op, data)
             yield from node.compute(
                 fraction
@@ -818,6 +1039,7 @@ class FusionStore:
                 data = yield from node.read_block_range(
                     loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
                 )
+                self._verify_chunk(obj.name, loc, data)
                 yield from node.compute(
                     node.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
                     + node.scan_seconds(meta.plain_size, self.config.size_scale),
@@ -841,6 +1063,7 @@ class FusionStore:
             data = yield from node.read_block_range(
                 loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
             )
+            self._verify_chunk(obj.name, loc, data)
             return self.config.scaled(loc.size), data
 
         def finalize(data):
@@ -936,6 +1159,7 @@ class FusionStore:
             data = yield from node.read_block_range(
                 loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
             )
+            self._verify_chunk(obj.name, loc, data)
             yield from node.compute(
                 node.decode_seconds(meta.size, meta.plain_size, self.config.size_scale)
                 + node.scan_seconds(meta.plain_size, self.config.size_scale),
@@ -957,20 +1181,80 @@ class FusionStore:
 
     def delete(self, name: str) -> int:
         """Remove an object: drop its blocks and location map everywhere.
-        Returns the number of blocks reclaimed."""
+        Returns the number of blocks reclaimed.
+
+        Runs the WAL protocol (intent -> drop metadata replicas -> drop
+        data blocks -> commit) so a coordinator crash mid-delete leaves
+        a recoverable log instead of silent orphans.  Once the intent is
+        logged the delete is durable: recovery *redoes* it (every stage
+        is idempotent).  Metadata-plane operation: no simulated data
+        movement, exactly as in the seed."""
         if name in self.fallback_store.objects:
             return self.fallback_store.delete(name)
         obj = self._lookup(name)
-        reclaimed = 0
+        coordinator = self.cluster.coordinator_for(name)
+        replica_nodes = tuple(obj.location_map.replica_nodes)
+        blocks: list[tuple[int, str]] = []
+        block_sizes: list[int] = []
         for placement in obj.stripes:
             block_ids = placement.data_block_ids + placement.parity_block_ids
             for i, bid in enumerate(block_ids):
-                node = self.cluster.node(placement.node_ids[i])
-                if node.has_block(bid):
-                    node.drop_block(bid)
-                    reclaimed += 1
+                size = (
+                    placement.data_sizes[i]
+                    if i < self.config.code.k
+                    else placement.max_size
+                )
+                if size > 0:
+                    blocks.append((placement.node_ids[i], bid))
+                    block_sizes.append(size)
+
+        op_id = self.wal.new_op_id()
+        self.wal.append(
+            coordinator,
+            WalRecord(
+                op_id=op_id,
+                seq=0,
+                phase="intent",
+                op="delete",
+                store_kind="fac",
+                object_name=name,
+                blocks=tuple(blocks),
+                block_sizes=tuple(block_sizes),
+                replica_nodes=replica_nodes,
+            ),
+        )
+        self.wal.crash_point(coordinator, "delete:after-intent")
+
+        # The object leaves the namespace at intent time; everything
+        # below (and recovery, after a crash) is idempotent cleanup.
         del self.objects[name]
         self._invalidate_object_caches(name)
+
+        for nid in replica_nodes:
+            self.cluster.node(nid).drop_meta(name)
+        self.wal.crash_point(coordinator, "delete:after-meta-drop")
+
+        reclaimed = 0
+        for node_id, bid in blocks:
+            node = self.cluster.node(node_id)
+            if node.has_block(bid):
+                node.drop_block(bid)
+                reclaimed += 1
+        self.wal.crash_point(coordinator, "delete:after-data-drop")
+
+        self.wal.append(
+            coordinator,
+            WalRecord(
+                op_id=op_id,
+                seq=1,
+                phase="commit",
+                op="delete",
+                store_kind="fac",
+                object_name=name,
+                replica_nodes=replica_nodes,
+            ),
+        )
+        self.wal.crash_point(coordinator, "delete:after-commit")
         return reclaimed
 
     # -- Scrubbing -----------------------------------------------------------
@@ -1006,6 +1290,12 @@ class FusionStore:
                 yield from self.cluster.network.transfer(
                     node.endpoint, coordinator.endpoint, self.config.scaled(payload.size)
                 )
+                if (
+                    self.config.checksum_verify
+                    and placement.checksums
+                    and chunk_checksum(payload) != placement.checksums[i]
+                ):
+                    report.checksum_mismatch_blocks.append(bid)
                 (data_blocks if i < k else parity_blocks).append(payload)
             yield from coordinator.compute(
                 sum(b.size for b in data_blocks if b is not None)
@@ -1033,12 +1323,16 @@ class FusionStore:
     def recover_node_process(self, node_id: int, metrics: QueryMetrics | None = None):
         rebuilt = 0
         for obj in self.objects.values():
+            touched = False
             for placement in obj.stripes:
                 lost = [i for i, nid in enumerate(placement.node_ids) if nid == node_id]
                 if not lost:
                     continue
                 rebuilt += len(lost)
+                touched = True
                 yield from self._rebuild_stripe(obj, placement, lost, metrics)
+            if touched:
+                self._republish_meta(obj)
         fallback = yield from self.fallback_store.recover_node_process(node_id, metrics)
         return rebuilt + fallback
 
@@ -1098,10 +1392,24 @@ class FusionStore:
             if i < k and payload.size == 0:
                 placement.node_ids[i] = rescue.node_id
                 continue
+            if self._rewrite_mismatch(placement, i, payload):
+                continue
             yield from rescue.disk.write(self.config.scaled(payload.size), metrics)
             rescue.put_block(block_ids[i], payload)
             self._relocate_block(obj, placement, i, rescue.node_id)
             self._invalidate_block(obj, block_ids[i])
+
+    def _rewrite_mismatch(self, placement: StripePlacement, i: int, payload) -> bool:
+        """Reconstructed block payload fails its Put-time CRC: refuse to
+        write bytes we can prove are wrong (and count the event)."""
+        if (
+            not self.config.checksum_verify
+            or not placement.checksums
+            or chunk_checksum(payload) == placement.checksums[i]
+        ):
+            return False
+        self.cluster.metrics.checksum_failures += 1
+        return True
 
     def _relocate_block(
         self, obj: StoredFusionObject, placement: StripePlacement, i: int, node_id: int
@@ -1119,6 +1427,7 @@ class FusionStore:
                         block_id=loc.block_id,
                         offset_in_block=loc.offset_in_block,
                         size=loc.size,
+                        checksum=loc.checksum,
                     )
 
     def _invalidate_block(self, obj: StoredFusionObject, block_id: str) -> None:
@@ -1180,6 +1489,8 @@ class FusionStore:
             payload = all_blocks[i]
             if i < k and placement.data_sizes[i] == 0:
                 continue
+            if self._rewrite_mismatch(placement, i, payload):
+                continue
             holder = self.cluster.node(placement.node_ids[i])
             if not holder.alive:
                 holder = self._pick_rescue_node(
@@ -1193,6 +1504,9 @@ class FusionStore:
             self._relocate_block(obj, placement, i, holder.node_id)
             self._invalidate_block(obj, block_ids[i])
             written += 1
+        if written:
+            # Placements moved: the durable metadata replicas must follow.
+            self._republish_meta(obj)
         return written
 
     def stripes_of(self, name: str) -> list[int]:
@@ -1207,6 +1521,26 @@ class FusionStore:
                 if node_id in placement.node_ids:
                     found.append((obj.name, placement.stripe_id))
         return found
+
+    # -- Consistency ------------------------------------------------------------
+
+    def fsck(self):
+        """Cluster-wide invariant check over this store and its fixed
+        fallback: blocks on disk vs location maps vs metadata replicas,
+        plus per-chunk checksums and pending WAL operations.  Metadata-
+        plane: runs outside the simulation (see :mod:`repro.core.fsck`)."""
+        from repro.core.fsck import fsck
+
+        return fsck(self)
+
+    def recover(self):
+        """Replay the cluster-wide WAL after a coordinator crash: roll
+        committed operations forward from surviving metadata replicas
+        (quorum read, newest epoch wins), roll uncommitted Puts back
+        with orphan-block GC, and redo Deletes."""
+        from repro.core.fsck import recover
+
+        return recover(self)
 
     # -- helpers ---------------------------------------------------------------
 
@@ -1227,6 +1561,18 @@ class FusionStore:
         """Which node holds each chunk (for placement assertions in tests)."""
         obj = self._lookup(name)
         return {key: loc.node_id for key, loc in obj.location_map.entries.items()}
+
+
+def _copy_placement(p: StripePlacement) -> StripePlacement:
+    """Deep copy of a stripe placement (all fields are flat lists)."""
+    return StripePlacement(
+        stripe_id=p.stripe_id,
+        node_ids=list(p.node_ids),
+        data_block_ids=list(p.data_block_ids),
+        parity_block_ids=list(p.parity_block_ids),
+        data_sizes=list(p.data_sizes),
+        checksums=list(p.checksums),
+    )
 
 
 def _empty_values(type_: ColumnType) -> np.ndarray:
