@@ -1,0 +1,155 @@
+"""Observability overhead benchmark: what does tracing cost, and does it
+perturb the simulation?
+
+Runs the same concurrent taxi workload through Fusion and the baseline
+twice each — once with every observability knob off, once with tracing,
+the metrics registry and the pushdown audit all on — and reports:
+
+* the *simulated* fingerprint of both runs (must be identical: the
+  observers never touch the event heap),
+* the host wall-clock per run and the on/off overhead ratio,
+* how much was observed (spans, instants, audit records, registry
+  series).
+
+Acceptance (exit 1 on failure): per-query fingerprints and results are
+bit-identical with observability on vs off, and the instrumented run
+actually captured spans and metrics.
+
+Writes ``BENCH_obs_overhead.json``.  Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/obs_overhead_bench.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import replace
+
+from repro.bench.experiments import dataset, store_config
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.metrics import QueryMetrics
+from repro.cluster.simcore import Simulator
+from repro.core.baseline_store import BaselineStore
+from repro.core.store import FusionStore
+from repro.workloads import real_world_queries
+
+NUM_CLIENTS = 10
+NUM_QUERIES = 40
+
+
+def _workload_sqls() -> list[str]:
+    """The taxi-side real-world queries (Q3/Q4 run against ``taxi``)."""
+    _ldata, ltable = dataset("lineitem")
+    _tdata, ttable = dataset("taxi")
+    queries = {q.name: q for q in real_world_queries(ltable, ttable)}
+    return [queries["Q3"].sql, queries["Q4"].sql]
+
+
+def _run(kind: str, obs_on: bool) -> dict:
+    data, _table = dataset("taxi")
+    config = replace(
+        store_config("taxi"),
+        tracing_enabled=obs_on,
+        metrics_registry_enabled=obs_on,
+        pushdown_audit_enabled=obs_on,
+    )
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig())
+    store_cls = FusionStore if kind == "fusion" else BaselineStore
+    store = store_cls(cluster, config)
+    started = time.perf_counter()
+    store.put("taxi", data)
+
+    sqls = _workload_sqls()
+    metrics_out: list[QueryMetrics] = []
+    results_out = []
+    per_client = [NUM_QUERIES // NUM_CLIENTS] * NUM_CLIENTS
+    for i in range(NUM_QUERIES % NUM_CLIENTS):
+        per_client[i] += 1
+
+    def client(cid: int, count: int):
+        for qi in range(count):
+            sql = sqls[(cid + qi * NUM_CLIENTS) % len(sqls)]
+            qm = QueryMetrics()
+            result = yield from store.query_process(sql, qm)
+            metrics_out.append(qm)
+            results_out.append(result)
+
+    for cid, count in enumerate(per_client):
+        if count:
+            sim.process(client(cid, count))
+    sim.run()
+    wall = time.perf_counter() - started
+
+    fingerprint = [
+        (qm.start_time, qm.end_time, qm.network_bytes, qm.rpcs_issued)
+        for qm in metrics_out
+    ]
+    observed = {
+        "spans": len(sim.tracer.spans) if sim.tracer else 0,
+        "instants": len(sim.tracer.instants) if sim.tracer else 0,
+        "audit_records": len(store.audit.records),
+        "registry_families": (
+            len(cluster.metrics.registry.to_dict())
+            if cluster.metrics.registry is not None
+            else 0
+        ),
+    }
+    return {
+        "wall_seconds": wall,
+        "simulated_seconds": sim.now,
+        "fingerprint": fingerprint,
+        "results": results_out,
+        "observed": observed,
+    }
+
+
+def main(out_path: str) -> int:
+    _workload_sqls()  # warm the dataset cache so timings exclude generation
+    report: dict = {"workload": {"clients": NUM_CLIENTS, "queries": NUM_QUERIES}}
+    failures: list[str] = []
+    for kind in ("fusion", "baseline"):
+        off = _run(kind, obs_on=False)
+        on = _run(kind, obs_on=True)
+        if off["fingerprint"] != on["fingerprint"]:
+            failures.append(f"{kind}: fingerprints differ with obs on vs off")
+        if not all(a.equals(b) for a, b in zip(off["results"], on["results"])):
+            failures.append(f"{kind}: query results differ with obs on vs off")
+        if not (on["observed"]["spans"] and on["observed"]["registry_families"]):
+            failures.append(f"{kind}: instrumented run captured nothing")
+        if off["observed"]["spans"] or off["observed"]["registry_families"]:
+            failures.append(f"{kind}: uninstrumented run captured something")
+        overhead = (
+            on["wall_seconds"] / off["wall_seconds"] if off["wall_seconds"] else 0.0
+        )
+        report[kind] = {
+            "wall_seconds_off": off["wall_seconds"],
+            "wall_seconds_on": on["wall_seconds"],
+            "wall_overhead_ratio": overhead,
+            "simulated_seconds": on["simulated_seconds"],
+            "event_stream_identical": off["fingerprint"] == on["fingerprint"],
+            "observed": on["observed"],
+        }
+        print(
+            f"{kind:9s} wall off {off['wall_seconds']:.2f}s on "
+            f"{on['wall_seconds']:.2f}s (x{overhead:.2f}) | "
+            f"{on['observed']['spans']} spans, "
+            f"{on['observed']['audit_records']} audit records"
+        )
+    report["ok"] = not failures
+    report["failures"] = failures
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(f"wrote {out_path}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    out = sys.argv[1] if len(sys.argv) > 1 else "BENCH_obs_overhead.json"
+    raise SystemExit(main(out))

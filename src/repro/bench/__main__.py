@@ -7,15 +7,31 @@ Usage::
     python -m repro.bench all [--json DIR]
 
 ``--json DIR`` additionally writes each result as ``DIR/<name>.json``.
+``--trace-out PATH`` captures a merged Chrome ``trace_event`` JSON of
+every system built during the run (open it at https://ui.perfetto.dev).
+``--metrics-out PATH`` writes a structured METRICS.json dump plus a
+Prometheus text export next to it (same path, ``.prom`` suffix).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 import time
 
 from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def _take_flag(argv: list[str], flag: str) -> tuple[list[str], str | None]:
+    """Remove ``flag VALUE`` from argv; returns (argv, value-or-None)."""
+    if flag not in argv:
+        return argv, None
+    at = argv.index(flag)
+    if at + 1 >= len(argv):
+        raise SystemExit(f"{flag} needs a path argument")
+    value = argv[at + 1]
+    return argv[:at] + argv[at + 2 :], value
 
 
 def main(argv: list[str]) -> int:
@@ -28,6 +44,12 @@ def main(argv: list[str]) -> int:
         json_dir = argv[at + 1]
         argv = argv[:at] + argv[at + 2 :]
         os.makedirs(json_dir, exist_ok=True)
+    argv, trace_out = _take_flag(argv, "--trace-out")
+    argv, metrics_out = _take_flag(argv, "--metrics-out")
+    if trace_out is not None or metrics_out is not None:
+        from repro.bench.harness import enable_obs_capture
+
+        enable_obs_capture()
 
     if len(argv) < 1 or argv[0] in ("-h", "--help"):
         print(__doc__)
@@ -50,6 +72,23 @@ def main(argv: list[str]) -> int:
         if json_dir is not None:
             result.save_json(os.path.join(json_dir, f"{name}.json"))
         print(f"({name} took {time.perf_counter() - start:.1f}s)\n")
+
+    if trace_out is not None or metrics_out is not None:
+        from repro.bench.harness import collect_obs
+
+        trace, prom_text, metrics = collect_obs()
+        if trace_out is not None:
+            with open(trace_out, "w") as fh:
+                json.dump(trace, fh)
+            print(f"wrote Chrome trace: {trace_out} "
+                  f"({len(trace['traceEvents'])} events)")
+        if metrics_out is not None:
+            with open(metrics_out, "w") as fh:
+                json.dump(metrics, fh, indent=2, sort_keys=True)
+            prom_path = os.path.splitext(metrics_out)[0] + ".prom"
+            with open(prom_path, "w") as fh:
+                fh.write(prom_text)
+            print(f"wrote metrics: {metrics_out} and {prom_path}")
     return 0
 
 

@@ -17,6 +17,8 @@ from repro.cluster.simcore import Simulator
 from repro.core.baseline_store import BaselineStore
 from repro.core.config import StoreConfig
 from repro.core.store import FusionStore
+from repro.obs.registry import MetricsRegistry, export_merged
+from repro.obs.tracer import Tracer
 from repro.sql.local import QueryResult
 
 #: Paper object sizes, for deriving per-dataset simulation scale factors.
@@ -99,6 +101,53 @@ def reduction_pct(baseline: float, candidate: float) -> float:
     return (baseline - candidate) / baseline * 100.0
 
 
+#: When not None, :func:`build_system` attaches a :class:`Tracer` and a
+#: :class:`MetricsRegistry` to every system it creates and records the
+#: system here, so the CLI can export a merged trace and metrics dump
+#: after the experiment ran.  Enabled by ``--trace-out``/``--metrics-out``
+#: in :mod:`repro.bench.__main__`; never on during normal runs, so the
+#: harness stays event-identical to the uninstrumented seed by default.
+_OBS_CAPTURE: dict | None = None
+
+
+def enable_obs_capture() -> None:
+    """Start capturing traces and metrics from every system built."""
+    global _OBS_CAPTURE
+    _OBS_CAPTURE = {"systems": []}
+
+
+def obs_capture_enabled() -> bool:
+    return _OBS_CAPTURE is not None
+
+
+def collect_obs() -> tuple[dict, str, dict]:
+    """Exports from every system built since :func:`enable_obs_capture`.
+
+    Returns ``(chrome_trace, prometheus_text, metrics_dict)`` where the
+    Chrome trace merges all systems (one ``pid`` per system, named via
+    ``process_name`` metadata), the Prometheus text is the merged export
+    of every registry, and ``metrics_dict`` maps a per-system label to
+    that registry's structured dump (the METRICS.json payload).
+    """
+    if _OBS_CAPTURE is None:
+        raise RuntimeError("obs capture not enabled; call enable_obs_capture() first")
+    events: list[dict] = []
+    registries: list[MetricsRegistry] = []
+    metrics: dict[str, dict] = {}
+    for pid, sut in enumerate(_OBS_CAPTURE["systems"], start=1):
+        label = f"{sut.name}#{pid}"
+        if sut.sim.tracer is not None:
+            events.extend(
+                sut.sim.tracer.chrome_trace(pid=pid, process_name=label)["traceEvents"]
+            )
+        registry = sut.cluster.metrics.registry
+        if registry is not None:
+            registries.append(registry)
+            metrics[label] = registry.to_dict()
+    trace = {"traceEvents": events, "displayTimeUnit": "ms"}
+    return trace, export_merged(registries), metrics
+
+
 def build_system(
     kind: str,
     objects: dict[str, bytes],
@@ -111,6 +160,14 @@ def build_system(
     """
     sim = Simulator()
     cluster = Cluster(sim, cluster_config or ClusterConfig())
+    if _OBS_CAPTURE is not None:
+        # The ``sut`` ordinal keeps series distinct when one experiment
+        # builds several systems of the same kind (e.g. a config sweep).
+        sut = len(_OBS_CAPTURE["systems"]) + 1
+        sim.tracer = Tracer(sim)
+        cluster.metrics.registry = MetricsRegistry(
+            const_labels={"system": kind, "sut": str(sut)}
+        )
     if kind == "fusion":
         store: FusionStore | BaselineStore = FusionStore(cluster, store_config)
     elif kind == "baseline":
@@ -119,7 +176,10 @@ def build_system(
         raise ValueError(f"unknown system kind {kind!r}")
     for name, data in objects.items():
         store.put(name, data)
-    return SystemUnderTest(name=kind, sim=sim, cluster=cluster, store=store)
+    system = SystemUnderTest(name=kind, sim=sim, cluster=cluster, store=store)
+    if _OBS_CAPTURE is not None:
+        _OBS_CAPTURE["systems"].append(system)
+    return system
 
 
 def build_pair(

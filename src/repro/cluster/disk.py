@@ -33,18 +33,22 @@ class Disk:
         #: to model a degraded device (slow-node fault).
         self.slow_factor = 1.0
 
-    def read(self, nbytes: int, query: m.QueryMetrics | None = None):
+    def read(self, nbytes: int, query: m.QueryMetrics | None = None, _op: str = "disk.read"):
         """Process: read ``nbytes`` from the device (FIFO queued)."""
         if nbytes < 0:
             raise ValueError("cannot read a negative number of bytes")
         start = self.sim.now
+        tracer = self.sim.tracer
+        span = tracer.begin(_op, cat="device", bytes=nbytes) if tracer is not None else None
         with (yield from self._device.acquire()):
             duration = self.config.access_latency_s + nbytes / self.config.bandwidth_bps
             yield self.sim.timeout(duration * self.slow_factor)
+        if span is not None:
+            tracer.finish(span)
         self.total_bytes += nbytes
         if query is not None:
             query.add(m.DISK, self.sim.now - start)
 
     def write(self, nbytes: int, query: m.QueryMetrics | None = None):
         """Process: write ``nbytes`` (same device model as a read)."""
-        yield from self.read(nbytes, query)
+        yield from self.read(nbytes, query, _op="disk.write")

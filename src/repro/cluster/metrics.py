@@ -11,6 +11,7 @@ Two levels of accounting:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 DISK = "disk"
@@ -39,8 +40,9 @@ class QueryMetrics:
     retries: int = 0
     #: Op timeouts observed (dropped request/reply, node dead mid-op).
     timeouts: int = 0
-    #: Speculative duplicate RPCs.  Reserved: the executor currently
-    #: retries after a timeout rather than hedging, so this stays 0.
+    #: Speculative duplicate reads: after ``StoreConfig.hedge_after_s``
+    #: without a reply the executor launches the degraded-read fallback in
+    #: parallel and takes whichever finishes first.
     hedges: int = 0
     #: Chunk/block reads answered by erasure-code reconstruction instead
     #: of the node that holds the data (dead or suspect node).
@@ -94,6 +96,11 @@ class ClusterMetrics:
     blocks_repaired: int = 0
     repair_seconds: float = 0.0
     queries: list[QueryMetrics] = field(default_factory=list)
+    #: Optional sink with ``record_query(qm)`` / ``record_repair(...)``
+    #: methods (duck-typed so this module stays dependency-free); the
+    #: stores install a :class:`repro.obs.MetricsRegistry` here when
+    #: ``StoreConfig.metrics_registry_enabled`` is set.
+    registry: object | None = None
 
     def record_query(self, qm: QueryMetrics) -> None:
         self.queries.append(qm)
@@ -105,12 +112,16 @@ class ClusterMetrics:
         self.hedges += qm.hedges
         self.degraded_reads += qm.degraded_reads
         self.checksum_failures += qm.checksum_failures
+        if self.registry is not None:
+            self.registry.record_query(qm)
 
     def record_repair(self, nbytes: int, blocks: int, seconds: float) -> None:
         """Account one repair run's traffic, separate from query traffic."""
         self.repair_bytes += nbytes
         self.blocks_repaired += blocks
         self.repair_seconds += seconds
+        if self.registry is not None:
+            self.registry.record_repair(nbytes, blocks, seconds)
 
     def latencies(self) -> list[float]:
         return [q.latency for q in self.queries]
@@ -125,5 +136,8 @@ def percentile(values: list[float], pct: float) -> float:
         return ordered[0]
     if pct >= 100:
         return ordered[-1]
-    rank = max(1, int(round(pct / 100.0 * len(ordered) + 0.5)))
+    # Nearest-rank definition: the smallest rank r with r/n >= pct/100,
+    # i.e. ceil(pct/100 * n).  (A previous version added 0.5 and round()ed,
+    # double-rounding p50 of even-length lists up a whole element.)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
     return ordered[min(rank, len(ordered)) - 1]

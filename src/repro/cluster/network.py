@@ -163,11 +163,20 @@ class Network:
 
     def _move(self, src, dst, nbytes, latency_s, query, start):
         """Occupy the pipes for ``nbytes`` plus ``latency_s`` of fixed cost."""
+        tracer = self.sim.tracer
+        span = (
+            tracer.begin("net.transfer", cat="device", src=src.name, dst=dst.name,
+                         bytes=nbytes)
+            if tracer is not None
+            else None
+        )
         with (yield from src.egress.acquire()):
             with (yield from dst.ingress.acquire()):
                 slow = max(src.slow_factor, dst.slow_factor)
                 duration = nbytes / self.config.bandwidth_bps * slow + latency_s
                 yield self.sim.timeout(duration)
+        if span is not None:
+            tracer.finish(span)
         self.total_bytes += nbytes
         # Network processing burns CPU at both endpoints, overlapped with
         # the transfer itself (busy time for utilisation accounting; it

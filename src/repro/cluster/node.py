@@ -192,8 +192,16 @@ class StorageNode:
         if seconds < 0:
             raise ValueError("negative compute time")
         start = self.sim.now
+        tracer = self.sim.tracer
+        span = (
+            tracer.begin("cpu.compute", cat="device", node=self.node_id, work_s=seconds)
+            if tracer is not None
+            else None
+        )
         with (yield from self.cpu.acquire()):
             yield self.sim.timeout(seconds)
+        if span is not None:
+            tracer.finish(span)
         if query is not None:
             query.add(m.CPU, self.sim.now - start)
 

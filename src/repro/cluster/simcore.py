@@ -83,25 +83,39 @@ class Event:
 class Process(Event):
     """A running generator; fires (as an Event) when the generator returns."""
 
-    __slots__ = ("_gen",)
+    __slots__ = ("_gen", "_ctx")
 
     def __init__(self, sim: "Simulator", gen: Generator) -> None:
         super().__init__(sim)
         self._gen = gen
+        # Trace context: a process inherits the span that was current when
+        # it was spawned, and carries its own span stack across steps so
+        # interleaved processes don't corrupt each other's parentage.
+        tracer = sim.tracer
+        self._ctx = tracer._current if tracer is not None else None
         sim._schedule(sim.now, self._step, None)
 
     def _step(self, event: Event | None) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            prev = tracer._current
+            tracer._current = self._ctx
         try:
-            value = event.value if event is not None else None
-            target = self._gen.send(value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        if not isinstance(target, Event):
-            raise SimulationError(
-                f"process yielded {target!r}; processes must yield Event objects"
-            )
-        target.add_callback(self._step)
+            try:
+                value = event.value if event is not None else None
+                target = self._gen.send(value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process yielded {target!r}; processes must yield Event objects"
+                )
+            target.add_callback(self._step)
+        finally:
+            if tracer is not None:
+                self._ctx = tracer._current
+                tracer._current = prev
 
 
 class Simulator:
@@ -111,6 +125,9 @@ class Simulator:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable, object]] = []
         self._seq = 0
+        #: Optional :class:`repro.obs.Tracer`; ``None`` means tracing is
+        #: off and instrumented code pays one attribute load + None check.
+        self.tracer = None
 
     def _schedule(self, at: float, callback: Callable, arg: object) -> None:
         if at < self.now:

@@ -26,6 +26,9 @@ from repro.core.location_map import ChecksumError, chunk_checksum
 from repro.core.scatter_gather import RemoteOp, execute_remote_ops
 from repro.core.wal import MetaReplica, WalRecord, WalWriter
 from repro.ec.stripe import DecodeError, decode_stripe, encode_stripe
+from repro.obs.audit import PushdownAuditLog
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer, traced
 from repro.format.metadata import FileMetadata
 from repro.format.pages import decode_column_chunk
 from repro.format.reader import read_metadata
@@ -108,6 +111,15 @@ class BaselineStore:
         self.wal = WalWriter(cluster, self.config.wal_enabled)
         cluster.health.suspicion_threshold = self.config.suspicion_threshold
         cluster.add_liveness_listener(self._on_liveness)
+        # Observability (repro.obs): metadata-plane, never schedules
+        # simulation events.  The baseline never evaluates the Cost
+        # Equation, so its audit log stays empty unless a FusionStore
+        # owner replaces it with the shared one.
+        if self.config.tracing_enabled and self.sim.tracer is None:
+            self.sim.tracer = Tracer(self.sim)
+        if self.config.metrics_registry_enabled and cluster.metrics.registry is None:
+            cluster.metrics.registry = MetricsRegistry()
+        self.audit = PushdownAuditLog(self.sim, self.config.pushdown_audit_enabled)
 
     def _on_liveness(self, node_id: int, alive: bool) -> None:
         # Reconstructions cached while a node was down may differ from
@@ -133,6 +145,13 @@ class BaselineStore:
 
     def put_process(self, name: str, data: bytes):
         """Simulated Put: client -> coordinator -> striped across nodes."""
+        report = yield from traced(
+            self.sim, self._put_body(name, data), "put", "store",
+            obj=name, store="baseline",
+        )
+        return report
+
+    def _put_body(self, name: str, data: bytes):
         if name in self.objects:
             raise ValueError(f"object {name!r} already exists (updates are fresh inserts)")
         # A reused name (put after delete) must never serve bytes decoded
@@ -372,6 +391,13 @@ class BaselineStore:
     ):
         """Simulated Get: fetch the covering block fragments to the
         coordinator and reassemble the byte range."""
+        data = yield from traced(
+            self.sim, self._get_body(name, query, offset, size), "get", "store",
+            obj=name, store="baseline",
+        )
+        return data
+
+    def _get_body(self, name: str, query: QueryMetrics | None, offset: int, size: int | None):
         obj = self._lookup(name)
         if size is None:
             size = obj.total_bytes - offset
@@ -431,6 +457,14 @@ class BaselineStore:
         returns the target block's bytes.  Reconstructed blocks are cached
         by content; simulated costs are charged on every call.
         """
+        block = yield from traced(
+            self.sim,
+            self._degraded_block_read_body(obj, coordinator, block_index, query),
+            "degraded_read", "store", obj=obj.name, block=obj.data_block_id(block_index),
+        )
+        return block
+
+    def _degraded_block_read_body(self, obj, coordinator, block_index: int, query):
         import numpy as np
 
         if query is not None:
@@ -567,6 +601,13 @@ class BaselineStore:
     def query_process(self, sql: str | Query, metrics: QueryMetrics):
         """Simulated query: reassemble needed chunks, execute locally."""
         query = parse(sql) if isinstance(sql, str) else sql
+        result = yield from traced(
+            self.sim, self._query_body(query, metrics), "query", "store",
+            table=query.table, store="baseline",
+        )
+        return result
+
+    def _query_body(self, query: Query, metrics: QueryMetrics):
         obj = self._lookup(query.table)
         physical = make_plan(query, obj.metadata.schema)
         coordinator = self.cluster.coordinator_for(obj.name)
@@ -577,16 +618,21 @@ class BaselineStore:
         needed = [(rg, col) for rg in row_groups for col in columns]
 
         # Stage 1: fetch every needed chunk to the coordinator, in parallel.
-        if self.config.baseline_whole_block_reads:
-            decoded = yield from self._fetch_chunks_block_granular(
-                obj, coordinator, needed, metrics
-            )
-        else:
-            decoded = yield from self._fetch_chunks_byte_granular(
-                obj, coordinator, needed, metrics
-            )
+        fetch_body = (
+            self._fetch_chunks_block_granular(obj, coordinator, needed, metrics)
+            if self.config.baseline_whole_block_reads
+            else self._fetch_chunks_byte_granular(obj, coordinator, needed, metrics)
+        )
+        decoded = yield from traced(
+            self.sim, fetch_body, "fetch_stage", "store", chunks=len(needed)
+        )
 
         # Stage 2: local evaluation at the coordinator.
+        eval_span = (
+            self.sim.tracer.begin("eval_stage", cat="store")
+            if self.sim.tracer is not None
+            else None
+        )
         rg_selected: dict[int, np.ndarray] = {}
         for rg in row_groups:
             num_rows = obj.metadata.row_groups[rg].num_rows
@@ -615,11 +661,17 @@ class BaselineStore:
         result = engine.assemble_result(
             physical, obj.metadata, row_groups, rg_selected, rg_projected
         )
-        yield from self.cluster.network.transfer(
-            coordinator.endpoint,
-            self.cluster.client,
-            self.config.scaled(engine.result_wire_bytes(result)),
-            metrics,
+        if eval_span is not None:
+            self.sim.tracer.finish(eval_span)
+        yield from traced(
+            self.sim,
+            self.cluster.network.transfer(
+                coordinator.endpoint,
+                self.cluster.client,
+                self.config.scaled(engine.result_wire_bytes(result)),
+                metrics,
+            ),
+            "result_transfer", "store",
         )
         metrics.end_time = self.sim.now
         self.cluster.metrics.record_query(metrics)
@@ -803,6 +855,13 @@ class BaselineStore:
         return proc.value
 
     def verify_object_process(self, name: str):
+        report = yield from traced(
+            self.sim, self._verify_object_body(name), "scrub", "store",
+            obj=name, store="baseline",
+        )
+        return report
+
+    def _verify_object_body(self, name: str):
         from repro.core.scrub import ScrubReport, check_stripe
 
         obj = self._lookup(name)
@@ -912,6 +971,15 @@ class BaselineStore:
         self, obj, stripe: int, holders, lost: list[int], metrics: QueryMetrics | None = None
     ):
         """Gather surviving shards, RS-decode, re-encode, re-place lost ones."""
+        yield from traced(
+            self.sim,
+            self._rebuild_stripe_body(obj, stripe, holders, lost, metrics),
+            "repair_stripe", "store", obj=obj.name, stripe=stripe,
+        )
+
+    def _rebuild_stripe_body(
+        self, obj, stripe: int, holders, lost: list[int], metrics: QueryMetrics | None = None
+    ):
         k, n = self.config.code.k, self.config.code.n
         blocks = obj.layout.stripe_blocks(stripe)
         data_sizes = [b.size for b in blocks] + [0] * (k - len(blocks))
@@ -992,6 +1060,16 @@ class BaselineStore:
         every reachable block, isolate missing/corrupt positions,
         reconstruct them, and rewrite — corrupt blocks in place, lost
         ones onto an alive rescue node.  Returns blocks rewritten."""
+        written = yield from traced(
+            self.sim,
+            self._repair_stripe_body(name, stripe_id, metrics),
+            "repair_stripe", "store", obj=name, stripe=stripe_id,
+        )
+        return written
+
+    def _repair_stripe_body(
+        self, name: str, stripe_id: int, metrics: QueryMetrics | None = None
+    ):
         from repro.core.repair import find_bad_shards
 
         obj = self._lookup(name)

@@ -179,6 +179,8 @@ def _replica_nodes(obj) -> tuple[int, ...]:
 def fsck(store) -> FsckReport:
     """Check every invariant the store family maintains (see module doc)."""
     cluster = store.cluster
+    if cluster.sim.tracer is not None:
+        cluster.sim.tracer.instant("fsck.start", cat="meta")
     report = FsckReport()
     referenced: set[str] = set()
     all_names: set[str] = set()
@@ -283,6 +285,12 @@ def fsck(store) -> FsckReport:
         for name in node.meta_names():
             if name not in explained_meta:
                 report.dangling_meta.append((node.node_id, name))
+    if cluster.sim.tracer is not None:
+        cluster.sim.tracer.instant(
+            "fsck.done", cat="meta",
+            objects=report.objects_checked, blocks=report.blocks_checked,
+            clean=report.clean,
+        )
     return report
 
 
@@ -341,6 +349,8 @@ def recover(store) -> RecoveryReport:
     """Replay the cluster-wide WAL and resolve every open operation."""
     started = time.perf_counter()
     cluster = store.cluster
+    if cluster.sim.tracer is not None:
+        cluster.sim.tracer.instant("recover.start", cat="meta")
     report = RecoveryReport()
     records = cluster.wal_records()
     intents = {r.op_id: r for r in records if r.phase == "intent"}
@@ -408,4 +418,10 @@ def recover(store) -> RecoveryReport:
                     report.redone_deletes.append(name)
 
     report.wall_seconds = time.perf_counter() - started
+    if cluster.sim.tracer is not None:
+        cluster.sim.tracer.instant(
+            "recover.done", cat="meta",
+            resolved=report.resolved_ops,
+            rolled_forward=len(report.rolled_forward),
+        )
     return report

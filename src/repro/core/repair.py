@@ -216,6 +216,12 @@ class RepairManager:
         """
         metrics = QueryMetrics()
         report = RepairReport(started=self.sim.now)
+        tracer = self.sim.tracer
+        run_span = (
+            tracer.begin("repair_run", cat="repair", targets=len(targets))
+            if tracer is not None
+            else None
+        )
         touched: set[str] = set()
         for store, name, sid in targets:
             if name not in store.objects:
@@ -233,6 +239,12 @@ class RepairManager:
         report.objects = sorted(touched)
         report.repair_bytes = metrics.network_bytes
         report.finished = self.sim.now
+        if run_span is not None:
+            tracer.finish(
+                run_span,
+                stripes_repaired=report.stripes_repaired,
+                blocks_repaired=report.blocks_repaired,
+            )
         self.cluster.metrics.record_repair(
             metrics.network_bytes, report.blocks_repaired, report.time_to_repair
         )

@@ -146,6 +146,11 @@ def execute_remote_ops(cluster, coordinator, ops, metrics, batched: bool, config
             break
         if metrics is not None:
             metrics.retries += len(retry)
+        if sim.tracer is not None:
+            sim.tracer.instant(
+                "rpc.retry", cat="rpc", ops=len(retry), attempt=attempts,
+                nodes=sorted({ops[i].node.node_id for i in retry}),
+            )
         backoff = config.rpc_retry_backoff_s * (2 ** (attempts - 1))
         if backoff > 0:
             yield sim.timeout(backoff)
@@ -160,6 +165,8 @@ def execute_remote_ops(cluster, coordinator, ops, metrics, batched: bool, config
                 f"{len(missing)} remote op(s) failed permanently on node(s) "
                 f"{sorted(nodes)} and had no degraded fallback"
             )
+        if sim.tracer is not None:
+            sim.tracer.instant("rpc.fallback", cat="rpc", ops=len(exhausted))
         procs = [sim.process(_boxed(ops[i].fallback())) for i in exhausted]
         barrier = all_of(sim, procs)
         yield barrier
@@ -232,7 +239,15 @@ def _op_timeout(sim, op_start, metrics, config):
     """Wait out the rest of the op timeout and account it."""
     remaining = max(0.0, op_start + config.op_timeout_s - sim.now)
     if remaining > 0:
+        tracer = sim.tracer
+        span = (
+            tracer.begin("rpc.timeout_wait", cat="rpc", wait_s=remaining)
+            if tracer is not None
+            else None
+        )
         yield sim.timeout(remaining)
+        if span is not None:
+            tracer.finish(span)
     if metrics is not None:
         metrics.timeouts += 1
         metrics.add(m.OTHER, remaining)
@@ -243,12 +258,39 @@ def _single_op(cluster, coordinator, op: RemoteOp, metrics, config):
     if op.standalone is not None:
         value = yield from op.standalone()
         return value
+    resilient = config is not None
+    attempt = _attempt_single(cluster, coordinator, op, metrics, config)
+    if resilient and config.hedge_after_s > 0 and op.fallback is not None:
+        value = yield from _hedged(cluster, op, attempt, metrics, config)
+    else:
+        value = yield from attempt
+    return value
+
+
+def _attempt_single(cluster, coordinator, op: RemoteOp, metrics, config):
+    """One unbatched attempt: request RPC, node-side work, reply RPC."""
     sim = cluster.sim
     node = op.node
     resilient = config is not None
     # Loopback ops (coordinator-local chunks) cannot be dropped.
     faults = cluster.faults if resilient and node.endpoint is not coordinator.endpoint else None
     start = sim.now
+    tracer = sim.tracer
+    span = tracer.begin("rpc", cat="rpc", node=node.node_id) if tracer is not None else None
+    try:
+        value = yield from _attempt_single_body(
+            cluster, coordinator, op, metrics, config, node, resilient, faults, start
+        )
+        return value
+    finally:
+        if span is not None:
+            tracer.finish(span)
+
+
+def _attempt_single_body(
+    cluster, coordinator, op, metrics, config, node, resilient, faults, start
+):
+    sim = cluster.sim
     if op.request_bytes is not None:
         if faults is not None and faults.drop_rpc(node.node_id):
             yield from _op_timeout(sim, start, metrics, config)
@@ -312,12 +354,20 @@ def _node_group(cluster, coordinator, group: list[RemoteOp], metrics, config):
     resilient = config is not None
     faults = cluster.faults if resilient and node.endpoint is not coordinator.endpoint else None
     start = sim.now
+    tracer = sim.tracer
+    batch_span = (
+        tracer.begin("rpc.batch", cat="rpc", node=node.node_id, ops=len(group))
+        if tracer is not None
+        else None
+    )
     request_sizes = [op.request_bytes for op in group if op.request_bytes is not None]
     state = {"replies_sent": 0}
     if request_sizes:
         if faults is not None and faults.drop_rpc(node.node_id):
             yield from _op_timeout(sim, start, metrics, config)
             cluster.health.record_failure(node.node_id)
+            if batch_span is not None:
+                tracer.finish(batch_span, outcome="request_dropped")
             return [_FAILED] * len(group)
         yield from net.batch_transfer(
             coordinator.endpoint, node.endpoint, request_sizes, metrics
@@ -325,9 +375,24 @@ def _node_group(cluster, coordinator, group: list[RemoteOp], metrics, config):
     if resilient and not node.alive:
         yield from _op_timeout(sim, start, metrics, config)
         cluster.health.record_failure(node.node_id)
+        if batch_span is not None:
+            tracer.finish(batch_span, outcome="node_dead")
         return [_FAILED] * len(group)
 
     def run_op(op: RemoteOp):
+        op_span = (
+            tracer.begin("rpc.op", cat="rpc", node=node.node_id)
+            if tracer is not None
+            else None
+        )
+        try:
+            value = yield from run_op_body(op)
+            return value
+        finally:
+            if op_span is not None:
+                tracer.finish(op_span)
+
+    def run_op_body(op: RemoteOp):
         try:
             reply_bytes, value = yield from op.execute()
         except ChecksumError:
@@ -367,7 +432,63 @@ def _node_group(cluster, coordinator, group: list[RemoteOp], metrics, config):
             value = yield from op.finalize(value)
         return value
 
-    procs = [sim.process(run_op(op)) for op in group]
+    hedge = resilient and config.hedge_after_s > 0
+    procs = [
+        sim.process(
+            _hedged(cluster, op, run_op(op), metrics, config)
+            if hedge and op.fallback is not None
+            else run_op(op)
+        )
+        for op in group
+    ]
     barrier = all_of(sim, procs)
     yield barrier
+    if batch_span is not None:
+        tracer.finish(batch_span)
     return barrier.value
+
+
+def _hedged(cluster, op: RemoteOp, attempt, metrics, config):
+    """Race ``attempt`` against a delayed launch of ``op.fallback``.
+
+    If the primary attempt has not resolved ``config.hedge_after_s``
+    seconds from now, the degraded-read fallback is launched in parallel
+    (one hedge counted) and whichever path finishes first supplies the
+    op's value.  A primary that fails *after* the hedge launched defers
+    to the in-flight fallback instead of signalling retry — the
+    reconstruction is already paid for.  A primary that fails before the
+    hedge fires returns its failure sentinel so the normal retry/backoff
+    machinery runs, and the pending hedge timer lapses without effect.
+    The losing path runs to completion in the background, so its device
+    and metric costs are charged exactly as a real speculative duplicate
+    would cost.
+    """
+    sim = cluster.sim
+    decided = sim.event()
+    state = {"launched": False}
+
+    def run_primary():
+        value = yield from attempt
+        if (value is _FAILED or value is _CORRUPT) and state["launched"]:
+            # An in-flight hedge fallback will supply the value.
+            return
+        if not decided.fired:
+            decided.succeed(value)
+
+    def run_hedge():
+        yield sim.timeout(config.hedge_after_s)
+        if decided.fired:
+            return
+        state["launched"] = True
+        if metrics is not None:
+            metrics.hedges += 1
+        if sim.tracer is not None:
+            sim.tracer.instant("rpc.hedge", cat="rpc", node=op.node.node_id)
+        value = yield from op.fallback()
+        if not decided.fired:
+            decided.succeed(value)
+
+    sim.process(run_primary())
+    sim.process(run_hedge())
+    value = yield decided
+    return value

@@ -33,6 +33,9 @@ from repro.core.scatter_gather import RemoteOp, execute_remote_ops
 from repro.core.layout import ChunkItem, StripeLayout
 from repro.core.location_map import ChecksumError, ChunkLocation, LocationMap, chunk_checksum
 from repro.core.wal import MetaReplica, WalRecord, WalWriter
+from repro.obs.audit import PushdownAuditLog
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer, traced
 from repro.ec.stripe import DecodeError, decode_stripe, encode_stripe
 from repro.format.metadata import ColumnChunkMeta, FileMetadata
 from repro.format.pages import decode_column_chunk
@@ -120,6 +123,15 @@ class FusionStore:
         # after a restore or repair.
         cluster.health.suspicion_threshold = self.config.suspicion_threshold
         cluster.add_liveness_listener(self._on_liveness)
+        # Observability (repro.obs): all three attachments are metadata-
+        # plane — they never schedule simulation events — so runs are
+        # event-identical with them on or off.
+        if self.config.tracing_enabled and self.sim.tracer is None:
+            self.sim.tracer = Tracer(self.sim)
+        if self.config.metrics_registry_enabled and cluster.metrics.registry is None:
+            cluster.metrics.registry = MetricsRegistry()
+        self.audit = PushdownAuditLog(self.sim, self.config.pushdown_audit_enabled)
+        self.fallback_store.audit = self.audit
 
     def _on_liveness(self, node_id: int, alive: bool) -> None:
         """A node's liveness changed: cached reconstructions may describe
@@ -174,6 +186,13 @@ class FusionStore:
 
     def put_process(self, name: str, data: bytes):
         """Simulated Put with FAC stripe construction."""
+        report = yield from traced(
+            self.sim, self._put_body(name, data), "put", "store",
+            obj=name, store="fusion",
+        )
+        return report
+
+    def _put_body(self, name: str, data: bytes):
         if name in self.objects or name in self.fallback_store.objects:
             raise ValueError(f"object {name!r} already exists (updates are fresh inserts)")
         # A reused name (put after delete) must never serve bytes decoded
@@ -483,6 +502,13 @@ class FusionStore:
         and reads only the overlapping parts of each chunk — each from the
         single node holding it.
         """
+        data = yield from traced(
+            self.sim, self._get_body(name, metrics, offset, size), "get", "store",
+            obj=name, store="fusion",
+        )
+        return data
+
+    def _get_body(self, name: str, metrics: QueryMetrics | None, offset: int, size: int | None):
         if name in self.fallback_store.objects:
             data = yield from self.fallback_store.get_process(
                 name, metrics, offset=offset, size=size
@@ -593,6 +619,14 @@ class FusionStore:
         prompt recovery.  Reconstructed bins are cached (real bytes only;
         simulated costs are charged on every call).
         """
+        chunk = yield from traced(
+            self.sim,
+            self._degraded_chunk_read_body(obj, loc, coordinator, metrics),
+            "degraded_read", "store", obj=obj.name, block=loc.block_id,
+        )
+        return chunk
+
+    def _degraded_chunk_read_body(self, obj, loc, coordinator, metrics):
         if metrics is not None:
             metrics.degraded_reads += 1
         placement, bin_idx = self._locate_block(obj, loc.block_id)
@@ -741,10 +775,18 @@ class FusionStore:
         if query.table in self.fallback_store.objects:
             result = yield from self.fallback_store.query_process(query, metrics)
             return result
+        result = yield from traced(
+            self.sim, self._query_body(query, metrics), "query", "store",
+            table=query.table, store="fusion",
+        )
+        return result
+
+    def _query_body(self, query: Query, metrics: QueryMetrics):
         obj = self._lookup(query.table)
         physical = make_plan(query, obj.metadata.schema)
         coordinator = self.cluster.coordinator_for(obj.name)
         metrics.start_time = self.sim.now
+        tracer = self.sim.tracer
 
         row_groups = engine.prune_row_groups(physical, obj.metadata)
 
@@ -754,20 +796,29 @@ class FusionStore:
         # its row group.  The node applies the Cost Equation locally and
         # answers filter + projection in one round trip with one decode.
         if self._fusable(physical):
-            result = yield from self._fused_query(
-                obj, coordinator, physical, row_groups, metrics
+            result = yield from traced(
+                self.sim,
+                self._fused_query(obj, coordinator, physical, row_groups, metrics),
+                "fused_stage", "store", chunks=len(row_groups),
             )
-            yield from self.cluster.network.transfer(
-                coordinator.endpoint,
-                self.cluster.client,
-                self.config.scaled(engine.result_wire_bytes(result)),
-                metrics,
+            yield from traced(
+                self.sim,
+                self.cluster.network.transfer(
+                    coordinator.endpoint,
+                    self.cluster.client,
+                    self.config.scaled(engine.result_wire_bytes(result)),
+                    metrics,
+                ),
+                "result_transfer", "store",
             )
             metrics.end_time = self.sim.now
             self.cluster.metrics.record_query(metrics)
             return result
 
         # ---- Filter stage: push every live leaf down, gather bitmaps. ----
+        filter_span = (
+            tracer.begin("filter_stage", cat="store") if tracer is not None else None
+        )
         rg_selected: dict[int, np.ndarray] = {}
         ops = []
         keys: list[tuple[int, int]] = []
@@ -800,6 +851,8 @@ class FusionStore:
                     metrics,
                 )
             rg_selected[rg] = physical.combine_bitmaps(bitmaps, num_rows)
+        if filter_span is not None:
+            tracer.finish(filter_span, ops=len(ops))
 
         # ---- Projection stage -------------------------------------------------
         if (
@@ -807,10 +860,19 @@ class FusionStore:
             and query.has_aggregates()
             and not query.group_by
         ):
-            result = yield from self._aggregate_pushdown_stage(
-                obj, coordinator, physical, row_groups, rg_selected, metrics
+            result = yield from traced(
+                self.sim,
+                self._aggregate_pushdown_stage(
+                    obj, coordinator, physical, row_groups, rg_selected, metrics
+                ),
+                "aggregate_stage", "store",
             )
         else:
+            projection_span = (
+                tracer.begin("projection_stage", cat="store")
+                if tracer is not None
+                else None
+            )
             rg_projected: dict[tuple[int, str], np.ndarray] = {}
             ops = []
             task_keys = []
@@ -837,12 +899,18 @@ class FusionStore:
             result = engine.assemble_result(
                 physical, obj.metadata, row_groups, rg_selected, rg_projected
             )
+            if projection_span is not None:
+                tracer.finish(projection_span, ops=len(ops))
 
-        yield from self.cluster.network.transfer(
-            coordinator.endpoint,
-            self.cluster.client,
-            self.config.scaled(engine.result_wire_bytes(result)),
-            metrics,
+        yield from traced(
+            self.sim,
+            self.cluster.network.transfer(
+                coordinator.endpoint,
+                self.cluster.client,
+                self.config.scaled(engine.result_wire_bytes(result)),
+                metrics,
+            ),
+            "result_transfer", "store",
         )
         metrics.end_time = self.sim.now
         self.cluster.metrics.record_query(metrics)
@@ -927,16 +995,28 @@ class FusionStore:
             indices = np.flatnonzero(bits)
             selectivity = len(indices) / len(bits) if len(bits) else 0.0
             decision = self.estimator.decide(selectivity, meta.size, meta.plain_size)
+            rec = self.audit.record(
+                obj.name, meta.key, "fused", self.config.pushdown_mode.value, decision
+            )
             bitmap_wire = Bitmap(bits).wire_size()
 
             if decision.push_down:
                 metrics.pushed_down_chunks += 1
                 selected = values[indices]
-                reply = bitmap_wire + engine.selected_plain_bytes(type_, selected)
+                selected_bytes = engine.selected_plain_bytes(type_, selected)
+                if rec is not None:
+                    rec.actual_chosen_bytes = selected_bytes
+                    rec.actual_alternative_bytes = loc.size
+                reply = bitmap_wire + selected_bytes
                 return self.config.scaled(reply), ("pushed", bits, selected)
             # Unfavourable cost product: reply with the bitmap plus the
             # whole compressed chunk; the coordinator decodes locally.
             metrics.fallback_chunks += 1
+            if rec is not None:
+                rec.actual_chosen_bytes = loc.size
+                rec.actual_alternative_bytes = engine.selected_plain_bytes(
+                    type_, values[indices]
+                )
             reply = bitmap_wire + loc.size
             return self.config.scaled(reply), ("fallback", bits, values[indices])
 
@@ -1029,6 +1109,9 @@ class FusionStore:
 
         selectivity = len(indices) / len(bitmap) if len(bitmap) else 0.0
         decision = self.estimator.decide(selectivity, meta.size, meta.plain_size)
+        rec = self.audit.record(
+            obj.name, meta.key, "projection", self.config.pushdown_mode.value, decision
+        )
 
         if decision.push_down:
             metrics.pushed_down_chunks += 1
@@ -1047,6 +1130,9 @@ class FusionStore:
                 )
                 values = self._decode_cached(obj.name, meta, data)[indices]
                 reply = engine.selected_plain_bytes(type_, values)
+                if rec is not None:
+                    rec.actual_chosen_bytes = reply
+                    rec.actual_alternative_bytes = loc.size
                 return self.config.scaled(reply), values
 
             return RemoteOp(
@@ -1072,7 +1158,13 @@ class FusionStore:
                 + coordinator.scan_seconds(meta.plain_size, self.config.size_scale),
                 metrics,
             )
-            return self._decode_cached(obj.name, meta, data)[indices]
+            values = self._decode_cached(obj.name, meta, data)[indices]
+            if rec is not None:
+                # What the pushdown branch would have shipped, measured on
+                # the decoded values rather than estimated from the footer.
+                rec.actual_chosen_bytes = loc.size
+                rec.actual_alternative_bytes = engine.selected_plain_bytes(type_, values)
+            return values
 
         return RemoteOp(
             node=node,
@@ -1266,11 +1358,18 @@ class FusionStore:
         return proc.value
 
     def verify_object_process(self, name: str):
-        from repro.core.scrub import ScrubReport, check_stripe
-
         if name in self.fallback_store.objects:
             report = yield from self.fallback_store.verify_object_process(name)
             return report
+        report = yield from traced(
+            self.sim, self._verify_object_body(name), "scrub", "store",
+            obj=name, store="fusion",
+        )
+        return report
+
+    def _verify_object_body(self, name: str):
+        from repro.core.scrub import ScrubReport, check_stripe
+
         obj = self._lookup(name)
         coordinator = self.cluster.coordinator_for(name)
         report = ScrubReport(object_name=name)
@@ -1353,6 +1452,19 @@ class FusionStore:
         raise RuntimeError("no alive node available to host rebuilt blocks")
 
     def _rebuild_stripe(
+        self,
+        obj: StoredFusionObject,
+        placement: StripePlacement,
+        lost,
+        metrics: QueryMetrics | None = None,
+    ):
+        yield from traced(
+            self.sim,
+            self._rebuild_stripe_body(obj, placement, lost, metrics),
+            "repair_stripe", "store", obj=obj.name, stripe=placement.stripe_id,
+        )
+
+    def _rebuild_stripe_body(
         self,
         obj: StoredFusionObject,
         placement: StripePlacement,
@@ -1448,6 +1560,16 @@ class FusionStore:
         their live node, unreachable ones onto an alive rescue node,
         updating the placement and the chunk location map.  Returns the
         number of blocks rewritten (0 when the stripe is healthy)."""
+        written = yield from traced(
+            self.sim,
+            self._repair_stripe_body(name, stripe_id, metrics),
+            "repair_stripe", "store", obj=name, stripe=stripe_id,
+        )
+        return written
+
+    def _repair_stripe_body(
+        self, name: str, stripe_id: int, metrics: QueryMetrics | None = None
+    ):
         from repro.core.repair import find_bad_shards
 
         obj = self._lookup(name)

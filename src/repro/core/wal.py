@@ -122,6 +122,13 @@ class WalWriter:
         object's replica nodes (idempotent per record)."""
         if not self.enabled:
             return
+        tracer = self.cluster.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "wal.append", cat="wal",
+                op=record.op, phase=record.phase, obj=record.object_name,
+                op_id=record.op_id,
+            )
         coordinator.wal_append(record)
         for nid in record.replica_nodes:
             node = self.cluster.node(nid)
@@ -142,6 +149,11 @@ class WalWriter:
             raise ValueError(f"unknown crash point {point!r}")
         injector = getattr(self.cluster, "faults", None)
         if injector is not None and injector.should_crash(coordinator.node_id, point):
+            tracer = self.cluster.sim.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "wal.crash", cat="wal", point=point, node=coordinator.node_id
+                )
             self.cluster.fail_node(coordinator.node_id)
             raise CoordinatorCrash(point)
 

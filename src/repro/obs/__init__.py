@@ -1,0 +1,46 @@
+"""Observability: tracing, metrics registry, and pushdown decision audit.
+
+Three pillars, all driven by the *simulated* clock so every artefact is
+deterministic (same workload, bit-identical trace):
+
+* :class:`Tracer` — span-based tracing with zero-cost-when-disabled
+  context-manager spans, exported as Chrome ``trace_event`` JSON
+  (loadable in Perfetto / ``chrome://tracing``) plus a plain-text
+  flamegraph-style summary.
+* :class:`MetricsRegistry` — named counters/gauges/histograms
+  (log-bucketed latency and byte histograms with p50/p95/p99) with a
+  Prometheus-text ``export()`` and a JSON-able ``to_dict()``.
+* :class:`PushdownAuditLog` — one record per Cost-Equation evaluation
+  (estimate, decision, actual bytes), queryable after a run for
+  ex-post decision-accuracy reporting.
+
+All three attach behind default-off :class:`~repro.core.config.StoreConfig`
+knobs and never touch the simulation's event heap, so fault-free runs
+are event-identical with observability on or off.
+"""
+
+from repro.obs.audit import PushdownAuditLog, PushdownAuditRecord
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    export_merged,
+)
+from repro.obs.tracer import Span, Tracer, traced
+from repro.obs.validate import validate_chrome_trace, validate_prometheus_text
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PushdownAuditLog",
+    "PushdownAuditRecord",
+    "Span",
+    "Tracer",
+    "export_merged",
+    "traced",
+    "validate_chrome_trace",
+    "validate_prometheus_text",
+]

@@ -1,0 +1,317 @@
+"""Span-based tracing on the simulated clock.
+
+A :class:`Tracer` hangs off :attr:`Simulator.tracer` (default ``None``,
+i.e. tracing disabled: hot paths pay one attribute load and a ``None``
+check).  Components open spans with the context manager::
+
+    tr = self.sim.tracer
+    with tr.span("filter_pushdown", node=3, obj=name) if tr else _noop():
+        ...
+
+or, in the instrumented code of this repo, the equivalent explicit
+pattern (``begin``/``finish``) where a ``with`` block is awkward.
+
+Correct parent/child attribution across interleaved simulation
+processes comes from the kernel: each :class:`~repro.cluster.simcore.Process`
+remembers the span that was current when it was spawned and
+swaps it in around every step, so a span opened inside one process
+never becomes the parent of work done by a concurrently-running one.
+
+Export targets:
+
+* :meth:`Tracer.chrome_trace` — Chrome ``trace_event`` JSON (``B``/``E``
+  duration pairs, ``i`` instants, ``M`` metadata).  Simulated
+  concurrency means sibling spans overlap freely; the exporter packs
+  spans onto synthetic tracks (``tid``\\ s) such that every track's
+  ``B``/``E`` stream is balanced and properly nested, which is what
+  Perfetto and ``chrome://tracing`` require.
+* :meth:`Tracer.text_summary` — a flamegraph-style aggregation by span
+  path (count, total and self time), for terminals.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Event categories understood by the exporters.
+_US = 1e6  # seconds -> microseconds (trace_event's ts unit)
+
+
+class Span:
+    """One timed operation; ``end`` is ``None`` while the span is open."""
+
+    __slots__ = ("name", "cat", "start", "end", "args", "span_id", "parent_id")
+
+    def __init__(self, name, cat, start, span_id, parent_id, args):
+        self.name = name
+        self.cat = cat
+        self.start = start
+        self.end = None
+        self.args = args
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def set(self, **args) -> None:
+        """Attach (or overwrite) argument key/values on an open span."""
+        self.args.update(args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.start:.6f}..{self.end}, id={self.span_id})"
+
+
+class _SpanHandle:
+    """Context manager that closes its span and restores the parent."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def set(self, **args) -> None:
+        self.span.set(**args)
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._tracer.finish(self.span)
+
+
+class Tracer:
+    """Collects spans and instant events against a simulator's clock."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.spans: list[Span] = []
+        #: (time, name, cat, parent_id, args) instant events.
+        self.instants: list[tuple[float, str, str, int | None, dict]] = []
+        self._current: Span | None = None
+        self._next_id = 1
+
+    # -- recording ---------------------------------------------------------
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span of the currently-running process."""
+        return self._current
+
+    def span(self, name: str, cat: str = "sim", **args) -> _SpanHandle:
+        """Open a span as a context manager (closed on ``__exit__``)."""
+        return _SpanHandle(self, self.begin(name, cat=cat, **args))
+
+    def begin(self, name: str, cat: str = "sim", **args) -> Span:
+        """Open a span explicitly; pair with :meth:`finish`."""
+        parent = self._current
+        span = Span(
+            name,
+            cat,
+            self.sim.now,
+            self._next_id,
+            parent.span_id if parent is not None else None,
+            args,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._current = span
+        return span
+
+    def finish(self, span: Span, **args) -> None:
+        """Close ``span`` at the current simulated time."""
+        if args:
+            span.args.update(args)
+        if span.end is None:
+            span.end = self.sim.now
+        if self._current is span:
+            self._current = self._parent_of(span)
+
+    def instant(self, name: str, cat: str = "sim", **args) -> None:
+        """Record a point event (WAL commit, retry, crash point, ...)."""
+        parent = self._current
+        self.instants.append(
+            (self.sim.now, name, cat, parent.span_id if parent is not None else None, args)
+        )
+
+    def _parent_of(self, span: Span) -> Span | None:
+        if span.parent_id is None:
+            return None
+        # Spans are appended in id order; ids are 1-based list offsets.
+        return self.spans[span.parent_id - 1]
+
+    # -- queries -----------------------------------------------------------
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with the given name, in open order."""
+        return [s for s in self.spans if s.name == name]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def ancestors(self, span: Span) -> list[Span]:
+        """Parent chain, innermost first."""
+        chain = []
+        cur = self._parent_of(span)
+        while cur is not None:
+            chain.append(cur)
+            cur = self._parent_of(cur)
+        return chain
+
+    def path(self, span: Span) -> str:
+        """Root-to-span names joined with '/'."""
+        names = [a.name for a in reversed(self.ancestors(span))] + [span.name]
+        return "/".join(names)
+
+    # -- Chrome trace_event export ----------------------------------------
+
+    def chrome_trace(self, pid: int = 1, process_name: str | None = None) -> dict:
+        """The trace as a Chrome ``trace_event`` object (``traceEvents``).
+
+        Still-open spans are closed at the current simulated time.  Spans
+        are packed onto synthetic ``tid`` tracks so each track's ``B``/``E``
+        stream is balanced and properly nested: a span goes on its
+        parent's track when the parent's interval still contains it,
+        otherwise onto the first track whose innermost open interval
+        does (or a fresh track).
+        """
+        horizon = self.sim.now
+        for s in self.spans:
+            if s.end is None:
+                s.end = horizon
+        ordered = sorted(self.spans, key=lambda s: (s.start, -s.end, s.span_id))
+
+        tracks: list[list[Span]] = []  # per-track stack of open spans
+        forest: dict[int, list[Span]] = {}  # track -> roots
+        children: dict[int, list[Span]] = {}  # span_id -> nested spans
+        placed: dict[int, int] = {}  # span_id -> track index
+
+        def fits(track: list[Span], s: Span) -> bool:
+            while track and track[-1].end <= s.start:
+                track.pop()
+            return not track or (track[-1].start <= s.start and s.end <= track[-1].end)
+
+        for s in ordered:
+            tid = None
+            parent_tid = placed.get(s.parent_id) if s.parent_id is not None else None
+            if parent_tid is not None and fits(tracks[parent_tid], s):
+                tid = parent_tid
+            else:
+                for i, track in enumerate(tracks):
+                    if fits(track, s):
+                        tid = i
+                        break
+                if tid is None:
+                    tid = len(tracks)
+                    tracks.append([])
+                    forest[tid] = []
+            stack = tracks[tid]
+            if stack:
+                children.setdefault(stack[-1].span_id, []).append(s)
+            else:
+                forest.setdefault(tid, []).append(s)
+            stack.append(s)
+            placed[s.span_id] = tid
+
+        events: list[dict] = []
+        if process_name is not None:
+            events.append(
+                {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+                 "args": {"name": process_name}}
+            )
+        for tid in sorted(forest):
+            events.append(
+                {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                 "args": {"name": f"track-{tid}"}}
+            )
+
+        def emit(s: Span, tid: int) -> None:
+            args = {"span_id": s.span_id}
+            if s.parent_id is not None:
+                args["parent_id"] = s.parent_id
+            args.update(_jsonable(s.args))
+            events.append(
+                {"name": s.name, "cat": s.cat, "ph": "B", "ts": s.start * _US,
+                 "pid": pid, "tid": tid, "args": args}
+            )
+            for child in children.get(s.span_id, []):
+                emit(child, tid)
+            events.append(
+                {"name": s.name, "cat": s.cat, "ph": "E", "ts": s.end * _US,
+                 "pid": pid, "tid": tid}
+            )
+
+        for tid in sorted(forest):
+            for root in forest[tid]:
+                emit(root, tid)
+
+        for when, name, cat, parent_id, args in self.instants:
+            tid = placed.get(parent_id, 0) if parent_id is not None else 0
+            events.append(
+                {"name": name, "cat": cat, "ph": "i", "ts": when * _US,
+                 "pid": pid, "tid": tid, "s": "t", "args": _jsonable(args)}
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str, **kwargs) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(**kwargs), fh)
+
+    # -- flamegraph-style text summary ------------------------------------
+
+    def text_summary(self, min_seconds: float = 0.0) -> str:
+        """Aggregate spans by path: count, total and self time per path."""
+        horizon = self.sim.now
+        totals: dict[str, list[float]] = {}  # path -> [count, total, child_total]
+        paths: dict[int, str] = {}
+        for s in sorted(self.spans, key=lambda sp: sp.span_id):
+            parent_path = paths.get(s.parent_id, "") if s.parent_id is not None else ""
+            path = f"{parent_path};{s.name}" if parent_path else s.name
+            paths[s.span_id] = path
+            end = s.end if s.end is not None else horizon
+            dur = end - s.start
+            agg = totals.setdefault(path, [0, 0.0, 0.0])
+            agg[0] += 1
+            agg[1] += dur
+            if parent_path:
+                totals[parent_path][2] += dur
+        lines = [f"{'count':>8s}  {'total_s':>12s}  {'self_s':>12s}  path"]
+        for path in sorted(totals, key=lambda p: (-totals[p][1], p)):
+            count, total, child_total = totals[path]
+            if total < min_seconds:
+                continue
+            self_time = max(0.0, total - child_total)
+            lines.append(f"{count:8d}  {total:12.6f}  {self_time:12.6f}  {path}")
+        return "\n".join(lines)
+
+
+def traced(sim, gen, name: str, cat: str = "sim", **args):
+    """Drive generator ``gen`` to completion inside a span.
+
+    The zero-cost-when-disabled wrapper for simulation processes: with no
+    tracer installed this is a bare ``yield from``.  Used by the stores to
+    wrap whole Put/Get/Query processes without restructuring them.
+    """
+    tracer = sim.tracer
+    if tracer is None:
+        value = yield from gen
+        return value
+    span = tracer.begin(name, cat=cat, **args)
+    try:
+        value = yield from gen
+        return value
+    finally:
+        tracer.finish(span)
+
+
+def _jsonable(args: dict) -> dict:
+    """Span args coerced to JSON-safe values (tuples become strings)."""
+    out = {}
+    for key, value in args.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = str(value)
+    return out

@@ -1,0 +1,238 @@
+"""Validators for the observability artifacts, usable as a CLI.
+
+* :func:`validate_chrome_trace` — structural checks over a Chrome
+  ``trace_event`` document: every event has a known ``ph`` and
+  well-formed ``ts``/``pid``/``tid`` fields, and each ``(pid, tid)``
+  track's ``B``/``E`` stream is balanced (stack discipline, matching
+  names, non-decreasing timestamps).
+* :func:`validate_prometheus_text` — line-level parse of the Prometheus
+  text exposition format: sample lines match the grammar, ``TYPE``
+  declarations are known, histogram families carry ``_bucket``/``_sum``/
+  ``_count`` series and bucket counts are monotone in ``le``.
+
+CI runs both over a real experiment's artifacts::
+
+    python -m repro.obs.validate --trace trace.json --prom METRICS.prom
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+
+_KNOWN_PHASES = set("BEXiIMCbnePsSfFtNOD")
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))"
+    r"(?:\s+[0-9]+)?$"
+)
+_LABEL_PAIR_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def validate_chrome_trace(trace) -> list[str]:
+    """Problems found in a Chrome trace-event document (empty: valid)."""
+    problems: list[str] = []
+    if isinstance(trace, dict):
+        events = trace.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level object has no 'traceEvents' list"]
+    elif isinstance(trace, list):
+        events = trace
+    else:
+        return [f"trace must be a dict or list, got {type(trace).__name__}"]
+
+    stacks: dict[tuple, list[tuple[str, float]]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or ph not in _KNOWN_PHASES:
+            problems.append(f"event {i}: bad ph {ph!r}")
+            continue
+        pid, tid = ev.get("pid"), ev.get("tid")
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            problems.append(f"event {i}: pid/tid must be ints, got {pid!r}/{tid!r}")
+            continue
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)):
+                problems.append(f"event {i}: ph={ph} needs a numeric ts, got {ts!r}")
+                continue
+            if ts < 0:
+                problems.append(f"event {i}: negative ts {ts}")
+        name = ev.get("name")
+        if ph in ("B", "E", "X", "i", "M") and ph != "E" and not isinstance(name, str):
+            problems.append(f"event {i}: ph={ph} needs a string name")
+            continue
+        if ph == "B":
+            stacks.setdefault((pid, tid), []).append((name, ev["ts"]))
+        elif ph == "E":
+            stack = stacks.setdefault((pid, tid), [])
+            if not stack:
+                problems.append(f"event {i}: E with empty stack on (pid={pid}, tid={tid})")
+                continue
+            open_name, open_ts = stack.pop()
+            if isinstance(name, str) and name != open_name:
+                problems.append(
+                    f"event {i}: E name {name!r} does not match open B {open_name!r} "
+                    f"on (pid={pid}, tid={tid})"
+                )
+            if ev["ts"] < open_ts:
+                problems.append(
+                    f"event {i}: E at ts={ev['ts']} before its B at ts={open_ts}"
+                )
+    for (pid, tid), stack in stacks.items():
+        if stack:
+            names = [n for n, _ts in stack]
+            problems.append(
+                f"unbalanced B/E on (pid={pid}, tid={tid}): {len(stack)} unclosed {names}"
+            )
+    return problems
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Problems found in a Prometheus text exposition (empty: valid)."""
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    samples: dict[str, list[tuple[dict, float]]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                kind = parts[3] if len(parts) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    problems.append(f"line {lineno}: unknown TYPE {kind!r}")
+                else:
+                    types[parts[2]] = kind
+            elif len(parts) >= 2 and parts[1] not in ("HELP", "TYPE"):
+                problems.append(f"line {lineno}: unknown comment directive {parts[1]!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        labels: dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            body = raw[1:-1].strip()
+            if body:
+                for pair in _split_label_pairs(body):
+                    if not _LABEL_PAIR_RE.match(pair):
+                        problems.append(f"line {lineno}: bad label pair {pair!r}")
+                        continue
+                    key, _eq, val = pair.partition("=")
+                    labels[key] = val[1:-1]
+        value = match.group("value")
+        parsed = float("inf") if value == "Inf" else float("nan") if value == "NaN" else float(value)
+        samples.setdefault(match.group("name"), []).append((labels, parsed))
+
+    for family, kind in types.items():
+        if kind == "histogram":
+            buckets = samples.get(f"{family}_bucket", [])
+            if not buckets:
+                problems.append(f"histogram {family!r} has no _bucket samples")
+            if not samples.get(f"{family}_sum"):
+                problems.append(f"histogram {family!r} has no _sum sample")
+            if not samples.get(f"{family}_count"):
+                problems.append(f"histogram {family!r} has no _count sample")
+            series: dict[tuple, list[tuple[float, float]]] = {}
+            for labels, value in buckets:
+                le = labels.get("le")
+                if le is None:
+                    problems.append(f"histogram {family!r} bucket missing 'le' label")
+                    continue
+                bound = float("inf") if le == "+Inf" else float(le)
+                key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+                series.setdefault(key, []).append((bound, value))
+            for key, points in series.items():
+                points.sort()
+                if not points or points[-1][0] != float("inf"):
+                    problems.append(f"histogram {family!r}{dict(key)} lacks an +Inf bucket")
+                counts = [v for _b, v in points]
+                if any(b > a_next for b, a_next in zip(counts, counts[1:])):
+                    problems.append(
+                        f"histogram {family!r}{dict(key)} bucket counts not monotone"
+                    )
+        else:
+            named = [n for n in samples if n == family]
+            if not named:
+                problems.append(f"{kind} {family!r} declared but has no samples")
+    return problems
+
+
+def _split_label_pairs(body: str) -> list[str]:
+    """Split 'a="x",b="y,z"' on commas outside quoted values."""
+    pairs, current, in_quotes, escaped = [], [], False, False
+    for ch in body:
+        if escaped:
+            current.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            current.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+            current.append(ch)
+            continue
+        if ch == "," and not in_quotes:
+            pairs.append("".join(current).strip())
+            current = []
+            continue
+        current.append(ch)
+    if current:
+        pairs.append("".join(current).strip())
+    return pairs
+
+
+def main(argv: list[str]) -> int:
+    trace_path = prom_path = None
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--trace" and args:
+            trace_path = args.pop(0)
+        elif arg == "--prom" and args:
+            prom_path = args.pop(0)
+        else:
+            print(__doc__)
+            return 1
+    if trace_path is None and prom_path is None:
+        print(__doc__)
+        return 1
+    failures = 0
+    if trace_path is not None:
+        with open(trace_path) as fh:
+            trace = json.load(fh)
+        problems = validate_chrome_trace(trace)
+        events = trace["traceEvents"] if isinstance(trace, dict) else trace
+        if problems:
+            failures += 1
+            print(f"{trace_path}: INVALID ({len(problems)} problem(s))")
+            for p in problems[:20]:
+                print(f"  - {p}")
+        else:
+            print(f"{trace_path}: OK ({len(events)} events)")
+    if prom_path is not None:
+        with open(prom_path) as fh:
+            text = fh.read()
+        problems = validate_prometheus_text(text)
+        if problems:
+            failures += 1
+            print(f"{prom_path}: INVALID ({len(problems)} problem(s))")
+            for p in problems[:20]:
+                print(f"  - {p}")
+        else:
+            print(f"{prom_path}: OK ({len(text.splitlines())} lines)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,57 @@
+"""Nearest-rank percentile boundary cases.
+
+The seed's implementation computed ``int(round(pct / 100 * n + 0.5))``,
+which double-rounds: banker's rounding on the ``+ 0.5`` shifted ranks up
+at exact midpoints (e.g. p50 of 10 elements picked rank 6, not 5).  The
+fix is the textbook nearest-rank definition ``ceil(pct / 100 * n)``.
+"""
+
+import pytest
+
+from repro.cluster.metrics import percentile
+
+
+@pytest.mark.parametrize("values", [[7.0], [1.0, 2.0], [1.0, 2.0, 3.0, 4.0]])
+def test_p0_is_minimum(values):
+    assert percentile(values, 0) == min(values)
+
+
+@pytest.mark.parametrize("values", [[7.0], [1.0, 2.0], [1.0, 2.0, 3.0, 4.0]])
+def test_p100_is_maximum(values):
+    assert percentile(values, 100) == max(values)
+
+
+def test_p50_single_element():
+    assert percentile([7.0], 50) == 7.0
+
+
+def test_p50_two_elements_is_lower():
+    # ceil(0.5 * 2) = 1 -> the lower of the two (nearest-rank, not interpolated).
+    assert percentile([1.0, 2.0], 50) == 1.0
+
+
+def test_p50_four_elements():
+    # ceil(0.5 * 4) = 2 -> the second order statistic.
+    assert percentile([4.0, 1.0, 3.0, 2.0], 50) == 2.0
+
+
+def test_p50_ten_elements_no_double_rounding():
+    # The old double-rounding picked rank 6 (value 6.0) here.
+    values = [float(i) for i in range(1, 11)]
+    assert percentile(values, 50) == 5.0
+
+
+def test_p99_hundred_elements():
+    values = [float(i) for i in range(1, 101)]
+    assert percentile(values, 99) == 99.0
+    assert percentile(values, 100) == 100.0
+
+
+def test_empty_list_rejected():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_unsorted_input_is_sorted_first():
+    assert percentile([9.0, 1.0, 5.0], 100) == 9.0
+    assert percentile([9.0, 1.0, 5.0], 0) == 1.0

@@ -1,0 +1,116 @@
+"""Pushdown decision audit: record capture, ex-post judgement, and the
+store-level guarantee of one record per projected chunk."""
+
+from repro.cluster import Cluster, ClusterConfig, Simulator
+from repro.cluster.simcore import Simulator as Sim
+from repro.core import FusionStore, StoreConfig
+from repro.core.cost_model import PushdownCostEstimator, PushdownMode
+from repro.format import write_table
+from repro.obs.audit import PushdownAuditLog
+from repro.obs.tracer import Tracer
+from tests.conftest import make_small_table
+
+
+def _decision(selectivity=0.1, compressed=1000, plain=4000):
+    return PushdownCostEstimator(PushdownMode.ADAPTIVE).decide(
+        selectivity, compressed, plain
+    )
+
+
+def test_record_captures_decision_inputs():
+    sim = Sim()
+    log = PushdownAuditLog(sim)
+    decision = _decision(selectivity=0.1, compressed=1000, plain=4000)
+    rec = log.record("obj", (0, "col"), "projection", "adaptive", decision)
+    assert rec.push_down is True
+    assert rec.cost_product == decision.cost_product
+    assert rec.est_pushdown_bytes == 400.0  # 0.1 * plain
+    assert rec.est_fetch_bytes == 1000
+    assert rec.decision == "pushdown"
+    # Actuals unknown until the op executes.
+    assert rec.ex_post_optimal is None
+    assert rec.bytes_saved is None
+
+
+def test_ex_post_judgement_and_summary():
+    sim = Sim()
+    log = PushdownAuditLog(sim)
+    good = log.record("obj", (0, "a"), "projection", "adaptive", _decision(0.1))
+    good.actual_chosen_bytes = 400
+    good.actual_alternative_bytes = 1000
+    bad = log.record("obj", (1, "a"), "projection", "adaptive", _decision(0.1))
+    bad.actual_chosen_bytes = 1500
+    bad.actual_alternative_bytes = 1000
+    unjudged = log.record("obj", (2, "a"), "projection", "adaptive", _decision(0.9))
+    assert unjudged.actual_chosen_bytes is None
+
+    assert good.ex_post_optimal is True and good.bytes_saved == 600
+    assert bad.ex_post_optimal is False and bad.bytes_saved == -500
+    s = log.summary()
+    assert s.total == 3
+    assert s.judged == 2
+    assert s.ex_post_optimal == 1
+    assert s.accuracy == 0.5
+    assert s.bytes_saved == 100
+
+
+def test_disabled_log_records_nothing():
+    log = PushdownAuditLog(Sim(), enabled=False)
+    assert log.record("obj", (0, "a"), "fused", "adaptive", _decision()) is None
+    assert log.records == []
+
+
+def test_record_emits_trace_instant_when_tracer_installed():
+    sim = Sim()
+    sim.tracer = Tracer(sim)
+    log = PushdownAuditLog(sim)
+    log.record("obj", (0, "a"), "fused", "adaptive", _decision())
+    (instant,) = sim.tracer.instants
+    assert instant[1] == "pushdown.decision"
+    assert instant[4]["decision"] == "pushdown"
+
+
+def test_fusion_store_audits_every_projected_chunk():
+    """One audit record per (row group, projected column) evaluation,
+    with the actual bytes of both branches filled in ex post."""
+    table = make_small_table(num_rows=1000, seed=3)
+    data = write_table(table, row_group_rows=250)
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(num_nodes=9))
+    store = FusionStore(
+        cluster,
+        StoreConfig(size_scale=100.0, storage_overhead_threshold=0.1, block_size=2_000_000),
+    )
+    store.put("tbl", data)
+    store.query("SELECT id, price FROM tbl WHERE qty < 10")
+    records = store.audit.for_object("tbl")
+    # 4 row groups x 2 projected columns (id=0, price=2), each chunk
+    # decided exactly once.
+    assert len(records) == 8
+    assert {r.chunk_key for r in records} == {
+        (rg, col) for rg in range(4) for col in (0, 2)
+    }
+    assert all(r.mode == "adaptive" for r in records)
+    s = store.audit.summary()
+    assert s.judged == s.total == 8
+    # Both branches' actual bytes observed for every record.
+    assert all(r.ex_post_optimal is not None for r in records)
+
+
+def test_store_knob_disables_audit():
+    table = make_small_table(num_rows=500, seed=3)
+    data = write_table(table, row_group_rows=250)
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(num_nodes=9))
+    store = FusionStore(
+        cluster,
+        StoreConfig(
+            size_scale=100.0,
+            storage_overhead_threshold=0.1,
+            block_size=2_000_000,
+            pushdown_audit_enabled=False,
+        ),
+    )
+    store.put("tbl", data)
+    store.query("SELECT id FROM tbl WHERE qty < 10")
+    assert store.audit.records == []

@@ -1,0 +1,136 @@
+"""Metrics registry: counters/gauges/histograms, the ClusterMetrics feed,
+and the Prometheus/JSON exports."""
+
+import math
+
+import pytest
+
+from repro.cluster.metrics import ClusterMetrics, QueryMetrics
+from repro.obs.registry import (
+    BYTES_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    export_merged,
+    log_buckets,
+)
+from repro.obs.validate import validate_prometheus_text
+
+
+def test_counter_monotone_and_labelled():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_things_total", "things", kind="a")
+    c.inc()
+    c.inc(2)
+    assert c.value == 3
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    # Same name+labels returns the same instance; new labels a new one.
+    assert reg.counter("repro_things_total", kind="a") is c
+    assert reg.counter("repro_things_total", kind="b") is not c
+
+
+def test_name_and_type_collisions_rejected():
+    reg = MetricsRegistry()
+    reg.counter("repro_x_total")
+    with pytest.raises(ValueError):
+        reg.gauge("repro_x_total")
+    with pytest.raises(ValueError):
+        reg.counter("bad name")
+    with pytest.raises(ValueError):
+        reg.counter("repro_y_total", **{"0bad": "v"})
+
+
+def test_log_buckets_geometric():
+    bounds = log_buckets(1.0, 16.0)
+    assert bounds == [1.0, 2.0, 4.0, 8.0, 16.0]
+    with pytest.raises(ValueError):
+        log_buckets(0.0, 10.0)
+
+
+def test_histogram_quantiles_nearest_rank():
+    h = Histogram({}, bounds=[1.0, 2.0, 4.0, 8.0])
+    for v in [0.5, 1.5, 1.6, 3.0, 7.0, 20.0]:
+        h.observe(v)
+    assert h.count == 6
+    assert h.sum == pytest.approx(33.6)
+    # Ranks: p50 -> 3rd of 6 -> the le=2.0 bucket's bound.
+    assert h.p50() == 2.0
+    # p99 -> 6th of 6 -> overflow bucket, reported at the tracked max.
+    assert h.p99() == 20.0
+    assert h.quantile(0.0) == 1.0  # rank clamps to 1
+
+
+def test_histogram_empty_quantile_zero():
+    assert Histogram({}).p99() == 0.0
+
+
+def _qm(latency=0.2, network=1000):
+    qm = QueryMetrics()
+    qm.start_time = 0.0
+    qm.end_time = latency
+    qm.network_bytes = network
+    qm.pushed_down_chunks = 3
+    qm.fallback_chunks = 1
+    qm.rpcs_issued = 7
+    qm.retries = 1
+    qm.hedges = 2
+    qm.add("network", 0.1)
+    return qm
+
+
+def test_record_query_feeds_named_metrics():
+    reg = MetricsRegistry()
+    reg.record_query(_qm())
+    reg.record_query(_qm(latency=0.4))
+    d = reg.to_dict()
+    assert d["repro_queries_total"]["samples"][0]["value"] == 2
+    lat = d["repro_query_latency_seconds"]["samples"][0]
+    assert lat["count"] == 2
+    assert lat["sum"] == pytest.approx(0.6)
+    decisions = {
+        s["labels"]["decision"]: s["value"]
+        for s in d["repro_pushdown_chunks_total"]["samples"]
+    }
+    assert decisions == {"pushdown": 6, "fallback": 2}
+    assert d["repro_hedged_reads_total"]["samples"][0]["value"] == 4
+
+
+def test_cluster_metrics_duck_types_into_registry():
+    cm = ClusterMetrics()
+    reg = MetricsRegistry()
+    cm.registry = reg
+    cm.record_query(_qm())
+    cm.record_repair(5000, 3, 1.5)
+    d = reg.to_dict()
+    assert d["repro_queries_total"]["samples"][0]["value"] == 1
+    assert d["repro_repair_bytes_total"]["samples"][0]["value"] == 5000
+    assert d["repro_repair_blocks_total"]["samples"][0]["value"] == 3
+
+
+def test_prometheus_export_valid_and_has_inf_bucket():
+    reg = MetricsRegistry(const_labels={"system": "fusion"})
+    reg.record_query(_qm())
+    text = reg.export()
+    assert validate_prometheus_text(text) == []
+    assert 'le="+Inf"' in text
+    assert 'system="fusion"' in text
+
+
+def test_export_merged_keeps_systems_distinct():
+    a = MetricsRegistry(const_labels={"system": "fusion"})
+    b = MetricsRegistry(const_labels={"system": "baseline"})
+    a.record_query(_qm())
+    b.record_query(_qm())
+    b.record_query(_qm())
+    text = export_merged([a, b])
+    assert validate_prometheus_text(text) == []
+    assert 'repro_queries_total{system="fusion"} 1' in text
+    assert 'repro_queries_total{system="baseline"} 2' in text
+    # One HELP/TYPE header per family, not per registry.
+    assert text.count("# TYPE repro_queries_total") == 1
+
+
+def test_bytes_buckets_cover_terabytes():
+    assert BYTES_BUCKETS[0] == 64.0
+    assert BYTES_BUCKETS[-1] >= 4e12
+    assert all(not math.isinf(b) for b in BYTES_BUCKETS)
