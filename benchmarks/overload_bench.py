@@ -1,0 +1,130 @@
+"""Overload benchmark: an open-loop storm at 2.5x the calibrated
+capacity, protection off vs on, for both stores.
+
+Runs the ``overload`` experiment (closed-loop capacity calibration, then
+two storms per system) and writes ``BENCH_overload.json`` with goodput,
+typed-failure counts, per-quarter p99 and sampled queue depths.
+
+Acceptance (exit 1 on failure), per system:
+
+* protection OFF is the seed behaviour under the storm — no failures,
+  but tail latency grows quarter over quarter and queue depth is
+  unbounded (far past the admission knob the ON run uses);
+* protection ON suffers zero uncontrolled failures (every refusal is a
+  typed DeadlineExceeded / QueueFull / RemoteOpError or a typed
+  PartialResult), queue depth stays bounded by the admission knob,
+  successful queries stay inside the deadline, and goodput (full +
+  partial answers) holds at >= 70% of the calibrated capacity.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/overload_bench.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.bench.experiments import overload_protection
+
+ADMISSION_DEPTH = 16  # what the experiment's protected config uses
+GOODPUT_FLOOR = 0.7
+GROWTH_TOLERANCE = 0.9  # a quarter may dip 10% and still count as growing
+ARRIVALS = 120
+
+
+def _mean_depth(samples, lo: float, hi: float, duration: float) -> float:
+    vals = [d for t, d in samples if lo * duration <= t < hi * duration]
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+def _accept(kind: str, raw: dict) -> tuple[bool, dict]:
+    off, on = raw["off"], raw["on"]
+    duration = off["duration_s"]
+
+    q = off["quarter_p99"]
+    off_p99_growing = all(
+        q[i + 1] >= q[i] * GROWTH_TOLERANCE for i in range(3)
+    ) and q[3] > 1.5 * q[0]
+    off_depth_growing = _mean_depth(
+        off["depth_samples"], 0.75, 1.0, duration
+    ) > _mean_depth(off["depth_samples"], 0.0, 0.25, duration)
+    off_depth_unbounded = off["max_depth"] > 2 * ADMISSION_DEPTH
+    off_no_failures = off["counts"]["controlled"] == 0
+
+    on_counts = on["counts"]
+    on_all_accounted = sum(on_counts.values()) == ARRIVALS
+    on_depth_bounded = on["max_depth"] <= ADMISSION_DEPTH
+    on_p99_within_deadline = raw["on_p99"] <= raw["deadline_s"] * 1.2
+    on_goodput = raw["goodput_frac"] >= GOODPUT_FLOOR
+
+    checks = {
+        "off_p99_growing_by_quarter": off_p99_growing,
+        "off_queue_depth_growing": off_depth_growing,
+        "off_queue_depth_unbounded": off_depth_unbounded,
+        "off_no_failures": off_no_failures,
+        "on_all_arrivals_accounted": on_all_accounted,
+        "on_queue_depth_bounded": on_depth_bounded,
+        "on_p99_within_deadline": on_p99_within_deadline,
+        "on_goodput_at_least_70pct_of_capacity": on_goodput,
+    }
+    return all(checks.values()), checks
+
+
+def main(out_path: str = "BENCH_overload.json") -> None:
+    result = overload_protection(arrivals=ARRIVALS)
+    report: dict = {
+        "benchmark": "overload",
+        "title": result.title,
+        "admission_queue_depth": ADMISSION_DEPTH,
+        "goodput_floor": GOODPUT_FLOOR,
+        "arrivals_per_storm": ARRIVALS,
+        "systems": {},
+    }
+    ok = True
+    for kind, raw in result.raw.items():
+        passed, checks = _accept(kind, raw)
+        ok &= passed
+        report["systems"][kind] = {
+            "capacity_qps": raw["capacity_qps"],
+            "uncontended_p99_s": raw["uncontended_p99"],
+            "deadline_s": raw["deadline_s"],
+            "storm_rate_qps": raw["rate_qps"],
+            "off": {
+                "counts": raw["off"]["counts"],
+                "quarter_p99_s": raw["off"]["quarter_p99"],
+                "max_queue_depth": raw["off"]["max_depth"],
+            },
+            "on": {
+                "counts": raw["on"]["counts"],
+                "quarter_p99_s": raw["on"]["quarter_p99"],
+                "max_queue_depth": raw["on"]["max_depth"],
+                "p99_s": raw["on_p99"],
+                "goodput_over_capacity": raw["goodput_frac"],
+            },
+            "checks": checks,
+        }
+        on_c = raw["on"]["counts"]
+        print(
+            f"{kind}: capacity {raw['capacity_qps']:.1f} qps, storm "
+            f"{raw['rate_qps']:.1f} qps; on: {on_c['ok']} ok / "
+            f"{on_c['partial']} partial / {on_c['controlled']} typed, "
+            f"goodput {raw['goodput_frac']:.2f}x capacity, depth "
+            f"{raw['on']['max_depth']} (off: {raw['off']['max_depth']}) "
+            f"-> {'PASS' if passed else 'FAIL'}"
+        )
+        if not passed:
+            for name, value in checks.items():
+                if not value:
+                    print(f"  FAILED check: {name}")
+
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {out_path}")
+    if not ok:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

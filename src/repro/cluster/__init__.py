@@ -22,27 +22,46 @@ from repro.cluster.metrics import (
 )
 from repro.cluster.network import Network, NetworkConfig, NetworkEndpoint
 from repro.cluster.node import CpuConfig, StorageNode
+from repro.cluster.overload import (
+    BACKGROUND_PRIORITY,
+    FOREGROUND_PRIORITY,
+    CancelScope,
+    CircuitBreakerBoard,
+    Deadline,
+    DeadlineExceeded,
+    PartialResult,
+    install_admission_control,
+    install_circuit_breakers,
+)
 from repro.cluster.simcore import (
     Event,
     Process,
+    QueueFull,
     Resource,
     SimulationError,
     Simulator,
     all_of,
+    any_of,
 )
 
 __all__ = [
     "AppliedFault",
+    "BACKGROUND_PRIORITY",
     "CATEGORIES",
     "CPU",
+    "CancelScope",
+    "CircuitBreakerBoard",
     "Cluster",
     "ClusterConfig",
     "ClusterMetrics",
     "CpuConfig",
     "DISK",
+    "Deadline",
+    "DeadlineExceeded",
     "Disk",
     "DiskConfig",
     "Event",
+    "FOREGROUND_PRIORITY",
     "FaultEvent",
     "FaultInjector",
     "NodeHealthTracker",
@@ -51,13 +70,18 @@ __all__ = [
     "NetworkConfig",
     "NetworkEndpoint",
     "OTHER",
+    "PartialResult",
     "Process",
     "QueryMetrics",
+    "QueueFull",
     "Resource",
     "SimulationError",
     "Simulator",
     "StorageNode",
     "all_of",
+    "any_of",
+    "install_admission_control",
+    "install_circuit_breakers",
     "percentile",
     "random_schedule",
 ]

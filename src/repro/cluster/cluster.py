@@ -54,6 +54,26 @@ class Cluster:
         #: Optional FaultInjector (set by repro.cluster.faults); the RPC
         #: layer consults it for per-RPC drop windows.
         self.faults = None
+        #: Optional CircuitBreakerBoard (installed by the stores when
+        #: StoreConfig.breaker_failure_threshold > 0); :meth:`routable`
+        #: consults it so traffic routes around open breakers.
+        self.breakers = None
+        #: Dedicated seeded RNG for retry-backoff jitter.  Separate from
+        #: the placement RNG so drawing jitter mid-workload can never
+        #: perturb later stripe placements; deterministic per run.
+        self.jitter_rng = random.Random(self.config.placement_seed ^ 0x9E3779B9)
+
+    def routable(self, node_id: int) -> bool:
+        """May new ops be sent to ``node_id``?
+
+        Combines the failure detector's view (down or suspect nodes are
+        skipped) with the node's circuit breaker when one is installed
+        (open breakers route around the node; a half-open breaker grants
+        a single probe).
+        """
+        if not self.health.usable(node_id):
+            return False
+        return self.breakers is None or self.breakers.allow(node_id)
 
     def add_liveness_listener(self, callback) -> None:
         """Register ``callback(node_id, alive)`` for liveness changes."""

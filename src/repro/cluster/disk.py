@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster import metrics as m
-from repro.cluster.simcore import Resource, Simulator
+from repro.cluster.simcore import QueueFull, Resource, Simulator
 
 
 @dataclass
@@ -33,16 +33,32 @@ class Disk:
         #: to model a degraded device (slow-node fault).
         self.slow_factor = 1.0
 
+    @property
+    def device(self) -> Resource:
+        """The FIFO device queue (admission control bounds this)."""
+        return self._device
+
     def read(self, nbytes: int, query: m.QueryMetrics | None = None, _op: str = "disk.read"):
-        """Process: read ``nbytes`` from the device (FIFO queued)."""
+        """Process: read ``nbytes`` from the device (FIFO queued).
+
+        Raises :class:`~repro.cluster.simcore.QueueFull` when the device
+        queue is admission-bounded and refuses the request; internal
+        traffic (``query=None``) is exempt.
+        """
         if nbytes < 0:
             raise ValueError("cannot read a negative number of bytes")
         start = self.sim.now
         tracer = self.sim.tracer
         span = tracer.begin(_op, cat="device", bytes=nbytes) if tracer is not None else None
-        with (yield from self._device.acquire()):
-            duration = self.config.access_latency_s + nbytes / self.config.bandwidth_bps
-            yield self.sim.timeout(duration * self.slow_factor)
+        priority = None if query is None else query.priority
+        try:
+            with (yield from self._device.acquire(priority)):
+                duration = self.config.access_latency_s + nbytes / self.config.bandwidth_bps
+                yield self.sim.timeout(duration * self.slow_factor)
+        except QueueFull:
+            if span is not None:
+                tracer.finish(span, rejected=True)
+            raise
         if span is not None:
             tracer.finish(span)
         self.total_bytes += nbytes

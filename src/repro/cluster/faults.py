@@ -41,7 +41,14 @@ class FaultEvent:
     * ``"crashpoint"`` — from time ``at``, arm the named WAL crash point
       (``point``; see ``repro.core.wal.CRASH_POINTS``) so the next
       Put/Delete reaching that stage kills its coordinator mid-operation
-      (``node_id < 0`` = whichever node is coordinating).
+      (``node_id < 0`` = whichever node is coordinating);
+    * ``"overload"`` — for ``duration`` seconds, bombard the node with
+      background-priority requests at ``rate`` per second, each reading
+      ``nbytes`` from disk then burning the matching CPU scan time (a
+      rogue tenant / runaway batch job filling the service queues);
+    * ``"slow_burst"`` — a short, sharp ``slow`` (same mechanism): the
+      node's devices degrade by ``factor`` for ``duration`` seconds,
+      modelling GC pauses or thermal throttling spikes.
     """
 
     at: float
@@ -53,20 +60,26 @@ class FaultEvent:
     wipe: bool = False
     blocks: int = 1
     point: str = ""
+    nbytes: int = 0
 
-    KINDS = ("crash", "restore", "blip", "slow", "corrupt", "drop", "crashpoint")
+    KINDS = (
+        "crash", "restore", "blip", "slow", "corrupt", "drop", "crashpoint",
+        "overload", "slow_burst",
+    )
 
     def __post_init__(self) -> None:
         if self.kind not in self.KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; known: {self.KINDS}")
         if self.at < 0:
             raise ValueError("fault time must be >= 0")
-        if self.kind in ("blip", "slow", "drop") and self.duration <= 0:
+        if self.kind in ("blip", "slow", "drop", "overload", "slow_burst") and self.duration <= 0:
             raise ValueError(f"{self.kind} fault needs a positive duration")
-        if self.kind == "slow" and self.factor < 1.0:
+        if self.kind in ("slow", "slow_burst") and self.factor < 1.0:
             raise ValueError("slow factor must be >= 1 (it degrades throughput)")
         if self.kind == "drop" and not (0.0 < self.rate <= 1.0):
             raise ValueError("drop rate must be in (0, 1]")
+        if self.kind == "overload" and self.rate <= 0:
+            raise ValueError("overload fault needs a positive request rate")
         if self.kind == "crashpoint" and not self.point:
             raise ValueError("crashpoint fault needs a point name")
 
@@ -202,7 +215,48 @@ class FaultInjector:
             self.arm_crash_point(
                 event.point, None if event.node_id < 0 else event.node_id
             )
+        elif event.kind == "overload":
+            nbytes = event.nbytes if event.nbytes > 0 else 262_144
+            sim.process(
+                self._overload_driver(node, sim.now + event.duration, event.rate, nbytes)
+            )
+            detail = f"{event.rate:.0f} req/s of {nbytes}B for {event.duration:.3f}s"
+        elif event.kind == "slow_burst":
+            node.disk.slow_factor = event.factor
+            node.endpoint.slow_factor = event.factor
+
+            def reset_burst(n=node):
+                n.disk.slow_factor = 1.0
+                n.endpoint.slow_factor = 1.0
+
+            self._later(event.duration, reset_burst)
         self.log.append(AppliedFault(at=sim.now, event=event, detail=detail))
+
+    def _overload_driver(self, node, until: float, rate: float, nbytes: int):
+        """Process: fire background requests at ``node`` until ``until``."""
+        sim = self.cluster.sim
+        interval = 1.0 / rate
+        while sim.now < until:
+            sim.process(self._background_request(node, nbytes))
+            yield sim.timeout(interval)
+
+    def _background_request(self, node, nbytes: int):
+        """One injected background request: disk read + scan compute.
+
+        Runs in the background priority lane so admission control can
+        reject or shed it; refusals are swallowed (the injected tenant
+        has no retry logic — that is the point of the protection).
+        """
+        from repro.cluster.metrics import QueryMetrics
+        from repro.cluster.overload import BACKGROUND_PRIORITY
+        from repro.cluster.simcore import QueueFull
+
+        metrics = QueryMetrics(priority=BACKGROUND_PRIORITY)
+        try:
+            yield from node.disk.read(nbytes, metrics)
+            yield from node.compute(nbytes / node.cpu_config.scan_bps, metrics)
+        except QueueFull:
+            pass
 
     def _corrupt_blocks(self, node, count: int) -> list[str]:
         """Flip one byte in up to ``count`` seeded-random stored blocks."""
@@ -229,6 +283,8 @@ def random_schedule(
     max_concurrent_down: int = 1,
     mean_downtime_s: float | None = None,
     crash_points: tuple[str, ...] = (),
+    overloads: int = 0,
+    slow_bursts: int = 0,
 ) -> list[FaultEvent]:
     """Generate a reproducible random fault schedule.
 
@@ -312,6 +368,29 @@ def random_schedule(
                 kind="crashpoint",
                 node_id=-1,
                 point=point,
+            )
+        )
+    # New fault families draw strictly after the pre-existing ones so a
+    # schedule generated with overloads=slow_bursts=0 is bit-identical
+    # to what this seed always produced.
+    for _ in range(overloads):
+        events.append(
+            FaultEvent(
+                at=rng.uniform(0.0, horizon_s * 0.7),
+                kind="overload",
+                node_id=rng.randrange(num_nodes),
+                duration=rng.uniform(0.1, 0.3) * horizon_s,
+                rate=rng.uniform(200.0, 1000.0),
+            )
+        )
+    for _ in range(slow_bursts):
+        events.append(
+            FaultEvent(
+                at=rng.uniform(0.0, horizon_s),
+                kind="slow_burst",
+                node_id=rng.randrange(num_nodes),
+                duration=rng.uniform(0.02, 0.08) * horizon_s,
+                factor=rng.uniform(4.0, 16.0),
             )
         )
     return sorted(events, key=lambda ev: ev.at)

@@ -51,6 +51,31 @@ class QueryMetrics:
     #: reads and reconstructed bytes alike); each one was answered by
     #: reconstruction instead of surfacing bad bytes.
     checksum_failures: int = 0
+    #: Requests evicted from an admission queue to make room for
+    #: higher-priority work (shed-lowest-priority policy).
+    requests_shed: int = 0
+    #: Requests refused at the door of a full admission queue.
+    requests_rejected: int = 0
+    #: Operations abandoned because their deadline expired (counted once
+    #: per failed top-level op, at the point the typed error surfaces).
+    deadline_exceeded: int = 0
+    #: Circuit-breaker trips attributed to this query's failed ops.
+    breaker_open_total: int = 0
+    #: 1 when the query returned a typed PartialResult (shed chunks
+    #: dropped under allow_partial_results) instead of failing.
+    partial_results: int = 0
+    #: In-flight child processes cancelled when this query's deadline or
+    #: parent op died (none left orphaned).
+    cancellations: int = 0
+    #: Admission-control lane: FOREGROUND (1) for client queries,
+    #: BACKGROUND (0) for repair/scrub and injected background bursts.
+    #: ``None`` would mean exempt, but per-query traffic always has a
+    #: lane.
+    priority: int = 1
+    #: The operation's Deadline (set by the store when
+    #: StoreConfig.default_deadline_s > 0), carried here so every layer
+    #: the metrics already thread through can check it.
+    deadline: object | None = None
 
     @property
     def latency(self) -> float:
@@ -88,6 +113,14 @@ class ClusterMetrics:
     #: Checksum mismatches detected across queries plus any caught by
     #: repair/scrub verification (silent-corruption detection coverage).
     checksum_failures: int = 0
+    #: Overload-protection totals, summed from recorded queries (the
+    #: CircuitBreakerBoard's ``opens`` list is the per-node view).
+    requests_shed: int = 0
+    requests_rejected: int = 0
+    deadline_exceeded: int = 0
+    breaker_open_total: int = 0
+    partial_results: int = 0
+    cancellations: int = 0
     #: Repair traffic is accounted separately from query traffic: these
     #: bytes never enter ``network_bytes`` (which only accumulates via
     #: :meth:`record_query`), so availability experiments can report the
@@ -112,6 +145,12 @@ class ClusterMetrics:
         self.hedges += qm.hedges
         self.degraded_reads += qm.degraded_reads
         self.checksum_failures += qm.checksum_failures
+        self.requests_shed += qm.requests_shed
+        self.requests_rejected += qm.requests_rejected
+        self.deadline_exceeded += qm.deadline_exceeded
+        self.breaker_open_total += qm.breaker_open_total
+        self.partial_results += qm.partial_results
+        self.cancellations += qm.cancellations
         if self.registry is not None:
             self.registry.record_query(qm)
 

@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster import metrics as m
-from repro.cluster.simcore import Resource, Simulator
+from repro.cluster.simcore import QueueFull, Resource, Simulator
+
+#: Detached network-processing charges ride the background lane so they
+#: can be shed before foreground query work (import kept local to avoid
+#: a cycle with repro.cluster.overload).
+BACKGROUND_PRIORITY = 0
 
 
 @dataclass
@@ -162,7 +167,12 @@ class Network:
         )
 
     def _move(self, src, dst, nbytes, latency_s, query, start):
-        """Occupy the pipes for ``nbytes`` plus ``latency_s`` of fixed cost."""
+        """Occupy the pipes for ``nbytes`` plus ``latency_s`` of fixed cost.
+
+        Raises :class:`~repro.cluster.simcore.QueueFull` when either pipe
+        is admission-bounded and refuses the request; internal traffic
+        (``query=None``) is exempt.
+        """
         tracer = self.sim.tracer
         span = (
             tracer.begin("net.transfer", cat="device", src=src.name, dst=dst.name,
@@ -170,11 +180,17 @@ class Network:
             if tracer is not None
             else None
         )
-        with (yield from src.egress.acquire()):
-            with (yield from dst.ingress.acquire()):
-                slow = max(src.slow_factor, dst.slow_factor)
-                duration = nbytes / self.config.bandwidth_bps * slow + latency_s
-                yield self.sim.timeout(duration)
+        priority = None if query is None else query.priority
+        try:
+            with (yield from src.egress.acquire(priority)):
+                with (yield from dst.ingress.acquire(priority)):
+                    slow = max(src.slow_factor, dst.slow_factor)
+                    duration = nbytes / self.config.bandwidth_bps * slow + latency_s
+                    yield self.sim.timeout(duration)
+        except QueueFull:
+            if span is not None:
+                tracer.finish(span, rejected=True)
+            raise
         if span is not None:
             tracer.finish(span)
         self.total_bytes += nbytes
@@ -192,6 +208,14 @@ class Network:
 
 
 def _occupy(sim: Simulator, cpu: Resource, seconds: float):
-    """Occupy one CPU core for ``seconds`` (network processing work)."""
-    with (yield from cpu.acquire()):
-        yield sim.timeout(seconds)
+    """Occupy one CPU core for ``seconds`` (network processing work).
+
+    Accounting-only: if the CPU queue is admission-bounded and full, the
+    busy-time charge is dropped rather than failing the transfer that
+    spawned this detached process.
+    """
+    try:
+        with (yield from cpu.acquire(BACKGROUND_PRIORITY)):
+            yield sim.timeout(seconds)
+    except QueueFull:
+        pass

@@ -23,7 +23,7 @@ import numpy as np
 from repro.cluster import metrics as m
 from repro.cluster.disk import Disk, DiskConfig
 from repro.cluster.network import NetworkEndpoint
-from repro.cluster.simcore import Resource, Simulator
+from repro.cluster.simcore import QueueFull, Resource, Simulator
 
 
 @dataclass
@@ -188,7 +188,12 @@ class StorageNode:
         return data
 
     def compute(self, seconds: float, query: m.QueryMetrics | None = None):
-        """Process: occupy one CPU core for ``seconds`` of work."""
+        """Process: occupy one CPU core for ``seconds`` of work.
+
+        Raises :class:`~repro.cluster.simcore.QueueFull` when the CPU
+        pool is admission-bounded and refuses the request; internal
+        traffic (``query=None``) is exempt.
+        """
         if seconds < 0:
             raise ValueError("negative compute time")
         start = self.sim.now
@@ -198,8 +203,14 @@ class StorageNode:
             if tracer is not None
             else None
         )
-        with (yield from self.cpu.acquire()):
-            yield self.sim.timeout(seconds)
+        priority = None if query is None else query.priority
+        try:
+            with (yield from self.cpu.acquire(priority)):
+                yield self.sim.timeout(seconds)
+        except QueueFull:
+            if span is not None:
+                tracer.finish(span, rejected=True)
+            raise
         if span is not None:
             tracer.finish(span)
         if query is not None:

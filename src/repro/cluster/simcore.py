@@ -43,6 +43,24 @@ class SimulationError(Exception):
     """Raised on kernel misuse (e.g. running a finished simulation step)."""
 
 
+class QueueFull(Exception):
+    """An admission-controlled :class:`Resource` refused a request.
+
+    ``shed`` distinguishes the two refusal shapes: ``False`` means the
+    arriving request was rejected at the door (queue at ``max_queue``),
+    ``True`` means the request had been queued but was evicted to make
+    room for higher-priority work (``shed_low_priority`` policy).
+    """
+
+    def __init__(self, message: str, shed: bool = False) -> None:
+        super().__init__(message)
+        self.shed = shed
+
+
+#: Sent through a waiter's gate to evict it from a Resource queue.
+_SHED = object()
+
+
 class Event:
     """A one-shot occurrence on the simulation timeline.
 
@@ -83,11 +101,12 @@ class Event:
 class Process(Event):
     """A running generator; fires (as an Event) when the generator returns."""
 
-    __slots__ = ("_gen", "_ctx")
+    __slots__ = ("_gen", "_ctx", "_cancelled")
 
     def __init__(self, sim: "Simulator", gen: Generator) -> None:
         super().__init__(sim)
         self._gen = gen
+        self._cancelled = False
         # Trace context: a process inherits the span that was current when
         # it was spawned, and carries its own span stack across steps so
         # interleaved processes don't corrupt each other's parentage.
@@ -95,11 +114,38 @@ class Process(Event):
         self._ctx = tracer._current if tracer is not None else None
         sim._schedule(sim.now, self._step, None)
 
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Stop the process without waiting for it to finish.
+
+        Closing the generator raises ``GeneratorExit`` at its suspension
+        point, so ``with`` blocks release held resources and pending
+        :class:`Resource` queue slots are withdrawn.  The process then
+        fires with value ``None`` so barriers waiting on it unblock.  Any
+        timeline events it was waiting on still fire and drain from the
+        heap; their callbacks become no-ops.  Cancelling a finished or
+        currently-executing process is a no-op.
+        """
+        if self._fired or self._cancelled:
+            return
+        if self.sim.active_process is self or self._gen.gi_running:
+            return  # cannot unwind a generator that is mid-step
+        self._cancelled = True
+        self._gen.close()
+        self.succeed(None)
+
     def _step(self, event: Event | None) -> None:
+        if self._cancelled:
+            return
         tracer = self.sim.tracer
         if tracer is not None:
             prev = tracer._current
             tracer._current = self._ctx
+        prev_active = self.sim.active_process
+        self.sim.active_process = self
         try:
             try:
                 value = event.value if event is not None else None
@@ -113,6 +159,7 @@ class Process(Event):
                 )
             target.add_callback(self._step)
         finally:
+            self.sim.active_process = prev_active
             if tracer is not None:
                 self._ctx = tracer._current
                 tracer._current = prev
@@ -128,6 +175,10 @@ class Simulator:
         #: Optional :class:`repro.obs.Tracer`; ``None`` means tracing is
         #: off and instrumented code pays one attribute load + None check.
         self.tracer = None
+        #: The :class:`Process` whose generator is currently executing a
+        #: step (``None`` between steps).  Used by cancellation scopes to
+        #: avoid closing a generator from within its own frame.
+        self.active_process: Process | None = None
 
     def _schedule(self, at: float, callback: Callable, arg: object) -> None:
         if at < self.now:
@@ -193,18 +244,34 @@ class Resource:
 
         with (yield from resource.acquire()):
             yield sim.timeout(service_time)
+
+    Admission control: when ``max_queue`` is set (``None`` = unbounded),
+    an admission-controlled acquisition (``priority`` given as an int)
+    arriving while ``queue_length >= max_queue`` raises
+    :class:`QueueFull` instead of waiting — unless ``shed_low_priority``
+    is on and a strictly lower-priority request is waiting, in which
+    case the newest such waiter is evicted (it raises ``QueueFull`` with
+    ``shed=True``) and the arrival takes its place.  Acquisitions with
+    ``priority=None`` (internal/control traffic) always queue and are
+    never rejected or shed.
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+    def __init__(
+        self, sim: Simulator, capacity: int = 1, max_queue: int | None = None
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.sim = sim
         self.capacity = capacity
+        self.max_queue = max_queue
+        self.shed_low_priority = False
         self._in_use = 0
-        self._waiters: deque[Event] = deque()
-        # Accounting for utilisation metrics.
+        self._waiters: deque[tuple[Event, int | None]] = deque()
+        # Accounting for utilisation metrics and admission decisions.
         self.busy_time = 0.0
         self._last_change = 0.0
+        self.rejected_total = 0
+        self.shed_total = 0
 
     @property
     def in_use(self) -> int:
@@ -219,22 +286,71 @@ class Resource:
         self.busy_time += self._in_use * (now - self._last_change)
         self._last_change = now
 
-    def acquire(self) -> Generator[Event, None, _ReleaseContext]:
+    def _admit(self, priority: int) -> None:
+        """Make room for an arriving waiter or raise :class:`QueueFull`."""
+        if self.shed_low_priority:
+            victim = None
+            for i in range(len(self._waiters) - 1, -1, -1):
+                _gate, prio = self._waiters[i]
+                if prio is not None and prio < priority:
+                    if victim is None or prio < self._waiters[victim][1]:
+                        victim = i
+            if victim is not None:
+                gate, _prio = self._waiters[victim]
+                del self._waiters[victim]
+                self.shed_total += 1
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.instant("shed", cat="overload")
+                gate.succeed(_SHED)
+                return
+        self.rejected_total += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("admission.reject", cat="overload")
+        raise QueueFull(
+            f"admission queue full ({len(self._waiters)}/{self.max_queue})"
+        )
+
+    def acquire(
+        self, priority: int | None = None
+    ) -> Generator[Event, None, _ReleaseContext]:
         """Generator-style acquisition; yields until a slot is granted."""
         self._account()
         if self._in_use < self.capacity:
             self._in_use += 1
         else:
+            if (
+                priority is not None
+                and self.max_queue is not None
+                and len(self._waiters) >= self.max_queue
+            ):
+                self._admit(priority)
             gate = Event(self.sim)
-            self._waiters.append(gate)
-            yield gate
+            entry = (gate, priority)
+            self._waiters.append(entry)
+            try:
+                got = yield gate
+            except GeneratorExit:
+                # The owning process was cancelled while queued: withdraw
+                # the request so _release never hands a slot to a corpse.
+                try:
+                    self._waiters.remove(entry)
+                except ValueError:
+                    if gate.fired and gate.value is not _SHED:
+                        # The slot was transferred just before the close
+                        # landed; pass it on so it is not leaked.
+                        self._release()
+                raise
+            if got is _SHED:
+                raise QueueFull("request shed for higher-priority work", shed=True)
             # Slot was transferred to us by _release; nothing to increment.
         return _ReleaseContext(self)
 
     def _release(self) -> None:
         self._account()
         if self._waiters:
-            gate = self._waiters.popleft()
+            gate, _prio = self._waiters.popleft()
             gate.succeed()
         else:
             self._in_use -= 1
@@ -263,6 +379,27 @@ def all_of(sim: Simulator, events: Iterable[Event]) -> Event:
         remaining[0] -= 1
         if remaining[0] == 0:
             done.succeed([e.value for e in events])
+
+    for e in events:
+        e.add_callback(on_fire)
+    return done
+
+
+def any_of(sim: Simulator, events: Iterable[Event]) -> Event:
+    """An event that fires when the *first* input event fires.
+
+    Its value is the winning event object.  Later inputs firing are
+    ignored.  Creates no timeline entries, so racing an event against a
+    pure signal does not perturb the scheduled-event stream.
+    """
+    events = list(events)
+    if not events:
+        raise SimulationError("any_of needs at least one event")
+    done = sim.event()
+
+    def on_fire(event: Event) -> None:
+        if not done.fired:
+            done.succeed(event)
 
     for e in events:
         e.add_callback(on_fire)

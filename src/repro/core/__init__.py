@@ -30,7 +30,9 @@ from repro.core.location_map import (
 from repro.core.oracle import OracleError, brute_force_optimal, construct_oracle_layout
 from repro.core.padding import construct_padding_layout
 from repro.core.repair import RepairError, RepairManager, RepairReport, find_bad_shards
-from repro.core.scatter_gather import RemoteOp, RemoteOpError
+from repro.cluster.overload import DeadlineExceeded, PartialResult
+from repro.cluster.simcore import QueueFull
+from repro.core.scatter_gather import SHED, RemoteOp, RemoteOpError
 from repro.core.scrub import ScrubReport, check_stripe
 from repro.core.store import FusionStore, StoredFusionObject, StripePlacement
 from repro.core.wal import (
@@ -53,6 +55,7 @@ __all__ = [
     "ChunkLocation",
     "CoordinatorCrash",
     "DELETE_CRASH_POINTS",
+    "DeadlineExceeded",
     "FixedLayout",
     "FsckReport",
     "FusionStore",
@@ -62,10 +65,12 @@ __all__ = [
     "ObjectNotFound",
     "OracleError",
     "PUT_CRASH_POINTS",
+    "PartialResult",
     "PushdownCostEstimator",
     "PushdownDecision",
     "PushdownMode",
     "PutReport",
+    "QueueFull",
     "RecoveryReport",
     "RemoteOp",
     "RemoteOpError",
@@ -73,6 +78,7 @@ __all__ = [
     "RepairManager",
     "RepairReport",
     "SCALAR_RESULT_BYTES",
+    "SHED",
     "ScrubReport",
     "StoreConfig",
     "StoredFusionObject",

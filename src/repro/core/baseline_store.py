@@ -17,13 +17,23 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import QueryMetrics
-from repro.cluster.simcore import all_of
+from repro.cluster.overload import (
+    Deadline,
+    DeadlineExceeded,
+    PartialResult,
+    arm_deadline,
+    check_deadline,
+    fail_query,
+    install_admission_control,
+    install_circuit_breakers,
+)
+from repro.cluster.simcore import QueueFull, all_of
 from repro.core import engine
 from repro.core.cache import LruDict
 from repro.core.config import StoreConfig
 from repro.core.fixed import FixedLayout, build_fixed_layout
 from repro.core.location_map import ChecksumError, chunk_checksum
-from repro.core.scatter_gather import RemoteOp, execute_remote_ops
+from repro.core.scatter_gather import SHED, RemoteOp, execute_remote_ops
 from repro.core.wal import MetaReplica, WalRecord, WalWriter
 from repro.ec.stripe import DecodeError, decode_stripe, encode_stripe
 from repro.obs.audit import PushdownAuditLog
@@ -120,6 +130,11 @@ class BaselineStore:
         if self.config.metrics_registry_enabled and cluster.metrics.registry is None:
             cluster.metrics.registry = MetricsRegistry()
         self.audit = PushdownAuditLog(self.sim, self.config.pushdown_audit_enabled)
+        # Overload protection (shared with FusionStore when this store is
+        # its fallback): both installs are idempotent no-ops at the
+        # default knobs.
+        install_admission_control(cluster, self.config)
+        install_circuit_breakers(cluster, self.config)
 
     def _on_liveness(self, node_id: int, alive: bool) -> None:
         # Reconstructions cached while a node was down may differ from
@@ -127,8 +142,8 @@ class BaselineStore:
         self._degraded_block_cache.clear()
 
     def _usable(self, node) -> bool:
-        """Node is alive and not currently suspected by the health tracker."""
-        return node.alive and self.cluster.health.usable(node.node_id)
+        """Node is alive, not suspect, and its circuit breaker admits ops."""
+        return node.alive and self.cluster.routable(node.node_id)
 
     def _invalidate_object_caches(self, name: str) -> None:
         """Drop every cached artefact derived from object ``name``."""
@@ -158,6 +173,8 @@ class BaselineStore:
         # from its previous incarnation.
         self._invalidate_object_caches(name)
         start = self.sim.now
+        # Put budget, checked between phases (see FusionStore._put_body).
+        deadline = Deadline.from_config(self.sim, self.config)
         config = self.config
         metadata = read_metadata(data)
         layout = build_fixed_layout(config.code, len(data), config.real_block_size)
@@ -222,6 +239,8 @@ class BaselineStore:
         yield from self.cluster.network.transfer(
             self.cluster.client, coordinator.endpoint, config.scaled(len(data))
         )
+        if deadline is not None:
+            deadline.check("put transfer")
 
         # Encode and distribute stripe by stripe.
         writes = []
@@ -253,6 +272,8 @@ class BaselineStore:
                     )
                 )
         yield all_of(self.sim, writes)
+        if deadline is not None:
+            deadline.check("put writes")
         self.wal.crash_point(coordinator, "put:after-data")
 
         # Materialize metadata replicas.  The fixed-block store's
@@ -391,10 +412,24 @@ class BaselineStore:
     ):
         """Simulated Get: fetch the covering block fragments to the
         coordinator and reassemble the byte range."""
-        data = yield from traced(
-            self.sim, self._get_body(name, query, offset, size), "get", "store",
-            obj=name, store="baseline",
-        )
+        if query is None:
+            # Deadlines ride on the metrics object; synthesize a carrier
+            # when the deadline knob is on so bare Gets are budgeted too.
+            deadline = Deadline.from_config(self.sim, self.config)
+            if deadline is not None:
+                query = QueryMetrics()
+                query.deadline = deadline
+        else:
+            arm_deadline(self.sim, self.config, query)
+        try:
+            data = yield from traced(
+                self.sim, self._get_body(name, query, offset, size), "get", "store",
+                obj=name, store="baseline",
+            )
+        except DeadlineExceeded:
+            if query is not None:
+                query.deadline_exceeded += 1
+            raise
         return data
 
     def _get_body(self, name: str, query: QueryMetrics | None, offset: int, size: int | None):
@@ -439,6 +474,7 @@ class BaselineStore:
             return RemoteOp(standalone=degraded)
 
         def execute():
+            check_deadline(query, "block fragment")
             data = yield from node.read_block_range(
                 obj.data_block_id(block_index), offset, length, self.config.size_scale, query
             )
@@ -467,6 +503,7 @@ class BaselineStore:
     def _degraded_block_read_body(self, obj, coordinator, block_index: int, query):
         import numpy as np
 
+        check_deadline(query, "degraded read")
         if query is not None:
             query.degraded_reads += 1
         k, n = self.config.code.k, self.config.code.n
@@ -601,10 +638,18 @@ class BaselineStore:
     def query_process(self, sql: str | Query, metrics: QueryMetrics):
         """Simulated query: reassemble needed chunks, execute locally."""
         query = parse(sql) if isinstance(sql, str) else sql
-        result = yield from traced(
-            self.sim, self._query_body(query, metrics), "query", "store",
-            table=query.table, store="baseline",
-        )
+        arm_deadline(self.sim, self.config, metrics)
+        try:
+            result = yield from traced(
+                self.sim, self._query_body(query, metrics), "query", "store",
+                table=query.table, store="baseline",
+            )
+        except DeadlineExceeded:
+            fail_query(self.cluster, metrics, deadline=True)
+            raise
+        except QueueFull as exc:
+            fail_query(self.cluster, metrics, shed=exc.shed)
+            raise
         return result
 
     def _query_body(self, query: Query, metrics: QueryMetrics):
@@ -616,16 +661,25 @@ class BaselineStore:
         row_groups = engine.prune_row_groups(physical, obj.metadata)
         columns = engine.needed_columns(physical, query)
         needed = [(rg, col) for rg in row_groups for col in columns]
+        allow_shed = (
+            self.config.allow_partial_results
+            and not query.has_aggregates()
+            and not query.group_by
+        )
 
         # Stage 1: fetch every needed chunk to the coordinator, in parallel.
         fetch_body = (
-            self._fetch_chunks_block_granular(obj, coordinator, needed, metrics)
+            self._fetch_chunks_block_granular(obj, coordinator, needed, metrics, allow_shed)
             if self.config.baseline_whole_block_reads
-            else self._fetch_chunks_byte_granular(obj, coordinator, needed, metrics)
+            else self._fetch_chunks_byte_granular(obj, coordinator, needed, metrics, allow_shed)
         )
-        decoded = yield from traced(
+        decoded, shed_ops = yield from traced(
             self.sim, fetch_body, "fetch_stage", "store", chunks=len(needed)
         )
+        # A shed fetch leaves its chunk unreadable; drop the whole row
+        # group and report the query as partial.
+        shed_rgs = {rg for (rg, _col), values in decoded.items() if values is SHED}
+        kept = [rg for rg in row_groups if rg not in shed_rgs]
 
         # Stage 2: local evaluation at the coordinator.
         eval_span = (
@@ -634,10 +688,11 @@ class BaselineStore:
             else None
         )
         rg_selected: dict[int, np.ndarray] = {}
-        for rg in row_groups:
+        for rg in kept:
             num_rows = obj.metadata.row_groups[rg].num_rows
             leaf_bitmaps = []
             for op in physical.filter_ops:
+                check_deadline(metrics, "filter eval")
                 values = decoded[(rg, op.column)]
                 meta = obj.metadata.chunk(rg, op.column)
                 yield from coordinator.compute(
@@ -648,9 +703,10 @@ class BaselineStore:
             rg_selected[rg] = physical.combine_bitmaps(leaf_bitmaps, num_rows)
 
         rg_projected: dict[tuple[int, str], np.ndarray] = {}
-        for rg in row_groups:
+        for rg in kept:
             indices = np.flatnonzero(rg_selected[rg])
             for col in physical.projection_columns:
+                check_deadline(metrics, "projection eval")
                 meta = obj.metadata.chunk(rg, col)
                 yield from coordinator.compute(
                     coordinator.scan_seconds(meta.plain_size, self.config.size_scale),
@@ -659,16 +715,20 @@ class BaselineStore:
                 rg_projected[(rg, col)] = decoded[(rg, col)][indices]
 
         result = engine.assemble_result(
-            physical, obj.metadata, row_groups, rg_selected, rg_projected
+            physical, obj.metadata, kept, rg_selected, rg_projected
         )
         if eval_span is not None:
             self.sim.tracer.finish(eval_span)
+        if shed_ops:
+            metrics.partial_results += 1
+            result = PartialResult(result, shed_ops)
+        inner = result.result if isinstance(result, PartialResult) else result
         yield from traced(
             self.sim,
             self.cluster.network.transfer(
                 coordinator.endpoint,
                 self.cluster.client,
-                self.config.scaled(engine.result_wire_bytes(result)),
+                self.config.scaled(engine.result_wire_bytes(inner)),
                 metrics,
             ),
             "result_transfer", "store",
@@ -677,13 +737,16 @@ class BaselineStore:
         self.cluster.metrics.record_query(metrics)
         return result
 
-    def _fetch_chunks_block_granular(self, obj, coordinator, needed, metrics: QueryMetrics):
+    def _fetch_chunks_block_granular(
+        self, obj, coordinator, needed, metrics: QueryMetrics, allow_shed: bool = False
+    ):
         """Fetch whole erasure-code blocks covering the needed chunks.
 
         Blocks are the placement and I/O unit of fixed-block stores, so
         chunk reassembly reads every block a chunk touches in full (each
         block once per query).  Chunk bytes are then sliced out locally
-        and decoded at the coordinator.
+        and decoded at the coordinator.  Returns ``(decoded, shed_ops)``:
+        chunks touching a shed block map to the ``SHED`` sentinel.
         """
         block_set: set[int] = set()
         for rg, col in needed:
@@ -704,18 +767,24 @@ class BaselineStore:
             metrics,
             self.config.enable_rpc_batching,
             config=self.config,
+            allow_shed=allow_shed,
         )
         block_bytes = dict(zip(indices, payloads))
+        shed_ops = sum(1 for p in payloads if p is SHED)
 
         decoded = {}
         for rg, col in needed:
             meta = obj.metadata.chunk(rg, col)
+            fragments = obj.layout.locate(meta.offset, meta.size)
+            if any(block_bytes[f.block_index] is SHED for f in fragments):
+                decoded[(rg, col)] = SHED
+                continue
             cache_key = (obj.name, rg, col)
             cached = self._decode_cache.get(cache_key)
             if cached is None:
                 parts = [
                     bytes(block_bytes[f.block_index][f.block_offset : f.block_offset + f.length])
-                    for f in obj.layout.locate(meta.offset, meta.size)
+                    for f in fragments
                 ]
                 cached = decode_column_chunk(b"".join(parts))
                 self._decode_cache[cache_key] = cached
@@ -724,14 +793,18 @@ class BaselineStore:
                 metrics,
             )
             decoded[(rg, col)] = cached
-        return decoded
+        return decoded, shed_ops
 
-    def _fetch_chunks_byte_granular(self, obj, coordinator, needed, metrics: QueryMetrics):
+    def _fetch_chunks_byte_granular(
+        self, obj, coordinator, needed, metrics: QueryMetrics, allow_shed: bool = False
+    ):
         """Reassemble each needed chunk from its exact byte fragments.
 
         All chunks' fragments travel in one scatter-gather round (batched:
         one reply per holding node); each chunk is then decoded at the
-        coordinator once its bytes are assembled.
+        coordinator once its bytes are assembled.  Returns
+        ``(decoded, shed_ops)``: chunks with a shed fragment map to the
+        ``SHED`` sentinel and are never decoded.
         """
         frag_ops = []
         frag_owner: list[int] = []  # fragment -> index into ``needed``
@@ -751,11 +824,17 @@ class BaselineStore:
             metrics,
             self.config.enable_rpc_batching,
             config=self.config,
+            allow_shed=allow_shed,
         )
+        shed_ops = sum(1 for p in payloads if p is SHED)
         chunk_parts: dict[int, list] = {ci: [] for ci in range(len(needed))}
         for ci, payload in zip(frag_owner, payloads):
             chunk_parts[ci].append(payload)
 
+        # NOTE: decode_one runs as a spawned process, so it must never
+        # raise typed errors (they would escape the event loop rather
+        # than reach the query); deadline enforcement stays with the
+        # scatter-gather stage and the eval loops.
         def decode_one(rg: int, col: str, parts: list):
             meta = obj.metadata.chunk(rg, col)
             yield from coordinator.compute(
@@ -769,13 +848,19 @@ class BaselineStore:
                 self._decode_cache[cache_key] = cached
             return cached
 
-        decodes = [
-            self.sim.process(decode_one(rg, col, chunk_parts[ci]))
-            for ci, (rg, col) in enumerate(needed)
-        ]
+        decoded: dict = {}
+        decode_keys = []
+        decodes = []
+        for ci, (rg, col) in enumerate(needed):
+            if any(p is SHED for p in chunk_parts[ci]):
+                decoded[(rg, col)] = SHED
+                continue
+            decode_keys.append((rg, col))
+            decodes.append(self.sim.process(decode_one(rg, col, chunk_parts[ci])))
         barrier = all_of(self.sim, decodes)
         yield barrier
-        return dict(zip(needed, barrier.value))
+        decoded.update(dict(zip(decode_keys, barrier.value)))
+        return decoded, shed_ops
 
     # -- Delete ----------------------------------------------------------------
 

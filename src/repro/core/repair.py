@@ -24,6 +24,8 @@ from itertools import combinations
 import numpy as np
 
 from repro.cluster.metrics import QueryMetrics
+from repro.cluster.overload import BACKGROUND_PRIORITY
+from repro.cluster.simcore import QueueFull
 from repro.ec.reed_solomon import CodeParams
 from repro.ec.stripe import DecodeError, decode_stripe, encode_stripe
 
@@ -114,6 +116,9 @@ class RepairReport:
     stripes_examined: int = 0
     stripes_repaired: int = 0
     blocks_repaired: int = 0
+    #: Stripes skipped because admission control refused the repair's
+    #: (background-priority) traffic — retried by a later repair run.
+    stripes_deferred: int = 0
     repair_bytes: int = 0  # simulated network bytes moved by repair
     started: float = 0.0
     finished: float = 0.0
@@ -213,8 +218,12 @@ class RepairManager:
         One :class:`QueryMetrics` accumulates the whole run's traffic;
         it is *never* passed to ``record_query``, so repair bytes stay
         out of the query totals and land in ``record_repair`` instead.
+
+        Repair runs in the background priority lane: under the
+        ``shed-lowest-priority`` admission policy its requests are the
+        first evicted when foreground queries contend for a full queue.
         """
-        metrics = QueryMetrics()
+        metrics = QueryMetrics(priority=BACKGROUND_PRIORITY)
         report = RepairReport(started=self.sim.now)
         tracer = self.sim.tracer
         run_span = (
@@ -229,7 +238,16 @@ class RepairManager:
                 # execution: nothing to repair, and looking it up would
                 # blow up the whole run.
                 continue
-            written = yield from store.repair_stripe_process(name, sid, metrics)
+            try:
+                written = yield from store.repair_stripe_process(name, sid, metrics)
+            except QueueFull:
+                # The cluster is too busy to admit background repair
+                # traffic right now: back off and leave the stripe for a
+                # later run instead of amplifying the overload.
+                report.stripes_deferred += 1
+                metrics.requests_shed += 1
+                yield from self._throttle(metrics, report.started)
+                continue
             report.stripes_examined += 1
             if written:
                 report.stripes_repaired += 1

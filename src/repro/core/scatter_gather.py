@@ -51,6 +51,26 @@ exceptions from ``execute`` (e.g. a wiped block) are treated as an
 immediate error reply — a fast failure, no timeout wait.  Without a
 config the executor behaves exactly as the seed did: no timeouts, no
 retries, exceptions propagate.
+
+Overload protection
+-------------------
+
+When the metrics object carries a :class:`~repro.cluster.overload.Deadline`
+(set by the store from ``StoreConfig.default_deadline_s``), every hop
+checks it: before each round, before each retry/backoff, and inside each
+op attempt.  The first attempt to observe expiry signals the stage's
+:class:`~repro.cluster.overload.CancelScope`; the executor then cancels
+every other in-flight child (nothing is orphaned) and raises the typed
+:class:`~repro.cluster.overload.DeadlineExceeded`.  Retry backoff and
+hedge launches are budgeted against the remaining deadline.  Admission
+rejections (:class:`~repro.cluster.simcore.QueueFull` from a bounded
+node queue) are counted, fed to the node's circuit breaker, and either
+retried/fallen back like failures or — in ``allow_shed`` mode for scan
+stages — resolved immediately to the :data:`SHED` sentinel so the store
+can return a typed partial result instead of failing.  Retry backoff
+optionally carries seeded full-jitter (``rpc_retry_jitter``).  All of
+this is pure bookkeeping until it acts: runs where nothing trips are
+event-identical to runs without any of it.
 """
 
 from __future__ import annotations
@@ -59,7 +79,9 @@ from dataclasses import dataclass
 from typing import Callable, Generator
 
 from repro.cluster import metrics as m
-from repro.cluster.simcore import all_of
+from repro.cluster.overload import CancelScope, DeadlineExceeded
+from repro.cluster.simcore import QueueFull, all_of, any_of
+
 from repro.core.location_map import ChecksumError
 
 #: Internal sentinel: an attempt failed and the op is eligible for retry.
@@ -71,6 +93,19 @@ _FAILED = object()
 #: the failure is not held against the node's health (one rotten block
 #: does not make a node suspect).
 _CORRUPT = object()
+
+#: Internal sentinel: an admission-bounded queue refused the attempt.
+#: Counts against the node's circuit breaker but not its suspicion score
+#: (a saturated node is overloaded, not dead).
+_REJECTED = object()
+
+#: Internal sentinel: the attempt observed an expired deadline.  Never
+#: retried; the whole stage aborts with DeadlineExceeded.
+_DEADLINE = object()
+
+#: Public sentinel returned (in ``allow_shed`` mode) in place of a shed
+#: op's value; the store drops the chunk and answers partially.
+SHED = object()
 
 
 class RemoteOpError(RuntimeError):
@@ -105,7 +140,109 @@ class RemoteOp:
             raise ValueError("standalone ops are their own fallback")
 
 
-def execute_remote_ops(cluster, coordinator, ops, metrics, batched: bool, config=None):
+def _record_failure(cluster, node_id, metrics) -> None:
+    """Feed one op failure to the health tracker and circuit breaker."""
+    cluster.health.record_failure(node_id)
+    board = cluster.breakers
+    if board is not None and board.record_failure(node_id) and metrics is not None:
+        metrics.breaker_open_total += 1
+
+
+def _record_success(cluster, node_id) -> None:
+    cluster.health.record_success(node_id)
+    if cluster.breakers is not None:
+        cluster.breakers.record_success(node_id)
+
+
+def _record_rejection(cluster, node_id, metrics, exc: QueueFull) -> None:
+    """Account an admission refusal and feed the circuit breaker.
+
+    Rejections signal saturation, not death, so they count toward the
+    breaker's failure window but not the health tracker's suspicion
+    score.
+    """
+    if metrics is not None:
+        if exc.shed:
+            metrics.requests_shed += 1
+        else:
+            metrics.requests_rejected += 1
+    board = cluster.breakers
+    if board is not None and node_id is not None:
+        if board.record_failure(node_id) and metrics is not None:
+            metrics.breaker_open_total += 1
+
+
+def _spawn(sim, scope, gen):
+    """Spawn a child process, registered with the cancel scope if any."""
+    return scope.spawn(gen) if scope is not None else sim.process(gen)
+
+
+def _deadline_of(metrics):
+    return metrics.deadline if metrics is not None else None
+
+
+def _abort_deadline(cluster, metrics, scope, where: str):
+    """Cancel every in-flight child and raise the typed deadline error."""
+    cancelled = scope.cancel() if scope is not None else 0
+    if metrics is not None:
+        metrics.cancellations += cancelled
+    if cluster.sim.tracer is not None:
+        cluster.sim.tracer.instant(
+            "rpc.deadline", cat="overload", where=where, cancelled=cancelled
+        )
+    raise DeadlineExceeded(f"deadline exceeded at {where} ({cancelled} op(s) cancelled)")
+
+
+def _shielded(cluster, gen, node_id, metrics, scope):
+    """Run ``gen``, mapping typed overload failures to op sentinels.
+
+    Neither exception type can be raised in a run without the overload
+    knobs, so seed-mode exception propagation is unchanged.
+    """
+    try:
+        value = yield from gen
+    except DeadlineExceeded:
+        if scope is not None:
+            scope.note_deadline()
+        return _DEADLINE
+    except QueueFull as exc:
+        _record_rejection(cluster, node_id, metrics, exc)
+        return _REJECTED
+    return value
+
+
+def _shielded_fallback(cluster, gen, metrics, scope):
+    """Shield a degraded-fallback child.
+
+    A fallback runs its own nested remote ops (reconstruction reads);
+    under pressure those can exhaust permanently and raise
+    :class:`RemoteOpError` *inside the spawned child*, which would escape
+    ``sim.run`` instead of resolving the op.  Map it to ``_FAILED`` so
+    the barrier decides: shed the op when partial results are allowed,
+    or re-raise from the caller's own frame."""
+    try:
+        value = yield from _shielded(cluster, gen, None, metrics, scope)
+    except RemoteOpError:
+        return _FAILED
+    return value
+
+
+def _await_barrier(sim, barrier, scope, cluster, metrics, where):
+    """Wait for a stage barrier; with a cancel scope, race it against the
+    deadline signal so in-flight siblings are cancelled promptly instead
+    of running the round to completion after the budget is blown."""
+    if scope is None:
+        yield barrier
+        return
+    yield any_of(sim, [barrier, scope.expired])
+    if not barrier.fired:
+        _abort_deadline(cluster, metrics, scope, where)
+
+
+def execute_remote_ops(
+    cluster, coordinator, ops, metrics, batched: bool, config=None,
+    allow_shed: bool = False,
+):
     """Process: run ``ops``; returns their final values in op order.
 
     Unbatched, each op is an independent process paying its own request
@@ -118,29 +255,56 @@ def execute_remote_ops(cluster, coordinator, ops, metrics, batched: bool, config
     With ``config`` set, failed ops are retried then routed to their
     ``fallback`` (see module docstring); on a fault-free run the event
     sequence is identical to the seed's.
+
+    With ``allow_shed`` set (scan stages under
+    ``StoreConfig.allow_partial_results``), ops refused by admission
+    control resolve to :data:`SHED` instead of being retried or raising,
+    so the store can drop their chunks and answer partially rather than
+    amplify the overload.
     """
     sim = cluster.sim
     results: list[object] = [None] * len(ops)
     pending = list(range(len(ops)))
     max_retries = config.rpc_max_retries if config is not None else 0
+    deadline = _deadline_of(metrics) if config is not None else None
+    scope = CancelScope(sim) if deadline is not None else None
+    if deadline is not None:
+        deadline.check("stage entry")
     attempts = 0
     exhausted: list[int] = []
+    shed: set[int] = set()
     while True:
-        failed, corrupt = yield from _run_round(
-            cluster, coordinator, ops, pending, results, metrics, batched, config
+        failed, corrupt, rejected, deadlined = yield from _run_round(
+            cluster, coordinator, ops, pending, results, metrics, batched, config,
+            scope, deadline,
         )
         exhausted.extend(corrupt)
+        if deadlined or (deadline is not None and deadline.expired):
+            _abort_deadline(cluster, metrics, scope, "round barrier")
+        if rejected:
+            if allow_shed:
+                # Shedding beats amplifying: refused ops are dropped from
+                # the answer rather than retried into a saturated node.
+                shed.update(rejected)
+            else:
+                failed = sorted(failed + rejected)
         if not failed:
             break
         attempts += 1
         retry: list[int] = []
         for i in failed:
             node = ops[i].node
-            if attempts <= max_retries and node.alive and cluster.health.usable(node.node_id):
+            if (
+                attempts <= max_retries
+                and node is not None
+                and node.alive
+                and cluster.routable(node.node_id)
+            ):
                 retry.append(i)
             else:
-                # Out of attempts, or the health tracker says to stop
-                # hammering this node: go straight to reconstruction.
+                # Out of attempts, or the health tracker / circuit breaker
+                # says to stop hammering this node: go straight to
+                # reconstruction.
                 exhausted.append(i)
         if not retry:
             break
@@ -152,6 +316,16 @@ def execute_remote_ops(cluster, coordinator, ops, metrics, batched: bool, config
                 nodes=sorted({ops[i].node.node_id for i in retry}),
             )
         backoff = config.rpc_retry_backoff_s * (2 ** (attempts - 1))
+        jitter = config.rpc_retry_jitter
+        if backoff > 0 and jitter > 0:
+            # Seeded full-jitter: sleep uniformly in
+            # [backoff * (1 - jitter), backoff] so synchronized retry
+            # storms decorrelate.  jitter=0 draws nothing from the RNG.
+            backoff -= backoff * jitter * cluster.jitter_rng.random()
+        if deadline is not None and (deadline.expired or backoff >= deadline.remaining):
+            # The remaining budget cannot cover the backoff, let alone
+            # another attempt: give up now instead of sleeping past it.
+            _abort_deadline(cluster, metrics, scope, "retry backoff")
         if backoff > 0:
             yield sim.timeout(backoff)
         pending = retry
@@ -159,74 +333,122 @@ def execute_remote_ops(cluster, coordinator, ops, metrics, batched: bool, config
     if exhausted:
         exhausted.sort()
         missing = [i for i in exhausted if ops[i].fallback is None]
+        if missing and allow_shed:
+            shed.update(missing)
+            exhausted = [i for i in exhausted if ops[i].fallback is not None]
+            missing = []
         if missing:
-            nodes = {ops[i].node.node_id for i in missing}
+            nodes = sorted(
+                {ops[i].node.node_id for i in missing if ops[i].node is not None}
+            )
             raise RemoteOpError(
                 f"{len(missing)} remote op(s) failed permanently on node(s) "
-                f"{sorted(nodes)} and had no degraded fallback"
+                f"{nodes} and had no degraded fallback"
             )
+    if exhausted:
         if sim.tracer is not None:
             sim.tracer.instant("rpc.fallback", cat="rpc", ops=len(exhausted))
-        procs = [sim.process(_boxed(ops[i].fallback())) for i in exhausted]
+        procs = [
+            _spawn(
+                sim, scope,
+                _boxed(_shielded_fallback(cluster, ops[i].fallback(), metrics, scope)),
+            )
+            for i in exhausted
+        ]
         barrier = all_of(sim, procs)
-        yield barrier
+        yield from _await_barrier(sim, barrier, scope, cluster, metrics, "fallback barrier")
         for i, boxed in zip(exhausted, barrier.value):
-            results[i] = boxed[0]
+            value = boxed[0]
+            if value is _DEADLINE:
+                _abort_deadline(cluster, metrics, scope, "fallback")
+            if value is _REJECTED:
+                if allow_shed:
+                    shed.add(i)
+                    continue
+                raise RemoteOpError(
+                    "degraded fallback refused by admission control and "
+                    "partial results are not allowed"
+                )
+            if value is _FAILED:
+                if allow_shed:
+                    shed.add(i)
+                    continue
+                raise RemoteOpError(
+                    "degraded fallback failed permanently"
+                )
+            results[i] = value
+    for i in shed:
+        results[i] = SHED
     return results
 
 
-def _run_round(cluster, coordinator, ops, indices, results, metrics, batched, config):
+def _run_round(
+    cluster, coordinator, ops, indices, results, metrics, batched, config,
+    scope, deadline,
+):
     """One attempt over ``indices``; fills ``results``, returns the
-    (retryable, checksum-corrupt) failure index lists.
+    (retryable, checksum-corrupt, admission-rejected, deadline-hit)
+    failure index lists.
 
     Standalone ops only ever appear in the first round (they cannot
     fail-and-retry; genuine errors inside them propagate).
     """
     sim = cluster.sim
+    failed: list[int] = []
+    corrupt: list[int] = []
+    rejected: list[int] = []
+    deadlined: list[int] = []
+
+    def classify(i, value):
+        if value is _FAILED:
+            failed.append(i)
+        elif value is _CORRUPT:
+            corrupt.append(i)
+        elif value is _REJECTED:
+            rejected.append(i)
+        elif value is _DEADLINE:
+            deadlined.append(i)
+        else:
+            results[i] = value
+
     waits: list[tuple[list[int], object]] = []
     if not batched:
         for i in indices:
             waits.append(
-                ([i], sim.process(_single_op(cluster, coordinator, ops[i], metrics, config)))
+                ([i], _spawn(sim, scope, _single_op(
+                    cluster, coordinator, ops[i], metrics, config, scope, deadline
+                )))
             )
         barrier = all_of(sim, [proc for _indices, proc in waits])
-        yield barrier
-        failed = []
-        corrupt = []
+        yield from _await_barrier(sim, barrier, scope, cluster, metrics, "round barrier")
         for ([i], _proc), value in zip(waits, barrier.value):
-            if value is _FAILED:
-                failed.append(i)
-            elif value is _CORRUPT:
-                corrupt.append(i)
-            else:
-                results[i] = value
-        return failed, corrupt
+            classify(i, value)
+        return failed, corrupt, rejected, deadlined
 
     groups: dict[int, list[int]] = {}
     for i in indices:
         op = ops[i]
         if op.standalone is not None:
-            waits.append(([i], sim.process(_boxed(op.standalone()))))
+            waits.append(
+                ([i], _spawn(sim, scope, _boxed(
+                    _shielded_fallback(cluster, op.standalone(), metrics, scope)
+                )))
+            )
         else:
             groups.setdefault(op.node.node_id, []).append(i)
     for group_indices in groups.values():
         group = [ops[i] for i in group_indices]
         waits.append(
-            (group_indices, sim.process(_node_group(cluster, coordinator, group, metrics, config)))
+            (group_indices, _spawn(sim, scope, _node_group(
+                cluster, coordinator, group, metrics, config, scope, deadline
+            )))
         )
     barrier = all_of(sim, [proc for _indices, proc in waits])
-    yield barrier
-    failed = []
-    corrupt = []
+    yield from _await_barrier(sim, barrier, scope, cluster, metrics, "round barrier")
     for (group_indices, _proc), values in zip(waits, barrier.value):
         for i, value in zip(group_indices, values):
-            if value is _FAILED:
-                failed.append(i)
-            elif value is _CORRUPT:
-                corrupt.append(i)
-            else:
-                results[i] = value
-    return sorted(failed), sorted(corrupt)
+            classify(i, value)
+    return sorted(failed), sorted(corrupt), sorted(rejected), sorted(deadlined)
 
 
 def _boxed(gen):
@@ -253,21 +475,21 @@ def _op_timeout(sim, op_start, metrics, config):
         metrics.add(m.OTHER, remaining)
 
 
-def _single_op(cluster, coordinator, op: RemoteOp, metrics, config):
+def _single_op(cluster, coordinator, op: RemoteOp, metrics, config, scope=None, deadline=None):
     """One op, unbatched: its own request RPC, work, and reply RPC."""
     if op.standalone is not None:
-        value = yield from op.standalone()
+        value = yield from _shielded_fallback(cluster, op.standalone(), metrics, scope)
         return value
     resilient = config is not None
-    attempt = _attempt_single(cluster, coordinator, op, metrics, config)
+    attempt = _attempt_single(cluster, coordinator, op, metrics, config, scope, deadline)
     if resilient and config.hedge_after_s > 0 and op.fallback is not None:
-        value = yield from _hedged(cluster, op, attempt, metrics, config)
+        value = yield from _hedged(cluster, op, attempt, metrics, config, scope, deadline)
     else:
         value = yield from attempt
     return value
 
 
-def _attempt_single(cluster, coordinator, op: RemoteOp, metrics, config):
+def _attempt_single(cluster, coordinator, op: RemoteOp, metrics, config, scope=None, deadline=None):
     """One unbatched attempt: request RPC, node-side work, reply RPC."""
     sim = cluster.sim
     node = op.node
@@ -279,29 +501,40 @@ def _attempt_single(cluster, coordinator, op: RemoteOp, metrics, config):
     span = tracer.begin("rpc", cat="rpc", node=node.node_id) if tracer is not None else None
     try:
         value = yield from _attempt_single_body(
-            cluster, coordinator, op, metrics, config, node, resilient, faults, start
+            cluster, coordinator, op, metrics, config, node, resilient, faults, start,
+            deadline,
         )
         return value
+    except DeadlineExceeded:
+        if scope is not None:
+            scope.note_deadline()
+        return _DEADLINE
+    except QueueFull as exc:
+        _record_rejection(cluster, node.node_id, metrics, exc)
+        return _REJECTED
     finally:
         if span is not None:
             tracer.finish(span)
 
 
 def _attempt_single_body(
-    cluster, coordinator, op, metrics, config, node, resilient, faults, start
+    cluster, coordinator, op, metrics, config, node, resilient, faults, start,
+    deadline=None,
 ):
     sim = cluster.sim
+    if deadline is not None:
+        deadline.check("rpc")
     if op.request_bytes is not None:
         if faults is not None and faults.drop_rpc(node.node_id):
             yield from _op_timeout(sim, start, metrics, config)
-            cluster.health.record_failure(node.node_id)
+            _record_failure(cluster, node.node_id, metrics)
             return _FAILED
         yield from cluster.network.transfer(
             coordinator.endpoint, node.endpoint, op.request_bytes, metrics
         )
     if resilient and not node.alive:
         yield from _op_timeout(sim, start, metrics, config)
-        cluster.health.record_failure(node.node_id)
+        _record_failure(cluster, node.node_id, metrics)
         return _FAILED
     try:
         reply_bytes, value = yield from op.execute()
@@ -313,32 +546,34 @@ def _attempt_single_body(
         if metrics is not None:
             metrics.checksum_failures += 1
         return _CORRUPT
+    except (DeadlineExceeded, QueueFull):
+        raise
     except Exception:
         if not resilient:
             raise
         # The node answered with an error (e.g. block not found after a
         # wipe): a fast failure, no timeout wait.
-        cluster.health.record_failure(node.node_id)
+        _record_failure(cluster, node.node_id, metrics)
         return _FAILED
     if resilient and not node.alive:
         # Died mid-execute: the reply never leaves the node.
         yield from _op_timeout(sim, start, metrics, config)
-        cluster.health.record_failure(node.node_id)
+        _record_failure(cluster, node.node_id, metrics)
         return _FAILED
     if faults is not None and faults.drop_rpc(node.node_id):
         yield from _op_timeout(sim, start, metrics, config)
-        cluster.health.record_failure(node.node_id)
+        _record_failure(cluster, node.node_id, metrics)
         return _FAILED
     yield from cluster.network.transfer(
         op.node.endpoint, coordinator.endpoint, reply_bytes, metrics
     )
-    cluster.health.record_success(node.node_id)
+    _record_success(cluster, node.node_id)
     if op.finalize is not None:
         value = yield from op.finalize(value)
     return value
 
 
-def _node_group(cluster, coordinator, group: list[RemoteOp], metrics, config):
+def _node_group(cluster, coordinator, group: list[RemoteOp], metrics, config, scope=None, deadline=None):
     """All of one node's ops for a stage, as one scatter-gather exchange.
 
     One batched request opens the exchange (one RPC overhead, half an
@@ -365,16 +600,24 @@ def _node_group(cluster, coordinator, group: list[RemoteOp], metrics, config):
     if request_sizes:
         if faults is not None and faults.drop_rpc(node.node_id):
             yield from _op_timeout(sim, start, metrics, config)
-            cluster.health.record_failure(node.node_id)
+            _record_failure(cluster, node.node_id, metrics)
             if batch_span is not None:
                 tracer.finish(batch_span, outcome="request_dropped")
             return [_FAILED] * len(group)
-        yield from net.batch_transfer(
-            coordinator.endpoint, node.endpoint, request_sizes, metrics
-        )
+        try:
+            yield from net.batch_transfer(
+                coordinator.endpoint, node.endpoint, request_sizes, metrics
+            )
+        except QueueFull as exc:
+            # The coalesced request could not be admitted: the whole
+            # group is refused in one decision.
+            _record_rejection(cluster, node.node_id, metrics, exc)
+            if batch_span is not None:
+                tracer.finish(batch_span, outcome="rejected")
+            return [_REJECTED] * len(group)
     if resilient and not node.alive:
         yield from _op_timeout(sim, start, metrics, config)
-        cluster.health.record_failure(node.node_id)
+        _record_failure(cluster, node.node_id, metrics)
         if batch_span is not None:
             tracer.finish(batch_span, outcome="node_dead")
         return [_FAILED] * len(group)
@@ -393,6 +636,8 @@ def _node_group(cluster, coordinator, group: list[RemoteOp], metrics, config):
                 tracer.finish(op_span)
 
     def run_op_body(op: RemoteOp):
+        if deadline is not None:
+            deadline.check("rpc.op")
         try:
             reply_bytes, value = yield from op.execute()
         except ChecksumError:
@@ -401,18 +646,20 @@ def _node_group(cluster, coordinator, group: list[RemoteOp], metrics, config):
             if metrics is not None:
                 metrics.checksum_failures += 1
             return _CORRUPT
+        except (DeadlineExceeded, QueueFull):
+            raise
         except Exception:
             if not resilient:
                 raise
-            cluster.health.record_failure(node.node_id)
+            _record_failure(cluster, node.node_id, metrics)
             return _FAILED
         if resilient and not node.alive:
             yield from _op_timeout(sim, start, metrics, config)
-            cluster.health.record_failure(node.node_id)
+            _record_failure(cluster, node.node_id, metrics)
             return _FAILED
         if faults is not None and faults.drop_rpc(node.node_id):
             yield from _op_timeout(sim, start, metrics, config)
-            cluster.health.record_failure(node.node_id)
+            _record_failure(cluster, node.node_id, metrics)
             return _FAILED
         first = state["replies_sent"] == 0
         state["replies_sent"] += 1
@@ -427,28 +674,37 @@ def _node_group(cluster, coordinator, group: list[RemoteOp], metrics, config):
                 node.endpoint, coordinator.endpoint, reply_bytes, metrics,
                 half_rtt=first,
             )
-        cluster.health.record_success(node.node_id)
+        _record_success(cluster, node.node_id)
         if op.finalize is not None:
             value = yield from op.finalize(value)
         return value
 
     hedge = resilient and config.hedge_after_s > 0
     procs = [
-        sim.process(
-            _hedged(cluster, op, run_op(op), metrics, config)
+        _spawn(
+            sim, scope,
+            _hedged(
+                cluster, op,
+                _shielded(cluster, run_op(op), node.node_id, metrics, scope),
+                metrics, config, scope, deadline,
+            )
             if hedge and op.fallback is not None
-            else run_op(op)
+            else _shielded(cluster, run_op(op), node.node_id, metrics, scope)
         )
         for op in group
     ]
     barrier = all_of(sim, procs)
+    # No deadline race here: this group runs as a spawned child, so the
+    # scope owner (the stage executor) races the stage barrier and
+    # cancels this process along with its ops.  Per-op deadline hits
+    # surface as _DEADLINE values through the shields.
     yield barrier
     if batch_span is not None:
         tracer.finish(batch_span)
     return barrier.value
 
 
-def _hedged(cluster, op: RemoteOp, attempt, metrics, config):
+def _hedged(cluster, op: RemoteOp, attempt, metrics, config, scope=None, deadline=None):
     """Race ``attempt`` against a delayed launch of ``op.fallback``.
 
     If the primary attempt has not resolved ``config.hedge_after_s``
@@ -469,7 +725,11 @@ def _hedged(cluster, op: RemoteOp, attempt, metrics, config):
 
     def run_primary():
         value = yield from attempt
-        if (value is _FAILED or value is _CORRUPT) and state["launched"]:
+        failure = (
+            value is _FAILED or value is _CORRUPT
+            or value is _REJECTED or value is _DEADLINE
+        )
+        if failure and state["launched"]:
             # An in-flight hedge fallback will supply the value.
             return
         if not decided.fired:
@@ -479,16 +739,22 @@ def _hedged(cluster, op: RemoteOp, attempt, metrics, config):
         yield sim.timeout(config.hedge_after_s)
         if decided.fired:
             return
+        if deadline is not None and deadline.remaining <= 0:
+            # No budget left to pay for a speculative duplicate; the
+            # primary's own deadline check will surface the expiry.
+            return
         state["launched"] = True
         if metrics is not None:
             metrics.hedges += 1
         if sim.tracer is not None:
             sim.tracer.instant("rpc.hedge", cat="rpc", node=op.node.node_id)
-        value = yield from op.fallback()
+        value = yield from _shielded(
+            cluster, op.fallback(), op.node.node_id, metrics, scope
+        )
         if not decided.fired:
             decided.succeed(value)
 
-    sim.process(run_primary())
-    sim.process(run_hedge())
+    _spawn(sim, scope, run_primary())
+    _spawn(sim, scope, run_hedge())
     value = yield decided
     return value

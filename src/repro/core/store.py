@@ -22,14 +22,24 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import QueryMetrics
-from repro.cluster.simcore import all_of
+from repro.cluster.overload import (
+    Deadline,
+    DeadlineExceeded,
+    PartialResult,
+    arm_deadline,
+    check_deadline,
+    fail_query,
+    install_admission_control,
+    install_circuit_breakers,
+)
+from repro.cluster.simcore import QueueFull, all_of
 from repro.core import engine
 from repro.core.baseline_store import BaselineStore, ObjectNotFound, PutReport
 from repro.core.cache import LruDict
 from repro.core.config import OP_REQUEST_BYTES, SCALAR_RESULT_BYTES, StoreConfig
 from repro.core.cost_model import PushdownCostEstimator
 from repro.core.fac import construct_stripes
-from repro.core.scatter_gather import RemoteOp, execute_remote_ops
+from repro.core.scatter_gather import SHED, RemoteOp, execute_remote_ops
 from repro.core.layout import ChunkItem, StripeLayout
 from repro.core.location_map import ChecksumError, ChunkLocation, LocationMap, chunk_checksum
 from repro.core.wal import MetaReplica, WalRecord, WalWriter
@@ -132,6 +142,12 @@ class FusionStore:
             cluster.metrics.registry = MetricsRegistry()
         self.audit = PushdownAuditLog(self.sim, self.config.pushdown_audit_enabled)
         self.fallback_store.audit = self.audit
+        # Overload protection: bound the node service queues and install
+        # the per-node circuit breakers.  Both are no-ops at the default
+        # knobs (depth 0 / threshold 0), and both tolerate the store pair
+        # sharing one cluster (idempotent installs).
+        install_admission_control(cluster, self.config)
+        install_circuit_breakers(cluster, self.config)
 
     def _on_liveness(self, node_id: int, alive: bool) -> None:
         """A node's liveness changed: cached reconstructions may describe
@@ -140,8 +156,25 @@ class FusionStore:
         self._degraded_bin_cache.clear()
 
     def _usable(self, node) -> bool:
-        """Send ops to this node, or route straight to reconstruction?"""
-        return node.alive and self.cluster.health.usable(node.node_id)
+        """Send ops to this node, or route straight to reconstruction?
+
+        Routability folds in the failure detector *and* the node's
+        circuit breaker (when installed): an open breaker routes the op
+        to its degraded path just like a suspect node would.
+        """
+        return node.alive and self.cluster.routable(node.node_id)
+
+    def _node_pressured(self, node) -> bool:
+        """Is the node's CPU admission queue at capacity right now?
+
+        Pure queue-length read; always ``False`` with admission control
+        off, so default-knob runs take the cost estimator's branch
+        untouched.  Used for graceful degradation: pushing compute to a
+        node whose service queue is already full would likely just burn
+        a round trip on a rejection.
+        """
+        depth = self.config.admission_queue_depth
+        return depth > 0 and node.cpu.queue_length >= depth
 
     def _invalidate_object_caches(self, name: str) -> None:
         """Drop every cached artefact derived from object ``name``."""
@@ -199,6 +232,10 @@ class FusionStore:
         # from its previous incarnation.
         self._invalidate_object_caches(name)
         start = self.sim.now
+        # Put budget: checked cooperatively between phases.  A Put that
+        # blows its deadline aborts before commit, leaving a WAL intent
+        # that recovery rolls back like any other crashed Put.
+        deadline = Deadline.from_config(self.sim, self.config)
         config = self.config
         metadata = read_metadata(data)
         chunks = metadata.all_chunks()
@@ -303,6 +340,8 @@ class FusionStore:
         yield from self.cluster.network.transfer(
             self.cluster.client, coordinator.endpoint, config.scaled(len(data))
         )
+        if deadline is not None:
+            deadline.check("put transfer")
         # Footer parse cost at the coordinator.
         footer_size = len(data) - (chunks[-1].end_offset if chunks else 0)
         yield from coordinator.compute(
@@ -342,6 +381,8 @@ class FusionStore:
                     )
                 )
         yield all_of(self.sim, writes)
+        if deadline is not None:
+            deadline.check("put writes")
         self.wal.crash_point(coordinator, "put:after-data")
 
         # Materialize the metadata replicas: the location map (plus
@@ -361,6 +402,8 @@ class FusionStore:
                     )
                 )
         yield all_of(self.sim, replications)
+        if deadline is not None:
+            deadline.check("put meta")
         self.wal.crash_point(coordinator, "put:after-meta")
 
         self.wal.append(
@@ -502,10 +545,24 @@ class FusionStore:
         and reads only the overlapping parts of each chunk — each from the
         single node holding it.
         """
-        data = yield from traced(
-            self.sim, self._get_body(name, metrics, offset, size), "get", "store",
-            obj=name, store="fusion",
-        )
+        if metrics is None:
+            # Deadlines ride on the metrics object; synthesize a carrier
+            # when the deadline knob is on so bare Gets are budgeted too.
+            deadline = Deadline.from_config(self.sim, self.config)
+            if deadline is not None:
+                metrics = QueryMetrics()
+                metrics.deadline = deadline
+        else:
+            arm_deadline(self.sim, self.config, metrics)
+        try:
+            data = yield from traced(
+                self.sim, self._get_body(name, metrics, offset, size), "get", "store",
+                obj=name, store="fusion",
+            )
+        except DeadlineExceeded:
+            if metrics is not None:
+                metrics.deadline_exceeded += 1
+            raise
         return data
 
     def _get_body(self, name: str, metrics: QueryMetrics | None, offset: int, size: int | None):
@@ -580,6 +637,7 @@ class FusionStore:
             return RemoteOp(standalone=degraded)
 
         def execute():
+            check_deadline(metrics, "chunk fetch")
             data = yield from node.read_block_range(
                 loc.block_id,
                 loc.offset_in_block + within,
@@ -627,6 +685,7 @@ class FusionStore:
         return chunk
 
     def _degraded_chunk_read_body(self, obj, loc, coordinator, metrics):
+        check_deadline(metrics, "degraded read")
         if metrics is not None:
             metrics.degraded_reads += 1
         placement, bin_idx = self._locate_block(obj, loc.block_id)
@@ -775,10 +834,22 @@ class FusionStore:
         if query.table in self.fallback_store.objects:
             result = yield from self.fallback_store.query_process(query, metrics)
             return result
-        result = yield from traced(
-            self.sim, self._query_body(query, metrics), "query", "store",
-            table=query.table, store="fusion",
-        )
+        arm_deadline(self.sim, self.config, metrics)
+        try:
+            result = yield from traced(
+                self.sim, self._query_body(query, metrics), "query", "store",
+                table=query.table, store="fusion",
+            )
+        except DeadlineExceeded:
+            # The body records metrics only on success, so accounting the
+            # failure here never double-counts the query.
+            fail_query(self.cluster, metrics, deadline=True)
+            raise
+        except QueueFull as exc:
+            # Coordinator-side admission refusal (compute/egress outside
+            # any scatter-gather stage) killed the whole query.
+            fail_query(self.cluster, metrics, shed=exc.shed)
+            raise
         return result
 
     def _query_body(self, query: Query, metrics: QueryMetrics):
@@ -790,6 +861,15 @@ class FusionStore:
 
         row_groups = engine.prune_row_groups(physical, obj.metadata)
 
+        # Partial results: scan queries (no aggregates or GROUP BY) may
+        # trade shed chunks for a typed PartialResult instead of failing
+        # outright when admission control refuses ops.
+        allow_shed = (
+            self.config.allow_partial_results
+            and not query.has_aggregates()
+            and not query.group_by
+        )
+
         # Fused fast path: when the whole query touches exactly one column
         # (a single filter leaf whose column is also the only projection),
         # a storage node's local bitmap is already the final bitmap for
@@ -798,15 +878,18 @@ class FusionStore:
         if self._fusable(physical):
             result = yield from traced(
                 self.sim,
-                self._fused_query(obj, coordinator, physical, row_groups, metrics),
+                self._fused_query(
+                    obj, coordinator, physical, row_groups, metrics, allow_shed
+                ),
                 "fused_stage", "store", chunks=len(row_groups),
             )
+            inner = result.result if isinstance(result, PartialResult) else result
             yield from traced(
                 self.sim,
                 self.cluster.network.transfer(
                     coordinator.endpoint,
                     self.cluster.client,
-                    self.config.scaled(engine.result_wire_bytes(result)),
+                    self.config.scaled(engine.result_wire_bytes(inner)),
                     metrics,
                 ),
                 "result_transfer", "store",
@@ -836,12 +919,24 @@ class FusionStore:
                 keys.append((rg, op.index))
                 ops.append(self._filter_op(obj, coordinator, rg, op, meta, metrics))
         bitmaps_out = yield from execute_remote_ops(
-            self.cluster, coordinator, ops, metrics, self.config.enable_rpc_batching, config=self.config
+            self.cluster, coordinator, ops, metrics, self.config.enable_rpc_batching,
+            config=self.config, allow_shed=allow_shed,
         )
         leaf_results = dict(zip(keys, bitmaps_out))
         leaf_results.update(zero_bitmaps)
 
+        # A shed filter leaf leaves its whole row group unanswerable:
+        # drop the group and report the query as partial.
+        shed_rgs: set[int] = set()
+        shed_chunks = 0
+        for (rg, _idx), bits in leaf_results.items():
+            if bits is SHED:
+                shed_chunks += 1
+                shed_rgs.add(rg)
+
         for rg in row_groups:
+            if rg in shed_rgs:
+                continue
             num_rows = obj.metadata.row_groups[rg].num_rows
             bitmaps = [leaf_results[(rg, op.index)] for op in physical.filter_ops]
             if bitmaps:
@@ -877,6 +972,8 @@ class FusionStore:
             ops = []
             task_keys = []
             for rg in row_groups:
+                if rg in shed_rgs:
+                    continue
                 bitmap = rg_selected[rg]
                 indices = np.flatnonzero(bitmap)
                 for col in physical.projection_columns:
@@ -893,21 +990,33 @@ class FusionStore:
                     )
             values_out = yield from execute_remote_ops(
                 self.cluster, coordinator, ops, metrics, self.config.enable_rpc_batching,
-                config=self.config,
+                config=self.config, allow_shed=allow_shed,
             )
-            rg_projected.update(dict(zip(task_keys, values_out)))
+            for key, values in zip(task_keys, values_out):
+                if values is SHED:
+                    # One shed projection chunk invalidates its whole row
+                    # group (rows must carry every projected column).
+                    shed_chunks += 1
+                    shed_rgs.add(key[0])
+                else:
+                    rg_projected[key] = values
+            kept = [rg for rg in row_groups if rg not in shed_rgs]
             result = engine.assemble_result(
-                physical, obj.metadata, row_groups, rg_selected, rg_projected
+                physical, obj.metadata, kept, rg_selected, rg_projected
             )
             if projection_span is not None:
                 tracer.finish(projection_span, ops=len(ops))
+            if shed_chunks:
+                metrics.partial_results += 1
+                result = PartialResult(result, shed_chunks)
 
+        inner = result.result if isinstance(result, PartialResult) else result
         yield from traced(
             self.sim,
             self.cluster.network.transfer(
                 coordinator.endpoint,
                 self.cluster.client,
-                self.config.scaled(engine.result_wire_bytes(result)),
+                self.config.scaled(engine.result_wire_bytes(inner)),
                 metrics,
             ),
             "result_transfer", "store",
@@ -927,7 +1036,10 @@ class FusionStore:
             and physical.projection_columns == [ops[0].column]
         )
 
-    def _fused_query(self, obj, coordinator, physical: PhysicalPlan, row_groups, metrics):
+    def _fused_query(
+        self, obj, coordinator, physical: PhysicalPlan, row_groups, metrics,
+        allow_shed: bool = False,
+    ):
         """Single-round execution of a one-column filter+projection query."""
         op = physical.filter_ops[0]
         rg_selected: dict[int, np.ndarray] = {}
@@ -946,14 +1058,27 @@ class FusionStore:
             task_rgs.append(rg)
             ops.append(self._fused_op(obj, coordinator, op, meta, type_, metrics))
         fused_out = yield from execute_remote_ops(
-            self.cluster, coordinator, ops, metrics, self.config.enable_rpc_batching, config=self.config
+            self.cluster, coordinator, ops, metrics, self.config.enable_rpc_batching,
+            config=self.config, allow_shed=allow_shed,
         )
-        for rg, (bits, values) in zip(task_rgs, fused_out):
+        shed_rgs: set[int] = set()
+        shed_chunks = 0
+        for rg, out in zip(task_rgs, fused_out):
+            if out is SHED:
+                shed_chunks += 1
+                shed_rgs.add(rg)
+                continue
+            bits, values = out
             rg_selected[rg] = bits
             rg_projected[(rg, op.column)] = values
-        return engine.assemble_result(
-            physical, obj.metadata, row_groups, rg_selected, rg_projected
+        kept = [rg for rg in row_groups if rg not in shed_rgs]
+        result = engine.assemble_result(
+            physical, obj.metadata, kept, rg_selected, rg_projected
         )
+        if shed_chunks:
+            metrics.partial_results += 1
+            return PartialResult(result, shed_chunks)
+        return result
 
     def _fused_op(self, obj, coordinator, op, meta: ColumnChunkMeta, type_, metrics) -> RemoteOp:
         """One fused filter+projection op on the node holding the chunk."""
@@ -977,6 +1102,7 @@ class FusionStore:
             return RemoteOp(standalone=degraded)
 
         def execute():
+            check_deadline(metrics, "fused chunk")
             data = yield from node.read_block_range(
                 loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
             )
@@ -1056,6 +1182,7 @@ class FusionStore:
             return RemoteOp(standalone=degraded)
 
         def execute():
+            check_deadline(metrics, "filter chunk")
             data = yield from node.read_block_range(
                 loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
             )
@@ -1113,12 +1240,25 @@ class FusionStore:
             obj.name, meta.key, "projection", self.config.pushdown_mode.value, decision
         )
 
-        if decision.push_down:
+        # Graceful degradation: when the holding node's service queue is
+        # already at its admission bound, override a pushdown decision
+        # and fetch the compressed chunk for coordinator-side evaluation
+        # instead — the node serves a plain read (no decode/scan burn).
+        pressured = decision.push_down and self._node_pressured(node)
+        if pressured:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "pushdown.pressure_fallback", cat="overload", node=node.node_id
+                )
+
+        if decision.push_down and not pressured:
             metrics.pushed_down_chunks += 1
             # Ship the bitmap with the op; receive selected raw values.
             bitmap_wire = Bitmap(bitmap).wire_size()
 
             def execute_pushed():
+                check_deadline(metrics, "projection chunk")
                 data = yield from node.read_block_range(
                     loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
                 )
@@ -1146,6 +1286,7 @@ class FusionStore:
         metrics.fallback_chunks += 1
 
         def execute_fetch():
+            check_deadline(metrics, "projection chunk")
             data = yield from node.read_block_range(
                 loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
             )
@@ -1248,6 +1389,7 @@ class FusionStore:
         bitmap_wire = Bitmap(bitmap).wire_size()
 
         def execute():
+            check_deadline(metrics, "aggregate chunk")
             data = yield from node.read_block_range(
                 loc.block_id, loc.offset_in_block, loc.size, self.config.size_scale, metrics
             )

@@ -258,6 +258,24 @@ class MetricsRegistry:
         self.counter(
             "repro_checksum_failures_total", "End-to-end checksum mismatches"
         ).inc(qm.checksum_failures)
+        self.counter(
+            "repro_requests_shed_total", "Queued requests evicted by admission control"
+        ).inc(qm.requests_shed)
+        self.counter(
+            "repro_requests_rejected_total", "Requests refused at a full admission queue"
+        ).inc(qm.requests_rejected)
+        self.counter(
+            "repro_deadline_exceeded_total", "Operations abandoned past their deadline"
+        ).inc(qm.deadline_exceeded)
+        self.counter(
+            "repro_breaker_open_total", "Circuit-breaker trips to open"
+        ).inc(qm.breaker_open_total)
+        self.counter(
+            "repro_partial_results_total", "Scan queries answered partially under shed"
+        ).inc(qm.partial_results)
+        self.counter(
+            "repro_cancellations_total", "In-flight child ops cancelled (not orphaned)"
+        ).inc(qm.cancellations)
 
     def record_repair(self, nbytes: int, blocks: int, seconds: float) -> None:
         """Fold one repair run's totals into the registry."""

@@ -1,0 +1,116 @@
+"""Deadline propagation: Put/Get/Query armed with a too-small budget must
+fail with the typed :class:`DeadlineExceeded` — not hang, not return
+garbage — and must leave nothing behind: the simulator heap drains to
+empty and every node resource is quiescent (no orphaned in-flight work,
+no parked waiters)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, QueryMetrics, Simulator
+from repro.core import BaselineStore, DeadlineExceeded, FusionStore, StoreConfig
+from repro.format import write_table
+from tests.conftest import make_small_table
+
+SQL = "SELECT id, price FROM tbl WHERE qty < 5"
+
+# Uncontended on this workload: query ~4-5 ms, get ~3-4 ms, put ~6-18 ms
+# of simulated time — every budget below guarantees expiry mid-flight.
+QUERY_DEADLINES = [1e-6, 1e-4, 1e-3]
+PUT_DEADLINES = [1e-6, 2e-3]
+
+
+def _system(store_cls):
+    """A loaded store with deadlines off (so the put succeeds)."""
+    table = make_small_table(num_rows=2500, seed=77)
+    data = write_table(table, row_group_rows=500)
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(num_nodes=12))
+    store = store_cls(
+        cluster,
+        StoreConfig(size_scale=50.0, storage_overhead_threshold=0.1, block_size=500_000),
+    )
+    store.put("tbl", data)
+    return store, cluster, sim, data
+
+
+def _assert_quiescent(sim, cluster):
+    """After the typed failure, the world must be clean: heap empty once
+    drained, and no resource still held or queued on any node."""
+    sim.run()
+    assert not sim._heap
+    for node in cluster.nodes:
+        for resource in (
+            node.cpu,
+            node.disk.device,
+            node.endpoint.egress,
+            node.endpoint.ingress,
+        ):
+            assert resource.in_use == 0
+            assert not resource._waiters
+
+
+@pytest.mark.parametrize("store_cls", [FusionStore, BaselineStore])
+@pytest.mark.parametrize("deadline_s", QUERY_DEADLINES)
+class TestQueryDeadline:
+    def test_query_raises_typed_and_drains(self, store_cls, deadline_s):
+        store, cluster, sim, _ = _system(store_cls)
+        store.config.default_deadline_s = deadline_s
+        metrics = QueryMetrics()
+        proc = sim.process(store.query_process(SQL, metrics))
+        with pytest.raises(DeadlineExceeded):
+            sim.run()
+        assert not proc.fired  # the query process never produced a value
+        _assert_quiescent(sim, cluster)
+        # The failure was counted on the query and rolled up cluster-wide.
+        assert metrics.deadline_exceeded == 1
+        assert cluster.metrics.deadline_exceeded == 1
+        assert metrics.end_time is not None
+
+    def test_store_remains_usable_after_deadline(self, store_cls, deadline_s):
+        store, cluster, sim, _ = _system(store_cls)
+        store.config.default_deadline_s = deadline_s
+        with pytest.raises(DeadlineExceeded):
+            store.query(SQL)
+        _assert_quiescent(sim, cluster)
+        # Lift the budget: the same store answers the same query correctly.
+        store.config.default_deadline_s = 0.0
+        result, _ = store.query(SQL)
+        assert result.matched_rows > 0
+
+
+@pytest.mark.parametrize("store_cls", [FusionStore, BaselineStore])
+class TestGetDeadline:
+    @pytest.mark.parametrize("deadline_s", QUERY_DEADLINES)
+    def test_get_raises_typed_and_drains(self, store_cls, deadline_s):
+        store, cluster, sim, _ = _system(store_cls)
+        store.config.default_deadline_s = deadline_s
+        with pytest.raises(DeadlineExceeded):
+            store.get("tbl")
+        _assert_quiescent(sim, cluster)
+
+    def test_parent_budget_propagates_to_get(self, store_cls):
+        """A Get delegated with the caller's metrics inherits the caller's
+        deadline rather than arming a fresh one."""
+        store, cluster, sim, _ = _system(store_cls)
+        store.config.default_deadline_s = 1e-4
+        metrics = QueryMetrics()
+        proc = sim.process(store.get_process("tbl", metrics))
+        with pytest.raises(DeadlineExceeded):
+            sim.run()
+        assert not proc.fired
+        assert metrics.deadline is not None
+        assert metrics.deadline_exceeded == 1
+        _assert_quiescent(sim, cluster)
+
+
+@pytest.mark.parametrize("store_cls", [FusionStore, BaselineStore])
+@pytest.mark.parametrize("deadline_s", PUT_DEADLINES)
+class TestPutDeadline:
+    def test_put_raises_typed_and_drains(self, store_cls, deadline_s):
+        store, cluster, sim, data = _system(store_cls)
+        store.config.default_deadline_s = deadline_s
+        with pytest.raises(DeadlineExceeded):
+            store.put("tbl2", data)
+        _assert_quiescent(sim, cluster)
+        # The half-written object is not visible.
+        assert "tbl2" not in getattr(store, "objects", {})
