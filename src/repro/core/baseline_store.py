@@ -458,7 +458,7 @@ class BaselineStore:
             self.config.enable_rpc_batching,
             config=self.config,
         )
-        return b"".join(bytes(p) for p in parts)
+        return b"".join(parts)
 
     def _fetch_fragment_op(self, obj, coordinator, block_index, offset, length, query) -> RemoteOp:
         """Op reading one block fragment on its node and shipping it back."""
@@ -783,10 +783,12 @@ class BaselineStore:
             cached = self._decode_cache.get(cache_key)
             if cached is None:
                 parts = [
-                    bytes(block_bytes[f.block_index][f.block_offset : f.block_offset + f.length])
+                    block_bytes[f.block_index][f.block_offset : f.block_offset + f.length]
                     for f in fragments
                 ]
-                cached = decode_column_chunk(b"".join(parts))
+                cached = decode_column_chunk(
+                    parts[0] if len(parts) == 1 else b"".join(parts)
+                )
                 self._decode_cache[cache_key] = cached
             yield from coordinator.compute(
                 coordinator.decode_seconds(meta.size, meta.plain_size, self.config.size_scale),
@@ -844,7 +846,9 @@ class BaselineStore:
             cache_key = (obj.name, rg, col)
             cached = self._decode_cache.get(cache_key)
             if cached is None:
-                cached = decode_column_chunk(b"".join(bytes(p) for p in parts))
+                cached = decode_column_chunk(
+                    parts[0] if len(parts) == 1 else b"".join(parts)
+                )
                 self._decode_cache[cache_key] = cached
             return cached
 

@@ -29,9 +29,11 @@ def chunk_checksum(data) -> int:
 
     CRC32 (zlib) standing in for CRC32C — same width and detection
     class; the hardware-accelerated polynomial is an implementation
-    detail the simulation does not model.
+    detail the simulation does not model.  ``data`` may be any
+    C-contiguous buffer (bytes, memoryview, uint8 array view); the CRC
+    runs directly over the view without copying.
     """
-    return zlib.crc32(bytes(data)) & 0xFFFFFFFF
+    return zlib.crc32(data) & 0xFFFFFFFF
 
 
 class ChecksumError(RuntimeError):

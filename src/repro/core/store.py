@@ -192,7 +192,7 @@ class FusionStore:
         key = (obj_name, meta.key)
         pages = self._page_index_cache.get(key)
         if pages is None:
-            pages = chunk_page_index(bytes(data))
+            pages = chunk_page_index(data)
             self._page_index_cache[key] = pages
         candidate = sum(
             p.num_values
@@ -205,7 +205,9 @@ class FusionStore:
         key = (obj_name, meta.key)
         cached = self._decode_cache.get(key)
         if cached is None:
-            cached = decode_column_chunk(bytes(data))
+            # The chunk view decodes in place; no bytes() copy on misses,
+            # and hits never touch the payload at all.
+            cached = decode_column_chunk(data)
             self._decode_cache[key] = cached
         return cached
 
@@ -613,8 +615,10 @@ class FusionStore:
             self.cluster, coordinator, fetch_ops, metrics, self.config.enable_rpc_batching, config=self.config
         )
         for start, payload in zip(fetch_starts, payloads):
-            parts.append((start, bytes(payload)))
+            parts.append((start, payload))
         parts.sort(key=lambda item: item[0])
+        # join() accepts buffer views directly; the single copy here is
+        # the only materialisation on the whole range-read path.
         return b"".join(p for _start, p in parts)
 
     def _fetch_chunk_range_op(

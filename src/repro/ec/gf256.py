@@ -119,6 +119,115 @@ def gf_addmul_bytes(acc: np.ndarray, coeff: int, data: np.ndarray) -> None:
     np.bitwise_xor(acc, _MUL[coeff][data], out=acc)
 
 
+#: Lazily-built 65536-entry lane tables for the whole-stripe matmul.  The
+#: key is a tuple of 1, 2, or up to 4 coefficients; entry ``v`` holds, in
+#: consecutive 16-bit lanes, the products of each coefficient with the
+#: little-endian byte *pair* ``v``.  Gathering pairs halves the element
+#: count versus a per-byte ``_MUL`` gather, and packing up to four output
+#: rows per lane-table means one gather feeds four parity shards at once
+#: (XOR lanes never carry into each other).  Encoding matrices contain a
+#: handful of distinct columns, so the cache stays tiny.
+_LANE_TABLES: dict[tuple[int, ...], np.ndarray] = {}
+
+_LANE_DTYPES = {1: np.uint16, 2: np.uint32, 3: np.uint64, 4: np.uint64}
+
+_LITTLE_ENDIAN = np.dtype(np.uint16).newbyteorder("=") == np.dtype("<u2")
+
+#: Byte-pairs per matmul tile (128 KiB of shard data).  Gathers are only
+#: fast while the 256-512 KiB lane table stays cache-resident; streaming
+#: whole multi-MB shards through one gather evicts it between lookups
+#: (measured ~3x slower at 4 MiB shards), so the product is computed in
+#: column tiles whose index/accumulator working set fits alongside it.
+_TILE_PAIRS = 1 << 16
+
+
+def _lane_table(coeffs: tuple[int, ...]) -> np.ndarray:
+    table = _LANE_TABLES.get(coeffs)
+    if table is None:
+        dtype = _LANE_DTYPES[len(coeffs)]
+        table = np.zeros(FIELD_SIZE * FIELD_SIZE, dtype=dtype)
+        for lane, coeff in enumerate(coeffs):
+            row = _MUL[coeff].astype(np.uint16)
+            pair = np.tile(row, FIELD_SIZE) | (np.repeat(row, FIELD_SIZE) << 8)
+            table |= pair.astype(dtype) << dtype(16 * lane)
+        _LANE_TABLES[coeffs] = table
+    return table
+
+
+def gf_matmul_blocks(matrix: np.ndarray, blocks: np.ndarray) -> np.ndarray:
+    """GF(2^8) product of a small coefficient matrix with a block matrix.
+
+    ``matrix`` is ``(r, k)`` uint8 coefficients and ``blocks`` a ``(k, L)``
+    uint8 matrix whose rows are whole shards.  Returns the ``(r, L)``
+    product.  This is the Reed-Solomon inner loop: output rows are
+    produced in groups of up to four, each group accumulated with one
+    lane-table gather per input shard over uint16 byte-pairs.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    blocks = np.ascontiguousarray(blocks, dtype=np.uint8)
+    if matrix.ndim != 2 or blocks.ndim != 2 or matrix.shape[1] != blocks.shape[0]:
+        raise ValueError(f"shape mismatch: {matrix.shape} @ {blocks.shape}")
+    r, k = matrix.shape
+    L = blocks.shape[1]
+    if r == 0 or L == 0:
+        return np.zeros((r, L), dtype=np.uint8)
+    if not _LITTLE_ENDIAN:
+        return gf_matmul(matrix, blocks)
+    if L & 1:
+        work = np.zeros((k, L + 1), dtype=np.uint8)
+        work[:, :L] = blocks
+    else:
+        work = blocks
+    pairs = work.view(np.uint16)
+    half = pairs.shape[1]
+    out = np.empty((r, half), dtype=np.uint16)
+    # Rows whose coefficients are all 0/1 (the all-ones Cauchy parity row,
+    # identity-derived inverse rows) need no gathers at all — just XOR.
+    xor_rows = [i for i in range(r) if int(matrix[i].max(initial=0)) <= 1]
+    dense_rows = [i for i in range(r) if int(matrix[i].max(initial=0)) > 1]
+    for i in xor_rows:
+        acc16 = np.zeros(half, dtype=np.uint16)
+        for j in range(k):
+            if matrix[i, j]:
+                acc16 ^= pairs[j]
+        out[i] = acc16
+    # Dense rows go in groups of up to 4 lanes; lane tables are resolved
+    # once per (group, shard) up front, then the product runs tile by
+    # tile so tables and accumulators stay cache-resident.  Gather
+    # indices are cast to intp once per shard per tile and shared by
+    # every group (numpy would otherwise re-cast per gather).
+    groups: list[tuple[list[int], list[np.ndarray | None]]] = []
+    for base in range(0, len(dense_rows), 4):
+        group = dense_rows[base : base + 4]
+        tables: list[np.ndarray | None] = []
+        for j in range(k):
+            coeffs = tuple(int(matrix[i, j]) for i in group)
+            tables.append(_lane_table(coeffs) if any(coeffs) else None)
+        groups.append((group, tables))
+    indices: list[np.ndarray | None] = [None] * k
+    for lo in range(0, half, _TILE_PAIRS):
+        hi = min(lo + _TILE_PAIRS, half)
+        for j in range(k):
+            indices[j] = None
+        for group, tables in groups:
+            acc = np.zeros(hi - lo, dtype=_LANE_DTYPES[len(group)])
+            for j in range(k):
+                table = tables[j]
+                if table is None:
+                    continue
+                idx = indices[j]
+                if idx is None:
+                    idx = indices[j] = pairs[j, lo:hi].astype(np.intp)
+                acc ^= np.take(table, idx)
+            if len(group) == 1:
+                out[group[0], lo:hi] = acc
+            else:
+                for lane, i in enumerate(group):
+                    out[i, lo:hi] = (acc >> acc.dtype.type(16 * lane)).astype(np.uint16)
+    result = out.view(np.uint8)[:, :L]
+    return result if result.flags.c_contiguous else np.ascontiguousarray(result)
+
+
 def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Matrix product of two GF(2^8) matrices given as uint8 2-D arrays."""
     if a.shape[1] != b.shape[0]:

@@ -2,10 +2,10 @@
 
 An ``(n, k)`` systematic code stores the ``k`` original data blocks in
 plaintext and adds ``n - k`` parity blocks, tolerating the loss of any
-``n - k`` blocks.  The encoding matrix is built from a Vandermonde matrix
-that is row-reduced so that its top ``k x k`` submatrix is the identity —
-the standard construction used by production coders (Jerasure, ISA-L),
-which guarantees every ``k x k`` submatrix used in recovery is invertible.
+``n - k`` blocks.  The encoding matrix is a systematic normalized Cauchy
+matrix — the construction used by production coders (Jerasure, ISA-L) —
+which guarantees every ``k x k`` submatrix used in recovery is invertible
+and makes the first parity row a plain XOR of the data blocks.
 
 The coder operates on equal-length uint8 blocks; callers that need
 variable-sized blocks (Fusion stripes) pad to the maximum block size via
@@ -28,18 +28,36 @@ class DecodeError(Exception):
 def build_encoding_matrix(n: int, k: int) -> np.ndarray:
     """Return the ``n x k`` systematic encoding matrix for an (n, k) code.
 
-    The first ``k`` rows form the identity; the remaining ``n - k`` rows are
-    the parity coefficients.
+    The first ``k`` rows form the identity; the remaining ``n - k`` rows
+    are the parity coefficients of a *normalized Cauchy* matrix (the
+    ISA-L ``gf_gen_cauchy1``-style construction): every square submatrix
+    of a Cauchy matrix is nonsingular, and diagonal row/column scaling
+    preserves that, so the code is MDS.  Normalizing the first parity
+    row to all ones makes the first parity shard a plain XOR of the data
+    shards (RAID-5-compatible), which both encoding and single-loss
+    recovery exploit as a gather-free fast path.
     """
     if not (0 < k < n):
         raise ValueError(f"invalid code parameters (n={n}, k={k})")
     if n > gf256.FIELD_SIZE:
         raise ValueError(f"n={n} exceeds GF(2^8) field size")
-    vander = gf256.gf_vandermonde(n, k)
-    # Row-reduce so the top k x k block becomes the identity.  Column
-    # operations preserve the MDS property.
-    top_inv = gf256.gf_mat_inv(vander[:k, :k])
-    return gf256.gf_matmul(vander, top_inv)
+    r = n - k
+    cauchy = np.zeros((r, k), dtype=np.uint8)
+    for i in range(r):
+        for j in range(k):
+            cauchy[i, j] = gf256.gf_inv(i ^ (r + j))
+    # Scale each row so column 0 is all ones, then each column so row 0
+    # is all ones (column 0 stays ones because entry (0, 0) is then 1).
+    for i in range(r):
+        cauchy[i] = gf256.gf_mul_bytes(gf256.gf_inv(int(cauchy[i, 0])), cauchy[i])
+    for j in range(k):
+        scale = gf256.gf_inv(int(cauchy[0, j]))
+        for i in range(r):
+            cauchy[i, j] = gf256.gf_mul(scale, int(cauchy[i, j]))
+    out = np.zeros((n, k), dtype=np.uint8)
+    out[:k] = np.eye(k, dtype=np.uint8)
+    out[k:] = cauchy
+    return out
 
 
 @dataclass(frozen=True)
@@ -97,35 +115,43 @@ class ReedSolomon:
             self._inversion_cache[rows] = inv
         return inv
 
-    def encode(self, data_blocks: list[np.ndarray]) -> list[np.ndarray]:
+    def encode(self, data_blocks: list[np.ndarray] | np.ndarray) -> list[np.ndarray]:
         """Compute the ``n - k`` parity blocks for ``k`` equal-sized blocks.
 
-        Returns only the parity blocks; the data blocks are stored verbatim
-        (the code is systematic).
+        ``data_blocks`` may be a list of ``k`` equal-sized uint8 arrays or
+        an already-stacked ``(k, size)`` matrix (the stripe layer builds
+        the padded matrix directly to avoid one copy).  Returns only the
+        parity blocks; the data blocks are stored verbatim (the code is
+        systematic).  All parity for the stripe is produced by a single
+        GF(2^8) matrix product over the whole stacked stripe.
         """
         k = self.params.k
-        if len(data_blocks) != k:
-            raise ValueError(f"expected {k} data blocks, got {len(data_blocks)}")
-        sizes = {block.size for block in data_blocks}
-        if len(sizes) != 1:
-            raise ValueError(f"data blocks must be equal-sized, got sizes {sorted(sizes)}")
-        blocks = [np.ascontiguousarray(b, dtype=np.uint8) for b in data_blocks]
-        size = blocks[0].size
-
-        parities = []
-        for row in range(k, self.params.n):
-            acc = np.zeros(size, dtype=np.uint8)
-            for col in range(k):
-                gf256.gf_addmul_bytes(acc, int(self.matrix[row, col]), blocks[col])
-            parities.append(acc)
-        return parities
+        if isinstance(data_blocks, np.ndarray) and data_blocks.ndim == 2:
+            if data_blocks.shape[0] != k:
+                raise ValueError(f"expected {k} data blocks, got {data_blocks.shape[0]}")
+            stacked = np.ascontiguousarray(data_blocks, dtype=np.uint8)
+        else:
+            if len(data_blocks) != k:
+                raise ValueError(f"expected {k} data blocks, got {len(data_blocks)}")
+            sizes = {block.size for block in data_blocks}
+            if len(sizes) != 1:
+                raise ValueError(f"data blocks must be equal-sized, got sizes {sorted(sizes)}")
+            stacked = np.empty((k, data_blocks[0].size), dtype=np.uint8)
+            for i, block in enumerate(data_blocks):
+                stacked[i] = block
+        parity = gf256.gf_matmul_blocks(self.matrix[k:], stacked)
+        return [parity[i] for i in range(self.params.parity)]
 
     def decode(self, shards: list[np.ndarray | None]) -> list[np.ndarray]:
         """Reconstruct the ``k`` data blocks from any ``k`` surviving shards.
 
         ``shards`` is the full stripe in index order (data blocks first, then
         parity); missing blocks are ``None``.  Returns the ``k`` recovered
-        data blocks.
+        data blocks.  Only the *missing* data rows are recomputed (one
+        matrix product of the relevant inverse rows against the stacked
+        survivors); surviving data blocks pass through untouched, so a
+        single-shard repair does ~k× less field arithmetic than a full
+        stripe re-solve.
         """
         n, k = self.params.n, self.params.k
         if len(shards) != n:
@@ -144,13 +170,19 @@ class ReedSolomon:
         rows = tuple(present[:k])
         inv = self._recovery_matrix(rows)
         size = shards[rows[0]].size  # type: ignore[union-attr]
+        survivors = np.empty((k, size), dtype=np.uint8)
+        for j, shard_idx in enumerate(rows):
+            survivors[j] = shards[shard_idx]
+        missing = [i for i in range(k) if shards[i] is None]
+        recovered = gf256.gf_matmul_blocks(inv[missing, :], survivors)
         out: list[np.ndarray] = []
-        for data_idx in range(k):
-            acc = np.zeros(size, dtype=np.uint8)
-            for j, shard_idx in enumerate(rows):
-                shard = np.ascontiguousarray(shards[shard_idx], dtype=np.uint8)
-                gf256.gf_addmul_bytes(acc, int(inv[data_idx, j]), shard)
-            out.append(acc)
+        cursor = 0
+        for i in range(k):
+            if shards[i] is None:
+                out.append(recovered[cursor])
+                cursor += 1
+            else:
+                out.append(np.ascontiguousarray(shards[i], dtype=np.uint8))
         return out
 
     def verify(self, shards: list[np.ndarray]) -> bool:

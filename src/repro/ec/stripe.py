@@ -112,8 +112,12 @@ def encode_stripe(params: CodeParams, data_blocks: list[np.ndarray]) -> EncodedS
     max_size = max(b.size for b in blocks)
     if max_size == 0:
         raise ValueError("stripe data blocks are all empty")
-    padded = [_pad_to(b, max_size) for b in blocks]
-    parity = get_coder(params).encode(padded)
+    # Build the zero-padded (k, max_size) stripe matrix directly so the
+    # coder runs one whole-stripe matmul without re-stacking per block.
+    stacked = np.zeros((params.k, max_size), dtype=np.uint8)
+    for i, block in enumerate(blocks):
+        stacked[i, : block.size] = block
+    parity = get_coder(params).encode(stacked)
     return EncodedStripe(params=params, data_blocks=blocks, parity_blocks=parity)
 
 

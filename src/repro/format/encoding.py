@@ -34,15 +34,139 @@ BITPACK = "bitpack"
 # ---------------------------------------------------------------------------
 
 
+def _encode_plain_strings(values: np.ndarray) -> bytes:
+    """Vectorized length-prefixed UTF-8 string encoding.
+
+    One ``"\\x00".join`` + ``encode`` pass yields the payload with NUL
+    separators marking the string boundaries, so the per-string byte
+    lengths fall out of one vectorized separator scan — no per-value
+    ``len``/``encode`` calls.  Prefixes and payload are then scattered
+    through a run-length boolean mask.  Strings containing NUL bytes
+    (which would alias the separators) take the scalar path.
+    """
+    n = len(values)
+    if n == 0:
+        return b""
+    sep_blob = "\x00".join(values).encode("utf-8")
+    sbarr = np.frombuffer(sep_blob, dtype=np.uint8)
+    seps = np.flatnonzero(sbarr == 0)
+    if len(seps) != n - 1:
+        from repro.format import _reference
+
+        return _reference.encode_plain_strings(values)
+    lens = np.diff(np.concatenate(([-1], seps, [len(sbarr)]))) - 1
+    total = 4 * n + len(sbarr) - (n - 1)
+    out = np.empty(total, dtype=np.uint8)
+    counts = np.empty(2 * n, dtype=np.int64)
+    counts[0::2] = 4
+    counts[1::2] = lens
+    flags = np.zeros(2 * n, dtype=bool)
+    flags[1::2] = True
+    payload_mask = np.repeat(flags, counts)
+    out[~payload_mask] = lens.astype("<u4").view(np.uint8)
+    out[payload_mask] = sbarr[sbarr != 0] if n > 1 else sbarr
+    return out.tobytes()
+
+
+def _chain_string_starts(arr: np.ndarray, count: int):
+    """Record-start offsets of ``count`` length-prefixed strings, vectorized.
+
+    The length prefix of a string shorter than 256 bytes is
+    ``[L, 0, 0, 0]``, so every record start is followed by three zero
+    bytes.  Candidate starts are found with one vectorized compare, the
+    successor of each candidate (``start + 4 + length``) is mapped back
+    into the candidate list, and the true record chain is enumerated
+    from offset 0 by pointer doubling — O(log n) gather passes instead
+    of a serial byte walk.  Extra candidates (payload zeros) are
+    harmless; a candidate miss (a ≥256-byte string, truncation) returns
+    None and the caller falls back to the scalar walk, so this is an
+    exact fast path, not a heuristic.
+    """
+    total = arr.size
+    if total < 4 or arr[1] or arr[2] or arr[3]:
+        return None
+    z = arr == 0
+    cand = np.flatnonzero(z[1 : total - 2] & z[2 : total - 1] & z[3:total])
+    m = cand.size
+    if m < count or m > 4 * count + 64:
+        return None
+    lens = arr[cand].astype(np.int64)
+    succ = cand + 4 + lens
+    nxt = np.searchsorted(cand, succ)
+    ok = nxt < m
+    ok &= cand[np.where(ok, nxt, 0)] == succ
+    jump = np.concatenate((np.where(ok, nxt, m), [m]))
+    idxs = np.empty(count, dtype=np.int64)
+    idxs[0] = 0
+    filled = 1
+    step = jump
+    while filled < count:
+        take = min(filled, count - filled)
+        idxs[filled : filled + take] = step[idxs[:take]]
+        filled += take
+        if filled < count:
+            step = step[step]
+    if int(idxs.max()) >= m:
+        return None
+    starts = cand[idxs]
+    used = int(starts[-1] + 4 + lens[idxs[-1]])
+    if used > total:
+        return None
+    return starts, lens[idxs], used
+
+
+def _decode_plain_strings_scalar(buf, count: int) -> np.ndarray:
+    """Serial-walk fallback for streams the vectorized path declines
+    (strings ≥256 bytes, NUL-byte payloads, corruption)."""
+    out = np.empty(count, dtype=object)
+    pos = 0
+    for i in range(count):
+        (length,) = struct.unpack_from("<I", buf, pos)
+        pos += 4
+        out[i] = bytes(buf[pos : pos + length]).decode("utf-8")
+        pos += length
+    return out
+
+
+def _decode_plain_strings(data, count: int) -> np.ndarray:
+    """Vectorized inverse of :func:`_encode_plain_strings`.
+
+    Record starts come from :func:`_chain_string_starts`; the prefixes
+    are then masked out, NUL separators are scattered between the
+    payloads, and the whole buffer is decoded once and ``str.split`` on
+    the separator — two C passes instead of ``count`` per-string
+    decodes.  Accepts any byte buffer (bytes, memoryview, uint8 view).
+    """
+    out = np.empty(count, dtype=object)
+    if count == 0:
+        return out
+    arr = np.frombuffer(data, dtype=np.uint8)
+    chained = _chain_string_starts(arr, count)
+    if chained is None:
+        return _decode_plain_strings_scalar(
+            data if isinstance(data, (bytes, bytearray)) else memoryview(data), count
+        )
+    starts, lens, used = chained
+    payload_mask = np.ones(used, dtype=bool)
+    payload_mask[(starts[:, None] + np.arange(4)).reshape(-1)] = False
+    payload = arr[:used][payload_mask]
+    if not payload.all():  # NUL bytes in payload would alias the separators
+        return _decode_plain_strings_scalar(
+            data if isinstance(data, (bytes, bytearray)) else memoryview(data), count
+        )
+    spaced = np.zeros(len(payload) + count - 1, dtype=np.uint8)
+    spaced_mask = np.ones(len(spaced), dtype=bool)
+    spaced_mask[np.cumsum(lens[:-1] + 1) - 1] = False  # separator slots
+    spaced[spaced_mask] = payload
+    parts = spaced.tobytes().decode("utf-8").split("\x00")
+    out[:] = parts
+    return out
+
+
 def encode_plain(type_: ColumnType, values: np.ndarray) -> bytes:
     """Encode values in plain form (the uncompressed representation)."""
     if type_ is ColumnType.STRING:
-        parts = []
-        for v in values:
-            raw = v.encode("utf-8")
-            parts.append(struct.pack("<I", len(raw)))
-            parts.append(raw)
-        return b"".join(parts)
+        return _encode_plain_strings(values)
     dtype = type_.numpy_dtype
     if type_ is ColumnType.BOOL:
         return np.asarray(values, dtype=np.uint8).tobytes()
@@ -50,16 +174,11 @@ def encode_plain(type_: ColumnType, values: np.ndarray) -> bytes:
 
 
 def decode_plain(type_: ColumnType, data: bytes, count: int) -> np.ndarray:
-    """Inverse of :func:`encode_plain`."""
+    """Inverse of :func:`encode_plain`.  ``data`` may be any C-contiguous
+    buffer (``bytes``, ``memoryview``, uint8 array): the store's zero-copy
+    read path passes block views straight through."""
     if type_ is ColumnType.STRING:
-        out = np.empty(count, dtype=object)
-        pos = 0
-        for i in range(count):
-            (length,) = struct.unpack_from("<I", data, pos)
-            pos += 4
-            out[i] = data[pos : pos + length].decode("utf-8")
-            pos += length
-        return out
+        return _decode_plain_strings(data, count)
     if type_ is ColumnType.BOOL:
         return np.frombuffer(data, dtype=np.uint8, count=count).astype(np.bool_)
     dtype = np.dtype(type_.numpy_dtype).newbyteorder("<")
@@ -140,8 +259,70 @@ def bitpack_decode(data: bytes, bit_width: int, count: int) -> np.ndarray:
 # ---------------------------------------------------------------------------
 
 
+def encode_varint_array(values: np.ndarray) -> np.ndarray:
+    """ULEB128-encode a whole array of non-negative ints in one pass.
+
+    Byte counts come from threshold comparisons, byte positions from a
+    cumsum, and every output byte is computed by one vectorized
+    shift/mask over a ``repeat``-expanded value array.  Byte-identical
+    to concatenating :func:`encode_varint` of each value.
+    """
+    values = values.astype(np.uint64)
+    n = len(values)
+    if n == 0:
+        return np.zeros(0, dtype=np.uint8)
+    max_bits = int(values.max()).bit_length()
+    if max_bits <= 7:
+        # Common case (small run lengths and dictionary codes): every
+        # varint is a single byte, so the encoding is a plain narrowing.
+        return values.astype(np.uint8)
+    nbytes = np.ones(n, dtype=np.int64)
+    for shift in range(7, max_bits, 7):
+        nbytes += values >= (np.uint64(1) << np.uint64(shift))
+    offsets = np.concatenate(([0], np.cumsum(nbytes)))
+    total = int(offsets[-1])
+    owner = np.repeat(np.arange(n, dtype=np.int64), nbytes)
+    rank = (np.arange(total, dtype=np.int64) - offsets[owner]).astype(np.uint64)
+    out = ((values[owner] >> (np.uint64(7) * rank)) & np.uint64(0x7F)).astype(np.uint8)
+    out[rank < (nbytes[owner] - 1).astype(np.uint64)] |= 0x80
+    return out
+
+
+def decode_varint_stream(data: np.ndarray) -> np.ndarray:
+    """Decode every complete ULEB128 varint in ``data`` (a uint8 array).
+
+    Varint boundaries are the bytes with the continuation bit clear;
+    each group's bytes are combined with one shifted-accumulate via
+    ``np.add.reduceat``.  Trailing bytes after the last terminator are
+    ignored (an incomplete varint), matching the scalar parser's
+    stop-on-demand behaviour.
+    """
+    if data.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if int(data.max()) < 0x80:
+        # No continuation bits anywhere: the stream is its own decoding.
+        return data.astype(np.int64)
+    ends = np.flatnonzero(data < 0x80)
+    if len(ends) == 0:
+        return np.zeros(0, dtype=np.int64)
+    used = int(ends[-1]) + 1
+    starts = np.empty(len(ends), dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    if int((ends - starts).max()) >= 10:
+        raise ValueError("varint too long")
+    rank = np.arange(used, dtype=np.int64) - np.repeat(starts, ends - starts + 1)
+    contrib = (data[:used].astype(np.int64) & 0x7F) << (7 * rank)
+    return np.add.reduceat(contrib, starts)
+
+
 def rle_encode(codes: np.ndarray) -> bytes:
-    """Run-length encode integer codes as (varint length, varint value) pairs."""
+    """Run-length encode integer codes as (varint length, varint value) pairs.
+
+    Runs are found with one ``np.diff`` boundary scan and both varint
+    columns are emitted by a single batched varint pass — no per-run
+    Python loop.
+    """
     codes = np.asarray(codes, dtype=np.int64)
     if len(codes) == 0:
         return b""
@@ -150,26 +331,31 @@ def rle_encode(codes: np.ndarray) -> bytes:
     boundaries = np.flatnonzero(np.diff(codes)) + 1
     starts = np.concatenate(([0], boundaries))
     ends = np.concatenate((boundaries, [len(codes)]))
-    out = bytearray()
-    for s, e in zip(starts, ends):
-        out += encode_varint(int(e - s))
-        out += encode_varint(int(codes[s]))
-    return bytes(out)
+    pairs = np.empty(2 * len(starts), dtype=np.int64)
+    pairs[0::2] = ends - starts
+    pairs[1::2] = codes[starts]
+    return encode_varint_array(pairs).tobytes()
 
 
-def rle_decode(data: bytes, count: int) -> np.ndarray:
-    """Inverse of :func:`rle_encode`."""
-    out = np.empty(count, dtype=np.int64)
-    pos = 0
-    filled = 0
-    while filled < count:
-        run, pos = decode_varint(data, pos)
-        value, pos = decode_varint(data, pos)
-        out[filled : filled + run] = value
-        filled += run
+def rle_decode(data, count: int) -> np.ndarray:
+    """Inverse of :func:`rle_encode`; accepts any byte buffer."""
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    arr = np.frombuffer(data, dtype=np.uint8)
+    pairs = decode_varint_stream(arr)
+    runs = pairs[0::2]
+    values = pairs[1 : 2 * len(runs) : 2]
+    if len(values) < len(runs):
+        runs = runs[:-1]  # trailing run length without its value
+    total = np.cumsum(runs)
+    stop = int(np.searchsorted(total, count, side="left"))
+    if stop >= len(total):
+        filled = int(total[-1]) if len(total) else 0
+        raise ValueError(f"RLE stream decoded {filled} values, expected {count}")
+    filled = int(total[stop])
     if filled != count:
         raise ValueError(f"RLE stream decoded {filled} values, expected {count}")
-    return out
+    return np.repeat(values[: stop + 1], runs[: stop + 1])
 
 
 # ---------------------------------------------------------------------------
@@ -211,7 +397,14 @@ def decode_index_stream(data: bytes, bit_width: int, count: int) -> np.ndarray:
 
 
 def build_dictionary(type_: ColumnType, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Return ``(unique_values, codes)`` with uniques in first-appearance order."""
+    """Return ``(unique_values, codes)`` with uniques in first-appearance order.
+
+    The string path intentionally stays a hash-map loop: a single-pass
+    C dict probe is O(n) and beats every sort-based numpy formulation
+    (``np.unique`` over fixed-width 'U' arrays) on the short, repetitive
+    strings dictionary encoding targets.  The downstream index-stream
+    emission is what's vectorized (:func:`rle_encode` / bit-packing).
+    """
     if type_ is ColumnType.STRING:
         mapping: dict[str, int] = {}
         codes = np.empty(len(values), dtype=np.int64)

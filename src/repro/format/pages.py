@@ -90,6 +90,19 @@ class PageInfo:
 _MAX_STRING_STAT = 32
 
 
+def _as_buffer(data):
+    """Normalize chunk bytes to a zero-copy buffer with int indexing.
+
+    The store's read path hands us uint8 array views over stripe blocks;
+    indexing those yields numpy scalars whose fixed-width shifts would
+    corrupt varint decoding, so anything that is not already ``bytes``
+    is wrapped in a flat ``memoryview`` (no copy) instead.
+    """
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return data
+    return memoryview(data).cast("B")
+
+
 def _encode_page_stats(type_: ColumnType, values: np.ndarray) -> bytes:
     """Serialise min/max stats for one page (1 flag byte + payload)."""
     if len(values) == 0:
@@ -118,10 +131,10 @@ def _decode_page_stats(type_: ColumnType, data: bytes, pos: int):
         return None, None, pos
     if type_ is ColumnType.STRING:
         lo_len, pos = enc.decode_varint(data, pos)
-        lo = data[pos : pos + lo_len].decode("utf-8")
+        lo = bytes(data[pos : pos + lo_len]).decode("utf-8")
         pos += lo_len
         hi_len, pos = enc.decode_varint(data, pos)
-        hi = data[pos : pos + hi_len].decode("utf-8")
+        hi = bytes(data[pos : pos + hi_len]).decode("utf-8")
         pos += hi_len
         return lo, hi, pos
     width = type_.fixed_width or 0
@@ -215,8 +228,14 @@ def _paginate(num_values: int, page_values: int) -> list[tuple[int, int]]:
     ]
 
 
-def decode_column_chunk(data: bytes) -> np.ndarray:
-    """Decode a self-contained chunk back to its value array."""
+def decode_column_chunk(data) -> np.ndarray:
+    """Decode a self-contained chunk back to its value array.
+
+    ``data`` may be ``bytes`` or any C-contiguous buffer (``memoryview``,
+    uint8 array view): page payloads are sliced as views and handed to
+    the codec without copying.
+    """
+    data = _as_buffer(data)
     type_ = _TYPES_BY_ID[data[0]]
     codec = get_codec(_CODECS_BY_ID[data[1]])
     encoding_name = _ENCODINGS_BY_ID[data[2]]
@@ -264,12 +283,14 @@ def chunk_type(data: bytes) -> ColumnType:
     return _TYPES_BY_ID[data[0]]
 
 
-def chunk_page_index(data: bytes) -> list[PageInfo]:
+def chunk_page_index(data) -> list[PageInfo]:
     """Read the chunk's page headers and stats without decompressing.
 
     This is what a storage node consults to skip pages whose min/max
     stats cannot satisfy a filter (Parquet's page-index pruning).
+    Accepts the same buffer types as :func:`decode_column_chunk`.
     """
+    data = _as_buffer(data)
     type_ = _TYPES_BY_ID[data[0]]
     encoding_name = _ENCODINGS_BY_ID[data[2]]
     pos = 3

@@ -14,8 +14,13 @@ import numpy as np
 
 from repro.format.compression import get_codec
 
-#: Codec used for bitmaps on the wire (the paper uses Snappy).
-BITMAP_CODEC = "snappy"
+#: Codec used for bitmaps on the wire (the paper uses Snappy).  The
+#: greedy tokeniser is pinned here: packed bitmaps are small and
+#: run-structured, where the exhaustive greedy walk compresses tighter
+#: than the sampled vectorized matcher, and the resulting wire sizes
+#: feed the simulated network model so they must stay stable across
+#: compressor heuristics.
+BITMAP_CODEC = "snappy-greedy"
 
 
 class Bitmap:

@@ -16,7 +16,7 @@ from repro.format.compression import (
 
 class TestRegistry:
     def test_known_codecs(self):
-        assert set(codec_names()) == {"none", "zlib", "snappy"}
+        assert set(codec_names()) == {"none", "zlib", "snappy", "snappy-greedy"}
 
     def test_default_exists(self):
         assert DEFAULT_CODEC in codec_names()
