@@ -1,0 +1,220 @@
+"""Membership-chaos benchmark: mid-workload join + drain with rebalance.
+
+Drives the interleaved TPC-H Q1 + taxi Q3 workload through Fusion and
+the baseline (both with ``membership_enabled=True``) while a scripted
+:class:`FaultInjector` joins a new node ~25% into the run and drains a
+data-holding node ~45% in; a background driver runs the
+:class:`Rebalancer` until placement converges to the hash ring.  Writes
+``BENCH_membership.json`` with availability, rebalance traffic,
+convergence time and the latency penalty for both systems.
+
+Acceptance (exit 1 on failure): every query completes (availability
+1.0), churned results are bit-identical to a churn-free run, placement
+converges to the ring within a bounded multiple of the calibrated
+wall-clock, the drained node ends empty and removable, fsck is clean
+afterwards, and rebalance traffic is accounted separately from repair
+(zero repair bytes) and query traffic.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/membership_bench.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.bench.experiments import dataset, dataset_scale
+from repro.bench.harness import WorkloadStats, build_system, run_workload
+from repro.cluster.faults import FaultEvent, FaultInjector
+from repro.core.config import StoreConfig
+from repro.core.fsck import fsck
+from repro.core.rebalance import Rebalancer
+from repro.workloads import real_world_queries
+
+NUM_CLIENTS = 10
+NUM_QUERIES = 40
+JOIN_FRACTION = 0.25  # of the churn-free run's wall-clock
+DRAIN_FRACTION = 0.45
+# Convergence is dominated by the bytes moved, so the ceiling is a
+# multiple of the serial single-link transfer time for the migrated
+# volume, plus one calibrated workload wall for scheduling slack.
+CONVERGENCE_BOUND = 5.0
+FAULT_SEED = 13
+
+
+def _workload_sqls() -> dict[str, str]:
+    _ldata, ltable = dataset("lineitem")
+    _tdata, ttable = dataset("taxi")
+    queries = {q.name: q for q in real_world_queries(ltable, ttable)}
+    return {"tpch_q1": queries["Q1"].sql, "taxi_q3": queries["Q3"].sql}
+
+
+def _build(kind: str):
+    ldata, _lt = dataset("lineitem")
+    tdata, _tt = dataset("taxi")
+    cfg = StoreConfig(
+        size_scale=dataset_scale("lineitem"), membership_enabled=True
+    )
+    return build_system(kind, {"lineitem": ldata, "taxi": tdata}, store_config=cfg)
+
+
+def _run(kind: str, churn_after_s: float | None, clients: int, queries: int):
+    """One workload run; ``churn_after_s`` schedules a join and a drain
+    that far into it, plus a background rebalance driver (None =
+    churn-free).  Returns (stats, system, rebalancer, victim, drain_at)."""
+    system = _build(kind)
+    rb = Rebalancer(system.store)
+    victim = None
+    drain_at = None
+    if churn_after_s is not None:
+        cluster = system.cluster
+        victim = next(n.node_id for n in cluster.nodes if n.stored_bytes)
+        now = system.sim.now
+        join_at = now + JOIN_FRACTION / DRAIN_FRACTION * churn_after_s
+        drain_at = now + churn_after_s
+        FaultInjector(
+            cluster,
+            [
+                FaultEvent(at=join_at, kind="join", node_id=-1),
+                FaultEvent(at=drain_at, kind="drain", node_id=victim),
+            ],
+            seed=FAULT_SEED,
+        ).install()
+
+        churn_end = drain_at + 0.1 * churn_after_s
+        interval = max(churn_after_s / 10.0, 1e-3)
+
+        def driver():
+            while system.sim.now < churn_end:
+                yield system.sim.timeout(interval)
+                if rb.misplaced() or cluster.migrations:
+                    yield from rb.rebalance_process()
+            for _ in range(50):  # bounded: one pass normally suffices
+                if rb.converged():
+                    break
+                yield from rb.rebalance_process()
+                yield system.sim.timeout(interval)
+
+        system.sim.process(driver())
+    sqls = list(_workload_sqls().values())
+    stats = run_workload(system, sqls, num_clients=clients, num_queries=queries)
+    return stats, system, rb, victim, drain_at
+
+
+def _summarise(stats: WorkloadStats) -> dict:
+    return {
+        "mean_latency_s": stats.mean_latency(),
+        "p50_latency_s": stats.p50(),
+        "p99_latency_s": stats.p99(),
+        "network_bytes": stats.network_bytes,
+        "num_queries": len(stats.metrics),
+        "retries": sum(qm.retries for qm in stats.metrics),
+        "timeouts": sum(qm.timeouts for qm in stats.metrics),
+        "degraded_reads": sum(qm.degraded_reads for qm in stats.metrics),
+    }
+
+
+def main(out_path: str = "BENCH_membership.json") -> None:
+    report: dict = {
+        "benchmark": "membership",
+        "workload": _workload_sqls(),
+        "clients": NUM_CLIENTS,
+        "queries_per_run": NUM_QUERIES,
+        "join_fraction_of_churn_free_run": JOIN_FRACTION,
+        "drain_fraction_of_churn_free_run": DRAIN_FRACTION,
+        "convergence_bound_x_transfer_floor": CONVERGENCE_BOUND,
+        "fault_seed": FAULT_SEED,
+        "systems": {},
+    }
+    ok = True
+    for kind in ("fusion", "baseline"):
+        nofault, _s0, _rb0, _, _ = _run(kind, None, NUM_CLIENTS, NUM_QUERIES)
+        churn_after = DRAIN_FRACTION * nofault.wall_seconds
+        churned, system, rb, victim, drain_at = _run(
+            kind, churn_after, NUM_CLIENTS, NUM_QUERIES
+        )
+        availability = len(churned.metrics) / NUM_QUERIES
+        convergence_s = max(0.0, system.sim.now - drain_at)
+
+        # Correctness: completion order under 10 clients differs between
+        # runs, so bit-identity is checked on a sequential pair (issue
+        # order == completion order) with the churn scaled to its run.
+        seq_ref, _s1, _r1, _, _ = _run(kind, None, 1, 8)
+        seq_churn, _s2, _r2, _, _ = _run(
+            kind, DRAIN_FRACTION * seq_ref.wall_seconds, 1, 8
+        )
+        identical = all(
+            a.equals(b) for a, b in zip(seq_ref.results, seq_churn.results)
+        ) and len(seq_ref.results) == len(seq_churn.results)
+
+        cluster = system.cluster
+        metrics = cluster.metrics
+        converged = rb.converged()
+        drained_empty = not any(cluster.node(victim).block_ids())
+        if converged and drained_empty:
+            cluster.remove_node(victim)
+        fsck_report = fsck(system.store)
+        bandwidth = cluster.config.network.bandwidth_bps
+        transfer_floor = metrics.rebalance_bytes / bandwidth
+        bound_s = CONVERGENCE_BOUND * transfer_floor + nofault.wall_seconds
+        bounded = convergence_s <= bound_s
+
+        entry = {
+            "churn_free": _summarise(nofault),
+            "churned": _summarise(churned),
+            "availability": availability,
+            "drained_node": victim,
+            "drain_after_s": churn_after,
+            "results_identical_to_churn_free": identical,
+            "p99_penalty_pct": (
+                (churned.p99() - nofault.p99()) / nofault.p99() * 100.0
+                if nofault.p99() > 0
+                else 0.0
+            ),
+            "rebalance": {
+                "rebalance_bytes": metrics.rebalance_bytes,
+                "blocks_migrated": metrics.blocks_migrated,
+                "repair_bytes": metrics.repair_bytes,
+                "convergence_s": convergence_s,
+                "convergence_bound_s": bound_s,
+                "convergence_bounded": bounded,
+                "ring_converged": converged,
+                "drained_node_empty": drained_empty,
+                "fsck_clean_after_remove": fsck_report.clean,
+                "pending_migrations": len(fsck_report.pending_migrations),
+            },
+        }
+        report["systems"][kind] = entry
+        passed = (
+            availability == 1.0
+            and identical
+            and converged
+            and bounded
+            and drained_empty
+            and fsck_report.clean
+            and metrics.rebalance_bytes > 0
+            and metrics.repair_bytes == 0
+        )
+        ok &= passed
+        print(
+            f"{kind}: availability {availability:.2f}, "
+            f"p99 +{entry['p99_penalty_pct']:.1f}%, "
+            f"migrated {metrics.blocks_migrated} blocks "
+            f"({metrics.rebalance_bytes / 1e9:.2f} GB) "
+            f"converged in {convergence_s:.2f}s, "
+            f"repair bytes {metrics.repair_bytes}, "
+            f"clean={fsck_report.clean}, identical={identical} "
+            f"-> {'PASS' if passed else 'FAIL'}"
+        )
+
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {out_path}")
+    if not ok:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

@@ -1330,6 +1330,127 @@ def metadata_chaos(rounds: int = 10, seed: int = 11) -> ExperimentResult:
     )
 
 
+def membership_chaos(num_queries: int = 30, seed: int = 13) -> ExperimentResult:
+    """Mid-workload node join + drain with background rebalance.
+
+    For each store: calibrate the interleaved Q1+Q3 workload fault-free
+    (with membership on), then re-run it on a fresh system whose
+    :class:`FaultInjector` joins a new node ~25% in and drains a
+    data-holding node ~45% in, while a background driver process runs
+    :class:`~repro.core.rebalance.Rebalancer` passes until placement
+    converges.  Every query must complete, placement must end
+    ring-correct with the drained node empty (then removable), fsck must
+    come back clean, and rebalance traffic must be accounted separately
+    from both query and repair traffic.
+    """
+    from repro.core.fsck import fsck as run_fsck
+    from repro.core.rebalance import Rebalancer
+
+    _ldata, ltable = dataset("lineitem")
+    _tdata, ttable = dataset("taxi")
+    queries = {q.name: q for q in real_world_queries(ltable, ttable)}
+    sqls = [queries["Q1"].sql, queries["Q3"].sql]
+
+    def build(kind):
+        ldata, _lt = dataset("lineitem")
+        tdata, _tt = dataset("taxi")
+        cfg = StoreConfig(
+            size_scale=dataset_scale("lineitem"), membership_enabled=True
+        )
+        return build_system(kind, {"lineitem": ldata, "taxi": tdata}, store_config=cfg)
+
+    rows = []
+    raw: dict = {}
+    for kind in ("fusion", "baseline"):
+        calibrate = run_workload(build(kind), sqls, num_clients=10, num_queries=num_queries)
+
+        system = build(kind)
+        cluster = system.cluster
+        victim = next(n.node_id for n in cluster.nodes if n.stored_bytes)
+        join_at = system.sim.now + 0.25 * calibrate.wall_seconds
+        drain_at = system.sim.now + 0.45 * calibrate.wall_seconds
+        FaultInjector(
+            cluster,
+            [
+                FaultEvent(at=join_at, kind="join", node_id=-1),
+                FaultEvent(at=drain_at, kind="drain", node_id=victim),
+            ],
+            seed=seed,
+        ).install()
+
+        rb = Rebalancer(system.store)
+        churn_end = drain_at + 0.1 * calibrate.wall_seconds
+        interval = max(calibrate.wall_seconds / 20.0, 1e-3)
+
+        def driver():
+            # Ride along with the workload, sweeping after each epoch
+            # bump; then finish the convergence after churn has ended.
+            while system.sim.now < churn_end:
+                yield system.sim.timeout(interval)
+                if rb.misplaced() or cluster.migrations:
+                    yield from rb.rebalance_process()
+            for _ in range(50):  # bounded: one pass normally suffices
+                if rb.converged():
+                    break
+                yield from rb.rebalance_process()
+                yield system.sim.timeout(interval)
+
+        system.sim.process(driver())
+        faulted = run_workload(system, sqls, num_clients=10, num_queries=num_queries)
+        converge_s = max(0.0, system.sim.now - drain_at)
+
+        converged = rb.converged()
+        drained_empty = not any(cluster.node(victim).block_ids())
+        if drained_empty and converged:
+            cluster.remove_node(victim)
+        fsck_report = run_fsck(system.store)
+        metrics = cluster.metrics
+        raw[kind] = {
+            "calibrate": calibrate,
+            "faulted": faulted,
+            "converged": converged,
+            "drained_empty": drained_empty,
+            "fsck_clean": fsck_report.clean,
+            "rebalance_bytes": metrics.rebalance_bytes,
+            "blocks_migrated": metrics.blocks_migrated,
+            "repair_bytes": metrics.repair_bytes,
+            "convergence_s": converge_s,
+        }
+        rows.append(
+            [
+                kind,
+                f"{len(faulted.metrics)}/{num_queries}",
+                round(reduction_pct_neg(calibrate.p99(), faulted.p99()), 1),
+                metrics.blocks_migrated,
+                metrics.rebalance_bytes,
+                metrics.repair_bytes,
+                round(converge_s, 2),
+                "yes" if converged else "NO",
+                "clean" if fsck_report.clean else fsck_report.summary(),
+            ]
+        )
+    return ExperimentResult(
+        experiment="membership-chaos",
+        title="Mid-workload join + drain with background rebalance (Q1+Q3)",
+        headers=[
+            "system",
+            "completed",
+            "p99 penalty (%)",
+            "blocks migrated",
+            "rebalance bytes",
+            "repair bytes",
+            "convergence (s)",
+            "ring-converged",
+            "fsck",
+        ],
+        rows=rows,
+        notes="every query must complete; placement must converge to the ring "
+        "with the drained node emptied and removed; rebalance traffic is "
+        "accounted separately from query and repair traffic",
+        raw=raw,
+    )
+
+
 def reduction_pct_neg(before: float, after: float) -> float:
     """Latency *increase* of ``after`` over ``before`` (%): the penalty."""
     if before == 0:
@@ -1580,5 +1701,6 @@ ALL_EXPERIMENTS = {
     "fig16a-wide": fig16a_wide_code,
     "chaos": chaos_fault_tolerance,
     "metadata-chaos": metadata_chaos,
+    "membership-chaos": membership_chaos,
     "overload": overload_protection,
 }

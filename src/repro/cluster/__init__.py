@@ -10,6 +10,13 @@ from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.disk import Disk, DiskConfig
 from repro.cluster.faults import AppliedFault, FaultEvent, FaultInjector, random_schedule
 from repro.cluster.health import NodeHealthTracker
+from repro.cluster.membership import (
+    MEMBERSHIP_META,
+    MembershipManager,
+    MembershipRecord,
+    install_membership,
+)
+from repro.cluster.ring import HashRing
 from repro.cluster.metrics import (
     CATEGORIES,
     CPU,
@@ -64,6 +71,10 @@ __all__ = [
     "FOREGROUND_PRIORITY",
     "FaultEvent",
     "FaultInjector",
+    "HashRing",
+    "MEMBERSHIP_META",
+    "MembershipManager",
+    "MembershipRecord",
     "NodeHealthTracker",
     "NETWORK",
     "Network",
@@ -82,6 +93,7 @@ __all__ = [
     "any_of",
     "install_admission_control",
     "install_circuit_breakers",
+    "install_membership",
     "percentile",
     "random_schedule",
 ]

@@ -62,6 +62,20 @@ class Cluster:
         #: the placement RNG so drawing jitter mid-workload can never
         #: perturb later stripe placements; deterministic per run.
         self.jitter_rng = random.Random(self.config.placement_seed ^ 0x9E3779B9)
+        #: Optional MembershipManager (installed by the stores when
+        #: StoreConfig.membership_enabled is set); when present,
+        #: coordinator routing and stripe placement go through its
+        #: consistent-hash ring instead of the seed paths below.
+        self.membership = None
+        #: Admission knobs applied to node service queues, remembered so
+        #: nodes joining at runtime get the same bounds (set by
+        #: repro.cluster.overload.install_admission_control).
+        self.admission: tuple[int, bool] | None = None
+        #: In-flight block migrations (block_id -> MigrationEntry, see
+        #: repro.core.rebalance).  Metadata-plane intent registry: fsck
+        #: classifies these blocks as pending rather than orphaned, and
+        #: a restarted Rebalancer resolves them before migrating more.
+        self.migrations: dict[str, object] = {}
 
     def routable(self, node_id: int) -> bool:
         """May new ops be sent to ``node_id``?
@@ -120,6 +134,55 @@ class Cluster:
     def alive_nodes(self) -> list[int]:
         return [n.node_id for n in self.nodes if n.alive]
 
+    # -- elastic membership (requires an installed MembershipManager for
+    # -- drain/remove; add_node works bare but only changes routing when
+    # -- membership is on) ---------------------------------------------------
+
+    def add_node(self) -> int:
+        """Grow the cluster by one node at runtime; returns its id.
+
+        The new node gets the cluster's device configs and the same
+        admission bounds the others run with; the health tracker and
+        breaker board grow to cover it.  With membership installed it
+        joins the ring (epoch bump) and immediately becomes a placement
+        and coordination target — existing data follows via the
+        Rebalancer, not here.
+        """
+        node_id = len(self.nodes)
+        node = StorageNode(self.sim, node_id, self.config.disk, self.config.cpu)
+        self.nodes.append(node)
+        self.health.ensure_size(len(self.nodes))
+        if self.breakers is not None:
+            self.breakers.ensure_size(len(self.nodes))
+        if self.admission is not None:
+            depth, shed = self.admission
+            for resource in (
+                node.cpu,
+                node.disk.device,
+                node.endpoint.egress,
+                node.endpoint.ingress,
+            ):
+                resource.max_queue = depth
+                resource.shed_low_priority = shed
+        if self.membership is not None:
+            self.membership.join(node_id)
+        return node_id
+
+    def drain_node(self, node_id: int) -> None:
+        """Take a node out of new placements/coordination; it stays alive
+        and keeps serving reads until the Rebalancer empties it."""
+        if self.membership is None:
+            raise RuntimeError("drain_node requires membership_enabled")
+        self.membership.drain(node_id)
+
+    def remove_node(self, node_id: int) -> None:
+        """Retire a drained node: drop it from the member set and mark it
+        dead.  Its slot in ``nodes`` stays (ids are stable indexes)."""
+        if self.membership is None:
+            raise RuntimeError("remove_node requires membership_enabled")
+        self.membership.remove(node_id)
+        self.fail_node(node_id)
+
     def wal_records(self) -> list:
         """Every WAL record readable right now, deduplicated.
 
@@ -147,7 +210,12 @@ class Cluster:
         the old coordinator; the model treats a query as owned by the
         node that accepted it).  With every node alive this is exactly
         the hashed node.
+
+        With membership installed, routing goes through the hash ring
+        instead (draining and removed nodes are never chosen).
         """
+        if self.membership is not None:
+            return self.membership.coordinator_for(object_name)
         digest = hashlib.sha256(object_name.encode("utf-8")).digest()
         slot = int.from_bytes(digest[:8], "big") % len(self.nodes)
         for step in range(len(self.nodes)):
@@ -168,6 +236,20 @@ class Cluster:
             return self._rng.sample(range(len(self.nodes)), count)
         start = self._rng.randrange(len(self.nodes))
         return [(start + i) % len(self.nodes) for i in range(count)]
+
+    def place_stripe(self, key: str, count: int) -> list[int]:
+        """Placement for the blocks (or meta replicas) behind ``key``.
+
+        With membership installed this is the ring's deterministic walk
+        from the key — stable under joins and drains, which is what lets
+        the Rebalancer recompute "where should this stripe live now?"
+        and converge.  Without membership it delegates to
+        :meth:`choose_stripe_nodes`, consuming the placement RNG exactly
+        as the seed always did.
+        """
+        if self.membership is not None:
+            return self.membership.placement_for(key, count)
+        return self.choose_stripe_nodes(count)
 
     @property
     def stored_bytes(self) -> int:

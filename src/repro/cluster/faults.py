@@ -48,7 +48,18 @@ class FaultEvent:
       rogue tenant / runaway batch job filling the service queues);
     * ``"slow_burst"`` — a short, sharp ``slow`` (same mechanism): the
       node's devices degrade by ``factor`` for ``duration`` seconds,
-      modelling GC pauses or thermal throttling spikes.
+      modelling GC pauses or thermal throttling spikes;
+    * ``"join"`` — add a fresh node to the cluster at runtime
+      (``node_id`` is ignored, conventionally ``-1``; the new node's id
+      is reported in the applied-fault detail).  A no-op unless the
+      cluster has a membership manager installed
+      (``StoreConfig.membership_enabled``);
+    * ``"drain"`` — take the node out of new placements/coordination
+      (it stays alive and serves reads until rebalanced away).  A no-op
+      without membership, or when the drain would be invalid;
+    * ``"flap"`` — crash/restore the node repeatedly at ``rate`` cycles
+      per second for ``duration`` seconds (a flapping peer the failure
+      detector and breakers must ride out), ending restored.
     """
 
     at: float
@@ -64,7 +75,7 @@ class FaultEvent:
 
     KINDS = (
         "crash", "restore", "blip", "slow", "corrupt", "drop", "crashpoint",
-        "overload", "slow_burst",
+        "overload", "slow_burst", "join", "drain", "flap",
     )
 
     def __post_init__(self) -> None:
@@ -72,14 +83,14 @@ class FaultEvent:
             raise ValueError(f"unknown fault kind {self.kind!r}; known: {self.KINDS}")
         if self.at < 0:
             raise ValueError("fault time must be >= 0")
-        if self.kind in ("blip", "slow", "drop", "overload", "slow_burst") and self.duration <= 0:
+        if self.kind in ("blip", "slow", "drop", "overload", "slow_burst", "flap") and self.duration <= 0:
             raise ValueError(f"{self.kind} fault needs a positive duration")
         if self.kind in ("slow", "slow_burst") and self.factor < 1.0:
             raise ValueError("slow factor must be >= 1 (it degrades throughput)")
         if self.kind == "drop" and not (0.0 < self.rate <= 1.0):
             raise ValueError("drop rate must be in (0, 1]")
-        if self.kind == "overload" and self.rate <= 0:
-            raise ValueError("overload fault needs a positive request rate")
+        if self.kind in ("overload", "flap") and self.rate <= 0:
+            raise ValueError(f"{self.kind} fault needs a positive rate")
         if self.kind == "crashpoint" and not self.point:
             raise ValueError("crashpoint fault needs a point name")
 
@@ -188,7 +199,9 @@ class FaultInjector:
 
     def _apply(self, event: FaultEvent) -> None:
         sim = self.cluster.sim
-        node = self.cluster.node(event.node_id)
+        # Join events carry no target node (node_id = -1 by convention).
+        in_range = 0 <= event.node_id < len(self.cluster.nodes)
+        node = self.cluster.node(event.node_id) if in_range else None
         detail = ""
         if event.kind == "crash":
             self.cluster.fail_node(event.node_id, wipe=event.wipe)
@@ -230,7 +243,38 @@ class FaultInjector:
                 n.endpoint.slow_factor = 1.0
 
             self._later(event.duration, reset_burst)
+        elif event.kind == "join":
+            if self.cluster.membership is None:
+                detail = "membership disabled; join ignored"
+            else:
+                detail = f"node {self.cluster.add_node()} joined"
+        elif event.kind == "drain":
+            if self.cluster.membership is None:
+                detail = "membership disabled; drain ignored"
+            else:
+                try:
+                    self.cluster.drain_node(event.node_id)
+                    detail = f"node {event.node_id} draining"
+                except ValueError as exc:
+                    detail = f"drain refused: {exc}"
+        elif event.kind == "flap":
+            sim.process(
+                self._flap_driver(event.node_id, sim.now + event.duration, event.rate)
+            )
+            detail = f"flapping at {event.rate:.1f} cycles/s for {event.duration:.3f}s"
         self.log.append(AppliedFault(at=sim.now, event=event, detail=detail))
+
+    def _flap_driver(self, node_id: int, until: float, rate: float):
+        """Process: crash/restore ``node_id`` at ``rate`` cycles per
+        second until ``until``; the node always ends restored."""
+        sim = self.cluster.sim
+        half_cycle = 0.5 / rate
+        while sim.now < until:
+            self.cluster.fail_node(node_id)
+            yield sim.timeout(half_cycle)
+            self.cluster.restore_node(node_id)
+            yield sim.timeout(half_cycle)
+        self.cluster.restore_node(node_id)
 
     def _overload_driver(self, node, until: float, rate: float, nbytes: int):
         """Process: fire background requests at ``node`` until ``until``."""
@@ -285,6 +329,7 @@ def random_schedule(
     crash_points: tuple[str, ...] = (),
     overloads: int = 0,
     slow_bursts: int = 0,
+    membership: int = 0,
 ) -> list[FaultEvent]:
     """Generate a reproducible random fault schedule.
 
@@ -393,4 +438,29 @@ def random_schedule(
                 factor=rng.uniform(4.0, 16.0),
             )
         )
+    # Membership churn (join / drain / flapping node) draws strictly
+    # after every earlier family for the same bit-identity guarantee.
+    # Events land in the first 80% of the horizon so the tail of the
+    # workload exercises the post-churn topology.
+    for _ in range(membership):
+        kind = rng.choice(("join", "drain", "flap"))
+        at = rng.uniform(0.05, 0.8) * horizon_s
+        if kind == "join":
+            events.append(FaultEvent(at=at, kind="join", node_id=-1))
+        elif kind == "drain":
+            events.append(
+                FaultEvent(at=at, kind="drain", node_id=rng.randrange(num_nodes))
+            )
+        else:
+            length = rng.uniform(0.05, 0.15) * horizon_s
+            events.append(
+                FaultEvent(
+                    at=at,
+                    kind="flap",
+                    node_id=rng.randrange(num_nodes),
+                    duration=length,
+                    # 2-5 full crash/restore cycles inside the window.
+                    rate=rng.uniform(2.0, 5.0) / length,
+                )
+            )
     return sorted(events, key=lambda ev: ev.at)

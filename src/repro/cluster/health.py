@@ -33,6 +33,15 @@ class NodeHealthTracker:
         self.total_failures = [0] * num_nodes
         self.total_successes = [0] * num_nodes
 
+    def ensure_size(self, num_nodes: int) -> None:
+        """Grow the per-node state for nodes that joined at runtime
+        (new nodes start healthy with clean counters)."""
+        while len(self.down) < num_nodes:
+            self.down.append(False)
+            self.consecutive_failures.append(0)
+            self.total_failures.append(0)
+            self.total_successes.append(0)
+
     # -- liveness (pushed by Cluster.fail_node / restore_node) ---------------
 
     def on_liveness(self, node_id: int, alive: bool) -> None:

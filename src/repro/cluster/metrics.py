@@ -128,6 +128,14 @@ class ClusterMetrics:
     repair_bytes: int = 0
     blocks_repaired: int = 0
     repair_seconds: float = 0.0
+    #: Rebalance (membership-migration) traffic, accounted on its own
+    #: axis exactly like repair: never mixed into ``network_bytes`` or
+    #: ``repair_bytes``, so topology-churn experiments can report the
+    #: cost of moving data to its ring position separately from both
+    #: query traffic and failure repair.
+    rebalance_bytes: int = 0
+    blocks_migrated: int = 0
+    rebalance_seconds: float = 0.0
     queries: list[QueryMetrics] = field(default_factory=list)
     #: Optional sink with ``record_query(qm)`` / ``record_repair(...)``
     #: methods (duck-typed so this module stays dependency-free); the
@@ -161,6 +169,18 @@ class ClusterMetrics:
         self.repair_seconds += seconds
         if self.registry is not None:
             self.registry.record_repair(nbytes, blocks, seconds)
+
+    def record_rebalance(self, nbytes: int, blocks: int, seconds: float) -> None:
+        """Account one rebalance run's traffic (separate from repair)."""
+        self.rebalance_bytes += nbytes
+        self.blocks_migrated += blocks
+        self.rebalance_seconds += seconds
+        if self.registry is not None:
+            # getattr-guarded: duck-typed sinks predating the rebalance
+            # counters keep working.
+            record = getattr(self.registry, "record_rebalance", None)
+            if record is not None:
+                record(nbytes, blocks, seconds)
 
     def latencies(self) -> list[float]:
         return [q.latency for q in self.queries]

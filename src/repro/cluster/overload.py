@@ -258,6 +258,16 @@ class CircuitBreakerBoard:
         self._reopen_at = [0.0] * num_nodes
         self._probe_inflight = [False] * num_nodes
 
+    def ensure_size(self, num_nodes: int) -> None:
+        """Grow the per-node state for nodes that joined at runtime
+        (new nodes start with a closed breaker)."""
+        while len(self.state) < num_nodes:
+            self.state.append(CLOSED)
+            self.opens.append(0)
+            self._failures.append(deque())
+            self._reopen_at.append(0.0)
+            self._probe_inflight.append(False)
+
     def allow(self, node_id: int) -> bool:
         """May traffic be routed to ``node_id`` right now?
 
@@ -345,6 +355,8 @@ def install_admission_control(cluster, config) -> None:
     if depth <= 0 or config.admission_policy == "block":
         return
     shed = config.admission_policy == "shed-lowest-priority"
+    # Remembered so nodes added at runtime get the same bounds.
+    cluster.admission = (depth, shed)
     for node in cluster.nodes:
         for resource in (
             node.cpu,

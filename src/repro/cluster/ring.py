@@ -1,0 +1,118 @@
+"""Seeded consistent-hash ring with virtual nodes.
+
+Elastic membership needs a placement function whose output moves as
+little data as possible when the node set changes: with a plain
+``hash(name) % num_nodes`` (the seed's routing) almost every object
+changes owner when a node joins.  A consistent-hash ring moves only
+~``1/num_nodes`` of the keyspace per join/leave, and virtual nodes
+smooth the per-node share so no member owns a disproportionate arc.
+
+Everything is derived from SHA-256 over stable strings (the ring seed,
+the node id, the vnode index, the key), so two rings built with the
+same seed and member set agree exactly — across processes and runs —
+and no ``random.Random`` state is consumed.  That keeps the cluster's
+placement RNG untouched: runs with membership off draw exactly the
+sequence they always did.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+
+def _hash64(text: str) -> int:
+    """First 8 bytes of SHA-256 over ``text`` as a big-endian int."""
+    return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Virtual-node consistent-hash ring over integer node ids.
+
+    ``vnodes`` tokens are planted per member at
+    ``sha256("ring:<seed>:<node>:<vnode>")``; a key hashes to a point and
+    is owned by the first token clockwise.  :meth:`nodes_for` walks on
+    from there collecting *distinct* members, which is how stripe and
+    replica placement get a deterministic, join/leave-stable node list.
+    """
+
+    def __init__(self, seed: int, vnodes: int = 64, node_ids=()) -> None:
+        if vnodes < 1:
+            raise ValueError("ring needs at least one virtual node per member")
+        self.seed = seed
+        self.vnodes = vnodes
+        self._members: set[int] = set()
+        #: Sorted (token, node_id) pairs; rebuilt on every membership change
+        #: (changes are rare and the ring is small, so simplicity wins).
+        self._tokens: list[tuple[int, int]] = []
+        for nid in node_ids:
+            self.add_node(nid)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        return tuple(sorted(self._members))
+
+    def _node_tokens(self, node_id: int) -> list[tuple[int, int]]:
+        return [
+            (_hash64(f"ring:{self.seed}:{node_id}:{v}"), node_id)
+            for v in range(self.vnodes)
+        ]
+
+    def add_node(self, node_id: int) -> None:
+        if node_id in self._members:
+            return
+        self._members.add(node_id)
+        self._tokens.extend(self._node_tokens(node_id))
+        self._tokens.sort()
+
+    def remove_node(self, node_id: int) -> None:
+        if node_id not in self._members:
+            return
+        self._members.discard(node_id)
+        self._tokens = [t for t in self._tokens if t[1] != node_id]
+
+    def lookup(self, key: str) -> int:
+        """The member owning ``key`` (first token clockwise)."""
+        if not self._tokens:
+            raise ValueError("ring has no members")
+        point = _hash64(key)
+        idx = bisect_right(self._tokens, (point, 1 << 62))
+        return self._tokens[idx % len(self._tokens)][1]
+
+    def preference(self, key: str) -> list[int]:
+        """Every member, ordered by the clockwise walk from ``key``.
+
+        The first entry is :meth:`lookup`; the rest are the fallback
+        order used when the owner is unavailable.
+        """
+        if not self._tokens:
+            return []
+        point = _hash64(key)
+        start = bisect_right(self._tokens, (point, 1 << 62))
+        seen: set[int] = set()
+        order: list[int] = []
+        for step in range(len(self._tokens)):
+            nid = self._tokens[(start + step) % len(self._tokens)][1]
+            if nid not in seen:
+                seen.add(nid)
+                order.append(nid)
+                if len(order) == len(self._members):
+                    break
+        return order
+
+    def nodes_for(self, key: str, count: int) -> list[int]:
+        """``count`` node ids for ``key``'s blocks, distinct while the
+        ring has enough members, then wrapping round the walk order
+        (mirroring ``Cluster.choose_stripe_nodes`` on small clusters)."""
+        order = self.preference(key)
+        if not order:
+            raise ValueError("ring has no members")
+        if count <= len(order):
+            return order[:count]
+        return [order[i % len(order)] for i in range(count)]

@@ -29,6 +29,12 @@ from repro.core.location_map import (
 )
 from repro.core.oracle import OracleError, brute_force_optimal, construct_oracle_layout
 from repro.core.padding import construct_padding_layout
+from repro.core.rebalance import (
+    MigrationEntry,
+    RebalanceReport,
+    Rebalancer,
+    resolve_pending_migrations,
+)
 from repro.core.repair import RepairError, RepairManager, RepairReport, find_bad_shards
 from repro.cluster.overload import DeadlineExceeded, PartialResult
 from repro.cluster.simcore import QueueFull
@@ -38,6 +44,7 @@ from repro.core.store import FusionStore, StoredFusionObject, StripePlacement
 from repro.core.wal import (
     CRASH_POINTS,
     DELETE_CRASH_POINTS,
+    MIGRATE_CRASH_POINTS,
     PUT_CRASH_POINTS,
     CoordinatorCrash,
     MetaReplica,
@@ -60,7 +67,9 @@ __all__ = [
     "FsckReport",
     "FusionStore",
     "LocationMap",
+    "MIGRATE_CRASH_POINTS",
     "MetaReplica",
+    "MigrationEntry",
     "OP_REQUEST_BYTES",
     "ObjectNotFound",
     "OracleError",
@@ -71,6 +80,8 @@ __all__ = [
     "PushdownMode",
     "PutReport",
     "QueueFull",
+    "RebalanceReport",
+    "Rebalancer",
     "RecoveryReport",
     "RemoteOp",
     "RemoteOpError",
@@ -92,6 +103,7 @@ __all__ = [
     "find_bad_shards",
     "fsck",
     "recover",
+    "resolve_pending_migrations",
     "build_fixed_layout",
     "construct_oracle_layout",
     "construct_padding_layout",

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.membership import install_membership
 from repro.cluster.metrics import QueryMetrics
 from repro.cluster.overload import (
     Deadline,
@@ -135,6 +136,9 @@ class BaselineStore:
         # default knobs.
         install_admission_control(cluster, self.config)
         install_circuit_breakers(cluster, self.config)
+        # Elastic membership (shared with a FusionStore owner; idempotent
+        # and a no-op at the default membership_enabled=False knob).
+        install_membership(cluster, self.config)
 
     def _on_liveness(self, node_id: int, alive: bool) -> None:
         # Reconstructions cached while a node was down may differ from
@@ -201,7 +205,7 @@ class BaselineStore:
         wal_sizes: list[int] = []
         for stripe in range(layout.num_stripes):
             blocks = layout.stripe_blocks(stripe)
-            nodes = self.cluster.choose_stripe_nodes(config.code.n)
+            nodes = self.cluster.place_stripe(f"{name}/s{stripe}", config.code.n)
             stripe_nodes.append(nodes)
             max_size = max(b.size for b in blocks)
             for j, block in enumerate(blocks):
@@ -214,9 +218,17 @@ class BaselineStore:
                 wal_blocks.append((node_id, obj.parity_block_id(stripe, pj)))
                 wal_sizes.append(max_size)
         replica_count = config.resolved_metadata_replicas(self.cluster.num_nodes)
-        obj.replica_nodes = tuple(
-            (coordinator.node_id + i) % self.cluster.num_nodes for i in range(replica_count)
-        )
+        if self.cluster.membership is not None:
+            # Ring-derived replica set: stays on active members as the
+            # topology changes (the successor scheme below would pin
+            # replicas to drained slots).
+            obj.replica_nodes = tuple(
+                self.cluster.membership.placement_for(f"{name}/meta", replica_count)
+            )
+        else:
+            obj.replica_nodes = tuple(
+                (coordinator.node_id + i) % self.cluster.num_nodes for i in range(replica_count)
+            )
 
         op_id = self.wal.new_op_id()
         self.wal.append(
@@ -358,6 +370,10 @@ class BaselineStore:
             node = self.cluster.node(nid)
             if node.alive:
                 node.put_meta(obj.name, replica)
+        # Placement changed: cached decodes/reconstructions may describe
+        # bytes about to be GC'd from their old node.  Real-bytes caches
+        # only — dropping them never perturbs the event stream.
+        self._invalidate_object_caches(obj.name)
 
     def _install_from_replica(self, replica: MetaReplica) -> StoredFixedObject:
         """Recovery roll-forward: rebuild the in-memory object from a
@@ -1223,6 +1239,147 @@ class BaselineStore:
             # Placements moved: the durable metadata replicas must follow.
             self._republish_meta(obj)
         return written
+
+    # -- Migration (background rebalance) ---------------------------------------
+
+    def migrate_stripe_process(
+        self, name: str, stripe_id: int, targets, metrics: QueryMetrics | None = None
+    ):
+        """Move one stripe's blocks to the ring-chosen ``targets`` with
+        copy-then-republish-then-GC (see FusionStore's twin).  Returns
+        the number of blocks moved (0 when already in place)."""
+        moved = yield from traced(
+            self.sim,
+            self._migrate_stripe_body(name, stripe_id, targets, metrics),
+            "migrate_stripe", "store", obj=name, stripe=stripe_id,
+        )
+        return moved
+
+    def _migrate_stripe_body(
+        self, name: str, stripe_id: int, targets, metrics: QueryMetrics | None = None
+    ):
+        from repro.core.rebalance import MigrationEntry
+
+        obj = self._lookup(name)
+        holders = self._stripe_holders(obj, stripe_id)
+        coordinator = self.cluster.coordinator_for(name)
+
+        moves: list[tuple[int, str, int, int]] = []
+        for i, holder in enumerate(holders):
+            if holder is None:
+                continue  # never-written trailing block of a partial stripe
+            bid, src = holder
+            dst = targets[i]
+            if src == dst:
+                continue
+            if not self.cluster.node(dst).alive:
+                continue  # destination unreachable: defer to a later run
+            moves.append((i, bid, src, dst))
+
+        # Phase 1 — copy (old placement keeps serving; each move is
+        # registered as an intent before its bytes flow).
+        copied: list[tuple[int, str, int, int, MigrationEntry]] = []
+        for i, bid, src, dst in moves:
+            entry = MigrationEntry(
+                block_id=bid, object_name=name, store_kind="fixed",
+                stripe_id=stripe_id, position=i, src=src, dst=dst,
+            )
+            self.cluster.migrations[bid] = entry
+            ok = yield from self._copy_block_for_migration(
+                obj, stripe_id, holders, i, bid, src, dst, coordinator, metrics
+            )
+            if ok:
+                copied.append((i, bid, src, dst, entry))
+            else:
+                del self.cluster.migrations[bid]
+        if not copied:
+            return 0
+        self.wal.crash_point(coordinator, "migrate:after-copy")
+
+        # Phase 2 — republish: flip the placement maps and durable
+        # replicas in one epoch bump (no yields in between).
+        for i, bid, src, dst, entry in copied:
+            self._relocate_block(obj, stripe_id, i, dst)
+            self._invalidate_block(obj, stripe_id, i)
+        self._republish_meta(obj)
+        for _i, _bid, _src, _dst, entry in copied:
+            entry.published = True
+        self.wal.crash_point(coordinator, "migrate:after-republish")
+
+        # Phase 3 — GC: only now drop the source copies.
+        for _i, bid, src, _dst, _entry in copied:
+            src_node = self.cluster.node(src)
+            if src_node.alive and src_node.has_block(bid):
+                src_node.drop_block(bid)
+            self.cluster.migrations.pop(bid, None)
+        return len(copied)
+
+    def _copy_block_for_migration(
+        self, obj, stripe_id, holders, i, bid, src, dst, coordinator, metrics
+    ):
+        """Process: land a copy of stripe position ``i`` on node ``dst``
+        (source read when reachable, erasure reconstruction otherwise).
+        Returns False when no copy could be made."""
+        src_node = self.cluster.node(src)
+        dst_node = self.cluster.node(dst)
+        if src_node.alive and src_node.has_block(bid):
+            payload = yield from src_node.read_block(bid, self.config.size_scale, metrics)
+            yield from self.cluster.network.transfer(
+                src_node.endpoint, dst_node.endpoint, self.config.scaled(payload.size), metrics
+            )
+        else:
+            payload = yield from self._reconstruct_shard(
+                obj, stripe_id, holders, i, coordinator, metrics
+            )
+            if payload is None:
+                return False
+            yield from self.cluster.network.transfer(
+                coordinator.endpoint, dst_node.endpoint, self.config.scaled(payload.size), metrics
+            )
+        if not dst_node.alive:
+            return False  # died mid-transfer: the copy never landed
+        yield from dst_node.disk.write(self.config.scaled(payload.size), metrics)
+        dst_node.put_block(bid, payload)
+        return True
+
+    def _reconstruct_shard(self, obj, stripe_id, holders, i, coordinator, metrics):
+        """Process: rebuild stripe position ``i`` at the coordinator from
+        the surviving shards; None when fewer than k are reachable."""
+        k = self.config.code.k
+        blocks = obj.layout.stripe_blocks(stripe_id)
+        data_sizes = [b.size for b in blocks] + [0] * (k - len(blocks))
+        shards: list[np.ndarray | None] = []
+        for j, holder in enumerate(holders):
+            if holder is None:
+                shards.append(np.zeros(0, dtype=np.uint8))
+                continue
+            if j == i:
+                shards.append(None)
+                continue
+            bid, nid = holder
+            node = self.cluster.node(nid)
+            if not node.alive or not node.has_block(bid):
+                shards.append(None)
+                continue
+            data = yield from node.read_block(bid, self.config.size_scale, metrics)
+            yield from self.cluster.network.transfer(
+                node.endpoint, coordinator.endpoint, self.config.scaled(data.size), metrics
+            )
+            shards.append(data)
+        yield from coordinator.compute(
+            sum(s.size for s in shards if s is not None)
+            * self.config.size_scale
+            / coordinator.cpu_config.decode_bps,
+            metrics,
+        )
+        try:
+            recovered = decode_stripe(self.config.code, shards, data_sizes)
+        except DecodeError:
+            return None
+        payload = encode_stripe(self.config.code, recovered).shards()[i]
+        if i < k:
+            payload = payload[: blocks[i].size]
+        return payload
 
     def stripes_of(self, name: str) -> list[int]:
         """Stripe ids of one object (repair-manager iteration helper)."""

@@ -67,6 +67,10 @@ class FsckReport:
     #: Committed Puts whose object never became visible (crash between
     #: commit and install); recovery rolls these forward.
     unapplied_commits: list[str] = field(default_factory=list)
+    #: (object, block_id) in-flight rebalance moves a crash left open.
+    #: *Pending*, not orphaned: the registered intent explains the extra
+    #: copy, and recovery (or the next rebalance run) resolves it.
+    pending_migrations: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -79,6 +83,7 @@ class FsckReport:
             or self.dangling_meta
             or self.pending_ops
             or self.unapplied_commits
+            or self.pending_migrations
         )
 
     def summary(self) -> str:
@@ -91,6 +96,7 @@ class FsckReport:
             "dangling-meta": len(self.dangling_meta),
             "pending-ops": len(self.pending_ops),
             "unapplied": len(self.unapplied_commits),
+            "pending-migrations": len(self.pending_migrations),
         }
         if self.clean:
             return f"clean ({self.objects_checked} objects, {self.blocks_checked} blocks)"
@@ -109,6 +115,9 @@ class RecoveryReport:
     superseded_ops: int = 0  # older unresolved intents a newer op replaced
     orphan_blocks_gcd: int = 0
     orphan_bytes_gcd: int = 0
+    #: Crash-interrupted rebalance moves rolled to a safe state
+    #: (uncommitted copies dropped, committed moves GC-finished).
+    migrations_resolved: int = 0
     wall_seconds: float = 0.0
 
     @property
@@ -283,8 +292,19 @@ def fsck(store) -> FsckReport:
                 report.orphan_blocks.append((node.node_id, bid))
                 report.orphan_bytes += node.block_size(bid)
         for name in node.meta_names():
+            # Reserved ("__"-prefixed) names are cluster-level records —
+            # the membership record, not object metadata.
+            if name.startswith("__"):
+                continue
             if name not in explained_meta:
                 report.dangling_meta.append((node.node_id, name))
+
+    # In-migration leg: rebalance moves whose intent is still registered.
+    # The extra copy each one explains is *pending* — recovery (or the
+    # next rebalance run) rolls it to a safe state — never an orphan.
+    report.pending_migrations = sorted(
+        (entry.object_name, bid) for bid, entry in cluster.migrations.items()
+    )
     if cluster.sim.tracer is not None:
         cluster.sim.tracer.instant(
             "fsck.done", cat="meta",
@@ -416,6 +436,14 @@ def recover(store) -> RecoveryReport:
                     report.orphan_bytes_gcd += freed
                     _log_outcome(store, cluster, last, "commit")
                     report.redone_deletes.append(name)
+
+    # Rebalance leg: roll crash-interrupted block migrations to a safe
+    # state (copy-then-republish-then-GC leaves either a disposable
+    # destination copy or an un-GC'd source copy; both are idempotent to
+    # resolve here).
+    from repro.core.rebalance import resolve_pending_migrations
+
+    report.migrations_resolved = resolve_pending_migrations(store)
 
     report.wall_seconds = time.perf_counter() - started
     if cluster.sim.tracer is not None:

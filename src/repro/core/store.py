@@ -32,6 +32,7 @@ from repro.cluster.overload import (
     install_admission_control,
     install_circuit_breakers,
 )
+from repro.cluster.membership import install_membership
 from repro.cluster.simcore import QueueFull, all_of
 from repro.core import engine
 from repro.core.baseline_store import BaselineStore, ObjectNotFound, PutReport
@@ -148,6 +149,10 @@ class FusionStore:
         # sharing one cluster (idempotent installs).
         install_admission_control(cluster, self.config)
         install_circuit_breakers(cluster, self.config)
+        # Elastic membership: hash-ring placement + runtime join/drain.
+        # No-op at the default knob (membership_enabled=False) and
+        # idempotent for the store pair sharing one cluster.
+        install_membership(cluster, self.config)
 
     def _on_liveness(self, node_id: int, alive: bool) -> None:
         """A node's liveness changed: cached reconstructions may describe
@@ -284,7 +289,7 @@ class FusionStore:
                 else:
                     payloads.append(np.zeros(0, dtype=np.uint8))
             stripe_payloads.append(payloads)
-            node_ids = self.cluster.choose_stripe_nodes(config.code.n)
+            node_ids = self.cluster.place_stripe(f"{name}/s{sid}", config.code.n)
             placement = StripePlacement(
                 stripe_id=sid,
                 node_ids=node_ids,
@@ -308,7 +313,7 @@ class FusionStore:
                         )
                     )
         replica_count = config.resolved_metadata_replicas(self.cluster.num_nodes)
-        replica_nodes = self.cluster.choose_stripe_nodes(replica_count)
+        replica_nodes = self.cluster.place_stripe(f"{name}/meta", replica_count)
         obj.location_map.replica_nodes = tuple(replica_nodes)
 
         blocks: list[tuple[int, str]] = []
@@ -484,6 +489,12 @@ class FusionStore:
             node = self.cluster.node(nid)
             if node.alive:
                 node.put_meta(obj.name, replica)
+        # The published placement changed: every cached artefact derived
+        # from the old placement (decoded chunks, page indexes, degraded
+        # reconstructions) may now describe bytes that are about to be
+        # GC'd from their old node.  Real-bytes caches only, so dropping
+        # them never perturbs the event stream.
+        self._invalidate_object_caches(obj.name)
 
     def _install_from_replica(self, replica: MetaReplica) -> StoredFusionObject:
         """Recovery roll-forward: rebuild the in-memory object from a
@@ -1776,6 +1787,158 @@ class FusionStore:
             # Placements moved: the durable metadata replicas must follow.
             self._republish_meta(obj)
         return written
+
+    # -- Migration (background rebalance) ---------------------------------------
+
+    def migrate_stripe_process(
+        self, name: str, stripe_id: int, targets, metrics: QueryMetrics | None = None
+    ):
+        """Move one stripe's blocks to the ring-chosen ``targets`` with
+        copy-then-republish-then-GC (reads are never wrong mid-flight:
+        queries route via the old placement until republish).  Returns
+        the number of blocks moved (0 when already in place)."""
+        moved = yield from traced(
+            self.sim,
+            self._migrate_stripe_body(name, stripe_id, targets, metrics),
+            "migrate_stripe", "store", obj=name, stripe=stripe_id,
+        )
+        return moved
+
+    def _migrate_stripe_body(
+        self, name: str, stripe_id: int, targets, metrics: QueryMetrics | None = None
+    ):
+        from repro.core.rebalance import MigrationEntry
+
+        obj = self._lookup(name)
+        placement = obj.stripes[stripe_id]
+        k, n = self.config.code.k, self.config.code.n
+        block_ids = placement.data_block_ids + placement.parity_block_ids
+        coordinator = self.cluster.coordinator_for(name)
+
+        moves: list[tuple[int, str, int, int]] = []
+        relocated = False
+        for i in range(n):
+            src, dst = placement.node_ids[i], targets[i]
+            if src == dst:
+                continue
+            if i < k and placement.data_sizes[i] == 0:
+                # Empty data bins were never written: pure metadata move.
+                placement.node_ids[i] = dst
+                relocated = True
+                continue
+            if not self.cluster.node(dst).alive:
+                continue  # destination unreachable: defer to a later run
+            moves.append((i, block_ids[i], src, dst))
+
+        # Phase 1 — copy: land destination copies while the old placement
+        # keeps serving.  Each move is registered as an intent *before*
+        # its bytes flow, so a crash leaves fsck-classifiable state.
+        copied: list[tuple[int, str, int, int, MigrationEntry]] = []
+        for i, bid, src, dst in moves:
+            entry = MigrationEntry(
+                block_id=bid, object_name=name, store_kind="fac",
+                stripe_id=stripe_id, position=i, src=src, dst=dst,
+            )
+            self.cluster.migrations[bid] = entry
+            ok = yield from self._copy_block_for_migration(
+                obj, placement, i, bid, src, dst, coordinator, metrics
+            )
+            if ok:
+                copied.append((i, bid, src, dst, entry))
+            else:
+                del self.cluster.migrations[bid]
+        if not copied:
+            if relocated:
+                self._republish_meta(obj)
+            return 0
+        self.wal.crash_point(coordinator, "migrate:after-copy")
+
+        # Phase 2 — republish: flip placement, location map and the
+        # durable replicas to the destinations in one epoch bump (no
+        # yields between relocate and publish, so readers see either the
+        # whole old placement or the whole new one).
+        for i, bid, src, dst, entry in copied:
+            self._relocate_block(obj, placement, i, dst)
+            self._invalidate_block(obj, bid)
+        self._republish_meta(obj)
+        for _i, _bid, _src, _dst, entry in copied:
+            entry.published = True
+        self.wal.crash_point(coordinator, "migrate:after-republish")
+
+        # Phase 3 — GC: only now drop the source copies.
+        for _i, bid, src, _dst, _entry in copied:
+            src_node = self.cluster.node(src)
+            if src_node.alive and src_node.has_block(bid):
+                src_node.drop_block(bid)
+            self.cluster.migrations.pop(bid, None)
+        return len(copied)
+
+    def _copy_block_for_migration(
+        self, obj, placement, i, bid, src, dst, coordinator, metrics
+    ):
+        """Process: land a copy of stripe position ``i`` on node ``dst``.
+
+        Reads from the source when reachable, else reconstructs the
+        block at the coordinator from the surviving shards (the same
+        erasure path as a degraded read).  Returns False when no copy
+        could be made (destination died mid-transfer, too few shards):
+        the caller drops the intent and a later run retries.
+        """
+        src_node = self.cluster.node(src)
+        dst_node = self.cluster.node(dst)
+        if src_node.alive and src_node.has_block(bid):
+            payload = yield from src_node.read_block(bid, self.config.size_scale, metrics)
+            yield from self.cluster.network.transfer(
+                src_node.endpoint, dst_node.endpoint, self.config.scaled(payload.size), metrics
+            )
+        else:
+            payload = yield from self._reconstruct_shard(
+                obj, placement, i, coordinator, metrics
+            )
+            if payload is None:
+                return False
+            yield from self.cluster.network.transfer(
+                coordinator.endpoint, dst_node.endpoint, self.config.scaled(payload.size), metrics
+            )
+        if not dst_node.alive:
+            return False  # died mid-transfer: the copy never landed
+        yield from dst_node.disk.write(self.config.scaled(payload.size), metrics)
+        dst_node.put_block(bid, payload)
+        return True
+
+    def _reconstruct_shard(self, obj, placement, i, coordinator, metrics):
+        """Process: rebuild stripe position ``i`` at the coordinator from
+        the surviving shards; None when fewer than k are reachable."""
+        k, n = self.config.code.k, self.config.code.n
+        block_ids = placement.data_block_ids + placement.parity_block_ids
+        shards: list[np.ndarray | None] = []
+        for j in range(n):
+            if j == i:
+                shards.append(None)
+                continue
+            if j < k and placement.data_sizes[j] == 0:
+                shards.append(np.zeros(0, dtype=np.uint8))
+                continue
+            node = self.cluster.node(placement.node_ids[j])
+            if not node.alive or not node.has_block(block_ids[j]):
+                shards.append(None)
+                continue
+            data = yield from node.read_block(block_ids[j], self.config.size_scale, metrics)
+            yield from self.cluster.network.transfer(
+                node.endpoint, coordinator.endpoint, self.config.scaled(data.size), metrics
+            )
+            shards.append(data)
+        yield from coordinator.compute(
+            sum(s.size for s in shards if s is not None)
+            * self.config.size_scale
+            / coordinator.cpu_config.decode_bps,
+            metrics,
+        )
+        try:
+            recovered = decode_stripe(self.config.code, shards, placement.data_sizes)
+        except DecodeError:
+            return None
+        return encode_stripe(self.config.code, recovered).shards()[i]
 
     def stripes_of(self, name: str) -> list[int]:
         """Stripe ids of one object (repair-manager iteration helper)."""

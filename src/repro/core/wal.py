@@ -46,7 +46,16 @@ DELETE_CRASH_POINTS = (
     "delete:after-commit",     # commit logged
 )
 
-CRASH_POINTS = PUT_CRASH_POINTS + DELETE_CRASH_POINTS
+#: Named stages a stripe migration (background rebalance) can crash at.
+#: The protocol is copy-then-republish-then-GC: until republish, reads
+#: route via the old placement (source copies intact); after republish
+#: the destination serves and only the source GC is outstanding.
+MIGRATE_CRASH_POINTS = (
+    "migrate:after-copy",       # destinations hold copies; metadata still points at sources
+    "migrate:after-republish",  # metadata republished; source copies not yet GC'd
+)
+
+CRASH_POINTS = PUT_CRASH_POINTS + DELETE_CRASH_POINTS + MIGRATE_CRASH_POINTS
 
 
 class CoordinatorCrash(RuntimeError):

@@ -286,6 +286,19 @@ class MetricsRegistry:
             seconds
         )
 
+    def record_rebalance(self, nbytes: int, blocks: int, seconds: float) -> None:
+        """Fold one rebalance run's totals into the registry."""
+        self.counter("repro_rebalance_runs_total", "Rebalance runs completed").inc()
+        self.counter(
+            "repro_rebalance_bytes_total", "Simulated rebalance traffic"
+        ).inc(nbytes)
+        self.counter(
+            "repro_rebalance_blocks_total", "Blocks migrated by rebalance"
+        ).inc(blocks)
+        self.counter(
+            "repro_rebalance_seconds_total", "Simulated time spent rebalancing"
+        ).inc(seconds)
+
     # -- export ------------------------------------------------------------
 
     def export(self) -> str:

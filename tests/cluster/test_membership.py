@@ -1,0 +1,197 @@
+"""Membership manager: install gating, join/drain/remove, replication,
+routing, and the seeded-schedule compatibility guarantees."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterConfig,
+    FaultEvent,
+    FaultInjector,
+    MEMBERSHIP_META,
+    Simulator,
+    install_membership,
+    random_schedule,
+)
+from repro.core import StoreConfig
+
+
+def _cluster(num_nodes=9, **config):
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(num_nodes=num_nodes))
+    install_membership(cluster, StoreConfig(**config))
+    return cluster
+
+
+def test_install_is_gated_and_idempotent():
+    cluster = _cluster()  # default knob: off
+    assert cluster.membership is None
+    cluster = _cluster(membership_enabled=True)
+    first = cluster.membership
+    assert first is not None
+    install_membership(cluster, StoreConfig(membership_enabled=True))
+    assert cluster.membership is first  # second install is a no-op
+
+
+def test_join_grows_cluster_and_ring():
+    cluster = _cluster(membership_enabled=True)
+    epoch0 = cluster.membership.epoch
+    nid = cluster.add_node()
+    assert nid == 9
+    assert cluster.num_nodes == 10
+    assert cluster.membership.epoch == epoch0 + 1
+    assert cluster.membership.is_active(nid)
+    assert nid in cluster.membership.active_members()
+    # Support structures grew with the topology: no IndexError on the
+    # new node's health slots, and it starts healthy.
+    assert cluster.health.usable(nid)
+    cluster.health.record_failure(nid)
+    assert cluster.node(nid).alive
+
+
+def test_drain_then_remove_lifecycle():
+    cluster = _cluster(membership_enabled=True)
+    m = cluster.membership
+    cluster.drain_node(3)
+    assert not m.is_active(3)
+    assert 3 in m.record.members  # draining, still a member
+    assert cluster.node(3).alive  # drained != dead
+    with pytest.raises(ValueError):
+        cluster.drain_node(3)  # already draining
+    cluster.remove_node(3)
+    assert 3 not in m.record.members
+    assert not cluster.node(3).alive  # removed nodes are marked dead
+    # The slot survives: ids stay stable indexes.
+    assert cluster.num_nodes == 9
+
+
+def test_remove_requires_drain_first():
+    cluster = _cluster(membership_enabled=True)
+    with pytest.raises(ValueError):
+        cluster.membership.remove(4)
+
+
+def test_drain_and_remove_require_membership():
+    cluster = _cluster()  # membership off
+    with pytest.raises(RuntimeError):
+        cluster.drain_node(0)
+    with pytest.raises(RuntimeError):
+        cluster.remove_node(0)
+
+
+def test_cannot_drain_last_active_member():
+    cluster = _cluster(num_nodes=2, membership_enabled=True)
+    cluster.drain_node(0)
+    with pytest.raises(ValueError):
+        cluster.drain_node(1)
+
+
+def test_record_replicated_to_members():
+    cluster = _cluster(membership_enabled=True)
+    cluster.drain_node(2)
+    for nid in cluster.membership.record.members:
+        rec = cluster.node(nid).get_meta(MEMBERSHIP_META)
+        assert rec is not None
+        assert rec.epoch == cluster.membership.epoch
+        assert rec.draining == (2,)
+
+
+def test_coordinator_never_draining_or_dead():
+    cluster = _cluster(membership_enabled=True)
+    cluster.drain_node(0)
+    cluster.fail_node(1)
+    for i in range(50):
+        coord = cluster.coordinator_for(f"obj-{i}")
+        assert coord.alive
+        assert coord.node_id != 0, "draining node must not coordinate"
+        assert coord.node_id != 1, "dead node must not coordinate"
+
+
+def test_placement_excludes_drained_node():
+    cluster = _cluster(membership_enabled=True)
+    cluster.drain_node(5)
+    for i in range(50):
+        nodes = cluster.place_stripe(f"obj-{i}/s0", 8)
+        assert 5 not in nodes
+        assert len(set(nodes)) == 8
+
+
+def test_place_stripe_without_membership_uses_rng():
+    """With membership off, place_stripe must consume the placement RNG
+    exactly like choose_stripe_nodes (bit-identity with the seed)."""
+    a = Cluster(Simulator(), ClusterConfig(num_nodes=9))
+    b = Cluster(Simulator(), ClusterConfig(num_nodes=9))
+    got = [a.place_stripe(f"k{i}", 9) for i in range(10)]
+    want = [b.choose_stripe_nodes(9) for i in range(10)]
+    assert got == want
+
+
+def test_random_schedule_membership_off_is_bit_identical():
+    base = random_schedule(9, 10.0, seed=42, overloads=2, slow_bursts=2)
+    again = random_schedule(9, 10.0, seed=42, overloads=2, slow_bursts=2,
+                            membership=0)
+    assert base == again
+
+
+def test_random_schedule_membership_draws_after_existing_families():
+    base = random_schedule(9, 10.0, seed=42, overloads=2, slow_bursts=2)
+    churn = random_schedule(9, 10.0, seed=42, overloads=2, slow_bursts=2,
+                            membership=3)
+    extra = [ev for ev in churn if ev not in base]
+    assert len(churn) == len(base) + 3
+    assert all(ev.kind in ("join", "drain", "flap") for ev in extra)
+    for ev in extra:
+        assert ev.at <= 0.8 * 10.0
+        if ev.kind == "flap":
+            assert ev.duration > 0 and ev.rate > 0
+
+
+def test_flap_event_validation():
+    with pytest.raises(ValueError):
+        FaultInjector(
+            _cluster(), [FaultEvent(at=0.0, kind="flap", node_id=0, duration=0.0)]
+        )
+    with pytest.raises(ValueError):
+        FaultInjector(
+            _cluster(),
+            [FaultEvent(at=0.0, kind="flap", node_id=0, duration=1.0, rate=0.0)],
+        )
+
+
+def test_join_event_without_membership_is_noop():
+    cluster = _cluster()  # membership off
+    injector = FaultInjector(cluster, [FaultEvent(at=0.1, kind="join", node_id=-1)])
+    injector.install()
+    cluster.sim.run(until=1.0)
+    assert cluster.num_nodes == 9
+    assert any("join ignored" in f.detail for f in injector.log)
+
+
+def test_join_and_drain_events_with_membership():
+    cluster = _cluster(membership_enabled=True)
+    injector = FaultInjector(
+        cluster,
+        [
+            FaultEvent(at=0.1, kind="join", node_id=-1),
+            FaultEvent(at=0.2, kind="drain", node_id=2),
+            FaultEvent(at=0.3, kind="drain", node_id=2),  # refused: already draining
+        ],
+    )
+    injector.install()
+    cluster.sim.run(until=1.0)
+    assert cluster.num_nodes == 10
+    assert not cluster.membership.is_active(2)
+    details = [f.detail for f in injector.log]
+    assert any("joined" in d for d in details)
+    assert any("drain refused" in d for d in details)
+
+
+def test_flap_driver_ends_restored():
+    cluster = _cluster(membership_enabled=True)
+    injector = FaultInjector(
+        cluster,
+        [FaultEvent(at=0.1, kind="flap", node_id=4, duration=0.4, rate=10.0)],
+    )
+    injector.install()
+    cluster.sim.run(until=1.0)
+    assert cluster.node(4).alive

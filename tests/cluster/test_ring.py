@@ -1,0 +1,90 @@
+"""Consistent-hash ring: determinism, balance, and minimal disruption."""
+
+import pytest
+
+from repro.cluster.ring import HashRing
+
+KEYS = [f"obj-{i}/s{j}" for i in range(200) for j in range(10)]
+
+
+def test_deterministic_across_instances():
+    a = HashRing(seed=7, vnodes=64, node_ids=range(9))
+    b = HashRing(seed=7, vnodes=64, node_ids=range(9))
+    assert [a.lookup(k) for k in KEYS] == [b.lookup(k) for k in KEYS]
+    assert a.nodes_for("x/s0", 9) == b.nodes_for("x/s0", 9)
+
+
+def test_seed_changes_mapping():
+    a = HashRing(seed=7, vnodes=64, node_ids=range(9))
+    b = HashRing(seed=8, vnodes=64, node_ids=range(9))
+    assert [a.lookup(k) for k in KEYS] != [b.lookup(k) for k in KEYS]
+
+
+def test_balance():
+    ring = HashRing(seed=0, vnodes=64, node_ids=range(9))
+    counts = {nid: 0 for nid in range(9)}
+    for k in KEYS:
+        counts[ring.lookup(k)] += 1
+    mean = len(KEYS) / 9
+    # 64 virtual nodes keep every node within ~2x of its fair share.
+    assert min(counts.values()) > mean * 0.4, counts
+    assert max(counts.values()) < mean * 2.0, counts
+
+
+def test_join_moves_only_to_new_node():
+    ring = HashRing(seed=0, vnodes=64, node_ids=range(9))
+    before = {k: ring.lookup(k) for k in KEYS}
+    ring.add_node(9)
+    moved = 0
+    for k in KEYS:
+        after = ring.lookup(k)
+        if after != before[k]:
+            # Consistency: a key only ever moves TO the new node.
+            assert after == 9, (k, before[k], after)
+            moved += 1
+    # ...and roughly its fair share (1/10) does, not the whole keyspace.
+    assert 0 < moved < len(KEYS) * 0.25, moved
+
+
+def test_remove_restores_prior_mapping():
+    ring = HashRing(seed=0, vnodes=64, node_ids=range(9))
+    before = {k: ring.lookup(k) for k in KEYS}
+    ring.add_node(9)
+    ring.remove_node(9)
+    assert {k: ring.lookup(k) for k in KEYS} == before
+
+
+def test_nodes_for_distinct_then_wraps():
+    ring = HashRing(seed=0, vnodes=64, node_ids=range(9))
+    nine = ring.nodes_for("tbl/s0", 9)
+    assert sorted(nine) == list(range(9))  # distinct: every member once
+    twelve = ring.nodes_for("tbl/s0", 12)
+    assert twelve[:9] == nine  # wrap continues the same walk
+    assert twelve[9:] == nine[:3]
+
+
+def test_preference_is_distinct_walk():
+    ring = HashRing(seed=0, vnodes=64, node_ids=range(5))
+    pref = ring.preference("anything")
+    assert sorted(pref) == list(range(5))
+
+
+def test_membership_queries_and_idempotence():
+    ring = HashRing(seed=0, vnodes=8, node_ids=range(3))
+    assert len(ring) == 3 and 2 in ring
+    ring.remove_node(2)
+    assert len(ring) == 2 and 2 not in ring
+    ring.remove_node(2)  # idempotent
+    assert len(ring) == 2
+    ring.add_node(2)
+    ring.add_node(2)  # idempotent: no duplicate tokens
+    assert len(ring) == 3
+    assert ring.members == (0, 1, 2)
+    # Token count stays exactly members * vnodes after the churn.
+    assert len(ring._tokens) == 3 * 8
+
+
+def test_empty_ring_rejects_lookup():
+    ring = HashRing(seed=0, vnodes=8)
+    with pytest.raises(ValueError):
+        ring.lookup("x")
