@@ -1,0 +1,110 @@
+"""Per-tenant QoS benchmark: noisy-neighbour isolation for both stores.
+
+Runs the ``qos`` experiment (closed-loop capacity calibration, then an
+isolated tenant-B run, a two-tenant storm, and a symmetric equal-weight
+pair per system) and writes ``BENCH_qos.json`` with per-tenant goodput,
+p99, typed-refusal counts and quota statistics.
+
+Acceptance — the fairness floors (exit 1 on any violation), per system:
+
+* storm: tenant B (closed-loop, within its share) keeps p99 under the
+  deadline and goodput >= 80% of its isolated run while tenant A
+  (open-loop at 2.5x capacity) absorbs *every* typed refusal — B is
+  refused nothing, and A's refusals all surface as typed
+  ``QuotaExceeded`` / ``QueueFull`` failures (anything untyped would
+  have aborted the experiment);
+* symmetric: two equal-weight closed-loop tenants end within 10% of
+  each other's goodput.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/qos_bench.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.bench.experiments import tenant_qos
+
+B_GOODPUT_FLOOR = 0.8  # of B's isolated-run goodput
+SYMMETRY_FLOOR = 0.9  # min/max goodput ratio for equal-weight tenants
+ARRIVALS = 100
+
+
+def _accept(kind: str, raw: dict) -> tuple[bool, dict]:
+    storm_a = raw["storm"]["A"]
+    storm_b = raw["storm"]["B"]
+    iso_b = raw["isolated"]["B"]
+    stats_a = raw["qos_stats"].get("A", {})
+
+    b_goodput_holds = (
+        iso_b["goodput_qps"] > 0
+        and storm_b["goodput_qps"] >= B_GOODPUT_FLOOR * iso_b["goodput_qps"]
+    )
+    checks = {
+        "storm_b_p99_within_deadline": storm_b["p99"] <= raw["deadline_s"],
+        "storm_b_goodput_at_least_80pct_of_isolated": b_goodput_holds,
+        "storm_b_refused_nothing": storm_b["controlled"] == 0,
+        "storm_a_absorbs_typed_refusals": storm_a["controlled"] > 0,
+        "storm_a_all_arrivals_accounted": storm_a["issued"] == ARRIVALS,
+        "storm_a_quota_refusals_typed": stats_a.get("quota_rejected", 0) > 0,
+        "symmetric_tenants_within_10pct": raw["symmetric_ratio"] >= SYMMETRY_FLOOR,
+    }
+    return all(checks.values()), checks
+
+
+def main(out_path: str = "BENCH_qos.json") -> None:
+    result = tenant_qos(arrivals=ARRIVALS)
+    report: dict = {
+        "benchmark": "qos",
+        "title": result.title,
+        "b_goodput_floor": B_GOODPUT_FLOOR,
+        "symmetry_floor": SYMMETRY_FLOOR,
+        "storm_arrivals": ARRIVALS,
+        "systems": {},
+    }
+    ok = True
+    for kind, raw in result.raw.items():
+        passed, checks = _accept(kind, raw)
+        ok &= passed
+        report["systems"][kind] = {
+            "capacity_qps": raw["capacity_qps"],
+            "uncontended_p99_s": raw["uncontended_p99"],
+            "deadline_s": raw["deadline_s"],
+            "storm_rate_qps": raw["storm_rate_qps"],
+            "isolated_b": raw["isolated"]["B"],
+            "storm": {t: raw["storm"][t] for t in ("A", "B")},
+            "symmetric_ratio": raw["symmetric_ratio"],
+            "qos_stats": raw["qos_stats"],
+            "tenant_metrics": raw["tenants"],
+            "checks": checks,
+        }
+        ratio = (
+            raw["storm"]["B"]["goodput_qps"] / raw["isolated"]["B"]["goodput_qps"]
+            if raw["isolated"]["B"]["goodput_qps"]
+            else 0.0
+        )
+        print(
+            f"{kind}: capacity {raw['capacity_qps']:.1f} qps, storm "
+            f"{raw['storm_rate_qps']:.1f} qps; B goodput {ratio:.2f}x "
+            f"isolated, B p99 {raw['storm']['B']['p99'] * 1e3:.1f} ms "
+            f"(deadline {raw['deadline_s'] * 1e3:.0f} ms), A refusals "
+            f"{raw['storm']['A']['controlled']}, symmetric ratio "
+            f"{raw['symmetric_ratio']:.2f} -> {'PASS' if passed else 'FAIL'}"
+        )
+        if not passed:
+            for name, value in checks.items():
+                if not value:
+                    print(f"  FAILED check: {name}")
+
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {out_path}")
+    if not ok:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

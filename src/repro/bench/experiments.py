@@ -1667,6 +1667,227 @@ def fig16a_wide_code(
     )
 
 
+def _qos_storm(
+    system,
+    sqls,
+    duration_s: float,
+    open_loop: dict[str, float] | None = None,
+    closed_loop: dict[str, int] | None = None,
+) -> dict:
+    """Drive a multi-tenant mixed workload for ``duration_s``.
+
+    ``open_loop`` maps tenant -> arrival rate (qps): queries arrive on a
+    fixed clock regardless of completions (the storm shape).
+    ``closed_loop`` maps tenant -> client count: each client issues its
+    next query only after the previous one finishes (a well-behaved
+    tenant staying within its share).
+
+    Every refusal must be one of the typed protection failures
+    (``QuotaExceeded``, ``DeadlineExceeded``, ``QueueFull``,
+    ``RemoteOpError``) — anything else escapes ``sim.run`` and aborts
+    the experiment as an *uncontrolled* failure.  Returns per-tenant
+    issued/ok/controlled counts, goodput, and p99 over successes.
+    """
+    from repro.cluster.metrics import QueryMetrics
+    from repro.cluster.overload import DeadlineExceeded, PartialResult
+    from repro.cluster.qos import QuotaExceeded
+    from repro.cluster.simcore import QueueFull
+    from repro.core.scatter_gather import RemoteOpError
+
+    open_loop = open_loop or {}
+    closed_loop = closed_loop or {}
+    sim = system.sim
+    store = system.store
+    start = sim.now
+    records: dict[str, list[tuple[float, float, str]]] = {
+        tenant: [] for tenant in (*open_loop, *closed_loop)
+    }
+
+    def one_query(sql: str, tenant: str, arrival: float):
+        qm = QueryMetrics()
+        try:
+            result = yield from store.query_process(sql, qm, tenant=tenant)
+        except (QuotaExceeded, DeadlineExceeded, QueueFull, RemoteOpError):
+            records[tenant].append((arrival, sim.now - arrival, "controlled"))
+        else:
+            outcome = "partial" if isinstance(result, PartialResult) else "ok"
+            records[tenant].append((arrival, sim.now - arrival, outcome))
+
+    def storm_arrivals(tenant: str, rate_qps: float):
+        interval = 1.0 / rate_qps
+        for i in range(int(rate_qps * duration_s)):
+            sim.process(one_query(sqls[i % len(sqls)], tenant, sim.now))
+            yield sim.timeout(interval)
+
+    def paced_client(tenant: str, cid: int):
+        qi = 0
+        while sim.now - start < duration_s:
+            yield from one_query(sqls[(cid + qi) % len(sqls)], tenant, sim.now)
+            qi += 1
+
+    for tenant, rate in open_loop.items():
+        sim.process(storm_arrivals(tenant, rate))
+    for tenant, clients in closed_loop.items():
+        for cid in range(clients):
+            sim.process(paced_client(tenant, cid))
+    sim.run()
+
+    out: dict = {"duration_s": duration_s, "drained_s": sim.now - start}
+    for tenant, recs in records.items():
+        oks = [lat for _a, lat, outcome in recs if outcome != "controlled"]
+        out[tenant] = {
+            "issued": len(recs),
+            "ok": len(oks),
+            "controlled": len(recs) - len(oks),
+            "p99": percentile(oks, 99) if oks else 0.0,
+            "goodput_qps": len(oks) / duration_s,
+        }
+    return out
+
+
+def tenant_qos(
+    calibration_queries: int = 40,
+    storm_factor: float = 2.5,
+    arrivals: int = 100,
+    victim_clients: int = 4,
+) -> ExperimentResult:
+    """Noisy-neighbour isolation under the per-tenant QoS layer.
+
+    Calibrates closed-loop capacity per system, then runs three
+    QoS-enabled scenarios: tenant B alone (the isolated yardstick),
+    tenant A storming open-loop at ``storm_factor`` x capacity while B
+    stays closed-loop within its share, and a symmetric pair of
+    equal-weight closed-loop tenants.
+
+    Acceptance (enforced by ``benchmarks/qos_bench.py``): in the storm,
+    B's p99 stays under the deadline and its goodput holds at >= 80% of
+    the isolated run while A absorbs *all* typed refusals; the symmetric
+    tenants' goodputs agree within 10%.
+    """
+    _ldata, ltable = dataset("lineitem")
+    _tdata, ttable = dataset("taxi")
+    queries = {q.name: q for q in real_world_queries(ltable, ttable)}
+    sqls = [queries["Q1"].sql, queries["Q3"].sql]
+
+    def build(kind, **overrides):
+        ldata, _lt = dataset("lineitem")
+        tdata, _tt = dataset("taxi")
+        cfg = StoreConfig(size_scale=dataset_scale("lineitem"), **overrides)
+        return build_system(kind, {"lineitem": ldata, "taxi": tdata}, store_config=cfg)
+
+    rows = []
+    raw: dict = {}
+    for kind in ("fusion", "baseline"):
+        calibrate = run_workload(
+            build(kind), sqls, num_clients=10, num_queries=calibration_queries
+        )
+        capacity_qps = len(calibrate.metrics) / calibrate.wall_seconds
+        uncontended_p99 = calibrate.p99()
+        deadline = 10.0 * uncontended_p99
+        storm_rate = storm_factor * capacity_qps
+        duration = arrivals / storm_rate
+
+        def qos_build(**extra):
+            base = dict(
+                qos_enabled=True,
+                tenant_weights={"A": 1.0, "B": 1.0},
+                admission_queue_depth=16,
+                admission_policy="reject",
+                tenant_queue_depth=16,
+                rpc_retry_jitter=0.5,
+            )
+            base.update(extra)
+            system = build(kind, **base)
+            # Arm the query deadline only after the (much longer) data load.
+            system.store.config.default_deadline_s = deadline
+            return system
+
+        # The operator's policy for the storm scenarios: A is a bulk
+        # tenant capped by quota at 20% of calibrated capacity (the
+        # 2.5x storm is mostly refused at the door — cheaply, before it
+        # can occupy queue slots B needs) and B carries 4x A's DRR
+        # weight, so B's isolated-run goodput survives the storm.
+        policy = dict(
+            tenant_requests_per_s={"A": 0.2 * capacity_qps},
+            tenant_weights={"A": 1.0, "B": 4.0},
+        )
+        isolated = _qos_storm(
+            qos_build(**policy),
+            sqls,
+            duration,
+            closed_loop={"B": victim_clients},
+        )
+        storm_sys = qos_build(**policy)
+        storm = _qos_storm(
+            storm_sys,
+            sqls,
+            duration,
+            open_loop={"A": storm_rate},
+            closed_loop={"B": victim_clients},
+        )
+        symmetric = _qos_storm(
+            qos_build(),
+            sqls,
+            duration,
+            closed_loop={"A": victim_clients, "B": victim_clients},
+        )
+        sym_a = symmetric["A"]["goodput_qps"]
+        sym_b = symmetric["B"]["goodput_qps"]
+        sym_ratio = min(sym_a, sym_b) / max(sym_a, sym_b) if max(sym_a, sym_b) else 0.0
+
+        raw[kind] = {
+            "capacity_qps": capacity_qps,
+            "uncontended_p99": uncontended_p99,
+            "deadline_s": deadline,
+            "storm_rate_qps": storm_rate,
+            "isolated": isolated,
+            "storm": storm,
+            "symmetric": symmetric,
+            "symmetric_ratio": sym_ratio,
+            "tenants": storm_sys.cluster.metrics.tenants and {
+                t: {k: v for k, v in d.items() if k != "latencies"}
+                for t, d in storm_sys.cluster.metrics.tenants.items()
+            },
+            "qos_stats": storm_sys.cluster.qos.stats,
+        }
+        for scenario, run in (("isolated", isolated), ("storm", storm), ("symmetric", symmetric)):
+            for tenant in ("A", "B"):
+                if tenant not in run:
+                    continue
+                t = run[tenant]
+                rows.append(
+                    [
+                        kind,
+                        scenario,
+                        tenant,
+                        t["issued"],
+                        t["ok"],
+                        t["controlled"],
+                        round(t["goodput_qps"], 1),
+                        round(t["p99"] * 1e3, 1),
+                    ]
+                )
+    return ExperimentResult(
+        experiment="qos",
+        title=f"Two-tenant QoS: open-loop storm at {storm_factor}x capacity vs a paced tenant",
+        headers=[
+            "system",
+            "scenario",
+            "tenant",
+            "issued",
+            "ok",
+            "typed refusals",
+            "goodput (qps)",
+            "p99 (ms)",
+        ],
+        rows=rows,
+        notes="storm: B's p99 stays under the deadline and its goodput holds "
+        "at >= 0.8x its isolated run; A absorbs every typed refusal; "
+        "equal-weight symmetric tenants agree within 10%",
+        raw=raw,
+    )
+
+
 #: Registry used by the CLI and the benchmark suite.
 ALL_EXPERIMENTS = {
     "table3": table3_datasets,
@@ -1703,4 +1924,5 @@ ALL_EXPERIMENTS = {
     "metadata-chaos": metadata_chaos,
     "membership-chaos": membership_chaos,
     "overload": overload_protection,
+    "qos": tenant_qos,
 }

@@ -71,6 +71,10 @@ class Cluster:
         #: nodes joining at runtime get the same bounds (set by
         #: repro.cluster.overload.install_admission_control).
         self.admission: tuple[int, bool] | None = None
+        #: Optional TenantQos board (installed by the stores when
+        #: StoreConfig.qos_enabled is set; see repro.cluster.qos): DRR
+        #: fair queues on node service loops plus tenant quota buckets.
+        self.qos = None
         #: In-flight block migrations (block_id -> MigrationEntry, see
         #: repro.core.rebalance).  Metadata-plane intent registry: fsck
         #: classifies these blocks as pending rather than orphaned, and
@@ -164,6 +168,8 @@ class Cluster:
             ):
                 resource.max_queue = depth
                 resource.shed_low_priority = shed
+        if self.qos is not None:
+            self.qos.attach(node)
         if self.membership is not None:
             self.membership.join(node_id)
         return node_id

@@ -51,8 +51,13 @@ class Disk:
         tracer = self.sim.tracer
         span = tracer.begin(_op, cat="device", bytes=nbytes) if tracer is not None else None
         priority = None if query is None else query.priority
+        tenant = None if query is None else query.tenant
         try:
-            with (yield from self._device.acquire(priority)):
+            with (
+                yield from self._device.acquire(
+                    priority, tenant=tenant, cost=float(max(nbytes, 1))
+                )
+            ):
                 duration = self.config.access_latency_s + nbytes / self.config.bandwidth_bps
                 yield self.sim.timeout(duration * self.slow_factor)
         except QueueFull:

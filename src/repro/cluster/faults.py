@@ -59,7 +59,12 @@ class FaultEvent:
       without membership, or when the drain would be invalid;
     * ``"flap"`` — crash/restore the node repeatedly at ``rate`` cycles
       per second for ``duration`` seconds (a flapping peer the failure
-      detector and breakers must ride out), ending restored.
+      detector and breakers must ride out), ending restored;
+    * ``"tenant_storm"`` — for ``duration`` seconds, bombard the node
+      with *foreground* requests at ``rate`` per second on behalf of
+      ``tenant`` (a storming tenant the QoS layer must isolate: its
+      requests are charged to that tenant's quota buckets and DRR
+      sub-queues, so other tenants keep their fair share).
     """
 
     at: float
@@ -72,10 +77,11 @@ class FaultEvent:
     blocks: int = 1
     point: str = ""
     nbytes: int = 0
+    tenant: str = ""
 
     KINDS = (
         "crash", "restore", "blip", "slow", "corrupt", "drop", "crashpoint",
-        "overload", "slow_burst", "join", "drain", "flap",
+        "overload", "slow_burst", "join", "drain", "flap", "tenant_storm",
     )
 
     def __post_init__(self) -> None:
@@ -83,16 +89,18 @@ class FaultEvent:
             raise ValueError(f"unknown fault kind {self.kind!r}; known: {self.KINDS}")
         if self.at < 0:
             raise ValueError("fault time must be >= 0")
-        if self.kind in ("blip", "slow", "drop", "overload", "slow_burst", "flap") and self.duration <= 0:
+        if self.kind in ("blip", "slow", "drop", "overload", "slow_burst", "flap", "tenant_storm") and self.duration <= 0:
             raise ValueError(f"{self.kind} fault needs a positive duration")
         if self.kind in ("slow", "slow_burst") and self.factor < 1.0:
             raise ValueError("slow factor must be >= 1 (it degrades throughput)")
         if self.kind == "drop" and not (0.0 < self.rate <= 1.0):
             raise ValueError("drop rate must be in (0, 1]")
-        if self.kind in ("overload", "flap") and self.rate <= 0:
+        if self.kind in ("overload", "flap", "tenant_storm") and self.rate <= 0:
             raise ValueError(f"{self.kind} fault needs a positive rate")
         if self.kind == "crashpoint" and not self.point:
             raise ValueError("crashpoint fault needs a point name")
+        if self.kind == "tenant_storm" and not self.tenant:
+            raise ValueError("tenant_storm fault needs a tenant id")
 
 
 @dataclass
@@ -262,6 +270,17 @@ class FaultInjector:
                 self._flap_driver(event.node_id, sim.now + event.duration, event.rate)
             )
             detail = f"flapping at {event.rate:.1f} cycles/s for {event.duration:.3f}s"
+        elif event.kind == "tenant_storm":
+            nbytes = event.nbytes if event.nbytes > 0 else 262_144
+            sim.process(
+                self._tenant_storm_driver(
+                    node, sim.now + event.duration, event.rate, nbytes, event.tenant
+                )
+            )
+            detail = (
+                f"tenant {event.tenant!r} storming at {event.rate:.0f} req/s "
+                f"of {nbytes}B for {event.duration:.3f}s"
+            )
         self.log.append(AppliedFault(at=sim.now, event=event, detail=detail))
 
     def _flap_driver(self, node_id: int, until: float, rate: float):
@@ -302,6 +321,37 @@ class FaultInjector:
         except QueueFull:
             pass
 
+    def _tenant_storm_driver(self, node, until: float, rate: float, nbytes: int, tenant: str):
+        """Process: fire foreground requests tagged ``tenant`` until ``until``."""
+        sim = self.cluster.sim
+        interval = 1.0 / rate
+        while sim.now < until:
+            sim.process(self._tenant_request(node, nbytes, tenant))
+            yield sim.timeout(interval)
+
+    def _tenant_request(self, node, nbytes: int, tenant: str):
+        """One storming-tenant request: quota check, disk read, scan.
+
+        Runs in the *foreground* lane — the whole point of the storm is
+        that priority alone cannot protect other tenants; only the DRR
+        fair queues and the tenant's quota can.  Typed refusals
+        (QuotaExceeded, QueueFull) are swallowed: the storm has no retry
+        logic, it just keeps offering load.
+        """
+        from repro.cluster.metrics import QueryMetrics
+        from repro.cluster.overload import FOREGROUND_PRIORITY
+        from repro.cluster.qos import QuotaExceeded
+        from repro.cluster.simcore import QueueFull
+
+        metrics = QueryMetrics(priority=FOREGROUND_PRIORITY, tenant=tenant)
+        try:
+            if self.cluster.qos is not None:
+                self.cluster.qos.admit(tenant, metrics, nbytes=nbytes)
+            yield from node.disk.read(nbytes, metrics)
+            yield from node.compute(nbytes / node.cpu_config.scan_bps, metrics)
+        except (QueueFull, QuotaExceeded):
+            pass
+
     def _corrupt_blocks(self, node, count: int) -> list[str]:
         """Flip one byte in up to ``count`` seeded-random stored blocks."""
         candidates = [bid for bid in node.block_ids() if node.block_size(bid) > 0]
@@ -330,6 +380,7 @@ def random_schedule(
     overloads: int = 0,
     slow_bursts: int = 0,
     membership: int = 0,
+    tenant_storms: int = 0,
 ) -> list[FaultEvent]:
     """Generate a reproducible random fault schedule.
 
@@ -463,4 +514,19 @@ def random_schedule(
                     rate=rng.uniform(2.0, 5.0) / length,
                 )
             )
+    # Tenant storms draw strictly after every earlier family (same
+    # bit-identity guarantee for old seeds).  Tenant ids are assigned
+    # deterministically by index, not drawn, so adding naming schemes
+    # later cannot shift the RNG stream either.
+    for i in range(tenant_storms):
+        events.append(
+            FaultEvent(
+                at=rng.uniform(0.0, horizon_s * 0.7),
+                kind="tenant_storm",
+                node_id=rng.randrange(num_nodes),
+                duration=rng.uniform(0.1, 0.3) * horizon_s,
+                rate=rng.uniform(200.0, 1000.0),
+                tenant=f"storm-{i}",
+            )
+        )
     return sorted(events, key=lambda ev: ev.at)

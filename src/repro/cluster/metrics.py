@@ -67,6 +67,20 @@ class QueryMetrics:
     #: In-flight child processes cancelled when this query's deadline or
     #: parent op died (none left orphaned).
     cancellations: int = 0
+    #: Individual refused remote-op attempts (sheds + rejects, counted
+    #: once per attempt).  ``requests_shed``/``requests_rejected`` above
+    #: count once per logical request — a refused op that is retried and
+    #: refused again bumps only this counter the second time.
+    refusal_attempts: int = 0
+    #: Requests refused at the frontend because the tenant's token-bucket
+    #: quota ran dry (typed QuotaExceeded under quota_policy="reject").
+    quota_exceeded: int = 0
+    #: Requests demoted to background priority instead of refused
+    #: (quota_policy="demote").
+    quota_demotions: int = 0
+    #: QoS tenant id this request was admitted under; ``None`` means the
+    #: request is untenanted and takes every legacy code path.
+    tenant: str | None = None
     #: Admission-control lane: FOREGROUND (1) for client queries,
     #: BACKGROUND (0) for repair/scrub and injected background bursts.
     #: ``None`` would mean exempt, but per-query traffic always has a
@@ -121,6 +135,13 @@ class ClusterMetrics:
     breaker_open_total: int = 0
     partial_results: int = 0
     cancellations: int = 0
+    refusal_attempts: int = 0
+    quota_exceeded: int = 0
+    quota_demotions: int = 0
+    #: Per-tenant roll-up: tenant id -> counter dict (queries, sheds,
+    #: rejects, deadline misses, quota refusals/demotions, goodput).
+    #: Only tenanted queries land here; untenanted runs leave it empty.
+    tenants: dict = field(default_factory=dict)
     #: Repair traffic is accounted separately from query traffic: these
     #: bytes never enter ``network_bytes`` (which only accumulates via
     #: :meth:`record_query`), so availability experiments can report the
@@ -159,6 +180,37 @@ class ClusterMetrics:
         self.breaker_open_total += qm.breaker_open_total
         self.partial_results += qm.partial_results
         self.cancellations += qm.cancellations
+        self.refusal_attempts += qm.refusal_attempts
+        self.quota_exceeded += qm.quota_exceeded
+        self.quota_demotions += qm.quota_demotions
+        if qm.tenant is not None:
+            t = self.tenants.get(qm.tenant)
+            if t is None:
+                t = self.tenants[qm.tenant] = {
+                    "queries": 0,
+                    "requests_shed": 0,
+                    "requests_rejected": 0,
+                    "deadline_exceeded": 0,
+                    "quota_exceeded": 0,
+                    "quota_demotions": 0,
+                    "goodput": 0,
+                    "latencies": [],
+                }
+            t["queries"] += 1
+            t["requests_shed"] += qm.requests_shed
+            t["requests_rejected"] += qm.requests_rejected
+            t["deadline_exceeded"] += qm.deadline_exceeded
+            t["quota_exceeded"] += qm.quota_exceeded
+            t["quota_demotions"] += qm.quota_demotions
+            refused = (
+                qm.requests_shed
+                + qm.requests_rejected
+                + qm.deadline_exceeded
+                + qm.quota_exceeded
+            )
+            if refused == 0:
+                t["goodput"] += 1
+                t["latencies"].append(qm.latency)
         if self.registry is not None:
             self.registry.record_query(qm)
 

@@ -181,9 +181,11 @@ class Network:
             else None
         )
         priority = None if query is None else query.priority
+        tenant = None if query is None else query.tenant
+        cost = float(max(nbytes, 1))
         try:
-            with (yield from src.egress.acquire(priority)):
-                with (yield from dst.ingress.acquire(priority)):
+            with (yield from src.egress.acquire(priority, tenant=tenant, cost=cost)):
+                with (yield from dst.ingress.acquire(priority, tenant=tenant, cost=cost)):
                     slow = max(src.slow_factor, dst.slow_factor)
                     duration = nbytes / self.config.bandwidth_bps * slow + latency_s
                     yield self.sim.timeout(duration)

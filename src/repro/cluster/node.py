@@ -204,8 +204,13 @@ class StorageNode:
             else None
         )
         priority = None if query is None else query.priority
+        tenant = None if query is None else query.tenant
         try:
-            with (yield from self.cpu.acquire(priority)):
+            with (
+                yield from self.cpu.acquire(
+                    priority, tenant=tenant, cost=max(seconds, 1e-9)
+                )
+            ):
                 yield self.sim.timeout(seconds)
         except QueueFull:
             if span is not None:

@@ -123,16 +123,28 @@ def check_deadline(metrics, where: str = "chunk") -> None:
         metrics.deadline.check(where)
 
 
-def fail_query(cluster, metrics, *, deadline: bool = False, shed: bool = False) -> None:
+def fail_query(
+    cluster,
+    metrics,
+    *,
+    deadline: bool = False,
+    shed: bool = False,
+    quota: bool = False,
+) -> None:
     """Account a query killed by a typed overload failure.
 
     Stamps the end time and records the metrics object so the failure's
-    counters (deadline_exceeded / requests_shed / requests_rejected)
-    reach the cluster aggregate even though the query produced no result.
+    counters (deadline_exceeded / requests_shed / requests_rejected /
+    quota_exceeded) reach the cluster aggregate even though the query
+    produced no result.  ``quota`` refusals were already counted by
+    ``TenantQos.admit`` on the metrics object, so only the recording
+    happens here.
     """
     if metrics is None:
         return
-    if deadline:
+    if quota:
+        pass
+    elif deadline:
         metrics.deadline_exceeded += 1
     elif shed:
         metrics.requests_shed += 1
@@ -257,6 +269,11 @@ class CircuitBreakerBoard:
         self._failures: list[deque[float]] = [deque() for _ in range(num_nodes)]
         self._reopen_at = [0.0] * num_nodes
         self._probe_inflight = [False] * num_nodes
+        # A liveness restore that lands while a half-open probe is in
+        # flight abandons that probe: its eventual outcome describes the
+        # pre-restore node and must not re-trip (or re-close) the fresh
+        # breaker.  The flag eats exactly one record_* call.
+        self._probe_abandoned = [False] * num_nodes
 
     def ensure_size(self, num_nodes: int) -> None:
         """Grow the per-node state for nodes that joined at runtime
@@ -267,6 +284,7 @@ class CircuitBreakerBoard:
             self._failures.append(deque())
             self._reopen_at.append(0.0)
             self._probe_inflight.append(False)
+            self._probe_abandoned.append(False)
 
     def allow(self, node_id: int) -> bool:
         """May traffic be routed to ``node_id`` right now?
@@ -293,6 +311,12 @@ class CircuitBreakerBoard:
 
     def record_failure(self, node_id: int) -> bool:
         """Account one failure; returns ``True`` if the breaker tripped."""
+        if self._probe_abandoned[node_id]:
+            # Stale outcome of a probe abandoned by a liveness restore:
+            # it describes the node before it came back, so a single
+            # failure report must not trip the clean breaker.
+            self._probe_abandoned[node_id] = False
+            return False
         state = self.state[node_id]
         if state == HALF_OPEN:
             self._trip(node_id)
@@ -311,16 +335,29 @@ class CircuitBreakerBoard:
         return False
 
     def record_success(self, node_id: int) -> None:
+        if self._probe_abandoned[node_id]:
+            self._probe_abandoned[node_id] = False
+            return
         if self.state[node_id] == HALF_OPEN:
             self.state[node_id] = CLOSED
             self._failures[node_id].clear()
             self._probe_inflight[node_id] = False
 
     def on_liveness(self, node_id: int, alive: bool) -> None:
-        """A restored node starts with a clean (closed) breaker."""
+        """A restored node starts with a clean (closed) breaker.
+
+        The reset is atomic: state, the sliding failure window, the
+        reopen timer, and the half-open probe slot all clear together.
+        A probe that was mid-flight when the restore landed is marked
+        abandoned so its stale outcome cannot flip the fresh breaker
+        (restore-during-half-open race).
+        """
         if alive:
             self.state[node_id] = CLOSED
             self._failures[node_id].clear()
+            self._reopen_at[node_id] = 0.0
+            if self._probe_inflight[node_id]:
+                self._probe_abandoned[node_id] = True
             self._probe_inflight[node_id] = False
 
     def open_count(self) -> int:

@@ -267,6 +267,10 @@ class Resource:
         self.shed_low_priority = False
         self._in_use = 0
         self._waiters: deque[tuple[Event, int | None]] = deque()
+        #: Optional per-tenant DRR dispatcher (repro.cluster.qos.FairQueue),
+        #: attached by install_qos.  None keeps the legacy FIFO lanes the
+        #: only queue, so untenanted runs never touch the fair path.
+        self.fair = None
         # Accounting for utilisation metrics and admission decisions.
         self.busy_time = 0.0
         self._last_change = 0.0
@@ -279,7 +283,10 @@ class Resource:
 
     @property
     def queue_length(self) -> int:
-        return len(self._waiters)
+        n = len(self._waiters)
+        if self.fair is not None:
+            n += self.fair.total
+        return n
 
     def _account(self) -> None:
         now = self.sim.now
@@ -312,13 +319,60 @@ class Resource:
             f"admission queue full ({len(self._waiters)}/{self.max_queue})"
         )
 
+    def _admit_tenant(self, tenant: str, priority: int) -> None:
+        """Per-tenant depth enforcement: shed within the tenant or refuse.
+
+        Mirrors :meth:`_admit` but the victim search is confined to the
+        arriving tenant's own sub-queues — one tenant's backlog can never
+        evict another tenant's queued work.
+        """
+        if self.shed_low_priority:
+            victim = self.fair.shed_lowest(tenant, priority)
+            if victim is not None:
+                self.shed_total += 1
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.instant("shed", cat="overload", tenant=tenant)
+                victim.gate.succeed(_SHED)
+                return
+        self.rejected_total += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("admission.reject", cat="overload", tenant=tenant)
+        raise QueueFull(
+            f"tenant {tenant!r} admission queue full "
+            f"({self.fair.depth(tenant)}/{self.fair.depth_limit})"
+        )
+
     def acquire(
-        self, priority: int | None = None
+        self,
+        priority: int | None = None,
+        tenant: str | None = None,
+        cost: float = 1.0,
     ) -> Generator[Event, None, _ReleaseContext]:
         """Generator-style acquisition; yields until a slot is granted."""
         self._account()
         if self._in_use < self.capacity:
             self._in_use += 1
+        elif self.fair is not None and tenant is not None:
+            limit = self.fair.depth_limit
+            if (
+                priority is not None
+                and limit is not None
+                and self.fair.depth(tenant) >= limit
+            ):
+                self._admit_tenant(tenant, priority)
+            gate = Event(self.sim)
+            fair_entry = self.fair.push(tenant, priority, gate, cost)
+            try:
+                got = yield gate
+            except GeneratorExit:
+                if not self.fair.remove(fair_entry):
+                    if gate.fired and gate.value is not _SHED:
+                        self._release()
+                raise
+            if got is _SHED:
+                raise QueueFull("request shed for higher-priority work", shed=True)
         else:
             if (
                 priority is not None
@@ -350,8 +404,12 @@ class Resource:
     def _release(self) -> None:
         self._account()
         if self._waiters:
+            # Legacy FIFO (untenanted/internal traffic) drains first so
+            # control-plane work never starves behind tenant backlogs.
             gate, _prio = self._waiters.popleft()
             gate.succeed()
+        elif self.fair is not None and self.fair.total:
+            self.fair.pop().gate.succeed()
         else:
             self._in_use -= 1
 

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.membership import install_membership
+from repro.cluster.qos import QuotaExceeded, install_qos
 from repro.cluster.metrics import QueryMetrics
 from repro.cluster.overload import (
     Deadline,
@@ -139,6 +140,9 @@ class BaselineStore:
         # Elastic membership (shared with a FusionStore owner; idempotent
         # and a no-op at the default membership_enabled=False knob).
         install_membership(cluster, self.config)
+        # Per-tenant QoS (shared with a FusionStore owner; idempotent and
+        # a no-op at the default qos_enabled=False knob).
+        install_qos(cluster, self.config)
 
     def _on_liveness(self, node_id: int, alive: bool) -> None:
         # Reconstructions cached while a node was down may differ from
@@ -156,14 +160,20 @@ class BaselineStore:
 
     # -- Put -----------------------------------------------------------------
 
-    def put(self, name: str, data: bytes) -> PutReport:
+    def put(self, name: str, data: bytes, tenant: str | None = None) -> PutReport:
         """Store an object, running the simulation to completion."""
-        proc = self.sim.process(self.put_process(name, data))
+        proc = self.sim.process(self.put_process(name, data, tenant=tenant))
         self.sim.run()
         return proc.value
 
-    def put_process(self, name: str, data: bytes):
-        """Simulated Put: client -> coordinator -> striped across nodes."""
+    def put_process(self, name: str, data: bytes, tenant: str | None = None):
+        """Simulated Put: client -> coordinator -> striped across nodes.
+
+        ``tenant`` charges the Put against that tenant's quota buckets;
+        see ``FusionStore.put_process`` for the policy semantics.
+        """
+        if tenant is not None and self.cluster.qos is not None:
+            self.cluster.qos.admit(tenant, nbytes=len(data))
         report = yield from traced(
             self.sim, self._put_body(name, data), "put", "store",
             obj=name, store="baseline",
@@ -410,12 +420,20 @@ class BaselineStore:
 
     # -- Get -------------------------------------------------------------------
 
-    def get(self, name: str, offset: int = 0, size: int | None = None) -> bytes:
+    def get(
+        self,
+        name: str,
+        offset: int = 0,
+        size: int | None = None,
+        tenant: str | None = None,
+    ) -> bytes:
         """Retrieve object bytes — the paper's Get(offset, size) API.
 
         Runs the simulation to completion; ``size=None`` means to the end.
         """
-        proc = self.sim.process(self.get_process(name, offset=offset, size=size))
+        proc = self.sim.process(
+            self.get_process(name, offset=offset, size=size, tenant=tenant)
+        )
         self.sim.run()
         return proc.value
 
@@ -425,18 +443,26 @@ class BaselineStore:
         query: QueryMetrics | None = None,
         offset: int = 0,
         size: int | None = None,
+        tenant: str | None = None,
     ):
         """Simulated Get: fetch the covering block fragments to the
         coordinator and reassemble the byte range."""
         if query is None:
-            # Deadlines ride on the metrics object; synthesize a carrier
-            # when the deadline knob is on so bare Gets are budgeted too.
+            # Deadlines and the tenant id ride on the metrics object;
+            # synthesize a carrier when either needs one so bare Gets
+            # are budgeted and fair-scheduled too.
             deadline = Deadline.from_config(self.sim, self.config)
-            if deadline is not None:
+            if deadline is not None or tenant is not None:
                 query = QueryMetrics()
                 query.deadline = deadline
         else:
             arm_deadline(self.sim, self.config, query)
+        if tenant is not None:
+            query.tenant = tenant
+            if self.cluster.qos is not None:
+                self.cluster.qos.admit(
+                    tenant, query, nbytes=0 if size is None else size
+                )
         try:
             data = yield from traced(
                 self.sim, self._get_body(name, query, offset, size), "get", "store",
@@ -644,16 +670,34 @@ class BaselineStore:
 
     # -- Query -----------------------------------------------------------------
 
-    def query(self, sql: str | Query) -> tuple[QueryResult, QueryMetrics]:
+    def query(
+        self, sql: str | Query, tenant: str | None = None
+    ) -> tuple[QueryResult, QueryMetrics]:
         """Run one query alone on an idle cluster (runs the simulation)."""
         metrics = QueryMetrics()
-        proc = self.sim.process(self.query_process(sql, metrics))
+        proc = self.sim.process(self.query_process(sql, metrics, tenant=tenant))
         self.sim.run()
         return proc.value, metrics
 
-    def query_process(self, sql: str | Query, metrics: QueryMetrics):
-        """Simulated query: reassemble needed chunks, execute locally."""
+    def query_process(
+        self, sql: str | Query, metrics: QueryMetrics, tenant: str | None = None
+    ):
+        """Simulated query: reassemble needed chunks, execute locally.
+
+        ``tenant`` stamps the metrics and charges the query against that
+        tenant's quota buckets (typed QuotaExceeded / demotion per
+        policy) before any device work, exactly like FusionStore.
+        """
         query = parse(sql) if isinstance(sql, str) else sql
+        if tenant is not None:
+            metrics.tenant = tenant
+            if self.cluster.qos is not None:
+                metrics.start_time = self.sim.now
+                try:
+                    self.cluster.qos.admit(tenant, metrics)
+                except QuotaExceeded:
+                    fail_query(self.cluster, metrics, quota=True)
+                    raise
         arm_deadline(self.sim, self.config, metrics)
         try:
             result = yield from traced(

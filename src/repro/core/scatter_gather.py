@@ -154,18 +154,37 @@ def _record_success(cluster, node_id) -> None:
         cluster.breakers.record_success(node_id)
 
 
-def _record_rejection(cluster, node_id, metrics, exc: QueueFull) -> None:
+def _record_rejection(cluster, node_id, metrics, exc: QueueFull, ops=()) -> None:
     """Account an admission refusal and feed the circuit breaker.
 
     Rejections signal saturation, not death, so they count toward the
     breaker's failure window but not the health tracker's suspicion
     score.
+
+    ``requests_shed``/``requests_rejected`` count once per *logical
+    request*: the first refusal of each :class:`RemoteOp` in ``ops``
+    increments them, and a retried op refused again bumps only
+    ``refusal_attempts`` (every refusal, attempt by attempt, still feeds
+    the breaker window — repeat refusals are exactly the saturation
+    signal it exists to catch).  An empty ``ops`` means the refusal has
+    no op identity to dedupe on (a coordinator-side refusal outside any
+    scatter-gather stage) and counts as one fresh request.
     """
     if metrics is not None:
-        if exc.shed:
-            metrics.requests_shed += 1
+        fresh = 1
+        if ops:
+            metrics.refusal_attempts += len(ops)
+            fresh = 0
+            for op in ops:
+                if not getattr(op, "_refusal_counted", False):
+                    op._refusal_counted = True
+                    fresh += 1
         else:
-            metrics.requests_rejected += 1
+            metrics.refusal_attempts += 1
+        if exc.shed:
+            metrics.requests_shed += fresh
+        else:
+            metrics.requests_rejected += fresh
     board = cluster.breakers
     if board is not None and node_id is not None:
         if board.record_failure(node_id) and metrics is not None:
@@ -193,11 +212,13 @@ def _abort_deadline(cluster, metrics, scope, where: str):
     raise DeadlineExceeded(f"deadline exceeded at {where} ({cancelled} op(s) cancelled)")
 
 
-def _shielded(cluster, gen, node_id, metrics, scope):
+def _shielded(cluster, gen, node_id, metrics, scope, op=None):
     """Run ``gen``, mapping typed overload failures to op sentinels.
 
     Neither exception type can be raised in a run without the overload
-    knobs, so seed-mode exception propagation is unchanged.
+    knobs, so seed-mode exception propagation is unchanged.  ``op`` is
+    the RemoteOp the work belongs to, threaded through so a refusal is
+    deduped per logical request (see :func:`_record_rejection`).
     """
     try:
         value = yield from gen
@@ -206,12 +227,14 @@ def _shielded(cluster, gen, node_id, metrics, scope):
             scope.note_deadline()
         return _DEADLINE
     except QueueFull as exc:
-        _record_rejection(cluster, node_id, metrics, exc)
+        _record_rejection(
+            cluster, node_id, metrics, exc, (op,) if op is not None else ()
+        )
         return _REJECTED
     return value
 
 
-def _shielded_fallback(cluster, gen, metrics, scope):
+def _shielded_fallback(cluster, gen, metrics, scope, op=None):
     """Shield a degraded-fallback child.
 
     A fallback runs its own nested remote ops (reconstruction reads);
@@ -221,7 +244,7 @@ def _shielded_fallback(cluster, gen, metrics, scope):
     the barrier decides: shed the op when partial results are allowed,
     or re-raise from the caller's own frame."""
     try:
-        value = yield from _shielded(cluster, gen, None, metrics, scope)
+        value = yield from _shielded(cluster, gen, None, metrics, scope, op)
     except RemoteOpError:
         return _FAILED
     return value
@@ -351,7 +374,9 @@ def execute_remote_ops(
         procs = [
             _spawn(
                 sim, scope,
-                _boxed(_shielded_fallback(cluster, ops[i].fallback(), metrics, scope)),
+                _boxed(
+                    _shielded_fallback(cluster, ops[i].fallback(), metrics, scope, ops[i])
+                ),
             )
             for i in exhausted
         ]
@@ -431,7 +456,7 @@ def _run_round(
         if op.standalone is not None:
             waits.append(
                 ([i], _spawn(sim, scope, _boxed(
-                    _shielded_fallback(cluster, op.standalone(), metrics, scope)
+                    _shielded_fallback(cluster, op.standalone(), metrics, scope, op)
                 )))
             )
         else:
@@ -478,7 +503,7 @@ def _op_timeout(sim, op_start, metrics, config):
 def _single_op(cluster, coordinator, op: RemoteOp, metrics, config, scope=None, deadline=None):
     """One op, unbatched: its own request RPC, work, and reply RPC."""
     if op.standalone is not None:
-        value = yield from _shielded_fallback(cluster, op.standalone(), metrics, scope)
+        value = yield from _shielded_fallback(cluster, op.standalone(), metrics, scope, op)
         return value
     resilient = config is not None
     attempt = _attempt_single(cluster, coordinator, op, metrics, config, scope, deadline)
@@ -510,7 +535,7 @@ def _attempt_single(cluster, coordinator, op: RemoteOp, metrics, config, scope=N
             scope.note_deadline()
         return _DEADLINE
     except QueueFull as exc:
-        _record_rejection(cluster, node.node_id, metrics, exc)
+        _record_rejection(cluster, node.node_id, metrics, exc, (op,))
         return _REJECTED
     finally:
         if span is not None:
@@ -610,8 +635,9 @@ def _node_group(cluster, coordinator, group: list[RemoteOp], metrics, config, sc
             )
         except QueueFull as exc:
             # The coalesced request could not be admitted: the whole
-            # group is refused in one decision.
-            _record_rejection(cluster, node.node_id, metrics, exc)
+            # group is refused in one decision; each op in it is one
+            # refused logical request.
+            _record_rejection(cluster, node.node_id, metrics, exc, group)
             if batch_span is not None:
                 tracer.finish(batch_span, outcome="rejected")
             return [_REJECTED] * len(group)
@@ -685,11 +711,11 @@ def _node_group(cluster, coordinator, group: list[RemoteOp], metrics, config, sc
             sim, scope,
             _hedged(
                 cluster, op,
-                _shielded(cluster, run_op(op), node.node_id, metrics, scope),
+                _shielded(cluster, run_op(op), node.node_id, metrics, scope, op),
                 metrics, config, scope, deadline,
             )
             if hedge and op.fallback is not None
-            else _shielded(cluster, run_op(op), node.node_id, metrics, scope)
+            else _shielded(cluster, run_op(op), node.node_id, metrics, scope, op)
         )
         for op in group
     ]
@@ -749,7 +775,7 @@ def _hedged(cluster, op: RemoteOp, attempt, metrics, config, scope=None, deadlin
         if sim.tracer is not None:
             sim.tracer.instant("rpc.hedge", cat="rpc", node=op.node.node_id)
         value = yield from _shielded(
-            cluster, op.fallback(), op.node.node_id, metrics, scope
+            cluster, op.fallback(), op.node.node_id, metrics, scope, op
         )
         if not decided.fired:
             decided.succeed(value)

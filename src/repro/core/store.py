@@ -33,6 +33,7 @@ from repro.cluster.overload import (
     install_circuit_breakers,
 )
 from repro.cluster.membership import install_membership
+from repro.cluster.qos import QuotaExceeded, install_qos
 from repro.cluster.simcore import QueueFull, all_of
 from repro.core import engine
 from repro.core.baseline_store import BaselineStore, ObjectNotFound, PutReport
@@ -153,6 +154,10 @@ class FusionStore:
         # No-op at the default knob (membership_enabled=False) and
         # idempotent for the store pair sharing one cluster.
         install_membership(cluster, self.config)
+        # Per-tenant QoS: DRR fair queues on node service loops + tenant
+        # quota buckets.  No-op at the default knob (qos_enabled=False)
+        # and idempotent for the store pair sharing one cluster.
+        install_qos(cluster, self.config)
 
     def _on_liveness(self, node_id: int, alive: bool) -> None:
         """A node's liveness changed: cached reconstructions may describe
@@ -218,14 +223,24 @@ class FusionStore:
 
     # -- Put -----------------------------------------------------------------
 
-    def put(self, name: str, data: bytes) -> PutReport:
+    def put(self, name: str, data: bytes, tenant: str | None = None) -> PutReport:
         """Store an object (runs the simulation to completion)."""
-        proc = self.sim.process(self.put_process(name, data))
+        proc = self.sim.process(self.put_process(name, data, tenant=tenant))
         self.sim.run()
         return proc.value
 
-    def put_process(self, name: str, data: bytes):
-        """Simulated Put with FAC stripe construction."""
+    def put_process(self, name: str, data: bytes, tenant: str | None = None):
+        """Simulated Put with FAC stripe construction.
+
+        ``tenant`` charges the Put (one request plus ``len(data)`` bytes)
+        against that tenant's quota buckets; under the ``reject`` policy
+        an over-quota Put raises a typed
+        :class:`~repro.cluster.qos.QuotaExceeded` before any device work
+        (under ``demote`` it is recorded and proceeds — Put traffic
+        already runs as exempt internal work with no lane to drop into).
+        """
+        if tenant is not None and self.cluster.qos is not None:
+            self.cluster.qos.admit(tenant, nbytes=len(data))
         report = yield from traced(
             self.sim, self._put_body(name, data), "put", "store",
             obj=name, store="fusion",
@@ -535,12 +550,20 @@ class FusionStore:
 
     # -- Get -------------------------------------------------------------------
 
-    def get(self, name: str, offset: int = 0, size: int | None = None) -> bytes:
+    def get(
+        self,
+        name: str,
+        offset: int = 0,
+        size: int | None = None,
+        tenant: str | None = None,
+    ) -> bytes:
         """Retrieve object bytes — the paper's Get(offset, size) API.
 
         Runs the simulation to completion; ``size=None`` means to the end.
         """
-        proc = self.sim.process(self.get_process(name, offset=offset, size=size))
+        proc = self.sim.process(
+            self.get_process(name, offset=offset, size=size, tenant=tenant)
+        )
         self.sim.run()
         return proc.value
 
@@ -550,6 +573,7 @@ class FusionStore:
         metrics: QueryMetrics | None = None,
         offset: int = 0,
         size: int | None = None,
+        tenant: str | None = None,
     ):
         """Simulated Get: fetch the chunk ranges covering the byte range.
 
@@ -559,14 +583,21 @@ class FusionStore:
         single node holding it.
         """
         if metrics is None:
-            # Deadlines ride on the metrics object; synthesize a carrier
-            # when the deadline knob is on so bare Gets are budgeted too.
+            # Deadlines and the tenant id ride on the metrics object;
+            # synthesize a carrier when either needs one so bare Gets
+            # are budgeted and fair-scheduled too.
             deadline = Deadline.from_config(self.sim, self.config)
-            if deadline is not None:
+            if deadline is not None or tenant is not None:
                 metrics = QueryMetrics()
                 metrics.deadline = deadline
         else:
             arm_deadline(self.sim, self.config, metrics)
+        if tenant is not None:
+            metrics.tenant = tenant
+            if self.cluster.qos is not None:
+                self.cluster.qos.admit(
+                    tenant, metrics, nbytes=0 if size is None else size
+                )
         try:
             data = yield from traced(
                 self.sim, self._get_body(name, metrics, offset, size), "get", "store",
@@ -836,16 +867,37 @@ class FusionStore:
 
     # -- Query -----------------------------------------------------------------
 
-    def query(self, sql: str | Query) -> tuple[QueryResult, QueryMetrics]:
+    def query(
+        self, sql: str | Query, tenant: str | None = None
+    ) -> tuple[QueryResult, QueryMetrics]:
         """Run one query alone on an idle cluster (runs the simulation)."""
         metrics = QueryMetrics()
-        proc = self.sim.process(self.query_process(sql, metrics))
+        proc = self.sim.process(self.query_process(sql, metrics, tenant=tenant))
         self.sim.run()
         return proc.value, metrics
 
-    def query_process(self, sql: str | Query, metrics: QueryMetrics):
-        """Two-stage adaptive-pushdown execution."""
+    def query_process(
+        self, sql: str | Query, metrics: QueryMetrics, tenant: str | None = None
+    ):
+        """Two-stage adaptive-pushdown execution.
+
+        ``tenant`` stamps the metrics and charges the query against that
+        tenant's quota buckets before any device work; an over-quota
+        request is refused with a typed QuotaExceeded (``reject``) or
+        demoted to the background lane (``demote``).  Delegations to the
+        fallback store pass the already-stamped metrics, never the
+        tenant kwarg, so a query is charged exactly once.
+        """
         query = parse(sql) if isinstance(sql, str) else sql
+        if tenant is not None:
+            metrics.tenant = tenant
+            if self.cluster.qos is not None:
+                metrics.start_time = self.sim.now
+                try:
+                    self.cluster.qos.admit(tenant, metrics)
+                except QuotaExceeded:
+                    fail_query(self.cluster, metrics, quota=True)
+                    raise
         if query.table in self.fallback_store.objects:
             result = yield from self.fallback_store.query_process(query, metrics)
             return result

@@ -43,7 +43,20 @@ def _fmt_value(value: float) -> str:
 
 
 def _escape_label(value) -> str:
-    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+    # Prometheus text exposition: label values escape backslash, the
+    # double quote, and line feed (a raw newline would truncate the
+    # sample line and corrupt every line after it).
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(value) -> str:
+    # HELP text escapes backslash and line feed (quotes are legal there).
+    return str(value).replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _fmt_labels(labels: dict) -> str:
@@ -276,6 +289,53 @@ class MetricsRegistry:
         self.counter(
             "repro_cancellations_total", "In-flight child ops cancelled (not orphaned)"
         ).inc(qm.cancellations)
+        self.counter(
+            "repro_refusal_attempts_total",
+            "Individual refused op attempts (retries of one request count each)",
+        ).inc(qm.refusal_attempts)
+        self.counter(
+            "repro_quota_exceeded_total", "Requests refused over tenant quota"
+        ).inc(qm.quota_exceeded)
+        self.counter(
+            "repro_quota_demotions_total",
+            "Requests demoted to background priority over tenant quota",
+        ).inc(qm.quota_demotions)
+        if qm.tenant is not None:
+            tenant = qm.tenant
+            self.counter(
+                "repro_tenant_queries_total", "Queries completed per tenant",
+                tenant=tenant,
+            ).inc()
+            self.histogram(
+                "repro_tenant_query_latency_seconds",
+                "End-to-end query latency per tenant",
+                tenant=tenant,
+            ).observe(qm.latency)
+            self.counter(
+                "repro_tenant_requests_shed_total",
+                "Queued requests evicted by admission control, per tenant",
+                tenant=tenant,
+            ).inc(qm.requests_shed)
+            self.counter(
+                "repro_tenant_requests_rejected_total",
+                "Requests refused at a full admission queue, per tenant",
+                tenant=tenant,
+            ).inc(qm.requests_rejected)
+            self.counter(
+                "repro_tenant_deadline_exceeded_total",
+                "Operations abandoned past their deadline, per tenant",
+                tenant=tenant,
+            ).inc(qm.deadline_exceeded)
+            self.counter(
+                "repro_tenant_quota_exceeded_total",
+                "Requests refused over quota, per tenant",
+                tenant=tenant,
+            ).inc(qm.quota_exceeded)
+            self.counter(
+                "repro_tenant_quota_demotions_total",
+                "Requests demoted over quota, per tenant",
+                tenant=tenant,
+            ).inc(qm.quota_demotions)
 
     def record_repair(self, nbytes: int, blocks: int, seconds: float) -> None:
         """Fold one repair run's totals into the registry."""
@@ -370,7 +430,7 @@ def _export_families(registries: list[MetricsRegistry]) -> str:
         if len(kinds) != 1:
             raise ValueError(f"metric {name!r} registered with conflicting types {kinds}")
         help_ = next((f.help for f, _cl in entries if f.help), "")
-        lines.append(f"# HELP {name} {help_}")
+        lines.append(f"# HELP {name} {_escape_help(help_)}")
         lines.append(f"# TYPE {name} {entries[0][0].kind}")
         for family, const_labels in entries:
             for key in sorted(family.metrics):

@@ -390,3 +390,181 @@ class TestJitterRng:
         seq_c = [c.jitter_rng.random() for _ in range(4)]
         assert seq_a == seq_b
         assert seq_a != seq_c
+
+
+# ---------------------------------------------------------------------------
+# PR 8 satellites: eviction order, restore-during-half-open race, and
+# once-per-logical-request refusal accounting.
+# ---------------------------------------------------------------------------
+
+
+class TestShedEvictionOrder:
+    def test_never_evicts_equal_priority_ahead_of_lower(self):
+        """shed-lowest-priority must pick a *strictly* lower-priority
+        victim even when an equal-priority waiter is newer (pins the
+        eviction order the QoS layer's per-tenant shedding builds on)."""
+        sim = Simulator()
+        resource = Resource(sim, capacity=1, max_queue=2)
+        resource.shed_low_priority = True
+
+        def hold():
+            with (yield from resource.acquire()):
+                yield sim.event()  # never fires
+
+        resource.holder = sim.process(hold())
+        sim.run(until=0.0)
+        outcomes = []
+
+        def worker(tag, priority):
+            try:
+                with (yield from resource.acquire(priority)):
+                    pass
+            except QueueFull as exc:
+                outcomes.append((tag, exc.shed))
+
+        # Queue order: background first, then a *newer* foreground waiter.
+        sim.process(worker("bg-old", BACKGROUND_PRIORITY))
+        sim.process(worker("fg-new", FOREGROUND_PRIORITY))
+        # The arriving foreground request must evict bg-old, never fg-new
+        # (fg-new is newest, but equal priority is not a valid victim).
+        sim.process(worker("fg-arriving", FOREGROUND_PRIORITY))
+        sim.run(until=1.0)
+        assert outcomes == [("bg-old", True)]
+        assert resource.shed_total == 1
+        assert resource.rejected_total == 0
+
+    def test_lowest_priority_victim_chosen_across_mixed_queue(self):
+        """With several lower-priority waiters, the lowest lane loses
+        (and within it the newest), not merely the newest lower one."""
+        sim = Simulator()
+        resource = Resource(sim, capacity=1, max_queue=3)
+        resource.shed_low_priority = True
+
+        def hold():
+            with (yield from resource.acquire()):
+                yield sim.event()
+
+        resource.holder = sim.process(hold())
+        sim.run(until=0.0)
+        outcomes = []
+
+        def worker(tag, priority):
+            try:
+                with (yield from resource.acquire(priority)):
+                    pass
+            except QueueFull as exc:
+                outcomes.append((tag, exc.shed))
+
+        sim.process(worker("mid", 1))
+        sim.process(worker("low-old", 0))
+        sim.process(worker("low-new", 0))
+        sim.process(worker("arriving", 2))  # evicts low-new (lowest, newest)
+        sim.run(until=1.0)
+        assert outcomes == [("low-new", True)]
+
+
+class TestRestoreDuringHalfOpenProbe:
+    def test_stale_probe_failure_cannot_retrip_restored_node(self):
+        """on_liveness restore mid half-open probe abandons the probe:
+        its stale failure outcome must not flip the fresh breaker."""
+        sim = Simulator()
+        board = _board(sim, threshold=1, reset=1.0)
+        board.record_failure(0)
+        assert board.state[0] == OPEN
+        sim.run(until=1.5)
+        assert board.allow(0)  # half-open probe granted, now in flight
+        assert board.state[0] == HALF_OPEN
+        board.on_liveness(0, alive=True)  # node restored under the probe
+        assert board.state[0] == CLOSED
+        # The stale probe resolves as a failure: with threshold=1 this
+        # would instantly re-trip a breaker that naively counted it.
+        assert board.record_failure(0) is False
+        assert board.state[0] == CLOSED
+        # The abandoned-probe pardon is one-shot: a genuine new failure
+        # trips as usual.
+        assert board.record_failure(0) is True
+        assert board.state[0] == OPEN
+
+    def test_stale_probe_success_is_discarded_too(self):
+        sim = Simulator()
+        board = _board(sim, threshold=1, reset=1.0)
+        board.record_failure(0)
+        sim.run(until=1.5)
+        assert board.allow(0)
+        board.on_liveness(0, alive=True)
+        board.record_success(0)  # stale success: consumed, no state change
+        assert board.state[0] == CLOSED
+        # Probe bookkeeping is clean: a later trip/half-open cycle works.
+        board.record_failure(0)
+        assert board.state[0] == OPEN
+        sim.run(until=3.0)
+        assert board.allow(0)
+        board.record_success(0)
+        assert board.state[0] == CLOSED
+
+    def test_restore_resets_reopen_timer_atomically(self):
+        """A trip after restore must wait its own full reset_s, not ride
+        a stale _reopen_at from the pre-restore trip."""
+        sim = Simulator()
+        board = _board(sim, threshold=1, reset=10.0)
+        board.record_failure(0)
+        assert board.state[0] == OPEN
+        sim.run(until=1.0)
+        board.on_liveness(0, alive=True)
+        # Fresh trip at t=1.0: reopen must be at 11.0.
+        board.record_failure(0)
+        assert board.state[0] == OPEN
+        sim.run(until=5.0)
+        assert board.allow(0) is False  # stale timer would have expired
+        sim.run(until=11.5)
+        assert board.allow(0) is True
+
+
+class TestRefusalAccounting:
+    def _env(self):
+        from repro.core.scatter_gather import RemoteOp, _record_rejection
+        from repro.cluster.metrics import QueryMetrics
+
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterConfig(num_nodes=3))
+        return cluster, QueryMetrics(), RemoteOp, _record_rejection
+
+    def test_retried_refusal_counts_one_logical_request(self):
+        cluster, metrics, RemoteOp, record = self._env()
+        op = RemoteOp(node=cluster.node(0), execute=lambda: iter(()))
+        record(cluster, 0, metrics, QueueFull("full"), (op,))
+        # The executor retries rejected ops; a second refusal of the
+        # same op is a new attempt, not a new refused request.
+        record(cluster, 0, metrics, QueueFull("full"), (op,))
+        assert metrics.requests_rejected == 1
+        assert metrics.refusal_attempts == 2
+        assert metrics.requests_shed == 0
+
+    def test_group_refusal_counts_each_op_once(self):
+        cluster, metrics, RemoteOp, record = self._env()
+        group = [
+            RemoteOp(node=cluster.node(0), execute=lambda: iter(()))
+            for _ in range(3)
+        ]
+        record(cluster, 0, metrics, QueueFull("full"), group)
+        record(cluster, 0, metrics, QueueFull("full"), group)
+        assert metrics.requests_rejected == 3
+        assert metrics.refusal_attempts == 6
+
+    def test_shed_and_reject_split_by_refusal_shape(self):
+        cluster, metrics, RemoteOp, record = self._env()
+        shed_op = RemoteOp(node=cluster.node(1), execute=lambda: iter(()))
+        record(cluster, 1, metrics, QueueFull("evicted", shed=True), (shed_op,))
+        record(cluster, 1, metrics, QueueFull("evicted", shed=True), (shed_op,))
+        assert metrics.requests_shed == 1
+        assert metrics.requests_rejected == 0
+        assert metrics.refusal_attempts == 2
+
+    def test_opless_refusal_counts_once_per_call(self):
+        # Coordinator-side refusals outside any scatter-gather stage have
+        # no op identity; each call is its own logical request.
+        cluster, metrics, _RemoteOp, record = self._env()
+        record(cluster, None, metrics, QueueFull("full"))
+        record(cluster, None, metrics, QueueFull("full"))
+        assert metrics.requests_rejected == 2
+        assert metrics.refusal_attempts == 2

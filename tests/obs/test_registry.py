@@ -134,3 +134,56 @@ def test_bytes_buckets_cover_terabytes():
     assert BYTES_BUCKETS[0] == 64.0
     assert BYTES_BUCKETS[-1] >= 4e12
     assert all(not math.isinf(b) for b in BYTES_BUCKETS)
+
+
+def test_label_values_escaped_in_export():
+    reg = MetricsRegistry()
+    reg.counter(
+        "repro_weird_total", "odd labels", tenant='te"na\\nt\nwith newline'
+    ).inc()
+    text = reg.export()
+    assert validate_prometheus_text(text) == []
+    # Quote, backslash and (crucially) the literal newline are escaped —
+    # an unescaped newline would split the sample line in two.
+    assert 'tenant="te\\"na\\\\nt\\nwith newline"' in text
+    # An unescaped newline would have split the sample across two lines.
+    assert not any(line.startswith("with newline") for line in text.splitlines())
+
+
+def test_tenant_labelled_families_share_one_header():
+    reg = MetricsRegistry()
+    for tenant in ("a", "b", "c"):
+        qm = _qm()
+        qm.tenant = tenant
+        reg.record_query(qm)
+    text = reg.export()
+    assert validate_prometheus_text(text) == []
+    # Three tenant label sets, exactly one HELP/TYPE header per family.
+    assert text.count("# TYPE repro_tenant_queries_total") == 1
+    assert text.count("# HELP repro_tenant_queries_total") == 1
+    assert text.count("# TYPE repro_tenant_query_latency_seconds") == 1
+    for tenant in ("a", "b", "c"):
+        assert f'repro_tenant_queries_total{{tenant="{tenant}"}} 1' in text
+
+
+def test_tenant_families_merge_across_registries_with_one_header():
+    a = MetricsRegistry(const_labels={"system": "fusion"})
+    b = MetricsRegistry(const_labels={"system": "baseline"})
+    for reg, tenants in ((a, ("x", "y")), (b, ("x",))):
+        for tenant in tenants:
+            qm = _qm()
+            qm.tenant = tenant
+            reg.record_query(qm)
+    text = export_merged([a, b])
+    assert validate_prometheus_text(text) == []
+    assert text.count("# TYPE repro_tenant_queries_total") == 1
+    assert 'repro_tenant_queries_total{system="fusion",tenant="x"} 1' in text
+    assert 'repro_tenant_queries_total{system="baseline",tenant="x"} 1' in text
+
+
+def test_newline_in_help_text_escaped():
+    reg = MetricsRegistry()
+    reg.counter("repro_multiline_total", "line one\nline two").inc()
+    text = reg.export()
+    assert validate_prometheus_text(text) == []
+    assert "# HELP repro_multiline_total line one\\nline two" in text
