@@ -30,6 +30,7 @@ import time
 
 import numpy as np
 
+from repro.bench.envelope import write_bench_report
 from repro.cluster import Cluster, ClusterConfig, Simulator
 from repro.core import FusionStore, RepairManager, StoreConfig
 from repro.ec import gf256, reed_solomon
@@ -364,7 +365,8 @@ def _e2e_repair(table: Table) -> None:
 
 
 def main(out_path: str = "BENCH_dataplane.json") -> None:
-    report: dict = {"benchmark": "dataplane", "components": {}, "e2e": {}}
+    bench_start = time.perf_counter()
+    report: dict = {"components": {}, "e2e": {}}
 
     components = report["components"]
     components["snappy_roundtrip"] = _snappy_component()
@@ -410,8 +412,14 @@ def main(out_path: str = "BENCH_dataplane.json") -> None:
         flag = "PASS" if ratio >= FLOORS[name] else "FAIL"
         print(f"{name}: {ratio:.1f}x (floor {FLOORS[name]}x) {flag}")
 
-    with open(out_path, "w", encoding="utf-8") as f:
-        json.dump(report, f, indent=2)
+    write_bench_report(
+        out_path,
+        benchmark="dataplane",
+        wall_seconds=time.perf_counter() - bench_start,
+        passed=ok,
+        floors={f"{name}_speedup": FLOORS[name] for name in FLOORS},
+        detail=report,
+    )
     print(f"wrote {out_path}")
     if not ok:
         sys.exit(1)

@@ -22,8 +22,10 @@ from __future__ import annotations
 
 import json
 import sys
+import time
 
 from repro.bench.experiments import dataset, dataset_scale
+from repro.bench.envelope import write_bench_report
 from repro.bench.harness import WorkloadStats, build_system, run_workload
 from repro.cluster.faults import FaultEvent, FaultInjector
 from repro.cluster.metrics import QueryMetrics
@@ -151,6 +153,7 @@ def _placements_all_in(store, alive: set[int]) -> bool:
 
 
 def main(out_path: str = "BENCH_fault_tolerance.json") -> None:
+    bench_start = time.perf_counter()
     report: dict = {
         "benchmark": "fault_tolerance",
         "workload": _workload_sqls(),
@@ -213,8 +216,14 @@ def main(out_path: str = "BENCH_fault_tolerance.json") -> None:
             f"identical={identical} -> {'PASS' if passed else 'FAIL'}"
         )
 
-    with open(out_path, "w", encoding="utf-8") as f:
-        json.dump(report, f, indent=2)
+    write_bench_report(
+        out_path,
+        benchmark="fault_tolerance",
+        wall_seconds=time.perf_counter() - bench_start,
+        passed=ok,
+        floors={"availability": 1.0, "crash_fraction_of_no_fault_run": CRASH_FRACTION},
+        detail=report,
+    )
     print(f"wrote {out_path}")
     if not ok:
         sys.exit(1)

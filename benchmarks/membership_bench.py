@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import json
 import sys
+import time
 
+from repro.bench.envelope import write_bench_report
 from repro.bench.experiments import dataset, dataset_scale
 from repro.bench.harness import WorkloadStats, build_system, run_workload
 from repro.cluster.faults import FaultEvent, FaultInjector
@@ -117,6 +119,7 @@ def _summarise(stats: WorkloadStats) -> dict:
 
 
 def main(out_path: str = "BENCH_membership.json") -> None:
+    bench_start = time.perf_counter()
     report: dict = {
         "benchmark": "membership",
         "workload": _workload_sqls(),
@@ -209,8 +212,17 @@ def main(out_path: str = "BENCH_membership.json") -> None:
             f"-> {'PASS' if passed else 'FAIL'}"
         )
 
-    with open(out_path, "w", encoding="utf-8") as f:
-        json.dump(report, f, indent=2)
+    write_bench_report(
+        out_path,
+        benchmark="membership",
+        wall_seconds=time.perf_counter() - bench_start,
+        passed=ok,
+        floors={
+            "availability": 1.0,
+            "convergence_bound_x_transfer_floor": CONVERGENCE_BOUND,
+        },
+        detail=report,
+    )
     print(f"wrote {out_path}")
     if not ok:
         sys.exit(1)

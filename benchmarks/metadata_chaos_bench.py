@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import json
 import sys
+import time
 
+from repro.bench.envelope import write_bench_report
 from repro.bench.experiments import metadata_chaos
 
 ROUNDS = 10
@@ -28,6 +30,7 @@ SEED = 11
 
 
 def main(out_path: str = "BENCH_metadata_chaos.json") -> None:
+    bench_start = time.perf_counter()
     result = metadata_chaos(rounds=ROUNDS, seed=SEED)
     report: dict = {
         "benchmark": "metadata_chaos",
@@ -48,8 +51,15 @@ def main(out_path: str = "BENCH_metadata_chaos.json") -> None:
         ok &= passed
 
     report["passed"] = ok
-    with open(out_path, "w") as f:
-        json.dump(report, f, indent=2, default=str)
+    report = json.loads(json.dumps(report, default=str))  # stringify non-JSON leaves
+    write_bench_report(
+        out_path,
+        benchmark="metadata_chaos",
+        wall_seconds=time.perf_counter() - bench_start,
+        passed=ok,
+        floors={"clean_rounds": ROUNDS, "lost_objects": 0},
+        detail=report,
+    )
 
     for row in result.rows:
         print("  ".join(str(c) for c in row))

@@ -1,42 +1,71 @@
-"""Observability overhead benchmark: what does tracing cost, and does it
-perturb the simulation?
+"""Continuous-telemetry benchmark: overhead, perturbation, and detection.
 
-Runs the same concurrent taxi workload through Fusion and the baseline
-twice each — once with every observability knob off, once with tracing,
-the metrics registry and the pushdown audit all on — and reports:
+Four acceptance gates (exit 1 on any failure):
 
-* the *simulated* fingerprint of both runs (must be identical: the
-  observers never touch the event heap),
-* the host wall-clock per run and the on/off overhead ratio,
-* how much was observed (spans, instants, audit records, registry
-  series).
+1. **Zero simulated perturbation** — the same concurrent taxi workload
+   runs through Fusion and the baseline with every observability knob
+   off and with *full* telemetry on (tracing, metrics registry, audit,
+   scraper, SLO engine, exemplars); per-query fingerprints and results
+   must be bit-identical.
+2. **Bounded wall overhead** — full telemetry costs at most 1.5x the
+   uninstrumented host wall-clock (best-of-2 per mode).
+3. **Detection** — a chaos run (one node degraded by a ``slow`` fault
+   and hammered by an ``overload`` storm) must fire the p99 burn-rate
+   alert within two scrape intervals of the first over-threshold query
+   completion, and the critical-path analyzer must attribute >= 80% of
+   the affected queries' added latency to queue-wait on the stormed
+   node.
+4. **Exemplars** — the p99 latency bucket's exemplar must resolve to a
+   query span present in the exported Chrome trace.
 
-Acceptance (exit 1 on failure): per-query fingerprints and results are
-bit-identical with observability on vs off, and the instrumented run
-actually captured spans and metrics.
-
-Writes ``BENCH_obs_overhead.json``.  Run from the repo root::
+Writes ``BENCH_obs_overhead.json`` (bench-envelope/v1).  Run from the
+repo root::
 
     PYTHONPATH=src python benchmarks/obs_overhead_bench.py [output.json]
 """
 
 from __future__ import annotations
 
-import json
 import sys
 import time
 from dataclasses import replace
 
+from repro.bench.envelope import write_bench_report
 from repro.bench.experiments import dataset, store_config
 from repro.cluster.cluster import Cluster, ClusterConfig
-from repro.cluster.metrics import QueryMetrics
+from repro.cluster.faults import FaultEvent, FaultInjector
+from repro.cluster.metrics import QueryMetrics, percentile
 from repro.cluster.simcore import Simulator
 from repro.core.baseline_store import BaselineStore
 from repro.core.store import FusionStore
+from repro.obs.critpath import CriticalPathAnalyzer
+from repro.obs.slo import SLOEngine, SLObjective
 from repro.workloads import real_world_queries
 
 NUM_CLIENTS = 10
 NUM_QUERIES = 40
+SCRAPE_INTERVAL_S = 0.25
+OVERHEAD_CEILING = 1.5  # full telemetry vs uninstrumented wall-clock
+QUEUE_WAIT_FLOOR = 0.8  # of affected queries' added latency
+ALERT_WITHIN_INTERVALS = 2
+
+# Chaos run: one node degraded and stormed mid-workload.  The storm is
+# anchored to the *query phase* (Put takes most of the simulated run),
+# starting this long after the dataset load finished.
+CHAOS_NODE = 0
+CHAOS_AFTER_PUT_S = 1.0
+CHAOS_DURATION_S = 6.0
+CHAOS_SLOW_FACTOR = 4.0
+CHAOS_STORM_RATE = 3000.0  # background reads/s against the slowed disk
+CHAOS_QUERIES = 60
+#: Affected queries must exceed the healthy p99 by this margin, keeping
+#: float jitter and the healthy run's own top percentile out of the
+#: "affected" population.
+AFFECTED_MARGIN = 1.25
+#: The chaos pair runs "patient": ops wait out the storm in the queue
+#: instead of timing out into degraded reads, so the added latency is
+#: observable where it actually accrues (the stormed node's queues).
+PATIENT_TIMEOUT_S = 60.0
 
 
 def _workload_sqls() -> list[str]:
@@ -47,26 +76,33 @@ def _workload_sqls() -> list[str]:
     return [queries["Q3"].sql, queries["Q4"].sql]
 
 
-def _run(kind: str, obs_on: bool) -> dict:
+def _build(kind: str, telemetry: bool, **overrides):
     data, _table = dataset("taxi")
     config = replace(
-        store_config("taxi"),
-        tracing_enabled=obs_on,
-        metrics_registry_enabled=obs_on,
-        pushdown_audit_enabled=obs_on,
+        store_config("taxi", **overrides),
+        tracing_enabled=telemetry,
+        metrics_registry_enabled=telemetry,
+        pushdown_audit_enabled=telemetry,
+        scrape_interval_s=SCRAPE_INTERVAL_S if telemetry else 0.0,
+        slo_enabled=telemetry,
+        exemplars_enabled=telemetry,
     )
     sim = Simulator()
     cluster = Cluster(sim, ClusterConfig())
     store_cls = FusionStore if kind == "fusion" else BaselineStore
     store = store_cls(cluster, config)
-    started = time.perf_counter()
-    store.put("taxi", data)
+    return sim, cluster, store, data
 
+
+def _drive(sim, store, data, queries: int, after_put=None) -> tuple[list[QueryMetrics], list]:
+    store.put("taxi", data)
+    if after_put is not None:
+        after_put()
     sqls = _workload_sqls()
     metrics_out: list[QueryMetrics] = []
-    results_out = []
-    per_client = [NUM_QUERIES // NUM_CLIENTS] * NUM_CLIENTS
-    for i in range(NUM_QUERIES % NUM_CLIENTS):
+    results_out: list = []
+    per_client = [queries // NUM_CLIENTS] * NUM_CLIENTS
+    for i in range(queries % NUM_CLIENTS):
         per_client[i] += 1
 
     def client(cid: int, count: int):
@@ -81,11 +117,17 @@ def _run(kind: str, obs_on: bool) -> dict:
         if count:
             sim.process(client(cid, count))
     sim.run()
-    wall = time.perf_counter() - started
+    return metrics_out, results_out
 
+
+def _overhead_run(kind: str, telemetry: bool) -> dict:
+    sim, cluster, store, data = _build(kind, telemetry)
+    started = time.perf_counter()
+    metrics, results = _drive(sim, store, data, NUM_QUERIES)
+    wall = time.perf_counter() - started
     fingerprint = [
         (qm.start_time, qm.end_time, qm.network_bytes, qm.rpcs_issued)
-        for qm in metrics_out
+        for qm in metrics
     ]
     observed = {
         "spans": len(sim.tracer.spans) if sim.tracer else 0,
@@ -96,52 +138,246 @@ def _run(kind: str, obs_on: bool) -> dict:
             if cluster.metrics.registry is not None
             else 0
         ),
+        "scrape_samples": (
+            len(cluster.scraper.times) if cluster.scraper is not None else 0
+        ),
+        "slo_objectives": (
+            len(cluster.slo.objectives) if cluster.slo is not None else 0
+        ),
     }
     return {
         "wall_seconds": wall,
         "simulated_seconds": sim.now,
         "fingerprint": fingerprint,
-        "results": results_out,
+        "results": results,
         "observed": observed,
     }
 
 
-def main(out_path: str) -> int:
-    _workload_sqls()  # warm the dataset cache so timings exclude generation
-    report: dict = {"workload": {"clients": NUM_CLIENTS, "queries": NUM_QUERIES}}
-    failures: list[str] = []
+def _overhead_phase(report: dict, failures: list[str]) -> None:
     for kind in ("fusion", "baseline"):
-        off = _run(kind, obs_on=False)
-        on = _run(kind, obs_on=True)
+        # Best-of-2 per mode: one workload run is ~0.2s of host time, so
+        # a single sample is noise-dominated at a 1.5x ceiling.
+        offs = [_overhead_run(kind, telemetry=False) for _ in range(2)]
+        ons = [_overhead_run(kind, telemetry=True) for _ in range(2)]
+        off, on = offs[0], ons[0]
         if off["fingerprint"] != on["fingerprint"]:
-            failures.append(f"{kind}: fingerprints differ with obs on vs off")
+            failures.append(f"{kind}: fingerprints differ with telemetry on vs off")
         if not all(a.equals(b) for a, b in zip(off["results"], on["results"])):
-            failures.append(f"{kind}: query results differ with obs on vs off")
-        if not (on["observed"]["spans"] and on["observed"]["registry_families"]):
+            failures.append(f"{kind}: query results differ with telemetry on vs off")
+        obs = on["observed"]
+        if not (obs["spans"] and obs["registry_families"] and obs["scrape_samples"]):
             failures.append(f"{kind}: instrumented run captured nothing")
-        if off["observed"]["spans"] or off["observed"]["registry_families"]:
+        if off["observed"]["spans"] or off["observed"]["scrape_samples"]:
             failures.append(f"{kind}: uninstrumented run captured something")
-        overhead = (
-            on["wall_seconds"] / off["wall_seconds"] if off["wall_seconds"] else 0.0
-        )
+        wall_off = min(r["wall_seconds"] for r in offs)
+        wall_on = min(r["wall_seconds"] for r in ons)
+        overhead = wall_on / wall_off if wall_off else 0.0
+        if overhead > OVERHEAD_CEILING:
+            failures.append(
+                f"{kind}: telemetry wall overhead x{overhead:.2f} exceeds "
+                f"x{OVERHEAD_CEILING}"
+            )
         report[kind] = {
-            "wall_seconds_off": off["wall_seconds"],
-            "wall_seconds_on": on["wall_seconds"],
+            "wall_seconds_off": wall_off,
+            "wall_seconds_on": wall_on,
             "wall_overhead_ratio": overhead,
             "simulated_seconds": on["simulated_seconds"],
             "event_stream_identical": off["fingerprint"] == on["fingerprint"],
-            "observed": on["observed"],
+            "observed": obs,
         }
         print(
-            f"{kind:9s} wall off {off['wall_seconds']:.2f}s on "
-            f"{on['wall_seconds']:.2f}s (x{overhead:.2f}) | "
-            f"{on['observed']['spans']} spans, "
-            f"{on['observed']['audit_records']} audit records"
+            f"{kind:9s} wall off {wall_off:.2f}s on {wall_on:.2f}s "
+            f"(x{overhead:.2f}) | {obs['spans']} spans, "
+            f"{obs['scrape_samples']} scrapes, "
+            f"{obs['audit_records']} audit records"
         )
-    report["ok"] = not failures
+
+
+def _chaos_phase(report: dict, failures: list[str]) -> None:
+    # Calm reference with the identical patient config calibrates the
+    # healthy latency envelope the chaos run is judged against.
+    sim0, _cluster0, store0, data0 = _build(
+        "fusion", telemetry=True, op_timeout_s=PATIENT_TIMEOUT_S
+    )
+    calm_metrics, _ = _drive(sim0, store0, data0, CHAOS_QUERIES)
+    calm_lat = [qm.latency for qm in calm_metrics]
+    healthy_p50 = percentile(calm_lat, 50)
+    healthy_p99 = percentile(calm_lat, 99)
+
+    sim, cluster, store, data = _build(
+        "fusion", telemetry=True, op_timeout_s=PATIENT_TIMEOUT_S
+    )
+    threshold = AFFECTED_MARGIN * healthy_p99
+    # The acceptance objective watches "p99 above the healthy envelope",
+    # alongside the stock objectives install_telemetry already wired up.
+    watchdog = SLOEngine(
+        cluster.scraper,
+        [
+            SLObjective(
+                name="p99_vs_healthy",
+                kind="latency_p99",
+                target=0.99,
+                threshold=threshold,
+                series="repro_query_latency_seconds",
+            )
+        ],
+        registry=cluster.metrics.registry,
+        tracer=sim.tracer,
+    )
+    chaos_state: dict = {}
+
+    def arm_chaos() -> None:
+        chaos_at = sim.now + CHAOS_AFTER_PUT_S
+        chaos_state["at"] = chaos_at
+        FaultInjector(
+            cluster,
+            [
+                FaultEvent(
+                    at=chaos_at, kind="slow", node_id=CHAOS_NODE,
+                    duration=CHAOS_DURATION_S, factor=CHAOS_SLOW_FACTOR,
+                ),
+                FaultEvent(
+                    at=chaos_at, kind="overload", node_id=CHAOS_NODE,
+                    duration=CHAOS_DURATION_S, rate=CHAOS_STORM_RATE,
+                ),
+            ],
+        ).install()
+
+    chaos_metrics, _ = _drive(sim, store, data, CHAOS_QUERIES, after_put=arm_chaos)
+    chaos_at = chaos_state["at"]
+
+    # Alert latency: from the first over-threshold completion (the
+    # earliest instant the engine could possibly know) to the firing.
+    bad_ends = sorted(
+        qm.end_time
+        for qm in chaos_metrics
+        if qm.latency > threshold and qm.end_time >= chaos_at
+    )
+    first_bad = bad_ends[0] if bad_ends else None
+    alert = next((a for a in watchdog.alerts if a.slo == "p99_vs_healthy"), None)
+    alert_delay = (alert.time - first_bad) if alert and first_bad is not None else None
+    alert_bound = ALERT_WITHIN_INTERVALS * SCRAPE_INTERVAL_S
+    if first_bad is None:
+        failures.append("chaos: storm produced no over-threshold completions")
+    elif alert is None:
+        failures.append("chaos: p99 burn-rate alert never fired")
+    elif alert_delay > alert_bound + 1e-9:
+        failures.append(
+            f"chaos: alert fired {alert_delay:.3f}s after first bad completion "
+            f"(bound {alert_bound:.3f}s)"
+        )
+
+    # Critical path: >= 80% of the affected queries' added latency must
+    # land on queue-wait at the stormed node.
+    analyzer = CriticalPathAnalyzer(sim.tracer)
+    affected = [
+        s
+        for s in sim.tracer.find("query")
+        if s.end is not None
+        and s.end >= chaos_at
+        and (s.end - s.start) > threshold
+    ]
+    agg = analyzer.aggregate(affected)
+    added = agg["total_seconds"] - len(affected) * healthy_p50
+    storm_wait = agg["queue_wait_by_node"].get(str(CHAOS_NODE), 0.0)
+    wait_share = storm_wait / added if added > 0 else 0.0
+    if not affected:
+        failures.append("chaos: no affected query spans found in the trace")
+    elif wait_share < QUEUE_WAIT_FLOOR:
+        failures.append(
+            f"chaos: queue-wait on node {CHAOS_NODE} explains only "
+            f"{wait_share:.1%} of added latency (floor {QUEUE_WAIT_FLOOR:.0%})"
+        )
+
+    # Exemplars: the p99 bucket must link back to a real query span in
+    # the exported trace.
+    hist = cluster.metrics.registry.histogram(
+        "repro_query_latency_seconds", "End-to-end query latency"
+    )
+    exemplar = hist.exemplar_for_quantile(0.99)
+    exemplar_ok = False
+    exemplar_detail: dict = {}
+    if exemplar is not None:
+        value, trace_id = exemplar
+        span = next(
+            (s for s in sim.tracer.spans if s.span_id == trace_id), None
+        )
+        exported = sim.tracer.chrome_trace()
+        in_export = any(
+            ev.get("ph") == "B" and ev.get("args", {}).get("span_id") == trace_id
+            for ev in exported["traceEvents"]
+        )
+        exemplar_ok = span is not None and span.name == "query" and in_export
+        exemplar_detail = {
+            "value": value,
+            "trace_id": trace_id,
+            "span_name": span.name if span is not None else None,
+            "in_exported_trace": in_export,
+        }
+    if not exemplar_ok:
+        failures.append("chaos: p99 exemplar did not resolve to an exported query span")
+
+    report["chaos"] = {
+        "node": CHAOS_NODE,
+        "slow_factor": CHAOS_SLOW_FACTOR,
+        "storm_rate_rps": CHAOS_STORM_RATE,
+        "healthy_p50_s": healthy_p50,
+        "healthy_p99_s": healthy_p99,
+        "affected_threshold_s": threshold,
+        "chaos_at_s": chaos_at,
+        "affected_queries": len(affected),
+        "first_bad_completion_s": first_bad,
+        "alert_time_s": alert.time if alert else None,
+        "alert_delay_s": alert_delay,
+        "alert_bound_s": alert_bound,
+        "added_latency_s": added,
+        "queue_wait_stormed_node_s": storm_wait,
+        "queue_wait_share_of_added": wait_share,
+        "attribution": {
+            "by_category": agg["by_category"],
+            "queue_wait_by_node": agg["queue_wait_by_node"],
+        },
+        "exemplar": exemplar_detail,
+        "stock_alerts": [a.to_dict() for a in cluster.slo.alerts],
+    }
+    print(
+        f"chaos     alert +{alert_delay:.3f}s of first bad completion "
+        f"(bound {alert_bound:.2f}s), queue-wait share {wait_share:.1%}, "
+        f"{len(affected)} affected queries, exemplar ok={exemplar_ok}"
+        if alert_delay is not None
+        else "chaos     FAILED to fire/measure the burn-rate alert"
+    )
+
+
+def main(out_path: str) -> int:
+    bench_start = time.perf_counter()
+    _workload_sqls()  # warm the dataset cache so timings exclude generation
+    report: dict = {
+        "workload": {
+            "clients": NUM_CLIENTS,
+            "queries": NUM_QUERIES,
+            "chaos_queries": CHAOS_QUERIES,
+            "scrape_interval_s": SCRAPE_INTERVAL_S,
+        }
+    }
+    failures: list[str] = []
+    _overhead_phase(report, failures)
+    _chaos_phase(report, failures)
     report["failures"] = failures
-    with open(out_path, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
+    write_bench_report(
+        out_path,
+        benchmark="obs_overhead",
+        wall_seconds=time.perf_counter() - bench_start,
+        passed=not failures,
+        floors={
+            "wall_overhead_ceiling": OVERHEAD_CEILING,
+            "alert_within_scrape_intervals": ALERT_WITHIN_INTERVALS,
+            "queue_wait_share_floor": QUEUE_WAIT_FLOOR,
+            "event_stream_identical": True,
+        },
+        detail=report,
+    )
     print(f"wrote {out_path}")
     if failures:
         for failure in failures:

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import json
 import sys
+import time
 
+from repro.bench.envelope import write_bench_report
 from repro.bench.experiments import overload_protection
 
 ADMISSION_DEPTH = 16  # what the experiment's protected config uses
@@ -73,6 +75,7 @@ def _accept(kind: str, raw: dict) -> tuple[bool, dict]:
 
 
 def main(out_path: str = "BENCH_overload.json") -> None:
+    bench_start = time.perf_counter()
     result = overload_protection(arrivals=ARRIVALS)
     report: dict = {
         "benchmark": "overload",
@@ -119,8 +122,14 @@ def main(out_path: str = "BENCH_overload.json") -> None:
                 if not value:
                     print(f"  FAILED check: {name}")
 
-    with open(out_path, "w", encoding="utf-8") as f:
-        json.dump(report, f, indent=2)
+    write_bench_report(
+        out_path,
+        benchmark="overload",
+        wall_seconds=time.perf_counter() - bench_start,
+        passed=ok,
+        floors={"goodput_floor": GOODPUT_FLOOR, "admission_queue_depth": ADMISSION_DEPTH},
+        detail=report,
+    )
     print(f"wrote {out_path}")
     if not ok:
         sys.exit(1)

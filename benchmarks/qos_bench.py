@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import json
 import sys
+import time
 
+from repro.bench.envelope import write_bench_report
 from repro.bench.experiments import tenant_qos
 
 B_GOODPUT_FLOOR = 0.8  # of B's isolated-run goodput
@@ -56,6 +58,7 @@ def _accept(kind: str, raw: dict) -> tuple[bool, dict]:
 
 
 def main(out_path: str = "BENCH_qos.json") -> None:
+    bench_start = time.perf_counter()
     result = tenant_qos(arrivals=ARRIVALS)
     report: dict = {
         "benchmark": "qos",
@@ -99,8 +102,14 @@ def main(out_path: str = "BENCH_qos.json") -> None:
                 if not value:
                     print(f"  FAILED check: {name}")
 
-    with open(out_path, "w", encoding="utf-8") as f:
-        json.dump(report, f, indent=2)
+    write_bench_report(
+        out_path,
+        benchmark="qos",
+        wall_seconds=time.perf_counter() - bench_start,
+        passed=ok,
+        floors={"b_goodput_floor": B_GOODPUT_FLOOR, "symmetry_floor": SYMMETRY_FLOOR},
+        detail=report,
+    )
     print(f"wrote {out_path}")
     if not ok:
         sys.exit(1)

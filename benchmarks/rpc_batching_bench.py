@@ -16,9 +16,11 @@ from __future__ import annotations
 
 import json
 import sys
+import time
 from dataclasses import replace
 
 from repro.bench.experiments import dataset, dataset_scale, store_config
+from repro.bench.envelope import write_bench_report
 from repro.bench.harness import WorkloadStats, build_system, reduction_pct, run_workload
 from repro.cluster.metrics import QueryMetrics
 from repro.workloads import real_world_queries
@@ -90,6 +92,7 @@ def _acceptance() -> dict:
 
 
 def main(out_path: str = "BENCH_rpc_batching.json") -> None:
+    bench_start = time.perf_counter()
     report: dict = {
         "benchmark": "rpc_batching",
         "workload": _workload_sqls(),
@@ -140,8 +143,14 @@ def main(out_path: str = "BENCH_rpc_batching.json") -> None:
         )
     )
 
-    with open(out_path, "w", encoding="utf-8") as f:
-        json.dump(report, f, indent=2)
+    write_bench_report(
+        out_path,
+        benchmark="rpc_batching",
+        wall_seconds=time.perf_counter() - bench_start,
+        passed=ok,
+        floors={"rpc_bound": "one_per_node_per_stage", "results_identical": True},
+        detail=report,
+    )
     print(f"wrote {out_path}")
     if not ok:
         sys.exit(1)

@@ -11,6 +11,12 @@ Usage::
 every system built during the run (open it at https://ui.perfetto.dev).
 ``--metrics-out PATH`` writes a structured METRICS.json dump plus a
 Prometheus text export next to it (same path, ``.prom`` suffix).
+``--timeseries-out PATH`` installs the continuous-telemetry scraper on
+every system and writes the per-system TIMESERIES dump; the default
+0.25 s scrape interval is overridable with ``--scrape-interval S``.
+``--alerts-out PATH`` additionally runs the default SLO objectives and
+writes the per-system alert export.  ``--exemplars`` turns on histogram
+exemplars (tail latency observations carry trace ids).
 """
 
 from __future__ import annotations
@@ -46,10 +52,30 @@ def main(argv: list[str]) -> int:
         os.makedirs(json_dir, exist_ok=True)
     argv, trace_out = _take_flag(argv, "--trace-out")
     argv, metrics_out = _take_flag(argv, "--metrics-out")
-    if trace_out is not None or metrics_out is not None:
+    argv, timeseries_out = _take_flag(argv, "--timeseries-out")
+    argv, alerts_out = _take_flag(argv, "--alerts-out")
+    argv, scrape_interval = _take_flag(argv, "--scrape-interval")
+    exemplars = "--exemplars" in argv
+    if exemplars:
+        argv = [a for a in argv if a != "--exemplars"]
+    capture = (
+        trace_out is not None
+        or metrics_out is not None
+        or timeseries_out is not None
+        or alerts_out is not None
+        or exemplars
+    )
+    if capture:
         from repro.bench.harness import enable_obs_capture
 
-        enable_obs_capture()
+        interval = 0.0
+        if timeseries_out is not None or alerts_out is not None:
+            interval = float(scrape_interval) if scrape_interval is not None else 0.25
+        enable_obs_capture(
+            scrape_interval=interval,
+            slo=alerts_out is not None,
+            exemplars=exemplars,
+        )
 
     if len(argv) < 1 or argv[0] in ("-h", "--help"):
         print(__doc__)
@@ -73,8 +99,8 @@ def main(argv: list[str]) -> int:
             result.save_json(os.path.join(json_dir, f"{name}.json"))
         print(f"({name} took {time.perf_counter() - start:.1f}s)\n")
 
-    if trace_out is not None or metrics_out is not None:
-        from repro.bench.harness import collect_obs
+    if capture:
+        from repro.bench.harness import collect_obs, collect_telemetry
 
         trace, prom_text, metrics = collect_obs()
         if trace_out is not None:
@@ -89,6 +115,22 @@ def main(argv: list[str]) -> int:
             with open(prom_path, "w") as fh:
                 fh.write(prom_text)
             print(f"wrote metrics: {metrics_out} and {prom_path}")
+        if timeseries_out is not None or alerts_out is not None:
+            timeseries, alerts = collect_telemetry()
+            if timeseries_out is not None:
+                with open(timeseries_out, "w") as fh:
+                    json.dump(timeseries, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                samples = sum(ts.get("samples", 0) for ts in timeseries.values())
+                print(f"wrote timeseries: {timeseries_out} "
+                      f"({len(timeseries)} system(s), {samples} samples)")
+            if alerts_out is not None:
+                with open(alerts_out, "w") as fh:
+                    json.dump(alerts, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                fired = sum(len(a.get("alerts", [])) for a in alerts.values())
+                print(f"wrote alerts: {alerts_out} "
+                      f"({len(alerts)} system(s), {fired} alert(s))")
     return 0
 
 

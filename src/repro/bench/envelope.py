@@ -1,0 +1,111 @@
+"""Shared envelope schema for the acceptance benchmarks' BENCH_*.json.
+
+The standalone benchmarks under ``benchmarks/*_bench.py`` each grew
+their own report shape; the envelope normalizes the top level so CI and
+:mod:`benchmarks.bench_summary` can aggregate them without per-benchmark
+knowledge::
+
+    {
+      "schema": "bench-envelope/v1",
+      "benchmark": "<name>",
+      "wall_seconds": <host seconds the benchmark took>,
+      "acceptance": {
+        "pass": true|false,
+        "floors": { "<threshold name>": <value>, ... }
+      },
+      "detail": { ...the benchmark's own report, unchanged... }
+    }
+
+``floors`` documents the named thresholds the pass/fail verdict was
+computed against (speedup floors, goodput fractions, overhead caps);
+the per-check evidence stays inside ``detail`` in whatever shape the
+benchmark always used.
+
+:func:`load_bench_report` also understands pre-envelope files (anything
+without the ``schema`` marker) by nesting them under ``detail`` with a
+best-effort verdict, so mixed result directories keep aggregating.
+"""
+
+from __future__ import annotations
+
+import json
+
+SCHEMA = "bench-envelope/v1"
+
+
+def bench_report(
+    benchmark: str,
+    wall_seconds: float,
+    passed: bool,
+    floors: dict,
+    detail: dict,
+) -> dict:
+    """The envelope document for one benchmark run."""
+    return {
+        "schema": SCHEMA,
+        "benchmark": benchmark,
+        "wall_seconds": wall_seconds,
+        "acceptance": {"pass": bool(passed), "floors": dict(floors)},
+        "detail": detail,
+    }
+
+
+def write_bench_report(
+    path: str,
+    benchmark: str,
+    wall_seconds: float,
+    passed: bool,
+    floors: dict,
+    detail: dict,
+) -> dict:
+    """Write the envelope as deterministic JSON; returns the document."""
+    doc = bench_report(benchmark, wall_seconds, passed, floors, detail)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def _legacy_verdict(doc: dict) -> bool | None:
+    """Best-effort pass/fail from a pre-envelope report (None: unknown)."""
+    for key in ("ok", "passed"):
+        if isinstance(doc.get(key), bool):
+            return doc[key]
+    acceptance = doc.get("acceptance")
+    if isinstance(acceptance, dict):
+        if isinstance(acceptance.get("pass"), bool):
+            return acceptance["pass"]
+        if isinstance(acceptance.get("passes"), bool):
+            return acceptance["passes"]
+        verdicts = [
+            entry["passes"]
+            for entry in acceptance.values()
+            if isinstance(entry, dict) and isinstance(entry.get("passes"), bool)
+        ]
+        if verdicts:
+            return all(verdicts)
+    return None
+
+
+def load_bench_report(path: str) -> dict:
+    """Read one BENCH_*.json, normalized to the envelope shape.
+
+    Envelope files come back as-is; legacy files are wrapped (their
+    whole document becomes ``detail``, the verdict is recovered from
+    the common legacy markers, ``wall_seconds`` is absent as 0.0).
+    """
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if isinstance(doc, dict) and doc.get("schema") == SCHEMA:
+        return doc
+    verdict = _legacy_verdict(doc) if isinstance(doc, dict) else None
+    return {
+        "schema": "legacy",
+        "benchmark": doc.get("benchmark", "?") if isinstance(doc, dict) else "?",
+        "wall_seconds": 0.0,
+        "acceptance": {"pass": verdict, "floors": {}},
+        "detail": doc,
+    }
+
+
+__all__ = ["SCHEMA", "bench_report", "load_bench_report", "write_bench_report"]

@@ -18,6 +18,8 @@ from repro.core.baseline_store import BaselineStore
 from repro.core.config import StoreConfig
 from repro.core.store import FusionStore
 from repro.obs.registry import MetricsRegistry, export_merged
+from repro.obs.slo import SLOEngine, default_objectives
+from repro.obs.timeseries import Scraper
 from repro.obs.tracer import Tracer
 from repro.sql.local import QueryResult
 
@@ -110,10 +112,25 @@ def reduction_pct(baseline: float, candidate: float) -> float:
 _OBS_CAPTURE: dict | None = None
 
 
-def enable_obs_capture() -> None:
-    """Start capturing traces and metrics from every system built."""
+def enable_obs_capture(
+    scrape_interval: float = 0.0,
+    slo: bool = False,
+    exemplars: bool = False,
+) -> None:
+    """Start capturing traces and metrics from every system built.
+
+    ``scrape_interval`` > 0 additionally installs a continuous-telemetry
+    :class:`~repro.obs.timeseries.Scraper` on every system (``slo=True``
+    adds the default SLO objectives on top); ``exemplars=True`` turns on
+    histogram exemplars linking tail observations to trace ids.
+    """
     global _OBS_CAPTURE
-    _OBS_CAPTURE = {"systems": []}
+    _OBS_CAPTURE = {
+        "systems": [],
+        "scrape_interval": scrape_interval,
+        "slo": slo,
+        "exemplars": exemplars,
+    }
 
 
 def obs_capture_enabled() -> bool:
@@ -148,6 +165,26 @@ def collect_obs() -> tuple[dict, str, dict]:
     return trace, export_merged(registries), metrics
 
 
+def collect_telemetry() -> tuple[dict, dict]:
+    """Per-system timeseries and SLO exports from the captured systems.
+
+    Returns ``(timeseries_dict, alerts_dict)``, each keyed by the same
+    per-system label :func:`collect_obs` uses; systems without a scraper
+    or SLO engine are simply absent from the respective dict.
+    """
+    if _OBS_CAPTURE is None:
+        raise RuntimeError("obs capture not enabled; call enable_obs_capture() first")
+    timeseries: dict[str, dict] = {}
+    alerts: dict[str, dict] = {}
+    for pid, sut in enumerate(_OBS_CAPTURE["systems"], start=1):
+        label = f"{sut.name}#{pid}"
+        if sut.cluster.scraper is not None:
+            timeseries[label] = sut.cluster.scraper.to_dict()
+        if sut.cluster.slo is not None:
+            alerts[label] = sut.cluster.slo.to_dict()
+    return timeseries, alerts
+
+
 def build_system(
     kind: str,
     objects: dict[str, bytes],
@@ -166,8 +203,21 @@ def build_system(
         sut = len(_OBS_CAPTURE["systems"]) + 1
         sim.tracer = Tracer(sim)
         cluster.metrics.registry = MetricsRegistry(
-            const_labels={"system": kind, "sut": str(sut)}
+            const_labels={"system": kind, "sut": str(sut)},
+            exemplars_enabled=_OBS_CAPTURE.get("exemplars", False),
         )
+        interval = _OBS_CAPTURE.get("scrape_interval", 0.0)
+        if interval:
+            scraper = Scraper(cluster, interval)
+            scraper.install()
+            cluster.scraper = scraper
+            if _OBS_CAPTURE.get("slo"):
+                cluster.slo = SLOEngine(
+                    scraper,
+                    default_objectives(store_config or StoreConfig()),
+                    registry=cluster.metrics.registry,
+                    tracer=sim.tracer,
+                )
     if kind == "fusion":
         store: FusionStore | BaselineStore = FusionStore(cluster, store_config)
     elif kind == "baseline":

@@ -80,6 +80,14 @@ class Cluster:
         #: classifies these blocks as pending rather than orphaned, and
         #: a restarted Rebalancer resolves them before migrating more.
         self.migrations: dict[str, object] = {}
+        #: Optional continuous-telemetry Scraper (repro.obs.timeseries)
+        #: installed by the stores when StoreConfig.scrape_interval_s > 0;
+        #: rides the simulator's clock-listener hook and never schedules
+        #: events.
+        self.scraper = None
+        #: Optional SLOEngine (repro.obs.slo) evaluating burn-rate alerts
+        #: over the scraper's series when StoreConfig.slo_enabled is set.
+        self.slo = None
 
     def routable(self, node_id: int) -> bool:
         """May new ops be sent to ``node_id``?

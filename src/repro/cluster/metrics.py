@@ -90,6 +90,10 @@ class QueryMetrics:
     #: StoreConfig.default_deadline_s > 0), carried here so every layer
     #: the metrics already thread through can check it.
     deadline: object | None = None
+    #: Root span id of this query's trace (stamped by ``traced`` when a
+    #: tracer is installed); lets registry histogram exemplars link a
+    #: tail latency observation back to the trace that produced it.
+    trace_id: int | None = None
 
     @property
     def latency(self) -> float:

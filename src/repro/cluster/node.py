@@ -62,6 +62,16 @@ class StorageNode:
         self.cpu_config = cpu_config
         self.cpu = Resource(sim, capacity=cpu_config.cores)
         self.endpoint = NetworkEndpoint(sim, f"node-{node_id}", cpu=self.cpu)
+        # Trace labels for queue.wait spans: which node/device a queued
+        # acquisition was waiting on (consumed by repro.obs.critpath).
+        for resource, label in (
+            (self.cpu, "cpu"),
+            (self.disk.device, "disk"),
+            (self.endpoint.ingress, "nic_in"),
+            (self.endpoint.egress, "nic_out"),
+        ):
+            resource.trace_name = label
+            resource.trace_node = node_id
         #: Cleared by Cluster.fail_node; stores route around dead nodes
         #: with degraded reads.
         self.alive = True

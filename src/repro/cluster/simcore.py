@@ -179,6 +179,18 @@ class Simulator:
         #: step (``None`` between steps).  Used by cancellation scopes to
         #: avoid closing a generator from within its own frame.
         self.active_process: Process | None = None
+        #: Clock listeners: ``callback(to)`` fires in :meth:`run` whenever
+        #: the clock is about to advance from ``now`` to ``to`` (once per
+        #: distinct time step, before the event at ``to`` executes).
+        #: Listeners are observers only — they must never schedule events
+        #: or mutate simulation state, which keeps the event stream
+        #: bit-identical with or without them (the telemetry scraper's
+        #: zero-perturbation contract).
+        self._clock_listeners: list[Callable[[float], None]] = []
+
+    def add_clock_listener(self, callback: Callable[[float], None]) -> None:
+        """Register an observe-only callback for clock advances."""
+        self._clock_listeners.append(callback)
 
     def _schedule(self, at: float, callback: Callable, arg: object) -> None:
         if at < self.now:
@@ -204,15 +216,25 @@ class Simulator:
 
     def run(self, until: float | None = None) -> None:
         """Run until the heap drains (or the clock passes ``until``)."""
+        listeners = self._clock_listeners
         while self._heap:
             at, _seq, callback, arg = self._heap[0]
             if until is not None and at > until:
+                if listeners and until > self.now:
+                    for listener in listeners:
+                        listener(until)
                 self.now = until
                 return
             heapq.heappop(self._heap)
+            if listeners and at > self.now:
+                for listener in listeners:
+                    listener(at)
             self.now = at
             callback(arg)
         if until is not None:
+            if listeners and until > self.now:
+                for listener in listeners:
+                    listener(until)
             self.now = max(self.now, until)
 
 
@@ -271,6 +293,11 @@ class Resource:
         #: attached by install_qos.  None keeps the legacy FIFO lanes the
         #: only queue, so untenanted runs never touch the fair path.
         self.fair = None
+        #: Optional trace labels (set by StorageNode for its service
+        #: resources) stamped onto ``queue.wait`` spans so the critical-
+        #: path analyzer can attribute waiting to a node and device.
+        self.trace_name: str | None = None
+        self.trace_node: int | None = None
         # Accounting for utilisation metrics and admission decisions.
         self.busy_time = 0.0
         self._last_change = 0.0
@@ -364,15 +391,19 @@ class Resource:
                 self._admit_tenant(tenant, priority)
             gate = Event(self.sim)
             fair_entry = self.fair.push(tenant, priority, gate, cost)
+            wspan = self._begin_wait()
             try:
                 got = yield gate
             except GeneratorExit:
+                self._finish_wait(wspan, cancelled=True)
                 if not self.fair.remove(fair_entry):
                     if gate.fired and gate.value is not _SHED:
                         self._release()
                 raise
             if got is _SHED:
+                self._finish_wait(wspan, shed=True)
                 raise QueueFull("request shed for higher-priority work", shed=True)
+            self._finish_wait(wspan)
         else:
             if (
                 priority is not None
@@ -383,9 +414,11 @@ class Resource:
             gate = Event(self.sim)
             entry = (gate, priority)
             self._waiters.append(entry)
+            wspan = self._begin_wait()
             try:
                 got = yield gate
             except GeneratorExit:
+                self._finish_wait(wspan, cancelled=True)
                 # The owning process was cancelled while queued: withdraw
                 # the request so _release never hands a slot to a corpse.
                 try:
@@ -397,9 +430,29 @@ class Resource:
                         self._release()
                 raise
             if got is _SHED:
+                self._finish_wait(wspan, shed=True)
                 raise QueueFull("request shed for higher-priority work", shed=True)
+            self._finish_wait(wspan)
             # Slot was transferred to us by _release; nothing to increment.
         return _ReleaseContext(self)
+
+    def _begin_wait(self):
+        """Open a ``queue.wait`` span around a queued acquisition.
+
+        Metadata-plane: spans never schedule events, so tracing a wait
+        cannot perturb the timeline.
+        """
+        tracer = self.sim.tracer
+        if tracer is None:
+            return None
+        return tracer.begin(
+            "queue.wait", cat="queue",
+            resource=self.trace_name, node=self.trace_node,
+        )
+
+    def _finish_wait(self, span, **args) -> None:
+        if span is not None:
+            self.sim.tracer.finish(span, **args)
 
     def _release(self) -> None:
         self._account()

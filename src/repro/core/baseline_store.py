@@ -40,6 +40,7 @@ from repro.core.wal import MetaReplica, WalRecord, WalWriter
 from repro.ec.stripe import DecodeError, decode_stripe, encode_stripe
 from repro.obs.audit import PushdownAuditLog
 from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import install_telemetry
 from repro.obs.tracer import Tracer, traced
 from repro.format.metadata import FileMetadata
 from repro.format.pages import decode_column_chunk
@@ -143,6 +144,11 @@ class BaselineStore:
         # Per-tenant QoS (shared with a FusionStore owner; idempotent and
         # a no-op at the default qos_enabled=False knob).
         install_qos(cluster, self.config)
+        # Continuous telemetry: scraper + SLO engine + exemplars.  The
+        # scraper rides the kernel's clock-listener hook (observe-only,
+        # never schedules events); no-op at the default knobs and
+        # idempotent for the store pair sharing one cluster.
+        install_telemetry(cluster, self.config)
 
     def _on_liveness(self, node_id: int, alive: bool) -> None:
         # Reconstructions cached while a node was down may differ from
@@ -702,7 +708,7 @@ class BaselineStore:
         try:
             result = yield from traced(
                 self.sim, self._query_body(query, metrics), "query", "store",
-                table=query.table, store="baseline",
+                metrics=metrics, table=query.table, store="baseline",
             )
         except DeadlineExceeded:
             fail_query(self.cluster, metrics, deadline=True)

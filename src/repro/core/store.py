@@ -47,6 +47,7 @@ from repro.core.location_map import ChecksumError, ChunkLocation, LocationMap, c
 from repro.core.wal import MetaReplica, WalRecord, WalWriter
 from repro.obs.audit import PushdownAuditLog
 from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import install_telemetry
 from repro.obs.tracer import Tracer, traced
 from repro.ec.stripe import DecodeError, decode_stripe, encode_stripe
 from repro.format.metadata import ColumnChunkMeta, FileMetadata
@@ -158,6 +159,11 @@ class FusionStore:
         # quota buckets.  No-op at the default knob (qos_enabled=False)
         # and idempotent for the store pair sharing one cluster.
         install_qos(cluster, self.config)
+        # Continuous telemetry: scraper + SLO engine + exemplars.  The
+        # scraper rides the kernel's clock-listener hook (observe-only,
+        # never schedules events); no-op at the default knobs and
+        # idempotent for the store pair sharing one cluster.
+        install_telemetry(cluster, self.config)
 
     def _on_liveness(self, node_id: int, alive: bool) -> None:
         """A node's liveness changed: cached reconstructions may describe
@@ -905,7 +911,7 @@ class FusionStore:
         try:
             result = yield from traced(
                 self.sim, self._query_body(query, metrics), "query", "store",
-                table=query.table, store="fusion",
+                metrics=metrics, table=query.table, store="fusion",
             )
         except DeadlineExceeded:
             # The body records metrics only on success, so accounting the

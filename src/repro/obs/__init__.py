@@ -14,12 +14,29 @@ deterministic (same workload, bit-identical trace):
   (estimate, decision, actual bytes), queryable after a run for
   ex-post decision-accuracy reporting.
 
-All three attach behind default-off :class:`~repro.core.config.StoreConfig`
-knobs and never touch the simulation's event heap, so fault-free runs
-are event-identical with observability on or off.
+Layered on top, the *continuous telemetry* plane:
+
+* :class:`Scraper` — a simulated-clock sampler that snapshots the
+  registry and live cluster state (queue depths, breaker states,
+  health, repair/rebalance bytes, tenant deficits) every
+  ``scrape_interval_s`` seconds into in-memory time series, with
+  delta/rate/windowed-quantile derivation and ``TIMESERIES.json`` /
+  OpenMetrics export.
+* :class:`SLOEngine` — declarative :class:`SLObjective`\\ s evaluated at
+  every scrape with multi-window burn-rate alerting (typed
+  :class:`Alert` records, ``repro_alerts_total``, tracer instants).
+* :class:`CriticalPathAnalyzer` — walks a query's span tree and
+  attributes its latency to queue-wait / disk / cpu / network / retry
+  slack: "where did p99 go".
+
+Everything attaches behind default-off
+:class:`~repro.core.config.StoreConfig` knobs and never touches the
+simulation's event heap (the scraper rides the kernel's clock-listener
+hook), so runs are event-identical with observability on or off.
 """
 
 from repro.obs.audit import PushdownAuditLog, PushdownAuditRecord
+from repro.obs.critpath import CriticalPathAnalyzer, slowest_roots
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -27,20 +44,37 @@ from repro.obs.registry import (
     MetricsRegistry,
     export_merged,
 )
+from repro.obs.slo import Alert, SLObjective, SLOEngine, default_objectives
+from repro.obs.timeseries import Scraper, install_telemetry
 from repro.obs.tracer import Span, Tracer, traced
-from repro.obs.validate import validate_chrome_trace, validate_prometheus_text
+from repro.obs.validate import (
+    validate_alerts,
+    validate_chrome_trace,
+    validate_prometheus_text,
+    validate_timeseries,
+)
 
 __all__ = [
+    "Alert",
     "Counter",
+    "CriticalPathAnalyzer",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "PushdownAuditLog",
     "PushdownAuditRecord",
+    "SLOEngine",
+    "SLObjective",
+    "Scraper",
     "Span",
     "Tracer",
+    "default_objectives",
     "export_merged",
+    "install_telemetry",
+    "slowest_roots",
     "traced",
+    "validate_alerts",
     "validate_chrome_trace",
     "validate_prometheus_text",
+    "validate_timeseries",
 ]

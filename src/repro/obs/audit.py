@@ -104,6 +104,23 @@ class AuditSummary:
         """Fraction of judged decisions that were ex-post optimal."""
         return self.ex_post_optimal / self.judged if self.judged else 0.0
 
+    @property
+    def pushdown_fraction(self) -> float:
+        """Fraction of all decisions that chose pushdown (0.0 when the
+        run evaluated no decisions at all)."""
+        return self.pushed / self.total if self.total else 0.0
+
+    @property
+    def judged_fraction(self) -> float:
+        """Fraction of decisions whose actual byte counts were observed
+        (0.0 on a zero-decision run)."""
+        return self.judged / self.total if self.total else 0.0
+
+    @property
+    def mean_bytes_saved(self) -> float:
+        """Mean wire bytes saved per judged decision (0.0 when none)."""
+        return self.bytes_saved / self.judged if self.judged else 0.0
+
     def to_dict(self) -> dict:
         return {
             "total": self.total,
@@ -112,7 +129,10 @@ class AuditSummary:
             "judged": self.judged,
             "ex_post_optimal": self.ex_post_optimal,
             "accuracy": self.accuracy,
+            "pushdown_fraction": self.pushdown_fraction,
+            "judged_fraction": self.judged_fraction,
             "bytes_saved": self.bytes_saved,
+            "mean_bytes_saved": self.mean_bytes_saved,
         }
 
 

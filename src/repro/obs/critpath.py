@@ -1,0 +1,220 @@
+"""Critical-path analysis over recorded query traces: where did p99 go?
+
+A query's wall time is not the sum of its spans — fan-out overlaps disk,
+CPU and network work freely.  What determines latency is the *critical
+path*: the single chain of spans that ends when the query ends and,
+walking backwards, at every point continues into whichever child was
+still running.  Time on that chain that no deeper span accounts for is
+the parent's own (self) time.
+
+:class:`CriticalPathAnalyzer` walks one root span's subtree backwards
+from its end, attributing every second of the root's duration to a
+resource category:
+
+* ``queue_wait`` — ``queue.wait`` spans opened by ``Resource.acquire``
+  while an op sat in a service queue (further split per node via the
+  span's ``node`` arg);
+* ``disk`` / ``cpu`` / ``network`` — device service spans;
+* ``retry_slack`` — ``rpc.timeout_wait`` spans (time burned waiting for
+  an RPC that was already lost);
+* ``coord`` — anything else (coordinator logic, unattributed gaps).
+
+Aggregated over the affected-query population this answers the paper's
+operational question directly: a disk storm shows up as p99 dominated by
+``queue_wait`` on the stormed node, not as a uniform slowdown.
+"""
+
+from __future__ import annotations
+
+#: span name -> attribution category; names not listed fall to "coord".
+CATEGORY_OF = {
+    "queue.wait": "queue_wait",
+    "disk.read": "disk",
+    "disk.write": "disk",
+    "cpu.compute": "cpu",
+    "net.transfer": "network",
+    "rpc.timeout_wait": "retry_slack",
+}
+
+CATEGORIES = ("queue_wait", "disk", "cpu", "network", "retry_slack", "coord")
+
+
+class PathSegment:
+    """One contiguous stretch of the critical path owned by one span."""
+
+    __slots__ = ("span", "category", "start", "end")
+
+    def __init__(self, span, category: str, start: float, end: float) -> None:
+        self.span = span
+        self.category = category
+        self.start = start
+        self.end = end
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "span": self.span.name,
+            "span_id": self.span.span_id,
+            "category": self.category,
+            "node": self.span.args.get("node"),
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+        }
+
+
+class CriticalPathAnalyzer:
+    """Critical-path extraction and latency attribution for one tracer."""
+
+    def __init__(self, tracer) -> None:
+        self.tracer = tracer
+        self._horizon = tracer.sim.now
+        self._children: dict[int, list] = {}
+        for span in tracer.spans:
+            if span.parent_id is not None:
+                self._children.setdefault(span.parent_id, []).append(span)
+
+    def _end(self, span) -> float:
+        end = span.end if span.end is not None else max(self._horizon, span.start)
+        return end
+
+    def critical_path(self, root) -> list[PathSegment]:
+        """The root span's duration as an ordered list of segments.
+
+        Backward walk: from the root's end, repeatedly descend into the
+        child whose (clamped) interval ends latest at or before the
+        cursor, attribute the stretch the cursor skips over to the
+        deepest span that covers it, and stop at the root's start.
+        Segments are returned in time order and tile ``[start, end]``
+        exactly — their durations sum to the root's duration.
+        """
+        segments: list[PathSegment] = []
+        self._walk(root, root.start, self._end(root), segments)
+        segments.reverse()
+        return segments
+
+    def _walk(self, span, lo: float, hi: float, out: list[PathSegment]) -> None:
+        """Attribute ``[lo, hi]`` of ``span``'s interval, appending
+        segments in *reverse* time order (the caller reverses once)."""
+        category = CATEGORY_OF.get(span.name, "coord")
+        cursor = hi
+        while cursor > lo:
+            best = None
+            best_end = lo
+            for child in self._children.get(span.span_id, ()):
+                c_start = max(child.start, lo)
+                c_end = min(self._end(child), cursor)
+                if c_end <= c_start:  # zero-length or outside the window
+                    continue
+                if best is None or c_end > best_end or (
+                    c_end == best_end and child.span_id > best.span_id
+                ):
+                    best = child
+                    best_end = c_end
+            if best is None:
+                out.append(PathSegment(span, category, lo, cursor))
+                return
+            if best_end < cursor:  # gap after the last child: span's own time
+                out.append(PathSegment(span, category, best_end, cursor))
+            self._walk(best, max(best.start, lo), best_end, out)
+            cursor = max(best.start, lo)
+
+    # -- attribution -------------------------------------------------------
+
+    def attribute(self, root) -> dict:
+        """Per-category seconds (plus per-node queue-wait) for one query."""
+        by_category = {cat: 0.0 for cat in CATEGORIES}
+        queue_by_node: dict[str, float] = {}
+        for seg in self.critical_path(root):
+            by_category[seg.category] += seg.duration
+            if seg.category == "queue_wait":
+                node = seg.span.args.get("node")
+                key = str(node) if node is not None else "?"
+                queue_by_node[key] = queue_by_node.get(key, 0.0) + seg.duration
+        return {
+            "root": root.name,
+            "span_id": root.span_id,
+            "duration": self._end(root) - root.start,
+            "by_category": by_category,
+            "queue_wait_by_node": queue_by_node,
+        }
+
+    def aggregate(self, roots) -> dict:
+        """Attribution summed over a query population ("where did p99 go").
+
+        Returns total seconds per category, per-node queue wait, and each
+        category's fraction of the population's summed wall time.
+        """
+        by_category = {cat: 0.0 for cat in CATEGORIES}
+        queue_by_node: dict[str, float] = {}
+        total = 0.0
+        count = 0
+        for root in roots:
+            one = self.attribute(root)
+            count += 1
+            total += one["duration"]
+            for cat, sec in one["by_category"].items():
+                by_category[cat] += sec
+            for node, sec in one["queue_wait_by_node"].items():
+                queue_by_node[node] = queue_by_node.get(node, 0.0) + sec
+        fractions = {
+            cat: (sec / total if total > 0 else 0.0)
+            for cat, sec in by_category.items()
+        }
+        return {
+            "queries": count,
+            "total_seconds": total,
+            "by_category": by_category,
+            "fraction": fractions,
+            "queue_wait_by_node": queue_by_node,
+        }
+
+    def report(self, roots, title: str = "critical-path attribution") -> str:
+        """Human-readable aggregate report for a set of query roots."""
+        agg = self.aggregate(roots)
+        lines = [
+            f"{title}: {agg['queries']} queries, "
+            f"{agg['total_seconds']:.6f}s total wall",
+            f"{'category':>12s}  {'seconds':>12s}  {'share':>7s}",
+        ]
+        for cat in CATEGORIES:
+            sec = agg["by_category"][cat]
+            if sec <= 0:
+                continue
+            lines.append(f"{cat:>12s}  {sec:12.6f}  {agg['fraction'][cat]:6.1%}")
+        if agg["queue_wait_by_node"]:
+            lines.append("queue wait by node:")
+            for node in sorted(
+                agg["queue_wait_by_node"],
+                key=lambda n: -agg["queue_wait_by_node"][n],
+            ):
+                lines.append(f"{'node ' + node:>12s}  "
+                             f"{agg['queue_wait_by_node'][node]:12.6f}")
+        return "\n".join(lines)
+
+
+def slowest_roots(tracer, name: str, fraction: float = 0.01) -> list:
+    """The slowest ``fraction`` of closed spans named ``name`` (≥1).
+
+    Convenience selector for "analyze the p99 tail": pass the query root
+    span name (e.g. ``"query"``) and feed the result to
+    :meth:`CriticalPathAnalyzer.aggregate`.
+    """
+    roots = [s for s in tracer.find(name) if s.end is not None]
+    if not roots:
+        return []
+    roots.sort(key=lambda s: s.end - s.start, reverse=True)
+    keep = max(1, int(len(roots) * fraction))
+    return roots[:keep]
+
+
+__all__ = [
+    "CATEGORIES",
+    "CATEGORY_OF",
+    "CriticalPathAnalyzer",
+    "PathSegment",
+    "slowest_roots",
+]

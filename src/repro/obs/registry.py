@@ -118,7 +118,7 @@ BYTES_BUCKETS = log_buckets(64.0, 4.4e12, factor=4.0)
 class Histogram:
     """Log-bucketed distribution with nearest-rank quantile estimates."""
 
-    __slots__ = ("labels", "bounds", "counts", "count", "sum", "max_value")
+    __slots__ = ("labels", "bounds", "counts", "count", "sum", "max_value", "exemplars")
 
     def __init__(self, labels: dict, bounds: list[float] | None = None) -> None:
         self.labels = labels
@@ -129,8 +129,11 @@ class Histogram:
         self.count = 0
         self.sum = 0.0
         self.max_value = -math.inf
+        #: bucket index -> (value, trace_id) of the largest exemplared
+        #: observation that landed in the bucket (OpenMetrics exemplars).
+        self.exemplars: dict[int, tuple[float, int]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: int | None = None) -> None:
         self.count += 1
         self.sum += value
         if value > self.max_value:
@@ -143,6 +146,36 @@ class Histogram:
             else:
                 lo = mid + 1
         self.counts[lo] += 1
+        if trace_id is not None:
+            held = self.exemplars.get(lo)
+            if held is None or value >= held[0]:
+                self.exemplars[lo] = (value, trace_id)
+
+    def exemplar_for_quantile(self, q: float) -> tuple[float, int] | None:
+        """The exemplar anchoring quantile ``q``: the (value, trace_id)
+        captured in the bucket the nearest-rank estimate falls in, or —
+        when that bucket never saw an exemplared observation — the
+        nearest exemplared bucket at or above it.  ``None`` when the
+        histogram holds no exemplars at all."""
+        if not self.exemplars:
+            return None
+        if self.count == 0:
+            return None
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        target = len(self.counts) - 1
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                target = i
+                break
+        for i in range(target, len(self.counts)):
+            if i in self.exemplars:
+                return self.exemplars[i]
+        for i in range(target - 1, -1, -1):
+            if i in self.exemplars:
+                return self.exemplars[i]
+        return None
 
     def quantile(self, q: float) -> float:
         """Nearest-rank quantile estimate (``q`` in [0, 1])."""
@@ -185,9 +218,14 @@ class MetricsRegistry:
     keeps fusion and baseline series distinct).
     """
 
-    def __init__(self, const_labels: dict | None = None) -> None:
+    def __init__(
+        self, const_labels: dict | None = None, exemplars_enabled: bool = False
+    ) -> None:
         self.const_labels = dict(const_labels or {})
         self._families: dict[str, _Family] = {}
+        #: When on, ``record_query`` forwards each query's ``trace_id``
+        #: into the latency histograms as a bucket exemplar.
+        self.exemplars_enabled = exemplars_enabled
 
     # -- family accessors --------------------------------------------------
 
@@ -234,9 +272,10 @@ class MetricsRegistry:
     def record_query(self, qm) -> None:
         """Fold one finished query's :class:`QueryMetrics` into the registry."""
         self.counter("repro_queries_total", "Queries completed").inc()
+        exemplar = qm.trace_id if self.exemplars_enabled else None
         self.histogram(
             "repro_query_latency_seconds", "End-to-end query latency"
-        ).observe(qm.latency)
+        ).observe(qm.latency, trace_id=exemplar)
         self.histogram(
             "repro_query_network_bytes",
             "Simulated network bytes moved per query",
@@ -310,7 +349,7 @@ class MetricsRegistry:
                 "repro_tenant_query_latency_seconds",
                 "End-to-end query latency per tenant",
                 tenant=tenant,
-            ).observe(qm.latency)
+            ).observe(qm.latency, trace_id=exemplar)
             self.counter(
                 "repro_tenant_requests_shed_total",
                 "Queued requests evicted by admission control, per tenant",
@@ -375,24 +414,34 @@ class MetricsRegistry:
                 inst = family.metrics[key]
                 labels = dict(key)
                 if isinstance(inst, Histogram):
-                    samples.append(
-                        {
-                            "labels": labels,
-                            "count": inst.count,
-                            "sum": inst.sum,
-                            "p50": inst.p50(),
-                            "p95": inst.p95(),
-                            "p99": inst.p99(),
-                            "max": inst.max_value if inst.count else 0.0,
-                            "buckets": {
-                                _fmt_value(b): c
-                                for b, c in zip(
-                                    list(inst.bounds) + [math.inf],
-                                    _cumulative(inst.counts),
-                                )
-                            },
+                    sample = {
+                        "labels": labels,
+                        "count": inst.count,
+                        "sum": inst.sum,
+                        "p50": inst.p50(),
+                        "p95": inst.p95(),
+                        "p99": inst.p99(),
+                        "max": inst.max_value if inst.count else 0.0,
+                        "buckets": {
+                            _fmt_value(b): c
+                            for b, c in zip(
+                                list(inst.bounds) + [math.inf],
+                                _cumulative(inst.counts),
+                            )
+                        },
+                    }
+                    if inst.exemplars:
+                        bounds = list(inst.bounds) + [math.inf]
+                        sample["exemplars"] = {
+                            _fmt_value(bounds[i]): {
+                                "value": value,
+                                "trace_id": trace_id,
+                            }
+                            for i, (value, trace_id) in sorted(
+                                inst.exemplars.items()
+                            )
                         }
-                    )
+                    samples.append(sample)
                 else:
                     samples.append({"labels": labels, "value": inst.value})
             out[name] = {"type": family.kind, "help": family.help, "samples": samples}

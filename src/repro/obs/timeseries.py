@@ -1,0 +1,450 @@
+"""Continuous telemetry: a metadata-plane scraper on the simulated clock.
+
+PR 4's observability is end-of-run only — totals, one trace, one
+Prometheus dump.  This module adds the *time axis*: a :class:`Scraper`
+samples the metrics registry plus live cluster state (per-node queue
+depths and in-flight counts, breaker states, health verdicts, disk slow
+factors, repair/rebalance bytes, per-tenant DRR deficits and backlogs)
+every ``scrape_interval_s`` of **simulated** time into in-memory time
+series, with delta / rate / windowed-quantile derivation on top.
+
+Zero simulated perturbation, by construction: the scraper rides the
+kernel's clock-listener hook (:meth:`Simulator.add_clock_listener`),
+which fires when the clock is *about to* advance — it is an observer
+only and never calls ``_schedule``, so a run's scheduled-event stream is
+bit-identical with scraping on or off (the same invariant every prior
+observability layer upheld, now for sampled state).
+
+Exports:
+
+* :meth:`Scraper.to_dict` / :meth:`Scraper.to_json` — the
+  ``TIMESERIES.json`` artifact (``to_json`` sorts keys, so two runs with
+  the same seed produce byte-identical files).
+* :meth:`Scraper.openmetrics` — OpenMetrics-style text with per-sample
+  timestamps and histogram exemplars, terminated by ``# EOF``.
+
+:func:`install_telemetry` wires all of this (plus the SLO engine and
+registry exemplars) behind the ``scrape_interval_s`` / ``slo_enabled`` /
+``exemplars_enabled`` store knobs, default-off like every other
+observability attachment.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs.registry import Histogram, MetricsRegistry, _fmt_value
+from repro.obs.tracer import Tracer
+
+#: Circuit-breaker states as scraped gauge values.
+BREAKER_STATE_VALUE = {"closed": 0, "half_open": 1, "open": 2}
+
+#: The service resources scraped per node, in a fixed order.
+_NODE_RESOURCES = ("cpu", "disk", "nic_in", "nic_out")
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class Scraper:
+    """Samples registry + cluster state into in-memory time series.
+
+    Series are keyed by ``(metric name, sorted label items)``; histogram
+    families keep full bucket snapshots per sample so windowed quantiles
+    can be derived from bucket deltas between two scrape points.
+    """
+
+    def __init__(self, cluster, interval_s: float) -> None:
+        if interval_s <= 0:
+            raise ValueError("scrape interval must be > 0 simulated seconds")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.interval_s = float(interval_s)
+        #: Scrape timestamps, in simulated seconds (k * interval, k >= 1).
+        self.times: list[float] = []
+        self._samples_taken = 0
+        #: (name, label key) -> list of (t, value) points.
+        self._points: dict[tuple[str, tuple], list[tuple[float, float]]] = {}
+        self._labels: dict[tuple[str, tuple], dict] = {}
+        #: (name, label key) -> list of (t, count, sum, cumulative counts).
+        self._hist: dict[tuple[str, tuple], list[tuple]] = {}
+        self._hist_bounds: dict[tuple[str, tuple], list[float]] = {}
+        #: On-sample hooks: ``callback(scraper, t)`` after each sample
+        #: lands (the SLO engine registers here).  Observers only.
+        self.on_sample: list = []
+        self._installed = False
+
+    # -- wiring ------------------------------------------------------------
+
+    def install(self) -> None:
+        """Attach to the simulator's clock-listener hook (idempotent)."""
+        if not self._installed:
+            self.sim.add_clock_listener(self._on_clock)
+            self._installed = True
+
+    def _on_clock(self, to: float) -> None:
+        # Fire once per scrape boundary crossed by this clock advance.
+        # Boundaries are computed as k * interval from a sample counter
+        # (not by accumulating floats), so long runs cannot drift.
+        next_t = (self._samples_taken + 1) * self.interval_s
+        while next_t <= to:
+            self._sample(next_t)
+            self._samples_taken += 1
+            next_t = (self._samples_taken + 1) * self.interval_s
+
+    # -- sampling ----------------------------------------------------------
+
+    def _record(self, t: float, name: str, labels: dict, value: float) -> None:
+        key = (name, _label_key(labels))
+        points = self._points.get(key)
+        if points is None:
+            points = self._points[key] = []
+            self._labels[key] = dict(labels)
+        points.append((t, float(value)))
+
+    def _record_hist(self, t: float, name: str, labels: dict, hist: Histogram) -> None:
+        key = (name, _label_key(labels))
+        snaps = self._hist.get(key)
+        if snaps is None:
+            snaps = self._hist[key] = []
+            self._labels[key] = dict(labels)
+            self._hist_bounds[key] = list(hist.bounds)
+        cumulative, total = [], 0
+        for c in hist.counts:
+            total += c
+            cumulative.append(total)
+        snaps.append((t, hist.count, hist.sum, tuple(cumulative)))
+
+    def _sample(self, t: float) -> None:
+        cluster = self.cluster
+        registry = cluster.metrics.registry
+        if registry is not None:
+            for name in sorted(registry._families):
+                family = registry._families[name]
+                for key in sorted(family.metrics):
+                    inst = family.metrics[key]
+                    if isinstance(inst, Histogram):
+                        self._record_hist(t, name, dict(key), inst)
+                    else:
+                        self._record(t, name, dict(key), inst.value)
+
+        # Live cluster state, beyond what the registry accumulates.
+        health = cluster.health.snapshot()
+        breakers = cluster.breakers
+        for node in cluster.nodes:
+            nid = node.node_id
+            lbl = {"node": str(nid)}
+            self._record(t, "repro_node_up", lbl, 0.0 if health[nid]["down"] else 1.0)
+            self._record(t, "repro_node_suspect", lbl, 1.0 if health[nid]["suspect"] else 0.0)
+            self._record(t, "repro_node_disk_slow_factor", lbl, node.disk.slow_factor)
+            if breakers is not None:
+                self._record(
+                    t, "repro_node_breaker_state", lbl,
+                    BREAKER_STATE_VALUE.get(breakers.state[nid], 0),
+                )
+            for rname, resource in zip(
+                _NODE_RESOURCES,
+                (node.cpu, node.disk.device, node.endpoint.ingress, node.endpoint.egress),
+            ):
+                rl = {"node": str(nid), "resource": rname}
+                self._record(t, "repro_node_queue_depth", rl, resource.queue_length)
+                self._record(t, "repro_node_inflight", rl, resource.in_use)
+
+        cm = cluster.metrics
+        self._record(t, "repro_cluster_requests_total", {}, len(cm.queries))
+        bad = (
+            cm.requests_shed
+            + cm.requests_rejected
+            + cm.deadline_exceeded
+            + cm.quota_exceeded
+        )
+        self._record(t, "repro_cluster_bad_requests_total", {}, bad)
+        self._record(t, "repro_cluster_network_bytes", {}, cm.network_bytes)
+        self._record(t, "repro_cluster_repair_bytes", {}, cm.repair_bytes)
+        self._record(t, "repro_cluster_rebalance_bytes", {}, cm.rebalance_bytes)
+        self._record(t, "repro_cluster_migrations_inflight", {}, len(cluster.migrations))
+
+        # Per-tenant DRR state: queued entries and deficit counters,
+        # aggregated over every node resource with a fair queue attached.
+        if cluster.qos is not None:
+            queued: dict[str, int] = {}
+            deficit: dict[str, float] = {}
+            for node in cluster.nodes:
+                for resource in (
+                    node.cpu, node.disk.device,
+                    node.endpoint.ingress, node.endpoint.egress,
+                ):
+                    fair = resource.fair
+                    if fair is None:
+                        continue
+                    for tier in fair._tiers.values():
+                        for tenant, q in tier.queues.items():
+                            if q:
+                                queued[tenant] = queued.get(tenant, 0) + len(q)
+                        for tenant, d in tier.deficit.items():
+                            deficit[tenant] = deficit.get(tenant, 0.0) + d
+            for tenant in sorted(set(queued) | set(deficit) | set(cluster.qos.stats)):
+                lbl = {"tenant": tenant}
+                self._record(t, "repro_tenant_queue_depth", lbl, queued.get(tenant, 0))
+                self._record(t, "repro_tenant_deficit", lbl, deficit.get(tenant, 0.0))
+
+        self.times.append(t)
+        for callback in self.on_sample:
+            callback(self, t)
+
+    # -- derivation --------------------------------------------------------
+
+    def _series(self, name: str, labels: dict | None):
+        return self._points.get((name, _label_key(labels or {})))
+
+    def latest(self, name: str, labels: dict | None = None) -> float | None:
+        """Most recent sampled value of a series, or ``None``."""
+        points = self._series(name, labels)
+        return points[-1][1] if points else None
+
+    def delta(
+        self, name: str, labels: dict | None = None,
+        window_s: float = math.inf, at: float | None = None,
+    ) -> float:
+        """Increase of a (cumulative) series over the trailing window."""
+        points = self._series(name, labels)
+        if not points:
+            return 0.0
+        at = points[-1][0] if at is None else at
+        end_v = start_v = None
+        lo = at - window_s
+        for t, v in points:
+            if t > at:
+                break
+            end_v = v
+            if t <= lo:
+                start_v = v
+        if end_v is None:
+            return 0.0
+        return end_v - (start_v if start_v is not None else 0.0)
+
+    def rate(
+        self, name: str, labels: dict | None = None,
+        window_s: float | None = None, at: float | None = None,
+    ) -> float:
+        """Per-simulated-second rate of a cumulative series."""
+        window = self.interval_s if window_s is None else window_s
+        if window <= 0:
+            return 0.0
+        return self.delta(name, labels, window, at) / window
+
+    def window_values(
+        self, name: str, labels: dict | None = None,
+        window_s: float = math.inf, at: float | None = None,
+    ) -> list[float]:
+        """Raw sampled values of a series inside the trailing window."""
+        points = self._series(name, labels)
+        if not points:
+            return []
+        at = points[-1][0] if at is None else at
+        lo = at - window_s
+        return [v for t, v in points if lo < t <= at]
+
+    def _hist_snapshots(self, name: str, labels: dict | None):
+        return self._hist.get((name, _label_key(labels or {})))
+
+    def _hist_window_delta(self, name, labels, window_s, at):
+        snaps = self._hist_snapshots(name, labels)
+        if not snaps:
+            return None
+        at = snaps[-1][0] if at is None else at
+        lo = at - window_s
+        end = start = None
+        for snap in snaps:
+            if snap[0] > at:
+                break
+            end = snap
+            if snap[0] <= lo:
+                start = snap
+        if end is None:
+            return None
+        bounds = self._hist_bounds[(name, _label_key(labels or {}))]
+        if start is None:
+            return bounds, end[1], list(end[3])
+        counts = [e - s for e, s in zip(end[3], start[3])]
+        return bounds, end[1] - start[1], counts
+
+    def window_quantile(
+        self, name: str, q: float, labels: dict | None = None,
+        window_s: float = math.inf, at: float | None = None,
+    ) -> float | None:
+        """Nearest-rank quantile of a scraped histogram's observations
+        that landed inside the trailing window (bucket-delta estimate,
+        reported at bucket upper bounds).  ``None`` with no observations."""
+        got = self._hist_window_delta(name, labels, window_s, at)
+        if got is None:
+            return None
+        bounds, total, cumulative = got
+        if total <= 0:
+            return None
+        rank = max(1, math.ceil(q * total))
+        for i, c in enumerate(cumulative):
+            if c >= rank:
+                return bounds[i] if i < len(bounds) else math.inf
+        return math.inf
+
+    def window_fraction_above(
+        self, name: str, threshold: float, labels: dict | None = None,
+        window_s: float = math.inf, at: float | None = None,
+    ) -> float | None:
+        """Fraction of windowed histogram observations above ``threshold``
+        (conservative: a bucket counts as below iff its upper bound is
+        ``<= threshold``).  ``None`` with no observations in the window."""
+        got = self._hist_window_delta(name, labels, window_s, at)
+        if got is None:
+            return None
+        bounds, total, cumulative = got
+        if total <= 0:
+            return None
+        below = 0
+        for bound, c in zip(bounds, cumulative):
+            if bound <= threshold:
+                below = c
+            else:
+                break
+        return (total - below) / total
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        series: dict[str, list] = {}
+        for key in sorted(self._points):
+            name, _lk = key
+            series.setdefault(name, []).append(
+                {"labels": self._labels[key], "points": [[t, v] for t, v in self._points[key]]}
+            )
+        histograms: dict[str, list] = {}
+        for key in sorted(self._hist):
+            name, _lk = key
+            histograms.setdefault(name, []).append(
+                {
+                    "labels": self._labels[key],
+                    "bounds": self._hist_bounds[key] + ["+Inf"],
+                    "snapshots": [
+                        {"t": t, "count": count, "sum": total, "buckets": list(cum)}
+                        for t, count, total, cum in self._hist[key]
+                    ],
+                }
+            )
+        return {
+            "scrape_interval_s": self.interval_s,
+            "samples": len(self.times),
+            "times": list(self.times),
+            "series": series,
+            "histograms": histograms,
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON (sorted keys): same seed + interval ⇒
+        byte-identical TIMESERIES.json."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    def openmetrics(self) -> str:
+        """OpenMetrics-style text: every sample point with its simulated
+        timestamp; histograms as their final snapshot with exemplars
+        (``# {trace_id="..."} value`` syntax); ``# EOF`` terminated."""
+        lines: list[str] = []
+        emitted_type: set[str] = set()
+        registry = self.cluster.metrics.registry
+
+        def fmt_labels(labels: dict, extra: dict | None = None) -> str:
+            merged = dict(labels)
+            if extra:
+                merged.update(extra)
+            if not merged:
+                return ""
+            inner = ",".join(
+                f'{k}="{v}"' for k, v in sorted(merged.items())
+            )
+            return "{" + inner + "}"
+
+        for key in sorted(self._points):
+            name, _lk = key
+            if name not in emitted_type:
+                kind = "gauge"
+                if registry is not None and name in registry._families:
+                    kind = registry._families[name].kind
+                lines.append(f"# TYPE {name} {kind}")
+                emitted_type.add(name)
+            label_str = fmt_labels(self._labels[key])
+            for t, v in self._points[key]:
+                lines.append(f"{name}{label_str} {_fmt_value(v)} {t}")
+
+        for key in sorted(self._hist):
+            name, _lk = key
+            if name not in emitted_type:
+                lines.append(f"# TYPE {name} histogram")
+                emitted_type.add(name)
+            labels = self._labels[key]
+            t, count, total, cum = self._hist[key][-1]
+            bounds = self._hist_bounds[key]
+            exemplars: dict[int, tuple[float, int]] = {}
+            if registry is not None and name in registry._families:
+                inst = registry._families[name].metrics.get(_label_key(labels))
+                if isinstance(inst, Histogram):
+                    exemplars = inst.exemplars
+            for i, (bound, c) in enumerate(zip(bounds + [math.inf], cum)):
+                line = (
+                    f"{name}_bucket"
+                    f"{fmt_labels(labels, {'le': _fmt_value(bound)})} {c} {t}"
+                )
+                ex = exemplars.get(i)
+                if ex is not None:
+                    value, trace_id = ex
+                    line += f' # {{trace_id="{trace_id}"}} {_fmt_value(value)}'
+                lines.append(line)
+            lines.append(f"{name}_sum{fmt_labels(labels)} {_fmt_value(total)} {t}")
+            lines.append(f"{name}_count{fmt_labels(labels)} {count} {t}")
+
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+
+def install_telemetry(cluster, config) -> None:
+    """Install the continuous-telemetry layer behind the store knobs.
+
+    Idempotent for the store pair sharing one cluster (same pattern as
+    admission control / QoS) and a no-op at the default knobs.  Enabling
+    any telemetry knob force-installs a metrics registry; exemplars also
+    force-install the tracer (trace ids must exist to be captured).
+    """
+    scrape = getattr(config, "scrape_interval_s", 0.0) or 0.0
+    slo = getattr(config, "slo_enabled", False)
+    exemplars = getattr(config, "exemplars_enabled", False)
+    if not scrape and not slo and not exemplars:
+        return
+    sim = cluster.sim
+    if exemplars and sim.tracer is None:
+        sim.tracer = Tracer(sim)
+    if cluster.metrics.registry is None:
+        cluster.metrics.registry = MetricsRegistry(exemplars_enabled=exemplars)
+    elif exemplars:
+        cluster.metrics.registry.exemplars_enabled = True
+    if (scrape or slo) and getattr(cluster, "scraper", None) is None:
+        interval = scrape if scrape > 0 else 0.25
+        scraper = Scraper(cluster, interval)
+        scraper.install()
+        cluster.scraper = scraper
+    if slo and getattr(cluster, "slo", None) is None:
+        from repro.obs.slo import SLOEngine, default_objectives
+
+        cluster.slo = SLOEngine(
+            cluster.scraper,
+            default_objectives(config),
+            registry=cluster.metrics.registry,
+            tracer=sim.tracer,
+        )
+
+
+__all__ = ["BREAKER_STATE_VALUE", "Scraper", "install_telemetry"]

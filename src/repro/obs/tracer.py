@@ -170,18 +170,24 @@ class Tracer:
     def chrome_trace(self, pid: int = 1, process_name: str | None = None) -> dict:
         """The trace as a Chrome ``trace_event`` object (``traceEvents``).
 
-        Still-open spans are closed at the current simulated time.  Spans
-        are packed onto synthetic ``tid`` tracks so each track's ``B``/``E``
-        stream is balanced and properly nested: a span goes on its
-        parent's track when the parent's interval still contains it,
-        otherwise onto the first track whose innermost open interval
-        does (or a fresh track).
+        Still-open spans are *rendered* as closed at the current simulated
+        time and marked ``"truncated": true`` — the Span objects themselves
+        are not mutated, so exporting mid-run is side-effect free and a
+        later ``finish()`` still records the real end.  Spans are packed
+        onto synthetic ``tid`` tracks so each track's ``B``/``E`` stream is
+        balanced and properly nested: a span goes on its parent's track
+        when the parent's interval still contains it, otherwise onto the
+        first track whose innermost open interval does (or a fresh track).
         """
         horizon = self.sim.now
-        for s in self.spans:
-            if s.end is None:
-                s.end = horizon
-        ordered = sorted(self.spans, key=lambda s: (s.start, -s.end, s.span_id))
+        # Effective ends: never mutate the recorded spans at export time.
+        end_of = {
+            s.span_id: (s.end if s.end is not None else max(horizon, s.start))
+            for s in self.spans
+        }
+        ordered = sorted(
+            self.spans, key=lambda s: (s.start, -end_of[s.span_id], s.span_id)
+        )
 
         tracks: list[list[Span]] = []  # per-track stack of open spans
         forest: dict[int, list[Span]] = {}  # track -> roots
@@ -189,9 +195,19 @@ class Tracer:
         placed: dict[int, int] = {}  # span_id -> track index
 
         def fits(track: list[Span], s: Span) -> bool:
-            while track and track[-1].end <= s.start:
+            # A zero-duration span sitting exactly at the innermost open
+            # span's end stays nested inside it (popping on `<=` used to
+            # evict the parent and strand the instant-like span on the
+            # track's root level).
+            s_end = end_of[s.span_id]
+            while track and (
+                end_of[track[-1].span_id] < s.start
+                or (end_of[track[-1].span_id] == s.start and s_end > s.start)
+            ):
                 track.pop()
-            return not track or (track[-1].start <= s.start and s.end <= track[-1].end)
+            return not track or (
+                track[-1].start <= s.start and s_end <= end_of[track[-1].span_id]
+            )
 
         for s in ordered:
             tid = None
@@ -231,6 +247,8 @@ class Tracer:
             args = {"span_id": s.span_id}
             if s.parent_id is not None:
                 args["parent_id"] = s.parent_id
+            if s.end is None:
+                args["truncated"] = True
             args.update(_jsonable(s.args))
             events.append(
                 {"name": s.name, "cat": s.cat, "ph": "B", "ts": s.start * _US,
@@ -239,8 +257,8 @@ class Tracer:
             for child in children.get(s.span_id, []):
                 emit(child, tid)
             events.append(
-                {"name": s.name, "cat": s.cat, "ph": "E", "ts": s.end * _US,
-                 "pid": pid, "tid": tid}
+                {"name": s.name, "cat": s.cat, "ph": "E",
+                 "ts": end_of[s.span_id] * _US, "pid": pid, "tid": tid}
             )
 
         for tid in sorted(forest):
@@ -270,8 +288,8 @@ class Tracer:
             parent_path = paths.get(s.parent_id, "") if s.parent_id is not None else ""
             path = f"{parent_path};{s.name}" if parent_path else s.name
             paths[s.span_id] = path
-            end = s.end if s.end is not None else horizon
-            dur = end - s.start
+            end = s.end if s.end is not None else max(horizon, s.start)
+            dur = max(0.0, end - s.start)
             agg = totals.setdefault(path, [0, 0.0, 0.0])
             agg[0] += 1
             agg[1] += dur
@@ -287,18 +305,24 @@ class Tracer:
         return "\n".join(lines)
 
 
-def traced(sim, gen, name: str, cat: str = "sim", **args):
+def traced(sim, gen, name: str, cat: str = "sim", metrics=None, **args):
     """Drive generator ``gen`` to completion inside a span.
 
     The zero-cost-when-disabled wrapper for simulation processes: with no
     tracer installed this is a bare ``yield from``.  Used by the stores to
     wrap whole Put/Get/Query processes without restructuring them.
+
+    ``metrics`` (a :class:`~repro.cluster.metrics.QueryMetrics`) gets the
+    span's id stamped as ``trace_id``, linking the recorded metrics — and
+    any histogram exemplars derived from them — back to the trace.
     """
     tracer = sim.tracer
     if tracer is None:
         value = yield from gen
         return value
     span = tracer.begin(name, cat=cat, **args)
+    if metrics is not None:
+        metrics.trace_id = span.span_id
     try:
         value = yield from gen
         return value

@@ -9,10 +9,18 @@
   text exposition format: sample lines match the grammar, ``TYPE``
   declarations are known, histogram families carry ``_bucket``/``_sum``/
   ``_count`` series and bucket counts are monotone in ``le``.
+* :func:`validate_timeseries` — structural checks over a scraper's
+  ``TIMESERIES.json``: sample times strictly increasing on the scrape
+  grid, every series point on a sampled time, histogram snapshots with
+  monotone cumulative buckets and consistent bounds.
+* :func:`validate_alerts` — checks an SLO engine's ``ALERTS.json``:
+  alerts reference declared objectives, fire inside the run, windows
+  positive, resolution not before firing.
 
-CI runs both over a real experiment's artifacts::
+CI runs them over a real experiment's artifacts::
 
-    python -m repro.obs.validate --trace trace.json --prom METRICS.prom
+    python -m repro.obs.validate --trace trace.json --prom METRICS.prom \\
+        --timeseries TIMESERIES.json --alerts ALERTS.json
 """
 
 from __future__ import annotations
@@ -166,6 +174,142 @@ def validate_prometheus_text(text: str) -> list[str]:
     return problems
 
 
+def _per_system(doc, marker: str):
+    """A harness export maps "system#pid" -> per-system document; detect
+    that shape (no ``marker`` key, every value an object carrying it)."""
+    if (
+        isinstance(doc, dict)
+        and doc
+        and marker not in doc
+        and all(isinstance(v, dict) and marker in v for v in doc.values())
+    ):
+        return doc
+    return None
+
+
+def validate_timeseries(doc) -> list[str]:
+    """Problems found in a scraper's TIMESERIES.json (empty: valid).
+
+    Accepts either one scraper document or a harness export mapping
+    ``"system#pid"`` to per-system documents."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"timeseries must be an object, got {type(doc).__name__}"]
+    systems = _per_system(doc, "scrape_interval_s")
+    if systems is not None:
+        for system in sorted(systems):
+            problems.extend(
+                f"[{system}] {p}" for p in validate_timeseries(systems[system])
+            )
+        return problems
+    interval = doc.get("scrape_interval_s")
+    if not isinstance(interval, (int, float)) or interval <= 0:
+        problems.append(f"scrape_interval_s must be > 0, got {interval!r}")
+    times = doc.get("times")
+    if not isinstance(times, list):
+        return problems + ["'times' must be a list"]
+    for a, b in zip(times, times[1:]):
+        if b <= a:
+            problems.append(f"sample times not strictly increasing: {a} -> {b}")
+            break
+    if doc.get("samples") != len(times):
+        problems.append(
+            f"samples={doc.get('samples')!r} disagrees with len(times)={len(times)}"
+        )
+    sampled = set(times)
+    for name, variants in (doc.get("series") or {}).items():
+        if not isinstance(variants, list):
+            problems.append(f"series {name!r}: variants must be a list")
+            continue
+        for variant in variants:
+            points = variant.get("points", [])
+            for t, _v in points:
+                if t not in sampled:
+                    problems.append(f"series {name!r}: point at unsampled t={t}")
+                    break
+            for (t0, _a), (t1, _b) in zip(points, points[1:]):
+                if t1 <= t0:
+                    problems.append(f"series {name!r}: point times not increasing")
+                    break
+    for name, variants in (doc.get("histograms") or {}).items():
+        for variant in variants:
+            bounds = variant.get("bounds", [])
+            if not bounds or bounds[-1] != "+Inf":
+                problems.append(f"histogram {name!r}: bounds must end with +Inf")
+            for snap in variant.get("snapshots", []):
+                t = snap.get("t")
+                if t not in sampled:
+                    problems.append(f"histogram {name!r}: snapshot at unsampled t={t}")
+                    break
+                buckets = snap.get("buckets", [])
+                if len(buckets) != len(bounds):
+                    problems.append(
+                        f"histogram {name!r}: snapshot at t={t} has "
+                        f"{len(buckets)} buckets for {len(bounds)} bounds"
+                    )
+                    break
+                if any(b > a for a, b in zip(buckets[1:], buckets)):
+                    problems.append(
+                        f"histogram {name!r}: cumulative buckets not monotone at t={t}"
+                    )
+                    break
+                if buckets and snap.get("count") != buckets[-1]:
+                    problems.append(
+                        f"histogram {name!r}: count != +Inf bucket at t={t}"
+                    )
+                    break
+    return problems
+
+
+def validate_alerts(doc) -> list[str]:
+    """Problems found in an SLO engine's ALERTS.json (empty: valid).
+
+    Accepts either one engine document or a harness export mapping
+    ``"system#pid"`` to per-system documents."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"alerts must be an object, got {type(doc).__name__}"]
+    systems = _per_system(doc, "objectives")
+    if systems is not None:
+        for system in sorted(systems):
+            problems.extend(
+                f"[{system}] {p}" for p in validate_alerts(systems[system])
+            )
+        return problems
+    objectives = doc.get("objectives")
+    if not isinstance(objectives, list):
+        return ["'objectives' must be a list"]
+    names = set()
+    for obj in objectives:
+        name = obj.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"objective without a name: {obj!r}")
+            continue
+        if name in names:
+            problems.append(f"duplicate objective name {name!r}")
+        names.add(name)
+        if obj.get("kind") not in ("availability", "latency_p99", "gauge_above"):
+            problems.append(f"objective {name!r}: unknown kind {obj.get('kind')!r}")
+    for i, alert in enumerate(doc.get("alerts") or []):
+        slo = alert.get("slo")
+        if slo not in names:
+            problems.append(f"alert {i}: references undeclared SLO {slo!r}")
+        t = alert.get("time")
+        if not isinstance(t, (int, float)) or t < 0:
+            problems.append(f"alert {i}: bad time {t!r}")
+            continue
+        for key in ("short_window_s", "long_window_s"):
+            if not alert.get(key) or alert[key] <= 0:
+                problems.append(f"alert {i}: {key} must be > 0")
+        resolved = alert.get("resolved_time")
+        if resolved is not None and resolved < t:
+            problems.append(f"alert {i}: resolved at {resolved} before firing at {t}")
+    for name in doc.get("firing") or []:
+        if name not in names:
+            problems.append(f"firing references undeclared SLO {name!r}")
+    return problems
+
+
 def _split_label_pairs(body: str) -> list[str]:
     """Split 'a="x",b="y,z"' on commas outside quoted values."""
     pairs, current, in_quotes, escaped = [], [], False, False
@@ -192,8 +336,18 @@ def _split_label_pairs(body: str) -> list[str]:
     return pairs
 
 
+def _report(path: str, problems: list[str], ok_detail: str) -> int:
+    if problems:
+        print(f"{path}: INVALID ({len(problems)} problem(s))")
+        for p in problems[:20]:
+            print(f"  - {p}")
+        return 1
+    print(f"{path}: OK ({ok_detail})")
+    return 0
+
+
 def main(argv: list[str]) -> int:
-    trace_path = prom_path = None
+    trace_path = prom_path = ts_path = alerts_path = None
     args = list(argv)
     while args:
         arg = args.pop(0)
@@ -201,36 +355,54 @@ def main(argv: list[str]) -> int:
             trace_path = args.pop(0)
         elif arg == "--prom" and args:
             prom_path = args.pop(0)
+        elif arg == "--timeseries" and args:
+            ts_path = args.pop(0)
+        elif arg == "--alerts" and args:
+            alerts_path = args.pop(0)
         else:
             print(__doc__)
             return 1
-    if trace_path is None and prom_path is None:
+    if trace_path is None and prom_path is None and ts_path is None and alerts_path is None:
         print(__doc__)
         return 1
     failures = 0
     if trace_path is not None:
         with open(trace_path) as fh:
             trace = json.load(fh)
-        problems = validate_chrome_trace(trace)
         events = trace["traceEvents"] if isinstance(trace, dict) else trace
-        if problems:
-            failures += 1
-            print(f"{trace_path}: INVALID ({len(problems)} problem(s))")
-            for p in problems[:20]:
-                print(f"  - {p}")
-        else:
-            print(f"{trace_path}: OK ({len(events)} events)")
+        failures += _report(
+            trace_path, validate_chrome_trace(trace), f"{len(events)} events"
+        )
     if prom_path is not None:
         with open(prom_path) as fh:
             text = fh.read()
-        problems = validate_prometheus_text(text)
-        if problems:
-            failures += 1
-            print(f"{prom_path}: INVALID ({len(problems)} problem(s))")
-            for p in problems[:20]:
-                print(f"  - {p}")
+        failures += _report(
+            prom_path, validate_prometheus_text(text), f"{len(text.splitlines())} lines"
+        )
+    if ts_path is not None:
+        with open(ts_path) as fh:
+            doc = json.load(fh)
+        if isinstance(doc, dict):
+            systems = _per_system(doc, "scrape_interval_s")
+            if systems is not None:
+                samples = sum(d.get("samples", 0) for d in systems.values())
+            else:
+                samples = doc.get("samples", 0)
         else:
-            print(f"{prom_path}: OK ({len(text.splitlines())} lines)")
+            samples = 0
+        failures += _report(ts_path, validate_timeseries(doc), f"{samples} samples")
+    if alerts_path is not None:
+        with open(alerts_path) as fh:
+            doc = json.load(fh)
+        if isinstance(doc, dict):
+            systems = _per_system(doc, "objectives")
+            if systems is not None:
+                n = sum(len(d.get("alerts") or []) for d in systems.values())
+            else:
+                n = len(doc.get("alerts") or [])
+        else:
+            n = 0
+        failures += _report(alerts_path, validate_alerts(doc), f"{n} alert(s)")
     return 1 if failures else 0
 
 

@@ -19,7 +19,7 @@ NUM_CLIENTS = 4
 NUM_QUERIES = 12
 
 
-def _run(store_cls, obs_on: bool):
+def _run(store_cls, obs_on: bool, telemetry_on: bool = False):
     """One concurrent workload; returns the full scheduled-event stream
     (time, seq) plus per-query metrics fingerprints and results."""
     table = make_small_table(num_rows=2500, seed=77)
@@ -45,6 +45,11 @@ def _run(store_cls, obs_on: bool):
             tracing_enabled=obs_on,
             metrics_registry_enabled=obs_on,
             pushdown_audit_enabled=obs_on,
+            # The whole workload lasts well under a simulated second, so
+            # scrape on a millisecond cadence to actually collect samples.
+            scrape_interval_s=0.005 if telemetry_on else 0.0,
+            slo_enabled=telemetry_on,
+            exemplars_enabled=telemetry_on,
         ),
     )
     store.put("tbl", data)
@@ -94,9 +99,50 @@ def test_obs_knobs_do_not_perturb_the_event_stream(store_cls):
         assert store_on.audit.records
 
 
+@pytest.mark.parametrize("store_cls", [FusionStore, BaselineStore])
+def test_telemetry_knobs_do_not_perturb_the_event_stream(store_cls):
+    """Scraper + SLO engine + exemplars armed on top of full observability
+    must still leave the scheduled-event stream bit-identical."""
+    stream_off, fp_off, results_off, _store, _sim = _run(
+        store_cls, obs_on=False, telemetry_on=False
+    )
+    stream_on, fp_on, results_on, store_on, sim_on = _run(
+        store_cls, obs_on=True, telemetry_on=True
+    )
+
+    assert stream_on == stream_off
+    assert fp_on == fp_off
+    assert all(a.equals(b) for a, b in zip(results_on, results_off))
+
+    # And the telemetry plane actually observed the run.
+    scraper = store_on.cluster.scraper
+    assert scraper.times and scraper.times[0] == 0.005
+    assert store_on.cluster.slo is not None
+    hist = store_on.cluster.metrics.registry.histogram(
+        "repro_query_latency_seconds", "End-to-end query latency"
+    )
+    assert hist.exemplar_for_quantile(0.99) is not None
+
+
+def test_timeseries_export_is_byte_identical_across_runs():
+    a = _run(FusionStore, obs_on=True, telemetry_on=True)
+    b = _run(FusionStore, obs_on=True, telemetry_on=True)
+    assert a[3].cluster.scraper.to_json() == b[3].cluster.scraper.to_json()
+    import json
+
+    from repro.obs.validate import validate_alerts, validate_timeseries
+
+    doc = json.loads(a[3].cluster.scraper.to_json())
+    assert validate_timeseries(doc) == []
+    assert validate_alerts(a[3].cluster.slo.to_dict()) == []
+
+
 def test_default_config_keeps_observers_off():
     config = StoreConfig()
     assert config.tracing_enabled is False
     assert config.metrics_registry_enabled is False
     assert config.hedge_after_s == 0.0
     assert config.pushdown_audit_enabled is True  # metadata-plane, zero events
+    assert config.scrape_interval_s == 0.0
+    assert config.slo_enabled is False
+    assert config.exemplars_enabled is False

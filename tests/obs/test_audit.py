@@ -54,6 +54,37 @@ def test_ex_post_judgement_and_summary():
     assert s.bytes_saved == 100
 
 
+def test_zero_decision_summary_is_all_zeroes():
+    # A run that never evaluated a pushdown decision (tiny workload, or
+    # audit installed but no queries) must summarize without dividing by
+    # zero anywhere.
+    s = PushdownAuditLog(Sim()).summary()
+    assert s.total == s.pushed == s.judged == 0
+    assert s.accuracy == 0.0
+    assert s.pushdown_fraction == 0.0
+    assert s.judged_fraction == 0.0
+    assert s.mean_bytes_saved == 0.0
+    d = s.to_dict()
+    assert d["accuracy"] == 0.0
+    assert d["pushdown_fraction"] == 0.0
+    assert d["judged_fraction"] == 0.0
+    assert d["mean_bytes_saved"] == 0.0
+
+
+def test_unjudged_only_summary_has_zero_judged_fractions():
+    # Decisions recorded but no actual byte counts observed: fractions
+    # over judged decisions stay 0, fractions over total do not.
+    sim = Sim()
+    log = PushdownAuditLog(sim)
+    log.record("obj", (0, "a"), "projection", "adaptive", _decision(0.1))
+    log.record("obj", (1, "a"), "projection", "adaptive", _decision(0.9))
+    s = log.summary()
+    assert s.total == 2 and s.judged == 0
+    assert s.accuracy == 0.0
+    assert s.mean_bytes_saved == 0.0
+    assert 0.0 <= s.pushdown_fraction <= 1.0
+
+
 def test_disabled_log_records_nothing():
     log = PushdownAuditLog(Sim(), enabled=False)
     assert log.record("obj", (0, "a"), "fused", "adaptive", _decision()) is None

@@ -1,0 +1,207 @@
+"""Critical-path analyzer semantics: exact tiling of a root's duration,
+category attribution, per-node queue-wait split, overlap handling, and
+the slowest-roots tail selector."""
+
+import pytest
+
+from repro.cluster.simcore import Simulator
+from repro.obs.critpath import (
+    CATEGORIES,
+    CriticalPathAnalyzer,
+    slowest_roots,
+)
+from repro.obs.tracer import Tracer
+
+
+def _sim():
+    sim = Simulator()
+    sim.tracer = Tracer(sim)
+    return sim, sim.tracer
+
+
+def _span(tracer, sim, name, delay, **args):
+    """Run one traced leaf span of ``delay`` simulated seconds."""
+    span = tracer.begin(name, **args)
+    yield sim.timeout(delay)
+    tracer.finish(span)
+
+
+def test_sequential_children_tile_the_root_exactly():
+    sim, tracer = _sim()
+
+    def work():
+        root = tracer.begin("query")
+        yield from _span(tracer, sim, "queue.wait", 1.0, node=3)
+        yield from _span(tracer, sim, "disk.read", 2.0, node=3)
+        yield sim.timeout(0.5)  # coordinator's own time
+        yield from _span(tracer, sim, "cpu.compute", 1.5)
+        tracer.finish(root)
+
+    sim.process(work())
+    sim.run()
+    (root,) = tracer.find("query")
+    analyzer = CriticalPathAnalyzer(tracer)
+    segments = analyzer.critical_path(root)
+    # Segments are in time order and tile [start, end] with no gaps.
+    assert segments[0].start == root.start
+    assert segments[-1].end == root.end
+    for a, b in zip(segments, segments[1:]):
+        assert a.end == b.start
+    assert sum(s.duration for s in segments) == pytest.approx(root.duration)
+
+    attr = analyzer.attribute(root)
+    assert attr["duration"] == pytest.approx(5.0)
+    assert attr["by_category"]["queue_wait"] == pytest.approx(1.0)
+    assert attr["by_category"]["disk"] == pytest.approx(2.0)
+    assert attr["by_category"]["coord"] == pytest.approx(0.5)
+    assert attr["by_category"]["cpu"] == pytest.approx(1.5)
+    assert attr["queue_wait_by_node"] == {"3": pytest.approx(1.0)}
+    assert set(attr["by_category"]) == set(CATEGORIES)
+
+
+def test_overlapping_children_attribute_only_the_covering_tail():
+    # Two children overlap; the backward walk follows whichever was
+    # still running, so only the late child's un-overlapped tail plus
+    # the full window of the early child appear on the path.
+    sim, tracer = _sim()
+
+    def late_child():
+        yield from _span(tracer, sim, "net.transfer", 3.0)
+
+    def work():
+        root = tracer.begin("query")
+        proc = sim.process(late_child())
+        yield from _span(tracer, sim, "disk.read", 2.0)
+        yield proc
+        tracer.finish(root)
+
+    sim.process(work())
+    sim.run()
+    (root,) = tracer.find("query")
+    attr = CriticalPathAnalyzer(tracer).attribute(root)
+    # Path: net.transfer covers [0, 3]; disk.read never on the path
+    # (it ran shadowed by the longer transfer).
+    assert attr["by_category"]["network"] == pytest.approx(3.0)
+    assert attr["by_category"]["disk"] == pytest.approx(0.0)
+    assert attr["duration"] == pytest.approx(3.0)
+
+
+def test_nested_spans_credit_the_deepest_cover():
+    # queue.wait nested inside cpu.compute (exactly how Node.compute
+    # traces contention): the waited stretch must land on queue_wait,
+    # only the serviced remainder on cpu.
+    sim, tracer = _sim()
+
+    def work():
+        root = tracer.begin("query")
+        outer = tracer.begin("cpu.compute", node=1)
+        yield from _span(tracer, sim, "queue.wait", 2.0, node=1)
+        yield sim.timeout(0.5)
+        tracer.finish(outer)
+        tracer.finish(root)
+
+    sim.process(work())
+    sim.run()
+    (root,) = tracer.find("query")
+    attr = CriticalPathAnalyzer(tracer).attribute(root)
+    assert attr["by_category"]["queue_wait"] == pytest.approx(2.0)
+    assert attr["by_category"]["cpu"] == pytest.approx(0.5)
+    assert attr["queue_wait_by_node"] == {"1": pytest.approx(2.0)}
+
+
+def test_open_spans_clamp_to_the_horizon():
+    sim, tracer = _sim()
+
+    def work():
+        tracer.begin("query")
+        yield from _span(tracer, sim, "disk.read", 1.0)
+        yield sim.timeout(1.0)
+        # Neither root nor this child ever finishes.
+        tracer.begin("queue.wait", node=0)
+        yield sim.timeout(2.0)
+
+    sim.process(work())
+    sim.run()
+    (root,) = tracer.find("query")
+    assert root.end is None
+    attr = CriticalPathAnalyzer(tracer).attribute(root)
+    assert attr["duration"] == pytest.approx(4.0)  # clamped to sim.now
+    assert attr["by_category"]["disk"] == pytest.approx(1.0)
+    assert attr["by_category"]["queue_wait"] == pytest.approx(2.0)
+    assert attr["by_category"]["coord"] == pytest.approx(1.0)
+
+
+def test_queue_wait_without_node_goes_to_unknown_bucket():
+    sim, tracer = _sim()
+
+    def work():
+        root = tracer.begin("query")
+        yield from _span(tracer, sim, "queue.wait", 1.0)  # no node arg
+        tracer.finish(root)
+
+    sim.process(work())
+    sim.run()
+    (root,) = tracer.find("query")
+    attr = CriticalPathAnalyzer(tracer).attribute(root)
+    assert attr["queue_wait_by_node"] == {"?": pytest.approx(1.0)}
+
+
+def test_aggregate_and_report_over_a_population():
+    sim, tracer = _sim()
+
+    def one_query(wait, node):
+        root = tracer.begin("query")
+        yield from _span(tracer, sim, "queue.wait", wait, node=node)
+        yield from _span(tracer, sim, "disk.read", 1.0, node=node)
+        tracer.finish(root)
+
+    def work():
+        yield from one_query(3.0, 0)
+        yield from one_query(1.0, 1)
+
+    sim.process(work())
+    sim.run()
+    analyzer = CriticalPathAnalyzer(tracer)
+    agg = analyzer.aggregate(tracer.find("query"))
+    assert agg["queries"] == 2
+    assert agg["total_seconds"] == pytest.approx(6.0)
+    assert agg["by_category"]["queue_wait"] == pytest.approx(4.0)
+    assert agg["fraction"]["queue_wait"] == pytest.approx(4.0 / 6.0)
+    assert agg["queue_wait_by_node"] == {
+        "0": pytest.approx(3.0), "1": pytest.approx(1.0)
+    }
+    text = analyzer.report(tracer.find("query"))
+    assert "2 queries" in text
+    assert "queue_wait" in text
+    assert "node 0" in text
+
+
+def test_aggregate_of_nothing_is_zeroes():
+    sim, tracer = _sim()
+    sim.run()
+    agg = CriticalPathAnalyzer(tracer).aggregate([])
+    assert agg["queries"] == 0
+    assert agg["total_seconds"] == 0.0
+    assert all(v == 0.0 for v in agg["fraction"].values())
+
+
+def test_slowest_roots_selects_the_tail():
+    sim, tracer = _sim()
+
+    def work():
+        for i in range(10):
+            root = tracer.begin("query")
+            yield sim.timeout(0.1 * (i + 1))
+            tracer.finish(root)
+        tracer.begin("query")  # still open: excluded
+        yield sim.timeout(5.0)
+
+    sim.process(work())
+    sim.run()
+    (slowest,) = slowest_roots(tracer, "query", fraction=0.01)
+    assert slowest.duration == pytest.approx(1.0)
+    top3 = slowest_roots(tracer, "query", fraction=0.3)
+    assert [s.duration for s in top3] == [
+        pytest.approx(1.0), pytest.approx(0.9), pytest.approx(0.8)
+    ]
+    assert slowest_roots(tracer, "no_such_span") == []

@@ -187,3 +187,71 @@ def test_newline_in_help_text_escaped():
     text = reg.export()
     assert validate_prometheus_text(text) == []
     assert "# HELP repro_multiline_total line one\\nline two" in text
+
+
+def test_empty_registry_exports_cleanly():
+    # A registry that never saw an instrument: valid (empty) Prometheus
+    # text, an empty JSON dump, and a clean merged export.
+    reg = MetricsRegistry()
+    text = reg.export()
+    assert validate_prometheus_text(text) == []
+    assert reg.to_dict() == {}
+    merged = export_merged([reg, MetricsRegistry()])
+    assert validate_prometheus_text(merged) == []
+    assert export_merged([]) is not None
+
+
+def test_zero_observation_histogram_exports_cleanly():
+    reg = MetricsRegistry()
+    reg.histogram("repro_idle_seconds", "never observed")
+    text = reg.export()
+    assert validate_prometheus_text(text) == []
+    sample = reg.to_dict()["repro_idle_seconds"]["samples"][0]
+    assert sample["count"] == 0
+    assert sample["p99"] == 0.0
+    assert sample["max"] == 0.0
+    assert "exemplars" not in sample
+
+
+def test_exemplars_capture_largest_trace_per_bucket():
+    h = Histogram({}, bounds=[1.0, 10.0])
+    h.observe(0.5, trace_id=11)
+    h.observe(0.7, trace_id=12)  # larger value wins the bucket
+    h.observe(5.0)  # no trace id: never an exemplar
+    h.observe(50.0, trace_id=13)
+    assert h.exemplars[0] == (0.7, 12)
+    assert h.exemplars[2] == (50.0, 13)
+    assert 1 not in h.exemplars
+    # p99 rank lands in the overflow bucket; its exemplar comes back.
+    assert h.exemplar_for_quantile(0.99) == (50.0, 13)
+    # A quantile whose bucket holds no exemplar falls to the nearest
+    # exemplared bucket (here: the le=10 bucket is bare, overflow wins).
+    assert h.exemplar_for_quantile(0.6) == (50.0, 13)
+
+
+def test_exemplar_for_quantile_without_exemplars_is_none():
+    h = Histogram({}, bounds=[1.0])
+    assert h.exemplar_for_quantile(0.99) is None
+    h.observe(0.5)
+    assert h.exemplar_for_quantile(0.99) is None
+
+
+def test_record_query_exemplars_follow_the_registry_knob():
+    off = MetricsRegistry()
+    qm = _qm()
+    qm.trace_id = 77
+    off.record_query(qm)
+    hist_off = off.histogram("repro_query_latency_seconds", "")
+    assert hist_off.exemplars == {}
+
+    on = MetricsRegistry(exemplars_enabled=True)
+    qm2 = _qm()
+    qm2.tenant = "t1"
+    qm2.trace_id = 78
+    on.record_query(qm2)
+    hist_on = on.histogram("repro_query_latency_seconds", "")
+    assert hist_on.exemplar_for_quantile(0.99) == (pytest.approx(0.2), 78)
+    # The tenant-labelled latency family carries the exemplar too, and
+    # the JSON export surfaces it.
+    sample = on.to_dict()["repro_query_latency_seconds"]["samples"][0]
+    assert any(e["trace_id"] == 78 for e in sample["exemplars"].values())

@@ -172,7 +172,7 @@ def test_chrome_trace_is_valid_and_balanced():
     assert all(e["pid"] == 3 for e in events)
 
 
-def test_chrome_trace_closes_open_spans_at_horizon():
+def test_chrome_trace_renders_open_spans_at_horizon_without_mutating():
     sim = Simulator()
     tracer = Tracer(sim)
     sim.tracer = tracer
@@ -185,8 +185,21 @@ def test_chrome_trace_closes_open_spans_at_horizon():
     sim.run()
     trace = tracer.chrome_trace()
     assert validate_chrome_trace(trace) == []
+    # Export renders the open span as ending at the horizon and marks it
+    # truncated, but the Span object itself stays open (a later finish()
+    # still records the real end).
     (span,) = tracer.find("never_finished")
-    assert span.end == 4.0
+    assert span.end is None
+    begin = next(
+        e for e in trace["traceEvents"]
+        if e["ph"] == "B" and e["name"] == "never_finished"
+    )
+    assert begin["args"]["truncated"] is True
+    end = next(
+        e for e in trace["traceEvents"]
+        if e["ph"] == "E" and e["ts"] == 4.0 * 1e6
+    )
+    assert end is not None
 
 
 def test_text_summary_aggregates_by_path():
