@@ -88,6 +88,49 @@ class Cluster:
         #: Optional SLOEngine (repro.obs.slo) evaluating burn-rate alerts
         #: over the scraper's series when StoreConfig.slo_enabled is set.
         self.slo = None
+        #: Anti-entropy read-repair queue: stripes whose foreground reads
+        #: had to reconstruct data, keyed ``(store_kind, object_name,
+        #: stripe_id) -> store`` (dict doubles as an ordered set so a hot
+        #: stripe enqueues once).  Drained by the RepairManager at
+        #: background priority.
+        self.read_repairs: dict[tuple, object] = {}
+        # Health-tier flips (greylist/clear) become tracer instants so
+        # gray-failure onset is visible on the timeline.
+        self.health.on_tier_change.append(self._on_tier_change)
+
+    def _on_tier_change(self, node_id: int, greylisted: bool) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "health.greylist" if greylisted else "health.clear",
+                cat="health",
+                node=node_id,
+            )
+
+    def reachable(self, src_id: int, dst_id: int) -> bool:
+        """Can ``src_id`` exchange RPCs with ``dst_id`` right now?
+
+        False only when a severed link (partition) separates them —
+        drop-rates and latency degrade but do not disconnect.  Cheap in
+        fault-free runs (the link matrix is empty)."""
+        if src_id == dst_id or not self.network.links:
+            return True
+        return not self.network.link_severed(
+            self.nodes[src_id].endpoint.name, self.nodes[dst_id].endpoint.name
+        )
+
+    def enqueue_read_repair(self, store, store_kind: str, object_name: str, stripe_id: int) -> None:
+        """Queue a stripe for anti-entropy repair after a degraded or
+        checksum-failed foreground read reconstructed its data."""
+        key = (store_kind, object_name, stripe_id)
+        if key in self.read_repairs:
+            return
+        self.read_repairs[key] = store
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "read_repair.enqueue", cat="repair", object=object_name, stripe=stripe_id
+            )
 
     def routable(self, node_id: int) -> bool:
         """May new ops be sent to ``node_id``?

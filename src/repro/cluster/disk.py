@@ -32,6 +32,10 @@ class Disk:
         #: Service-time multiplier; raised above 1.0 by fault injection
         #: to model a degraded device (slow-node fault).
         self.slow_factor = 1.0
+        #: Independent fail-slow multiplier (gray-failure fault plane);
+        #: composes multiplicatively with ``slow_factor`` so overlapping
+        #: slow windows and gray states reset independently.
+        self.gray_factor = 1.0
 
     @property
     def device(self) -> Resource:
@@ -59,7 +63,7 @@ class Disk:
                 )
             ):
                 duration = self.config.access_latency_s + nbytes / self.config.bandwidth_bps
-                yield self.sim.timeout(duration * self.slow_factor)
+                yield self.sim.timeout(duration * self.slow_factor * self.gray_factor)
         except QueueFull:
             if span is not None:
                 tracer.finish(span, rejected=True)

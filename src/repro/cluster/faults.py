@@ -20,6 +20,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.cluster.network import LinkState
+
 
 @dataclass(frozen=True)
 class FaultEvent:
@@ -64,7 +66,24 @@ class FaultEvent:
       with *foreground* requests at ``rate`` per second on behalf of
       ``tenant`` (a storming tenant the QoS layer must isolate: its
       requests are charged to that tenant's quota buckets and DRR
-      sub-queues, so other tenants keep their fair share).
+      sub-queues, so other tenants keep their fair share);
+    * ``"partition"`` — sever every link between the node set ``nodes``
+      (side A) and the rest of the cluster (side B) in both directions;
+      heals automatically after ``duration`` (0 = stays cut until a
+      later event heals it by hand).  RPCs across the cut are lost,
+      direct repair/recovery reads treat the far side as unreachable,
+      and the quorum guard refuses minority-side metadata republishes;
+    * ``"asym_link"`` — degrade the *directed* link ``node_id -> peer``
+      only: RPCs crossing it are dropped with probability ``rate`` and
+      each transfer pays ``latency_s`` extra, for ``duration`` seconds.
+      The reverse direction stays healthy (the gray failure pattern
+      node-scoped drops cannot express);
+    * ``"fail_slow"`` — multiply the node's disk and NIC *service* times
+      by ``factor`` for ``duration`` seconds on the independent
+      gray-failure plane (``gray_factor``): unlike ``slow`` it composes
+      with concurrent slow windows instead of clobbering their reset,
+      and it is the canonical trigger for the health tracker's
+      greylist verdict — the node answers everything, just slowly.
     """
 
     at: float
@@ -78,10 +97,17 @@ class FaultEvent:
     point: str = ""
     nbytes: int = 0
     tenant: str = ""
+    #: Partition side A (node ids); the cut is A <-> everything else.
+    nodes: tuple = ()
+    #: Directed-link destination for ``asym_link``.
+    peer: int = -1
+    #: Extra per-transfer latency for ``asym_link``.
+    latency_s: float = 0.0
 
     KINDS = (
         "crash", "restore", "blip", "slow", "corrupt", "drop", "crashpoint",
         "overload", "slow_burst", "join", "drain", "flap", "tenant_storm",
+        "partition", "asym_link", "fail_slow",
     )
 
     def __post_init__(self) -> None:
@@ -89,9 +115,9 @@ class FaultEvent:
             raise ValueError(f"unknown fault kind {self.kind!r}; known: {self.KINDS}")
         if self.at < 0:
             raise ValueError("fault time must be >= 0")
-        if self.kind in ("blip", "slow", "drop", "overload", "slow_burst", "flap", "tenant_storm") and self.duration <= 0:
+        if self.kind in ("blip", "slow", "drop", "overload", "slow_burst", "flap", "tenant_storm", "asym_link", "fail_slow") and self.duration <= 0:
             raise ValueError(f"{self.kind} fault needs a positive duration")
-        if self.kind in ("slow", "slow_burst") and self.factor < 1.0:
+        if self.kind in ("slow", "slow_burst", "fail_slow") and self.factor < 1.0:
             raise ValueError("slow factor must be >= 1 (it degrades throughput)")
         if self.kind == "drop" and not (0.0 < self.rate <= 1.0):
             raise ValueError("drop rate must be in (0, 1]")
@@ -101,6 +127,15 @@ class FaultEvent:
             raise ValueError("crashpoint fault needs a point name")
         if self.kind == "tenant_storm" and not self.tenant:
             raise ValueError("tenant_storm fault needs a tenant id")
+        if self.kind == "partition" and not self.nodes:
+            raise ValueError("partition fault needs a non-empty node set")
+        if self.kind == "asym_link":
+            if self.peer < 0 or self.peer == self.node_id:
+                raise ValueError("asym_link fault needs a distinct peer node")
+            if not (0.0 <= self.rate <= 1.0):
+                raise ValueError("asym_link drop rate must be in [0, 1]")
+            if self.rate <= 0.0 and self.latency_s <= 0.0:
+                raise ValueError("asym_link fault needs a drop rate or extra latency")
 
 
 @dataclass
@@ -127,6 +162,12 @@ class FaultInjector:
         self.schedule = sorted(schedule, key=lambda ev: ev.at)
         self.seed = seed
         self.rng = random.Random(seed)
+        #: Separate seeded stream for per-link drop decisions so arming
+        #: link faults never shifts the main stream's draws — a schedule
+        #: mixing old and new families replays the old families'
+        #: randomness (which block to corrupt, node-window drops)
+        #: bit-identically to a schedule without the new ones.
+        self.link_rng = random.Random(seed ^ 0x5DEECE66D)
         self.log: list[AppliedFault] = []
         #: node_id -> (window end, drop probability)
         self._drop_windows: dict[int, tuple[float, float]] = {}
@@ -145,16 +186,41 @@ class FaultInjector:
 
     # -- RPC drop hook (called by repro.core.scatter_gather) -----------------
 
-    def drop_rpc(self, node_id: int) -> bool:
-        """Decide whether an RPC exchanged with ``node_id`` is dropped now."""
+    def drop_rpc(self, node_id: int, src_id: int | None = None) -> bool:
+        """Decide whether an RPC exchanged with ``node_id`` is dropped now.
+
+        ``src_id`` (the coordinator's node id, when the op is remote)
+        additionally consults the per-link fault plane: a severed link in
+        either direction loses the RPC deterministically, and directed
+        drop rates are drawn from the injector's *link* RNG stream so
+        link faults never perturb the main stream's replay.
+        """
         window = self._drop_windows.get(node_id)
-        if window is None:
+        if window is not None:
+            until, rate = window
+            if self.cluster.sim.now >= until:
+                del self._drop_windows[node_id]
+            elif self.rng.random() < rate:
+                return True
+        if src_id is None or src_id == node_id:
             return False
-        until, rate = window
-        if self.cluster.sim.now >= until:
-            del self._drop_windows[node_id]
+        network = self.cluster.network
+        if not network.links:
             return False
-        return self.rng.random() < rate
+        src_name = self.cluster.node(src_id).endpoint.name
+        dst_name = self.cluster.node(node_id).endpoint.name
+        if network.link_severed(src_name, dst_name):
+            return True
+        # An RPC needs both directions (request out, reply back): it
+        # survives only if neither directed leg drops it.
+        p_keep = 1.0
+        for key in ((src_name, dst_name), (dst_name, src_name)):
+            state = network.links.get(key)
+            if state is not None and state.drop_rate > 0.0:
+                p_keep *= 1.0 - state.drop_rate
+        if p_keep >= 1.0:
+            return False
+        return self.link_rng.random() >= p_keep
 
     # -- WAL crash points (consulted by repro.core.wal) ----------------------
 
@@ -281,7 +347,98 @@ class FaultInjector:
                 f"tenant {event.tenant!r} storming at {event.rate:.0f} req/s "
                 f"of {nbytes}B for {event.duration:.3f}s"
             )
+        elif event.kind == "partition":
+            detail = self._apply_partition(event)
+        elif event.kind == "asym_link":
+            detail = self._apply_asym_link(event)
+        elif event.kind == "fail_slow":
+            node.disk.gray_factor = event.factor
+            node.endpoint.gray_factor = event.factor
+
+            def reset_gray(n=node):
+                n.disk.gray_factor = 1.0
+                n.endpoint.gray_factor = 1.0
+
+            self._later(event.duration, reset_gray)
+            detail = f"gray factor {event.factor:.1f}x for {event.duration:.3f}s"
         self.log.append(AppliedFault(at=sim.now, event=event, detail=detail))
+
+    # -- per-link fault plane -------------------------------------------------
+
+    def _link_state(self, src_name: str, dst_name: str) -> LinkState:
+        """Get-or-create the directed link's state (so a partition and a
+        concurrent asym_link on the same pair compose instead of
+        clobbering each other)."""
+        links = self.cluster.network.links
+        state = links.get((src_name, dst_name))
+        if state is None:
+            state = LinkState()
+            links[(src_name, dst_name)] = state
+        return state
+
+    def _prune_link(self, src_name: str, dst_name: str) -> None:
+        """Drop the link entry once every fault axis on it has cleared
+        (keeps the matrix empty — and the hot path free — when healthy)."""
+        links = self.cluster.network.links
+        state = links.get((src_name, dst_name))
+        if state is not None and state.clear:
+            del links[(src_name, dst_name)]
+
+    def _apply_partition(self, event: FaultEvent) -> str:
+        """Sever every link between side A (``event.nodes``) and the rest
+        of the cluster, both directions; heal after ``duration``."""
+        num_nodes = len(self.cluster.nodes)
+        side_a = sorted({n for n in event.nodes if 0 <= n < num_nodes})
+        side_b = [n for n in range(num_nodes) if n not in set(side_a)]
+        if not side_a or not side_b:
+            return "partition is trivial (one side empty); ignored"
+        pairs: list[tuple[str, str]] = []
+        for a in side_a:
+            for b in side_b:
+                a_name = self.cluster.node(a).endpoint.name
+                b_name = self.cluster.node(b).endpoint.name
+                for key in ((a_name, b_name), (b_name, a_name)):
+                    self._link_state(*key).severed = True
+                    pairs.append(key)
+
+        if event.duration > 0:
+
+            def heal():
+                # Clear only the severed axis: a concurrent asym_link's
+                # drop/latency state on the same pair must survive.
+                for src_name, dst_name in pairs:
+                    state = self.cluster.network.links.get((src_name, dst_name))
+                    if state is not None:
+                        state.severed = False
+                        self._prune_link(src_name, dst_name)
+
+            self._later(event.duration, heal)
+        heal_note = f"heals at +{event.duration:.3f}s" if event.duration > 0 else "no auto-heal"
+        return f"cut {side_a} <-> {side_b} ({heal_note})"
+
+    def _apply_asym_link(self, event: FaultEvent) -> str:
+        """Degrade only the directed ``node_id -> peer`` link."""
+        num_nodes = len(self.cluster.nodes)
+        if not (0 <= event.node_id < num_nodes and 0 <= event.peer < num_nodes):
+            return "asym_link endpoints out of range; ignored"
+        src_name = self.cluster.node(event.node_id).endpoint.name
+        dst_name = self.cluster.node(event.peer).endpoint.name
+        state = self._link_state(src_name, dst_name)
+        state.drop_rate = event.rate
+        state.extra_latency_s = event.latency_s
+
+        def reset():
+            link = self.cluster.network.links.get((src_name, dst_name))
+            if link is not None:
+                link.drop_rate = 0.0
+                link.extra_latency_s = 0.0
+                self._prune_link(src_name, dst_name)
+
+        self._later(event.duration, reset)
+        return (
+            f"{src_name}->{dst_name} degraded (drop {event.rate:.2f}, "
+            f"+{event.latency_s * 1e3:.1f}ms) for {event.duration:.3f}s"
+        )
 
     def _flap_driver(self, node_id: int, until: float, rate: float):
         """Process: crash/restore ``node_id`` at ``rate`` cycles per
@@ -381,6 +538,9 @@ def random_schedule(
     slow_bursts: int = 0,
     membership: int = 0,
     tenant_storms: int = 0,
+    partitions: int = 0,
+    asym_links: int = 0,
+    fail_slows: int = 0,
 ) -> list[FaultEvent]:
     """Generate a reproducible random fault schedule.
 
@@ -527,6 +687,52 @@ def random_schedule(
                 duration=rng.uniform(0.1, 0.3) * horizon_s,
                 rate=rng.uniform(200.0, 1000.0),
                 tenant=f"storm-{i}",
+            )
+        )
+    # Partition / asymmetric-link / fail-slow families draw strictly
+    # after every earlier family (the same append-only RNG discipline:
+    # old seeds with these counts at 0 replay bit-identically).
+    for _ in range(partitions):
+        # Minority side: 1 .. floor((n-1)/2) nodes, so the complement is
+        # always a strict majority and quorum-guarded metadata stays
+        # writable from side B.
+        size = rng.randrange(1, max(2, (num_nodes + 1) // 2))
+        side = tuple(sorted(rng.sample(range(num_nodes), min(size, num_nodes))))
+        events.append(
+            FaultEvent(
+                at=rng.uniform(0.0, horizon_s * 0.6),
+                kind="partition",
+                node_id=side[0],
+                nodes=side,
+                duration=rng.uniform(0.1, 0.3) * horizon_s,
+            )
+        )
+    for _ in range(asym_links):
+        if num_nodes < 2:
+            break  # no draws at all: a 1-node cluster has no links
+        src = rng.randrange(num_nodes)
+        dst = rng.randrange(num_nodes - 1)
+        if dst >= src:
+            dst += 1
+        events.append(
+            FaultEvent(
+                at=rng.uniform(0.0, horizon_s * 0.7),
+                kind="asym_link",
+                node_id=src,
+                peer=dst,
+                duration=rng.uniform(0.1, 0.3) * horizon_s,
+                rate=rng.uniform(0.05, 0.4),
+                latency_s=rng.uniform(0.001, 0.01),
+            )
+        )
+    for _ in range(fail_slows):
+        events.append(
+            FaultEvent(
+                at=rng.uniform(0.0, horizon_s * 0.6),
+                kind="fail_slow",
+                node_id=rng.randrange(num_nodes),
+                duration=rng.uniform(0.2, 0.5) * horizon_s,
+                factor=rng.uniform(8.0, 32.0),
             )
         )
     return sorted(events, key=lambda ev: ev.at)

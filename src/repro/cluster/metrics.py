@@ -161,6 +161,17 @@ class ClusterMetrics:
     rebalance_bytes: int = 0
     blocks_migrated: int = 0
     rebalance_seconds: float = 0.0
+    #: Anti-entropy read-repair traffic: stripes re-repaired because a
+    #: foreground read had to reconstruct data.  Accounted on its own
+    #: axis (never mixed into ``repair_bytes``) so experiments can
+    #: report how much healing foreground traffic triggered.
+    read_repair_bytes: int = 0
+    blocks_read_repaired: int = 0
+    read_repair_seconds: float = 0.0
+    #: Metadata republishes refused because the coordinator could not
+    #: reach a majority of the object's meta-replica holders (typed
+    #: QuorumLost; each is a split-brain install that did NOT happen).
+    quorum_lost_total: int = 0
     queries: list[QueryMetrics] = field(default_factory=list)
     #: Optional sink with ``record_query(qm)`` / ``record_repair(...)``
     #: methods (duck-typed so this module stays dependency-free); the
@@ -235,6 +246,18 @@ class ClusterMetrics:
             # getattr-guarded: duck-typed sinks predating the rebalance
             # counters keep working.
             record = getattr(self.registry, "record_rebalance", None)
+            if record is not None:
+                record(nbytes, blocks, seconds)
+
+    def record_read_repair(self, nbytes: int, blocks: int, seconds: float) -> None:
+        """Account one read-repair run's traffic (separate from scrub repair)."""
+        self.read_repair_bytes += nbytes
+        self.blocks_read_repaired += blocks
+        self.read_repair_seconds += seconds
+        if self.registry is not None:
+            # getattr-guarded like record_rebalance: older duck-typed
+            # sinks without the read-repair counters keep working.
+            record = getattr(self.registry, "record_read_repair", None)
             if record is not None:
                 record(nbytes, blocks, seconds)
 

@@ -60,6 +60,30 @@ class NetworkEndpoint:
         #: Serialisation-time multiplier; raised above 1.0 by fault
         #: injection to model a degraded NIC (slow-node fault).
         self.slow_factor = 1.0
+        #: Independent fail-slow multiplier (gray-failure fault plane).
+        #: Composes multiplicatively with ``slow_factor`` so an ordinary
+        #: slow window ending cannot clear a concurrent gray state.
+        self.gray_factor = 1.0
+
+
+@dataclass
+class LinkState:
+    """Fault state of one *directed* link (src endpoint -> dst endpoint).
+
+    All three axes compose with the node-scoped fault planes: a severed
+    link loses every RPC crossing it (in either direction an RPC needs —
+    requests one way, replies the other), ``drop_rate`` loses a seeded
+    fraction, and ``extra_latency_s`` is added to each transfer's fixed
+    latency (asymmetric-link degradation: only this direction pays).
+    """
+
+    drop_rate: float = 0.0
+    extra_latency_s: float = 0.0
+    severed: bool = False
+
+    @property
+    def clear(self) -> bool:
+        return not self.severed and self.drop_rate <= 0.0 and self.extra_latency_s <= 0.0
 
 
 class Network:
@@ -68,6 +92,10 @@ class Network:
     def __init__(self, sim: Simulator, config: NetworkConfig) -> None:
         self.sim = sim
         self.config = config
+        #: Directed per-link fault matrix keyed by (src name, dst name).
+        #: Empty in fault-free runs — the transfer path only consults it
+        #: when non-empty, so default-knob runs stay bit-identical.
+        self.links: dict[tuple[str, str], LinkState] = {}
         self.total_bytes = 0
         #: Messages actually put on the wire (loopback excluded).
         self.rpcs_issued = 0
@@ -80,6 +108,49 @@ class Network:
     def set_bandwidth_gbps(self, gbps: float) -> None:
         """Adjust link bandwidth (the Fig 14c bandwidth sweep knob)."""
         self.config.bandwidth_bps = gbps * 1e9 / 8
+
+    # -- per-link fault plane ------------------------------------------------
+
+    def set_link(
+        self,
+        src_name: str,
+        dst_name: str,
+        drop_rate: float = 0.0,
+        extra_latency_s: float = 0.0,
+        severed: bool = False,
+    ) -> None:
+        """Install (or clear) fault state on the directed src->dst link."""
+        key = (src_name, dst_name)
+        state = LinkState(
+            drop_rate=drop_rate, extra_latency_s=extra_latency_s, severed=severed
+        )
+        if state.clear:
+            self.links.pop(key, None)
+        else:
+            self.links[key] = state
+
+    def clear_link(self, src_name: str, dst_name: str) -> None:
+        self.links.pop((src_name, dst_name), None)
+
+    def link(self, src_name: str, dst_name: str) -> LinkState | None:
+        """The directed link's fault state, or None when healthy."""
+        if not self.links:
+            return None
+        return self.links.get((src_name, dst_name))
+
+    def link_severed(self, a_name: str, b_name: str) -> bool:
+        """True when an RPC between the two endpoints cannot complete:
+        a round trip needs both directions, so either severed direction
+        kills it."""
+        if not self.links:
+            return False
+        fwd = self.links.get((a_name, b_name))
+        rev = self.links.get((b_name, a_name))
+        return (fwd is not None and fwd.severed) or (rev is not None and rev.severed)
+
+    def severed_link_count(self) -> int:
+        """Currently-severed directed links (telemetry gauge)."""
+        return sum(1 for state in self.links.values() if state.severed)
 
     def transfer(
         self,
@@ -186,7 +257,16 @@ class Network:
         try:
             with (yield from src.egress.acquire(priority, tenant=tenant, cost=cost)):
                 with (yield from dst.ingress.acquire(priority, tenant=tenant, cost=cost)):
-                    slow = max(src.slow_factor, dst.slow_factor)
+                    slow = max(
+                        src.slow_factor * src.gray_factor,
+                        dst.slow_factor * dst.gray_factor,
+                    )
+                    if self.links:
+                        # Asymmetric-link degradation: only the directed
+                        # src->dst state adds latency to this transfer.
+                        state = self.links.get((src.name, dst.name))
+                        if state is not None:
+                            latency_s += state.extra_latency_s
                     duration = nbytes / self.config.bandwidth_bps * slow + latency_s
                     yield self.sim.timeout(duration)
         except QueueFull:

@@ -36,7 +36,7 @@ from repro.core.config import StoreConfig
 from repro.core.fixed import FixedLayout, build_fixed_layout
 from repro.core.location_map import ChecksumError, chunk_checksum
 from repro.core.scatter_gather import SHED, RemoteOp, execute_remote_ops
-from repro.core.wal import MetaReplica, WalRecord, WalWriter
+from repro.core.wal import MetaReplica, QuorumLost, WalRecord, WalWriter
 from repro.ec.stripe import DecodeError, decode_stripe, encode_stripe
 from repro.obs.audit import PushdownAuditLog
 from repro.obs.registry import MetricsRegistry
@@ -123,6 +123,7 @@ class BaselineStore:
         # with its own writer so both stores share one op-id space.
         self.wal = WalWriter(cluster, self.config.wal_enabled)
         cluster.health.suspicion_threshold = self.config.suspicion_threshold
+        cluster.health.greylist_factor = self.config.greylist_latency_factor
         cluster.add_liveness_listener(self._on_liveness)
         # Observability (repro.obs): metadata-plane, never schedules
         # simulation events.  The baseline never evaluates the Cost
@@ -156,8 +157,34 @@ class BaselineStore:
         self._degraded_block_cache.clear()
 
     def _usable(self, node) -> bool:
-        """Node is alive, not suspect, and its circuit breaker admits ops."""
-        return node.alive and self.cluster.routable(node.node_id)
+        """Node is alive, not suspect, not greylisted (fail-slow), and
+        its circuit breaker admits ops.  Greylisted nodes route to
+        degraded reconstruction like the FusionStore's — unless the
+        min-healthy floor (:meth:`_floor_attempt`) says reconstruction
+        would itself be starved of usable sources."""
+        return (
+            node.alive
+            and self.cluster.routable(node.node_id)
+            and not self.cluster.health.is_greylisted(node.node_id)
+        )
+
+    def _floor_attempt(self, obj, block_index: int) -> bool:
+        """Min-healthy-floor guard: True when an op should still attempt
+        its non-usable holder because the block's stripe has fewer than
+        k usable sources (degraded reconstruction would be forced onto
+        non-usable nodes anyway).  Only evaluated after :meth:`_usable`
+        fails, so fault-free runs never pay the scan."""
+        k = self.config.code.k
+        stripe = obj.layout.stripe_of(block_index)
+        holder_ids = [
+            obj.data_block_nodes[b.index] for b in obj.layout.stripe_blocks(stripe)
+        ] + [
+            nid
+            for (s, _j), nid in obj.parity_block_nodes.items()
+            if s == stripe
+        ]
+        usable = sum(1 for nid in holder_ids if self._usable(self.cluster.node(nid)))
+        return usable < k
 
     def _invalidate_object_caches(self, name: str) -> None:
         """Drop every cached artefact derived from object ``name``."""
@@ -379,17 +406,65 @@ class BaselineStore:
 
     def _republish_meta(self, obj: StoredFixedObject) -> None:
         """Repair relocated blocks: push a fresh snapshot (bumped epoch)
-        to the alive replica holders.  Metadata-plane operation."""
+        to the reachable replica holders.  Metadata-plane operation.
+
+        Quorum-guarded exactly like the Fusion store's republish: with
+        3+ holders, reaching only a minority raises
+        :class:`~repro.core.wal.QuorumLost` instead of installing a
+        minority-epoch snapshot (split-brain guard)."""
+        holders = obj.replica_nodes
+        coordinator = self.cluster.coordinator_for(obj.name)
+        reachable = [
+            nid
+            for nid in holders
+            if self.cluster.node(nid).alive
+            and self.cluster.reachable(coordinator.node_id, nid)
+        ]
+        if len(holders) >= 3 and len(reachable) < len(holders) // 2 + 1:
+            self.cluster.metrics.quorum_lost_total += 1
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "meta.quorum_lost", cat="meta", object=obj.name,
+                    reachable=len(reachable), holders=len(holders),
+                )
+            raise QuorumLost(
+                f"republish of {obj.name!r} reaches {len(reachable)}/"
+                f"{len(holders)} metadata replica holders (majority needed)"
+            )
         obj.meta_epoch += 1
         replica = self._meta_snapshot(obj)
-        for nid in obj.replica_nodes:
-            node = self.cluster.node(nid)
-            if node.alive:
-                node.put_meta(obj.name, replica)
+        for nid in reachable:
+            self.cluster.node(nid).put_meta(obj.name, replica)
         # Placement changed: cached decodes/reconstructions may describe
         # bytes about to be GC'd from their old node.  Real-bytes caches
         # only — dropping them never perturbs the event stream.
         self._invalidate_object_caches(obj.name)
+
+
+    def _sync_meta_replicas(self, obj) -> int:
+        """Anti-entropy for metadata replicas: push the current-epoch
+        snapshot to alive holders whose replica is missing or older
+        (post-partition-heal convergence onto the majority epoch).
+        Metadata-plane; returns the number of holders updated."""
+        replica = None
+        synced = 0
+        for nid in obj.replica_nodes:
+            node = self.cluster.node(nid)
+            if not node.alive:
+                continue
+            existing = node.get_meta(obj.name)
+            if (
+                existing is not None
+                and existing.store_kind == "fixed"
+                and existing.epoch >= obj.meta_epoch
+            ):
+                continue
+            if replica is None:
+                replica = self._meta_snapshot(obj)
+            node.put_meta(obj.name, replica)
+            synced += 1
+        return synced
 
     def _install_from_replica(self, replica: MetaReplica) -> StoredFixedObject:
         """Recovery roll-forward: rebuild the in-memory object from a
@@ -518,7 +593,9 @@ class BaselineStore:
             )
             return block[offset : offset + length]
 
-        if not self._usable(node):
+        if not self._usable(node) and not (
+            node.alive and self._floor_attempt(obj, block_index)
+        ):
             return RemoteOp(standalone=degraded)
 
         def execute():
@@ -581,10 +658,24 @@ class BaselineStore:
             node = self.cluster.node(nid)
             if not node.alive or not node.has_block(bid):
                 continue
+            if not self.cluster.reachable(coordinator.node_id, node.node_id):
+                # Partitioned away: the fetch RPC is deterministically
+                # lost, so don't waste the timeout discovering it.
+                continue
             candidates.append((i, node, bid))
-        healthy = [c for c in candidates if self.cluster.health.usable(c[1].node_id)]
-        suspect = [c for c in candidates if not self.cluster.health.usable(c[1].node_id)]
-        gather = (healthy + suspect)[: max(0, k - pending)]
+        # Healthy (non-greylisted) shards first, then greylisted
+        # (fail-slow: they answer, slowly), suspect last.
+        health = self.cluster.health
+        healthy = [
+            c for c in candidates
+            if health.usable(c[1].node_id) and not health.is_greylisted(c[1].node_id)
+        ]
+        grey = [
+            c for c in candidates
+            if health.usable(c[1].node_id) and health.is_greylisted(c[1].node_id)
+        ]
+        suspect = [c for c in candidates if not health.usable(c[1].node_id)]
+        gather = (healthy + grey + suspect)[: max(0, k - pending)]
 
         def fetch_op(node, bid: str) -> RemoteOp:
             def execute():
@@ -627,6 +718,10 @@ class BaselineStore:
             if rebuilt is not None:
                 cached = rebuilt
                 self._degraded_block_cache[cache_key] = cached
+        # Anti-entropy read-repair: this foreground read had to
+        # reconstruct — queue the stripe for background repair.
+        if self.config.read_repair_enabled:
+            self.cluster.enqueue_read_repair(self, "fixed", obj.name, stripe)
         return cached
 
     def _verified_block_recovery(
@@ -652,7 +747,11 @@ class BaselineStore:
                 bid = obj.parity_block_id(stripe, i - k)
                 nid = obj.parity_block_nodes[(stripe, i - k)]
             node = self.cluster.node(nid)
-            if not node.alive or not node.has_block(bid):
+            if (
+                not node.alive
+                or not self.cluster.reachable(coordinator.node_id, node.node_id)
+                or not node.has_block(bid)
+            ):
                 shards.append(None)
                 continue
             data = yield from node.read_block(bid, self.config.size_scale, query)
@@ -1108,17 +1207,27 @@ class BaselineStore:
             )
         return holders
 
-    def _pick_rescue_node(self, holder_ids: set[int], lost_node_id: int):
+    def _pick_rescue_node(
+        self, holder_ids: set[int], lost_node_id: int, reachable_from: int | None = None
+    ):
         """An *alive* node to host rebuilt blocks, preferring non-holders.
 
         Matches the seed's choice (smallest non-holder id, else the lost
-        node's successor) whenever every node is alive."""
+        node's successor) whenever every node is alive.
+        ``reachable_from`` additionally excludes nodes partitioned away
+        from the repairing coordinator."""
+
+        def eligible(nid: int) -> bool:
+            if not self.cluster.node(nid).alive:
+                return False
+            return reachable_from is None or self.cluster.reachable(reachable_from, nid)
+
         for nid in range(self.cluster.num_nodes):
-            if nid not in holder_ids and self.cluster.node(nid).alive:
+            if nid not in holder_ids and eligible(nid):
                 return self.cluster.node(nid)
         for step in range(1, self.cluster.num_nodes + 1):
             nid = (lost_node_id + step) % self.cluster.num_nodes
-            if self.cluster.node(nid).alive:
+            if eligible(nid):
                 return self.cluster.node(nid)
         raise RuntimeError("no alive node available to host rebuilt blocks")
 
@@ -1152,7 +1261,11 @@ class BaselineStore:
                 shards.append(None)
                 continue
             node = self.cluster.node(nid)
-            if not node.alive or not node.has_block(bid):
+            if (
+                not node.alive
+                or not self.cluster.reachable(rescue_node.node_id, node.node_id)
+                or not node.has_block(bid)
+            ):
                 shards.append(None)
                 continue
             data = yield from node.read_block(bid, self.config.size_scale, metrics)
@@ -1241,7 +1354,11 @@ class BaselineStore:
                 continue
             bid, nid = holder
             node = self.cluster.node(nid)
-            if not node.alive or not node.has_block(bid):
+            if (
+                not node.alive
+                or not self.cluster.reachable(coordinator.node_id, node.node_id)
+                or not node.has_block(bid)
+            ):
                 shards.append(None)
                 continue
             data = yield from node.read_block(bid, self.config.size_scale, metrics)
@@ -1273,9 +1390,12 @@ class BaselineStore:
             if self._rewrite_mismatch(obj, bid, payload):
                 continue
             holder = self.cluster.node(nid)
-            if not holder.alive:
+            if not holder.alive or not self.cluster.reachable(
+                coordinator.node_id, holder.node_id
+            ):
                 holder = self._pick_rescue_node(
-                    {h[1] for h in holders if h is not None}, nid
+                    {h[1] for h in holders if h is not None}, nid,
+                    reachable_from=coordinator.node_id,
                 )
             yield from self.cluster.network.transfer(
                 coordinator.endpoint, holder.endpoint, self.config.scaled(payload.size), metrics
@@ -1408,7 +1528,11 @@ class BaselineStore:
                 continue
             bid, nid = holder
             node = self.cluster.node(nid)
-            if not node.alive or not node.has_block(bid):
+            if (
+                not node.alive
+                or not self.cluster.reachable(coordinator.node_id, node.node_id)
+                or not node.has_block(bid)
+            ):
                 shards.append(None)
                 continue
             data = yield from node.read_block(bid, self.config.size_scale, metrics)

@@ -118,6 +118,9 @@ class RecoveryReport:
     #: Crash-interrupted rebalance moves rolled to a safe state
     #: (uncommitted copies dropped, committed moves GC-finished).
     migrations_resolved: int = 0
+    #: Stale or missing metadata replicas re-pushed at the current epoch
+    #: (anti-entropy convergence after partitions heal).
+    meta_replicas_synced: int = 0
     wall_seconds: float = 0.0
 
     @property
@@ -444,6 +447,15 @@ def recover(store) -> RecoveryReport:
     from repro.core.rebalance import resolve_pending_migrations
 
     report.migrations_resolved = resolve_pending_migrations(store)
+
+    # Anti-entropy: converge every alive holder onto each object's
+    # current (majority) epoch.  Partition-healed minority holders may
+    # still carry stale lower-epoch snapshots that a later quorum read
+    # could only outvote, not erase; pushing the newest snapshot here
+    # makes recover() idempotent against re-partitioning.
+    for sub in _stores(store):
+        for name in sorted(sub.objects):
+            report.meta_replicas_synced += sub._sync_meta_replicas(sub.objects[name])
 
     report.wall_seconds = time.perf_counter() - started
     if cluster.sim.tracer is not None:

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from repro.cluster.metrics import QueryMetrics
 from repro.cluster.overload import BACKGROUND_PRIORITY
 from repro.cluster.simcore import QueueFull
+from repro.core.wal import QuorumLost
 
 
 @dataclass
@@ -215,6 +216,14 @@ class Rebalancer:
                         # leave the stripe for a later run.
                         report.stripes_deferred += 1
                         metrics.requests_shed += 1
+                        yield from self._throttle(metrics, report.started)
+                        continue
+                    except QuorumLost:
+                        # Partition strands this coordinator with a
+                        # minority of the object's meta-replica holders:
+                        # migrating now would republish a minority-epoch
+                        # snapshot.  Defer to a post-heal run.
+                        report.stripes_deferred += 1
                         yield from self._throttle(metrics, report.started)
                         continue
                     if moved:

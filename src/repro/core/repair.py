@@ -26,6 +26,7 @@ import numpy as np
 from repro.cluster.metrics import QueryMetrics
 from repro.cluster.overload import BACKGROUND_PRIORITY
 from repro.cluster.simcore import QueueFull
+from repro.core.wal import QuorumLost
 from repro.ec.reed_solomon import CodeParams
 from repro.ec.stripe import DecodeError, decode_stripe, encode_stripe
 
@@ -119,6 +120,10 @@ class RepairReport:
     #: Stripes skipped because admission control refused the repair's
     #: (background-priority) traffic — retried by a later repair run.
     stripes_deferred: int = 0
+    #: Stripes whose metadata republish was refused by the quorum guard
+    #: (QuorumLost: a partition strands this coordinator with a minority
+    #: of the object's meta-replica holders) — retried after heal.
+    stripes_quorum_deferred: int = 0
     repair_bytes: int = 0  # simulated network bytes moved by repair
     started: float = 0.0
     finished: float = 0.0
@@ -197,6 +202,31 @@ class RepairManager:
         report = yield from self._repair_targets(targets)
         return report
 
+    def repair_read_reported(self) -> RepairReport:
+        """Drain the cluster's anti-entropy read-repair queue (runs sim).
+
+        Stripes land on ``cluster.read_repairs`` when a foreground read
+        had to reconstruct data (degraded or checksum-failed); draining
+        them repairs the damage from traffic instead of waiting for the
+        next scrub.  Traffic is accounted as ``read_repair_bytes``,
+        separate from both query and scrub-repair traffic.
+        """
+        proc = self.sim.process(self.repair_read_reported_process())
+        self.sim.run()
+        return proc.value
+
+    def repair_read_reported_process(self):
+        queue = self.cluster.read_repairs
+        managed = set(self._stores())
+        targets = []
+        for (kind, name, sid), store in list(queue.items()):
+            if store not in managed:
+                continue  # another store pair's stripe; leave it queued
+            del queue[(kind, name, sid)]
+            targets.append((store, name, sid))
+        report = yield from self._repair_targets(targets, accounting="read_repair")
+        return report
+
     # -- internals --------------------------------------------------------
 
     def _stores(self):
@@ -212,12 +242,14 @@ class RepairManager:
                 return store
         raise KeyError(f"no object named {name!r} in any managed store")
 
-    def _repair_targets(self, targets):
+    def _repair_targets(self, targets, accounting: str = "repair"):
         """Process: repair each (store, object, stripe) target in order.
 
         One :class:`QueryMetrics` accumulates the whole run's traffic;
         it is *never* passed to ``record_query``, so repair bytes stay
-        out of the query totals and land in ``record_repair`` instead.
+        out of the query totals and land in ``record_repair`` — or, for
+        ``accounting="read_repair"`` runs, ``record_read_repair`` —
+        instead.
 
         Repair runs in the background priority lane: under the
         ``shed-lowest-priority`` admission policy its requests are the
@@ -248,6 +280,14 @@ class RepairManager:
                 metrics.requests_shed += 1
                 yield from self._throttle(metrics, report.started)
                 continue
+            except QuorumLost:
+                # Partitioned away from the metadata majority: repairing
+                # this stripe now would install a minority-epoch snapshot
+                # (split-brain).  Leave it for a post-heal run.
+                report.stripes_deferred += 1
+                report.stripes_quorum_deferred += 1
+                yield from self._throttle(metrics, report.started)
+                continue
             report.stripes_examined += 1
             if written:
                 report.stripes_repaired += 1
@@ -263,9 +303,12 @@ class RepairManager:
                 stripes_repaired=report.stripes_repaired,
                 blocks_repaired=report.blocks_repaired,
             )
-        self.cluster.metrics.record_repair(
-            metrics.network_bytes, report.blocks_repaired, report.time_to_repair
+        record = (
+            self.cluster.metrics.record_read_repair
+            if accounting == "read_repair"
+            else self.cluster.metrics.record_repair
         )
+        record(metrics.network_bytes, report.blocks_repaired, report.time_to_repair)
         return report
 
     def _throttle(self, metrics: QueryMetrics, started: float):

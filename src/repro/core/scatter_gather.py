@@ -148,8 +148,10 @@ def _record_failure(cluster, node_id, metrics) -> None:
         metrics.breaker_open_total += 1
 
 
-def _record_success(cluster, node_id) -> None:
-    cluster.health.record_success(node_id)
+def _record_success(cluster, node_id, elapsed=None) -> None:
+    """Feed one op success (and its service latency, for gray-failure
+    detection) to the health tracker and circuit breaker."""
+    cluster.health.record_success(node_id, elapsed)
     if cluster.breakers is not None:
         cluster.breakers.record_success(node_id)
 
@@ -550,7 +552,7 @@ def _attempt_single_body(
     if deadline is not None:
         deadline.check("rpc")
     if op.request_bytes is not None:
-        if faults is not None and faults.drop_rpc(node.node_id):
+        if faults is not None and faults.drop_rpc(node.node_id, coordinator.node_id):
             yield from _op_timeout(sim, start, metrics, config)
             _record_failure(cluster, node.node_id, metrics)
             return _FAILED
@@ -585,14 +587,14 @@ def _attempt_single_body(
         yield from _op_timeout(sim, start, metrics, config)
         _record_failure(cluster, node.node_id, metrics)
         return _FAILED
-    if faults is not None and faults.drop_rpc(node.node_id):
+    if faults is not None and faults.drop_rpc(node.node_id, coordinator.node_id):
         yield from _op_timeout(sim, start, metrics, config)
         _record_failure(cluster, node.node_id, metrics)
         return _FAILED
     yield from cluster.network.transfer(
         op.node.endpoint, coordinator.endpoint, reply_bytes, metrics
     )
-    _record_success(cluster, node.node_id)
+    _record_success(cluster, node.node_id, sim.now - start)
     if op.finalize is not None:
         value = yield from op.finalize(value)
     return value
@@ -623,7 +625,7 @@ def _node_group(cluster, coordinator, group: list[RemoteOp], metrics, config, sc
     request_sizes = [op.request_bytes for op in group if op.request_bytes is not None]
     state = {"replies_sent": 0}
     if request_sizes:
-        if faults is not None and faults.drop_rpc(node.node_id):
+        if faults is not None and faults.drop_rpc(node.node_id, coordinator.node_id):
             yield from _op_timeout(sim, start, metrics, config)
             _record_failure(cluster, node.node_id, metrics)
             if batch_span is not None:
@@ -683,7 +685,7 @@ def _node_group(cluster, coordinator, group: list[RemoteOp], metrics, config, sc
             yield from _op_timeout(sim, start, metrics, config)
             _record_failure(cluster, node.node_id, metrics)
             return _FAILED
-        if faults is not None and faults.drop_rpc(node.node_id):
+        if faults is not None and faults.drop_rpc(node.node_id, coordinator.node_id):
             yield from _op_timeout(sim, start, metrics, config)
             _record_failure(cluster, node.node_id, metrics)
             return _FAILED
@@ -700,7 +702,7 @@ def _node_group(cluster, coordinator, group: list[RemoteOp], metrics, config, sc
                 node.endpoint, coordinator.endpoint, reply_bytes, metrics,
                 half_rtt=first,
             )
-        _record_success(cluster, node.node_id)
+        _record_success(cluster, node.node_id, sim.now - start)
         if op.finalize is not None:
             value = yield from op.finalize(value)
         return value

@@ -44,7 +44,7 @@ from repro.core.fac import construct_stripes
 from repro.core.scatter_gather import SHED, RemoteOp, execute_remote_ops
 from repro.core.layout import ChunkItem, StripeLayout
 from repro.core.location_map import ChecksumError, ChunkLocation, LocationMap, chunk_checksum
-from repro.core.wal import MetaReplica, WalRecord, WalWriter
+from repro.core.wal import MetaReplica, QuorumLost, WalRecord, WalWriter
 from repro.obs.audit import PushdownAuditLog
 from repro.obs.registry import MetricsRegistry
 from repro.obs.timeseries import install_telemetry
@@ -135,6 +135,7 @@ class FusionStore:
         # changes so degraded-read reconstructions are never served stale
         # after a restore or repair.
         cluster.health.suspicion_threshold = self.config.suspicion_threshold
+        cluster.health.greylist_factor = self.config.greylist_latency_factor
         cluster.add_liveness_listener(self._on_liveness)
         # Observability (repro.obs): all three attachments are metadata-
         # plane — they never schedule simulation events — so runs are
@@ -176,9 +177,37 @@ class FusionStore:
 
         Routability folds in the failure detector *and* the node's
         circuit breaker (when installed): an open breaker routes the op
-        to its degraded path just like a suspect node would.
+        to its degraded path just like a suspect node would.  Greylisted
+        (fail-slow) nodes are deprioritized here too: reconstructing
+        from k healthy peers beats a many-times-slower direct read; the
+        min-healthy floor (:meth:`_floor_attempt`) reinstates them when
+        reconstruction would be starved of sources anyway.
         """
-        return node.alive and self.cluster.routable(node.node_id)
+        return (
+            node.alive
+            and self.cluster.routable(node.node_id)
+            and not self.cluster.health.is_greylisted(node.node_id)
+        )
+
+    def _floor_attempt(self, obj, block_id: str) -> bool:
+        """Min-healthy-floor guard for scatter-gather source selection.
+
+        True when an op should still *attempt* its non-usable (suspect /
+        greylisted / breaker-open) holder: once the holder's stripe has
+        fewer than k usable sources, degraded reconstruction is itself
+        guaranteed to lean on non-usable nodes, so a direct attempt —
+        with the degraded path kept as fallback — is strictly better
+        than the reconstruction cliff.  Only evaluated after
+        :meth:`_usable` fails, so fault-free runs never pay the scan.
+        """
+        try:
+            placement, _ = self._locate_block(obj, block_id)
+        except KeyError:
+            return False
+        usable = sum(
+            1 for nid in placement.node_ids if self._usable(self.cluster.node(nid))
+        )
+        return usable < self.config.code.k
 
     def _node_pressured(self, node) -> bool:
         """Is the node's CPU admission queue at capacity right now?
@@ -502,20 +531,71 @@ class FusionStore:
 
     def _republish_meta(self, obj: StoredFusionObject) -> None:
         """Repair relocated blocks: push a fresh snapshot (bumped epoch)
-        to the alive replica holders.  Metadata-plane operation — the
-        repair traffic itself was already charged."""
+        to the reachable replica holders.  Metadata-plane operation — the
+        repair traffic itself was already charged.
+
+        Quorum-guarded: with 3+ replica holders, a coordinator that can
+        reach only a minority of them must not install a bumped-epoch
+        snapshot — the majority side may be doing the same, and whoever
+        bumps on fewer holders split-brains the object.  Raises
+        :class:`~repro.core.wal.QuorumLost` instead; callers defer and
+        re-attempt after the partition heals.
+        """
+        holders = obj.location_map.replica_nodes
+        coordinator = self.cluster.coordinator_for(obj.name)
+        reachable = [
+            nid
+            for nid in holders
+            if self.cluster.node(nid).alive
+            and self.cluster.reachable(coordinator.node_id, nid)
+        ]
+        if len(holders) >= 3 and len(reachable) < len(holders) // 2 + 1:
+            self.cluster.metrics.quorum_lost_total += 1
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "meta.quorum_lost", cat="meta", object=obj.name,
+                    reachable=len(reachable), holders=len(holders),
+                )
+            raise QuorumLost(
+                f"republish of {obj.name!r} reaches {len(reachable)}/"
+                f"{len(holders)} metadata replica holders (majority needed)"
+            )
         obj.meta_epoch += 1
         replica = self._meta_snapshot(obj)
-        for nid in obj.location_map.replica_nodes:
-            node = self.cluster.node(nid)
-            if node.alive:
-                node.put_meta(obj.name, replica)
+        for nid in reachable:
+            self.cluster.node(nid).put_meta(obj.name, replica)
         # The published placement changed: every cached artefact derived
         # from the old placement (decoded chunks, page indexes, degraded
         # reconstructions) may now describe bytes that are about to be
         # GC'd from their old node.  Real-bytes caches only, so dropping
         # them never perturbs the event stream.
         self._invalidate_object_caches(obj.name)
+
+
+    def _sync_meta_replicas(self, obj) -> int:
+        """Anti-entropy for metadata replicas: push the current-epoch
+        snapshot to alive holders whose replica is missing or older
+        (post-partition-heal convergence onto the majority epoch).
+        Metadata-plane; returns the number of holders updated."""
+        replica = None
+        synced = 0
+        for nid in obj.location_map.replica_nodes:
+            node = self.cluster.node(nid)
+            if not node.alive:
+                continue
+            existing = node.get_meta(obj.name)
+            if (
+                existing is not None
+                and existing.store_kind == "fac"
+                and existing.epoch >= obj.meta_epoch
+            ):
+                continue
+            if replica is None:
+                replica = self._meta_snapshot(obj)
+            node.put_meta(obj.name, replica)
+            synced += 1
+        return synced
 
     def _install_from_replica(self, replica: MetaReplica) -> StoredFusionObject:
         """Recovery roll-forward: rebuild the in-memory object from a
@@ -685,7 +765,9 @@ class FusionStore:
             chunk = yield from self._degraded_chunk_read(obj, loc, coordinator, metrics)
             return chunk[within : within + length]
 
-        if not self._usable(node):
+        if not self._usable(node) and not (
+            node.alive and self._floor_attempt(obj, loc.block_id)
+        ):
             return RemoteOp(standalone=degraded)
 
         def execute():
@@ -763,10 +845,24 @@ class FusionStore:
             )
             if not node.alive or not node.has_block(block_id):
                 continue
+            if not self.cluster.reachable(coordinator.node_id, node.node_id):
+                # Partitioned away: the fetch RPC is deterministically
+                # lost, so don't waste the timeout discovering it.
+                continue
             candidates.append((i, node, block_id))
-        healthy = [c for c in candidates if self.cluster.health.usable(c[1].node_id)]
-        suspect = [c for c in candidates if not self.cluster.health.usable(c[1].node_id)]
-        gather = (healthy + suspect)[: max(0, k - pending)]
+        # Healthy (non-greylisted) shards first, then greylisted
+        # (fail-slow: they answer, slowly), suspect last.
+        health = self.cluster.health
+        healthy = [
+            c for c in candidates
+            if health.usable(c[1].node_id) and not health.is_greylisted(c[1].node_id)
+        ]
+        grey = [
+            c for c in candidates
+            if health.usable(c[1].node_id) and health.is_greylisted(c[1].node_id)
+        ]
+        suspect = [c for c in candidates if not health.usable(c[1].node_id)]
+        gather = (healthy + grey + suspect)[: max(0, k - pending)]
 
         def fetch_op(node, block_id: str) -> RemoteOp:
             def execute():
@@ -815,6 +911,13 @@ class FusionStore:
                 cached = rebuilt
                 self._degraded_bin_cache[loc.block_id] = cached
                 chunk = cached[loc.offset_in_block : loc.offset_in_block + loc.size]
+        # Anti-entropy read-repair: this foreground read had to
+        # reconstruct — queue the stripe for background repair so the
+        # damage heals from traffic instead of waiting for a scrub.
+        if self.config.read_repair_enabled:
+            self.cluster.enqueue_read_repair(
+                self, "fac", obj.name, placement.stripe_id
+            )
         return chunk
 
     def _verified_bin_recovery(
@@ -838,7 +941,11 @@ class FusionStore:
                 shards.append(np.zeros(0, dtype=np.uint8))
                 continue
             node = self.cluster.node(placement.node_ids[i])
-            if not node.alive or not node.has_block(block_ids[i]):
+            if (
+                not node.alive
+                or not self.cluster.reachable(coordinator.node_id, node.node_id)
+                or not node.has_block(block_ids[i])
+            ):
                 shards.append(None)
                 continue
             data = yield from node.read_block(block_ids[i], self.config.size_scale, metrics)
@@ -1171,7 +1278,9 @@ class FusionStore:
             bits = eval_leaf(op.leaf, op.type, values)
             return bits, values[np.flatnonzero(bits)]
 
-        if not self._usable(node):
+        if not self._usable(node) and not (
+            node.alive and self._floor_attempt(obj, loc.block_id)
+        ):
             return RemoteOp(standalone=degraded)
 
         def execute():
@@ -1251,7 +1360,9 @@ class FusionStore:
             )
             return eval_leaf(op.leaf, op.type, values)
 
-        if not self._usable(node):
+        if not self._usable(node) and not (
+            node.alive and self._floor_attempt(obj, loc.block_id)
+        ):
             return RemoteOp(standalone=degraded)
 
         def execute():
@@ -1304,7 +1415,9 @@ class FusionStore:
             )
             return values[indices]
 
-        if not self._usable(node):
+        if not self._usable(node) and not (
+            node.alive and self._floor_attempt(obj, loc.block_id)
+        ):
             return RemoteOp(standalone=degraded)
 
         selectivity = len(indices) / len(bitmap) if len(bitmap) else 0.0
@@ -1456,7 +1569,9 @@ class FusionStore:
             selected = values[np.flatnonzero(bitmap)]
             return partial_aggregate(agg, selected, int(bitmap.sum()))
 
-        if not self._usable(node):
+        if not self._usable(node) and not (
+            node.alive and self._floor_attempt(obj, loc.block_id)
+        ):
             return RemoteOp(standalone=degraded)
 
         bitmap_wire = Bitmap(bitmap).wire_size()
@@ -1650,19 +1765,30 @@ class FusionStore:
         fallback = yield from self.fallback_store.recover_node_process(node_id, metrics)
         return rebuilt + fallback
 
-    def _pick_rescue_node(self, holder_ids: set[int], lost_node_id: int):
+    def _pick_rescue_node(
+        self, holder_ids: set[int], lost_node_id: int, reachable_from: int | None = None
+    ):
         """An *alive* node to host rebuilt blocks, preferring non-holders.
 
         With every node alive this matches the seed's choice (smallest
         non-holder id, else the lost node's successor); a dead candidate
         is never picked — repaired data must land on reachable nodes.
+        ``reachable_from`` additionally excludes nodes partitioned away
+        from the repairing coordinator (writes across a severed link
+        would silently vanish).
         """
+
+        def eligible(nid: int) -> bool:
+            if not self.cluster.node(nid).alive:
+                return False
+            return reachable_from is None or self.cluster.reachable(reachable_from, nid)
+
         for nid in range(self.cluster.num_nodes):
-            if nid not in holder_ids and self.cluster.node(nid).alive:
+            if nid not in holder_ids and eligible(nid):
                 return self.cluster.node(nid)
         for step in range(1, self.cluster.num_nodes + 1):
             nid = (lost_node_id + step) % self.cluster.num_nodes
-            if self.cluster.node(nid).alive:
+            if eligible(nid):
                 return self.cluster.node(nid)
         raise RuntimeError("no alive node available to host rebuilt blocks")
 
@@ -1698,7 +1824,11 @@ class FusionStore:
                 shards.append(None)
                 continue
             node = self.cluster.node(placement.node_ids[i])
-            if not node.alive or not node.has_block(block_ids[i]):
+            if (
+                not node.alive
+                or not self.cluster.reachable(rescue.node_id, node.node_id)
+                or not node.has_block(block_ids[i])
+            ):
                 # Empty data blocks are never written; represent as zero-size.
                 if i < k and placement.data_sizes[i] == 0:
                     shards.append(np.zeros(0, dtype=np.uint8))
@@ -1799,7 +1929,11 @@ class FusionStore:
                 shards.append(np.zeros(0, dtype=np.uint8))
                 continue
             node = self.cluster.node(placement.node_ids[i])
-            if not node.alive or not node.has_block(block_ids[i]):
+            if (
+                not node.alive
+                or not self.cluster.reachable(coordinator.node_id, node.node_id)
+                or not node.has_block(block_ids[i])
+            ):
                 shards.append(None)
                 continue
             data = yield from node.read_block(block_ids[i], self.config.size_scale, metrics)
@@ -1829,9 +1963,12 @@ class FusionStore:
             if self._rewrite_mismatch(placement, i, payload):
                 continue
             holder = self.cluster.node(placement.node_ids[i])
-            if not holder.alive:
+            if not holder.alive or not self.cluster.reachable(
+                coordinator.node_id, holder.node_id
+            ):
                 holder = self._pick_rescue_node(
-                    set(placement.node_ids), placement.node_ids[i]
+                    set(placement.node_ids), placement.node_ids[i],
+                    reachable_from=coordinator.node_id,
                 )
             yield from self.cluster.network.transfer(
                 coordinator.endpoint, holder.endpoint, self.config.scaled(payload.size), metrics

@@ -62,6 +62,17 @@ class CoordinatorCrash(RuntimeError):
     """The coordinator died mid-operation (at a named WAL crash point)."""
 
 
+class QuorumLost(RuntimeError):
+    """A metadata republish could not reach a majority of the object's
+    meta-replica holders.
+
+    Raised instead of installing a minority-epoch snapshot: a
+    partition-stranded coordinator that bumped the epoch on the nodes it
+    can still see would split-brain the object's metadata against the
+    majority side.  Callers (repair, rebalance) treat this as a typed
+    deferral — re-attempt after the partition heals."""
+
+
 @dataclass(frozen=True)
 class WalRecord:
     """One append-only log entry.

@@ -138,6 +138,7 @@ class Scraper:
             lbl = {"node": str(nid)}
             self._record(t, "repro_node_up", lbl, 0.0 if health[nid]["down"] else 1.0)
             self._record(t, "repro_node_suspect", lbl, 1.0 if health[nid]["suspect"] else 0.0)
+            self._record(t, "repro_node_health_tier", lbl, cluster.health.tier_value(nid))
             self._record(t, "repro_node_disk_slow_factor", lbl, node.disk.slow_factor)
             if breakers is not None:
                 self._record(
@@ -164,6 +165,11 @@ class Scraper:
         self._record(t, "repro_cluster_network_bytes", {}, cm.network_bytes)
         self._record(t, "repro_cluster_repair_bytes", {}, cm.repair_bytes)
         self._record(t, "repro_cluster_rebalance_bytes", {}, cm.rebalance_bytes)
+        self._record(t, "repro_cluster_read_repair_bytes", {}, cm.read_repair_bytes)
+        self._record(t, "repro_cluster_quorum_lost_total", {}, cm.quorum_lost_total)
+        self._record(
+            t, "repro_cluster_severed_links", {}, cluster.network.severed_link_count()
+        )
         self._record(t, "repro_cluster_migrations_inflight", {}, len(cluster.migrations))
 
         # Per-tenant DRR state: queued entries and deficit counters,

@@ -265,3 +265,191 @@ class TestHealthTracker:
         cluster.restore_node(1)
         cluster.restore_node(1)  # already alive: no notification
         assert calls == [(1, False), (1, True)]
+
+
+class TestLinkFaultKinds:
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, kind="partition", node_id=0, duration=1.0)  # no nodes
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, kind="asym_link", node_id=0, peer=0, duration=1.0, rate=0.5)
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, kind="asym_link", node_id=0, peer=1, duration=1.0)  # no axis
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, kind="fail_slow", node_id=0, duration=1.0, factor=0.5)
+
+    def test_partition_severs_and_heals(self):
+        cluster, sim = _cluster(num_nodes=4)
+        schedule = [
+            FaultEvent(at=1.0, kind="partition", node_id=0, nodes=(0, 1), duration=2.0),
+        ]
+        FaultInjector(cluster, schedule, seed=1).install()
+        seen = {}
+
+        def probe():
+            yield sim.timeout(1.5)
+            seen["cut"] = (
+                cluster.reachable(0, 2),
+                cluster.reachable(0, 1),
+                cluster.network.severed_link_count(),
+            )
+            yield sim.timeout(2.0)  # t = 3.5, past the heal
+            seen["healed"] = (
+                cluster.reachable(0, 2),
+                cluster.network.severed_link_count(),
+                len(cluster.network.links),
+            )
+
+        sim.process(probe())
+        sim.run()
+        # Both directed legs of each of the 2x2 cross pairs are severed;
+        # intra-side links stay up.  Heal empties the matrix entirely.
+        assert seen["cut"] == (False, True, 8)
+        assert seen["healed"] == (True, 0, 0)
+
+    def test_severed_link_drops_rpc_deterministically(self):
+        cluster, sim = _cluster(num_nodes=4)
+        schedule = [
+            FaultEvent(at=0.0, kind="partition", node_id=0, nodes=(0,), duration=5.0),
+        ]
+        injector = FaultInjector(cluster, schedule, seed=1).install()
+
+        def probe():
+            yield sim.timeout(1.0)
+            seen = [injector.drop_rpc(1, src_id=0) for _ in range(5)]
+            seen += [injector.drop_rpc(0, src_id=1) for _ in range(5)]  # reverse leg
+            seen += [injector.drop_rpc(2, src_id=1)]  # same side: fine
+            assert seen == [True] * 10 + [False]
+
+        sim.process(probe())
+        sim.run()
+
+    def test_asym_link_adds_latency_one_direction(self):
+        cluster, sim = _cluster(num_nodes=3)
+        schedule = [
+            FaultEvent(
+                at=0.0, kind="asym_link", node_id=0, peer=1,
+                duration=5.0, latency_s=0.5,
+            ),
+        ]
+        FaultInjector(cluster, schedule, seed=1).install()
+        a = cluster.node(0).endpoint
+        b = cluster.node(1).endpoint
+        durations = {}
+
+        def probe():
+            yield sim.timeout(1.0)
+            start = sim.now
+            yield from cluster.network.transfer(a, b, 1000)
+            durations["degraded"] = sim.now - start
+            start = sim.now
+            yield from cluster.network.transfer(b, a, 1000)
+            durations["reverse"] = sim.now - start
+            yield sim.timeout(10.0)  # past the reset
+            start = sim.now
+            yield from cluster.network.transfer(a, b, 1000)
+            durations["healed"] = sim.now - start
+
+        sim.process(probe())
+        sim.run()
+        assert durations["degraded"] >= durations["reverse"] + 0.5
+        assert durations["healed"] == pytest.approx(durations["reverse"])
+        assert not cluster.network.links  # pruned after reset
+
+    def test_asym_link_drops_are_link_rng_only(self):
+        """Directed drop draws come from the link RNG: the main stream's
+        replay (windowed drops) is unperturbed by link consultations."""
+        cluster, sim = _cluster(num_nodes=3)
+        schedule = [
+            FaultEvent(at=0.0, kind="asym_link", node_id=0, peer=1, duration=50.0, rate=0.5),
+        ]
+        injector = FaultInjector(cluster, schedule, seed=7).install()
+        main_state_before = None
+        results = {}
+
+        def probe():
+            yield sim.timeout(1.0)
+            state = injector.rng.getstate()
+            outcomes = [injector.drop_rpc(1, src_id=0) for _ in range(64)]
+            results["dropped"] = sum(outcomes)
+            results["main_rng_untouched"] = injector.rng.getstate() == state
+
+        sim.process(probe())
+        sim.run()
+        assert results["main_rng_untouched"]
+        assert 10 < results["dropped"] < 55  # ~50% drop rate, seeded
+
+    def test_fail_slow_sets_and_resets_gray_factors(self):
+        cluster, sim = _cluster(num_nodes=3)
+        schedule = [
+            FaultEvent(at=1.0, kind="fail_slow", node_id=2, duration=2.0, factor=16.0),
+        ]
+        FaultInjector(cluster, schedule, seed=1).install()
+        seen = {}
+
+        def probe():
+            yield sim.timeout(1.5)
+            node = cluster.node(2)
+            seen["gray"] = (node.disk.gray_factor, node.endpoint.gray_factor)
+            seen["slow_untouched"] = (node.disk.slow_factor, node.endpoint.slow_factor)
+            yield sim.timeout(2.0)
+            seen["reset"] = (node.disk.gray_factor, node.endpoint.gray_factor)
+
+        sim.process(probe())
+        sim.run()
+        assert seen["gray"] == (16.0, 16.0)
+        assert seen["slow_untouched"] == (1.0, 1.0)
+        assert seen["reset"] == (1.0, 1.0)
+
+
+class TestScheduleSeedCompatibility:
+    """Adding the link-fault families must not shift any existing draw."""
+
+    OLD_KW = dict(
+        crashes=3, blips=2, slow_windows=2, drop_windows=2, corruptions=2,
+        overloads=1, slow_bursts=1, membership=1, tenant_storms=1,
+    )
+
+    def test_old_args_bit_identical(self):
+        a = random_schedule(12, 10.0, seed=42, **self.OLD_KW)
+        b = random_schedule(12, 10.0, seed=42, **self.OLD_KW)
+        assert a == b
+        # Zero-count new families draw nothing: identical to never
+        # passing them at all.
+        c = random_schedule(
+            12, 10.0, seed=42, **self.OLD_KW, partitions=0, asym_links=0, fail_slows=0
+        )
+        assert c == a
+
+    def test_new_families_append_after_old_draws(self):
+        old = random_schedule(12, 10.0, seed=42, **self.OLD_KW)
+        new = random_schedule(
+            12, 10.0, seed=42, **self.OLD_KW, partitions=2, asym_links=2, fail_slows=1
+        )
+        prefix = [e for e in new if e.kind not in ("partition", "asym_link", "fail_slow")]
+        assert prefix == old
+        assert len(new) - len(prefix) == 5
+
+    def test_new_family_events_well_formed(self):
+        events = random_schedule(
+            9, 10.0, seed=3, crashes=0, blips=0, slow_windows=0, drop_windows=0,
+            corruptions=0, partitions=2, asym_links=3, fail_slows=2,
+        )
+        kinds = [e.kind for e in events]
+        assert kinds.count("partition") == 2
+        assert kinds.count("asym_link") == 3
+        assert kinds.count("fail_slow") == 2
+        for e in events:
+            if e.kind == "partition":
+                assert e.nodes and len(e.nodes) <= 9 // 2
+            elif e.kind == "asym_link":
+                assert e.peer != e.node_id and 0 <= e.peer < 9
+            elif e.kind == "fail_slow":
+                assert e.factor >= 8.0 and e.duration > 0
+
+    def test_asym_links_skip_single_node_cluster(self):
+        events = random_schedule(
+            1, 10.0, seed=3, crashes=0, blips=0, slow_windows=0, drop_windows=0,
+            corruptions=0, asym_links=3,
+        )
+        assert events == []

@@ -1,0 +1,162 @@
+"""NodeHealthTracker boundaries: suspicion edge cases, runtime growth,
+and the EWMA-driven greylist tier under bursty latency."""
+
+import pytest
+
+from repro.cluster.health import (
+    GREYLIST_MIN_SAMPLES,
+    LATENCY_EWMA_ALPHA,
+    TIERS,
+    NodeHealthTracker,
+)
+
+
+def _warm(tracker, node_id, latency, samples=GREYLIST_MIN_SAMPLES):
+    """Feed ``samples`` successful ops at a constant latency."""
+    for _ in range(samples):
+        tracker.record_success(node_id, latency)
+
+
+class TestSuspicionBoundaries:
+    def test_threshold_one_suspects_on_first_failure(self):
+        tracker = NodeHealthTracker(4, suspicion_threshold=1)
+        assert tracker.usable(2)
+        tracker.record_failure(2)
+        assert tracker.is_suspect(2)
+        assert not tracker.usable(2)
+        tracker.record_success(2)
+        assert tracker.usable(2)
+
+    def test_threshold_zero_rejected(self):
+        with pytest.raises(ValueError):
+            NodeHealthTracker(4, suspicion_threshold=0)
+
+    def test_restore_during_suspicion_clears_it(self):
+        tracker = NodeHealthTracker(4, suspicion_threshold=2)
+        tracker.record_failure(1)
+        tracker.record_failure(1)
+        tracker.on_liveness(1, alive=False)
+        assert tracker.tier(1) == "down"
+        tracker.on_liveness(1, alive=True)
+        assert tracker.consecutive_failures[1] == 0
+        assert not tracker.is_suspect(1)
+        assert tracker.tier(1) == "usable"
+
+    def test_ensure_size_adds_healthy_nodes(self):
+        tracker = NodeHealthTracker(3, suspicion_threshold=2, greylist_factor=4.0)
+        tracker.record_failure(2)
+        tracker.ensure_size(6)
+        assert len(tracker.down) == 6
+        for nid in (3, 4, 5):
+            assert tracker.tier(nid) == "usable"
+            assert tracker.latency_samples[nid] == 0
+        # Pre-existing state survives the growth.
+        assert tracker.consecutive_failures[2] == 1
+        # Growing is idempotent and never shrinks.
+        tracker.ensure_size(4)
+        assert len(tracker.down) == 6
+
+
+class TestGreylistTier:
+    def test_disarmed_by_default(self):
+        tracker = NodeHealthTracker(4)
+        _warm(tracker, 0, 0.001)
+        _warm(tracker, 1, 0.001)
+        _warm(tracker, 2, 0.001)
+        _warm(tracker, 3, 1.0)  # wildly slow, but factor == 0 disarms verdicts
+        assert not tracker.is_greylisted(3)
+        assert tracker.tier(3) == "usable"
+
+    def test_outlier_node_greylisted(self):
+        tracker = NodeHealthTracker(4, greylist_factor=4.0)
+        for nid in range(3):
+            _warm(tracker, nid, 0.001)
+        _warm(tracker, 3, 0.050)
+        assert tracker.is_greylisted(3)
+        assert tracker.tier(3) == "greylisted"
+        # Greylisted nodes remain usable for liveness-grade routing.
+        assert tracker.usable(3)
+
+    def test_needs_min_samples(self):
+        tracker = NodeHealthTracker(4, greylist_factor=4.0)
+        for nid in range(3):
+            _warm(tracker, nid, 0.001)
+        _warm(tracker, 3, 0.050, samples=GREYLIST_MIN_SAMPLES - 1)
+        assert not tracker.is_greylisted(3)
+
+    def test_recovery_clears_greylist_under_bursty_latency(self):
+        """A burst of slow ops greylists; sustained fast ops clear it."""
+        tracker = NodeHealthTracker(4, greylist_factor=4.0)
+        flips = []
+        tracker.on_tier_change.append(lambda nid, grey: flips.append((nid, grey)))
+        for nid in range(3):
+            _warm(tracker, nid, 0.001)
+        _warm(tracker, 3, 0.050)
+        assert flips == [(3, True)]
+        # EWMA decays geometrically: enough fast samples pull the node
+        # back under the factor * median line and the tier flips back.
+        for _ in range(40):
+            tracker.record_success(3, 0.001)
+        assert not tracker.is_greylisted(3)
+        assert flips == [(3, True), (3, False)]
+
+    def test_single_spike_does_not_greylist(self):
+        """One queueing spike must not flip a warmed-up healthy node."""
+        tracker = NodeHealthTracker(4, greylist_factor=4.0)
+        for nid in range(4):
+            _warm(tracker, nid, 0.001, samples=30)
+        tracker.record_success(0, 0.003)  # 3x one-off spike
+        assert not tracker.is_greylisted(0)
+
+    def test_subordinate_to_suspect_and_down(self):
+        tracker = NodeHealthTracker(4, suspicion_threshold=1, greylist_factor=4.0)
+        for nid in range(3):
+            _warm(tracker, nid, 0.001)
+        _warm(tracker, 3, 0.050)
+        tracker.record_failure(3)
+        assert tracker.tier(3) == "suspect"
+        assert not tracker.is_greylisted(3)
+        tracker.on_liveness(3, alive=False)
+        assert tracker.tier(3) == "down"
+
+    def test_restore_resets_latency_profile(self):
+        tracker = NodeHealthTracker(4, greylist_factor=4.0)
+        for nid in range(3):
+            _warm(tracker, nid, 0.001)
+        _warm(tracker, 3, 0.050)
+        assert tracker.is_greylisted(3)
+        tracker.on_liveness(3, alive=False)
+        tracker.on_liveness(3, alive=True)
+        assert not tracker.is_greylisted(3)
+        assert tracker.latency_samples[3] == 0
+        assert tracker.latency_ewma[3] == 0.0
+
+    def test_ewma_math(self):
+        tracker = NodeHealthTracker(1)
+        tracker.record_latency(0, 0.010)
+        assert tracker.latency_ewma[0] == pytest.approx(0.010)
+        tracker.record_latency(0, 0.020)
+        expected = LATENCY_EWMA_ALPHA * 0.020 + (1 - LATENCY_EWMA_ALPHA) * 0.010
+        assert tracker.latency_ewma[0] == pytest.approx(expected)
+
+
+class TestTierExport:
+    def test_tier_values_index_tiers(self):
+        tracker = NodeHealthTracker(4, suspicion_threshold=1, greylist_factor=4.0)
+        for nid in range(3):
+            _warm(tracker, nid, 0.001)
+        _warm(tracker, 3, 0.050)
+        tracker.record_failure(2)
+        tracker.on_liveness(1, alive=False)
+        assert [tracker.tier(nid) for nid in range(4)] == [
+            "usable", "down", "suspect", "greylisted",
+        ]
+        for nid in range(4):
+            assert TIERS[tracker.tier_value(nid)] == tracker.tier(nid)
+
+    def test_snapshot_carries_tier_fields(self):
+        tracker = NodeHealthTracker(2, greylist_factor=4.0)
+        snap = tracker.snapshot()
+        assert snap[0]["tier"] == "usable"
+        assert snap[0]["greylisted"] is False
+        assert snap[0]["latency_ewma_s"] == 0.0

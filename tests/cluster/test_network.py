@@ -242,3 +242,64 @@ class TestStreamTransfer:
         sim.run()
         # Streamed payloads still serialise through the shared egress pipe.
         assert sim.now == pytest.approx(3.0)
+
+
+class TestLinkFaultPlane:
+    def test_set_and_clear_link(self):
+        sim = Simulator()
+        net = _net(sim)
+        net.set_link("a", "b", severed=True)
+        assert net.link("a", "b").severed
+        assert net.link("b", "a") is None  # directed
+        assert net.severed_link_count() == 1
+        net.clear_link("a", "b")
+        assert net.link("a", "b") is None
+        assert not net.links  # empty matrix keeps the hot path guard true
+
+    def test_set_link_all_clear_removes_entry(self):
+        sim = Simulator()
+        net = _net(sim)
+        net.set_link("a", "b", drop_rate=0.5)
+        assert net.link("a", "b").drop_rate == 0.5
+        net.set_link("a", "b")  # all axes back to defaults
+        assert not net.links
+
+    def test_link_severed_either_direction(self):
+        sim = Simulator()
+        net = _net(sim)
+        net.set_link("b", "a", severed=True)  # only the reply leg
+        assert net.link_severed("a", "b")
+        assert net.link_severed("b", "a")
+        assert not net.link_severed("a", "c")
+
+    def test_extra_latency_charged_to_one_direction(self):
+        sim = Simulator()
+        net = _net(sim, bw=1e9)
+        a, b = NetworkEndpoint(sim, "a"), NetworkEndpoint(sim, "b")
+        net.set_link("a", "b", extra_latency_s=0.25)
+        start = sim.now
+        sim.process(net.transfer(a, b, 1000))
+        sim.run()
+        degraded = sim.now - start
+        start = sim.now
+        sim.process(net.transfer(b, a, 1000))
+        sim.run()
+        reverse = sim.now - start
+        assert degraded >= reverse + 0.25
+
+    def test_empty_matrix_costs_nothing(self):
+        """With no link faults installed, timings match a fresh network."""
+        sim1 = Simulator()
+        net1 = _net(sim1, bw=1e9, rtt=0.002)
+        a1, b1 = NetworkEndpoint(sim1, "a"), NetworkEndpoint(sim1, "b")
+        sim1.process(net1.transfer(a1, b1, 10_000_000))
+        sim1.run()
+
+        sim2 = Simulator()
+        net2 = _net(sim2, bw=1e9, rtt=0.002)
+        a2, b2 = NetworkEndpoint(sim2, "a"), NetworkEndpoint(sim2, "b")
+        net2.set_link("a", "b", extra_latency_s=0.25)
+        net2.clear_link("a", "b")
+        sim2.process(net2.transfer(a2, b2, 10_000_000))
+        sim2.run()
+        assert sim2.now == sim1.now  # bit-identical, not approx
